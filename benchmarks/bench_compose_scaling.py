@@ -1,0 +1,76 @@
+"""E2 — §6.1 / Fagin et al. [40]: composition blow-up.
+
+The cited result: SO-tgd composition has an exponential lower bound —
+"the size of the output may be exponential".  Two workload families
+make the dichotomy visible:
+
+* **linear** — chains of k copy mappings: composed size stays constant
+  per step, time grows linearly in k;
+* **exponential** — the alternatives construction (each middle
+  relation has 2 origins; one target rule joins n of them): the
+  composition must enumerate 2ⁿ origin combinations.
+
+Expected shape: implication count exactly 2ⁿ in the second family, and
+near-flat constraint counts in the first.
+"""
+
+import pytest
+
+from repro.operators import compose
+from repro.workloads import synthetic
+
+from conftest import print_table
+
+
+def _compose_chain(mappings):
+    current = mappings[0]
+    for mapping in mappings[1:]:
+        current = compose(current, mapping)
+    return current
+
+
+@pytest.mark.parametrize("steps", [2, 4, 8])
+def test_linear_chain(benchmark, steps):
+    mappings = synthetic.composition_chain_linear(steps, relations=3)
+
+    composed = benchmark(_compose_chain, mappings)
+    assert composed.constraint_count() == 3  # one per relation, flat
+
+
+@pytest.mark.parametrize("width", [2, 4, 6, 8])
+def test_exponential_family(benchmark, width):
+    m12, m23 = synthetic.composition_pair_exponential(width)
+
+    composed = benchmark(compose, m12, m23, False)
+    assert len(composed.so_tgd.implications) == 2 ** width
+
+
+def test_deskolemization_cost(benchmark):
+    """First-order recovery is an extra pass over every implication."""
+    m12, m23 = synthetic.composition_pair_exponential(6)
+
+    composed = benchmark(compose, m12, m23, True)
+    # These compositions de-Skolemize (origins are full tgds).
+    assert composed.so_tgd is None
+
+
+def test_compose_report(benchmark):
+    rows = []
+    for steps in (2, 4, 8):
+        mappings = synthetic.composition_chain_linear(steps, relations=3)
+        composed = _compose_chain(mappings)
+        rows.append(["linear", steps, composed.constraint_count(),
+                     composed.language.value])
+    for width in (2, 4, 6, 8, 10):
+        m12, m23 = synthetic.composition_pair_exponential(width)
+        composed = compose(m12, m23, prefer_first_order=False)
+        rows.append(["exponential", width,
+                     len(composed.so_tgd.implications), "so-tgd"])
+    m12, m23 = synthetic.composition_pair_exponential(4)
+    benchmark(compose, m12, m23, False)
+    print_table(
+        "E2: composition output size (linear chains vs the 2ⁿ "
+        "alternatives family — Fagin et al.'s lower bound)",
+        ["family", "k / n", "output constraints", "language"],
+        rows,
+    )

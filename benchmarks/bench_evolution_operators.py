@@ -1,0 +1,171 @@
+"""E6 — §6.2–6.4: Diff, Extract, Merge and Inverse under growing
+evolution deltas.
+
+For schemas with n new attributes added by evolution: Diff must report
+exactly the new parts (and Extract ⊎ Diff must cover the schema);
+Merge's output grows additively; the inverse-existence rate over random
+tgd mappings quantifies how often the exact inverse exists — the
+paper's point that most practical mappings are lossy and need
+quasi-inverses.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import InversionError
+from repro.logic.dependencies import TGD
+from repro.logic.formulas import Atom
+from repro.logic.terms import Var
+from repro.mappings import CorrespondenceSet, Mapping
+from repro.metamodel import Attribute, INT, STRING, SchemaBuilder
+from repro.operators import diff, extract, inverse, merge, quasi_inverse
+from repro.workloads import paper
+
+from conftest import print_table
+
+
+def _evolved_pair(new_attributes: int):
+    base = paper.figure6_s_prime_schema()
+    for i in range(new_attributes):
+        base.entity("Foreign").add_attribute(
+            Attribute(f"extra_{i}", STRING, nullable=True)
+        )
+    mapping = Mapping(
+        paper.figure6_s_schema(), base,
+        paper.figure6_map_s_sprime().constraints, name="evolved",
+    )
+    return base, mapping
+
+
+@pytest.mark.parametrize("new_attributes", [1, 4, 16])
+def test_diff_scaling(benchmark, new_attributes):
+    schema, mapping = _evolved_pair(new_attributes)
+
+    slice_ = benchmark(diff, schema, mapping.invert())
+    assert len([p for p in slice_.participating if "extra" in p]) == (
+        new_attributes
+    )
+
+
+@pytest.mark.parametrize("new_attributes", [1, 4, 16])
+def test_extract_scaling(benchmark, new_attributes):
+    schema, mapping = _evolved_pair(new_attributes)
+
+    slice_ = benchmark(extract, schema, mapping.invert())
+    assert "Foreign.Country" in slice_.participating
+
+
+@pytest.mark.parametrize("entities", [4, 8, 16])
+def test_merge_scaling(benchmark, entities):
+    first = SchemaBuilder("MA")
+    second = SchemaBuilder("MB")
+    for i in range(entities):
+        first.entity(f"E{i}", key=["id"]).attribute("id", INT) \
+            .attribute(f"a{i}", STRING)
+        second.entity(f"F{i}", key=["id"]).attribute("id", INT) \
+            .attribute(f"b{i}", STRING)
+    schema_a, schema_b = first.build(), second.build()
+    correspondences = CorrespondenceSet(schema_a, schema_b)
+    for i in range(entities // 2):  # half the entities correspond
+        correspondences.add_pair(f"E{i}", f"F{i}")
+        correspondences.add_pair(f"E{i}.id", f"F{i}.id")
+
+    result = benchmark(merge, schema_a, schema_b, correspondences)
+    assert len(result.schema.entities) == entities + entities // 2
+
+
+def _random_mapping(seed: int):
+    """A random single-tgd mapping that may or may not be lossless."""
+    rng = random.Random(seed)
+    attributes = ["a", "b", "c"]
+    source = SchemaBuilder(f"RS{seed}").entity("R", key=["a"])
+    for attr in attributes:
+        source.attribute(attr, INT)
+    target = SchemaBuilder(f"RT{seed}").entity("T", key=["a"])
+    for attr in attributes:
+        target.attribute(attr, INT, nullable=True)
+    source_schema, target_schema = source.build(), target.build()
+    body_vars = {attr: Var(attr) for attr in attributes}
+    head_args = []
+    for attr in attributes:
+        choice = rng.random()
+        if choice < 0.6:
+            head_args.append((attr, body_vars[attr]))  # copied
+        elif choice < 0.8:
+            head_args.append((attr, Var(f"e_{attr}")))  # invented
+        else:
+            head_args.append((attr, body_vars["a"]))  # collapsed
+    tgd = TGD(
+        body=(Atom("R", tuple((a, body_vars[a]) for a in attributes)),),
+        head=(Atom("T", tuple(head_args)),),
+        name=f"rnd{seed}",
+    )
+    return Mapping(source_schema, target_schema, [tgd])
+
+
+def test_inverse_existence_rate(benchmark):
+    """How often does an exact inverse exist for random mappings?"""
+
+    def survey():
+        exact = 0
+        for seed in range(40):
+            mapping = _random_mapping(seed)
+            try:
+                inverse(mapping)
+                exact += 1
+            except InversionError:
+                quasi_inverse(mapping)  # always constructible
+        return exact
+
+    exact = benchmark(survey)
+    assert 0 < exact < 40  # some lossless, most lossy
+
+
+def test_evolution_report(benchmark):
+    rows = []
+    for new_attributes in (1, 4, 16):
+        schema, mapping = _evolved_pair(new_attributes)
+        inverted = mapping.invert()
+        new_parts = diff(schema, inverted)
+        kept = extract(schema, inverted)
+        all_attrs = {
+            f"{e.name}.{a.name}"
+            for e in schema.entities.values() for a in e.attributes
+        }
+        covered = set()
+        for piece in (new_parts.schema, kept.schema):
+            for entity in piece.entities.values():
+                for attribute in entity.attributes:
+                    covered.add(f"{entity.name}.{attribute.name}")
+        rows.append([
+            new_attributes,
+            len(new_parts.participating),
+            len(kept.participating),
+            "yes" if covered == all_attrs else "NO",
+        ])
+    exact = sum(
+        1 for seed in range(40)
+        if _try_inverse(_random_mapping(seed))
+    )
+    schema, mapping = _evolved_pair(4)
+    benchmark(diff, schema, mapping.invert())
+    print_table(
+        "E6: Diff/Extract coverage under evolution deltas",
+        ["new attrs", "Diff attrs", "Extract attrs",
+         "Extract ⊎ Diff covers schema"],
+        rows,
+    )
+    print_table(
+        "E6b: exact-inverse existence over 40 random single-tgd mappings",
+        ["exact inverses", "quasi-inverse only"],
+        [[exact, 40 - exact]],
+    )
+
+
+def _try_inverse(mapping) -> bool:
+    try:
+        inverse(mapping)
+        return True
+    except InversionError:
+        return False

@@ -1,0 +1,69 @@
+"""F3 — Figure 3: generating and running the query that populates the
+Persons entity set.
+
+The paper shows the "rather complex hard-to-understand query" implied
+by Figure 2's constraints.  This benchmark measures (a) TransGen
+deriving the query view + update view from the constraints, (b)
+evaluating the query view (the Figure 3 execution), and (c) the
+roundtrip verification the paper demands of lossless views — and
+prints the size of the generated view, the analogue of the figure's
+visual bulk.
+"""
+
+import pytest
+
+from repro.algebra import to_sql
+from repro.operators import transgen
+from repro.workloads import paper
+
+from bench_fig2_constraints import _scaled_instances
+from conftest import print_table
+
+
+def test_transgen_generation(benchmark):
+    mapping = paper.figure2_mapping()
+
+    views = benchmark(transgen, mapping)
+    assert views.query_view.rules[0][0] == "Person"
+
+
+def test_query_view_evaluation_paper_data(benchmark):
+    views = transgen(paper.figure2_mapping())
+    sql = paper.figure2_sql_instance()
+
+    produced = benchmark(views.query_view.apply, sql)
+    assert produced.set_equal(paper.figure2_er_instance())
+
+
+@pytest.mark.parametrize("people", [30, 90, 270])
+def test_query_view_scaling(benchmark, people):
+    views = transgen(paper.figure2_mapping())
+    sql, er = _scaled_instances(people)
+
+    produced = benchmark(views.query_view.apply, sql)
+    assert produced.set_equal(er)
+
+
+def test_roundtrip_verification(benchmark):
+    views = transgen(paper.figure2_mapping())
+    er = paper.figure2_er_instance()
+
+    benchmark(views.verify_roundtrip, er)
+
+
+def test_figure3_report(benchmark):
+    views = benchmark(transgen, paper.figure2_mapping())
+    _, expr = views.query_view.rules[0]
+    sql_text = to_sql(expr)
+    print_table(
+        "F3: the generated Figure 3 query view",
+        ["metric", "value"],
+        [
+            ["algebra operator nodes", expr.size()],
+            ["algebra tree depth", expr.depth()],
+            ["rendered SQL characters", len(sql_text)],
+            ["rendered SQL lines", sql_text.count("\n") + 1],
+            ["update-view rules", len(views.update_view.rules)],
+            ["roundtrips on paper data", "yes"],
+        ],
+    )

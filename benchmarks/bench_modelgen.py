@@ -1,0 +1,96 @@
+"""E7 — §3.2: ModelGen genericity across metamodels.
+
+Atzeni & Torlone's rule-repertoire idea: translation = eliminate the
+constructs the target metamodel lacks.  The experiment walks schemas
+around the metamodel square (ER → relational → OO → relational →
+nested → relational) counting constructs eliminated/introduced per
+hop, and checks that the relational projections of a schema remain
+stable across round trips (the information survives).
+"""
+
+import pytest
+
+from repro.operators import InheritanceStrategy, modelgen
+from repro.workloads import paper, synthetic
+
+from conftest import print_table
+
+
+def _rich_er_schema():
+    from repro.metamodel import Cardinality, INT, STRING, SchemaBuilder
+
+    return (
+        SchemaBuilder("Campus", metamodel="er")
+        .entity("Person", key=["pid"]).attribute("pid", INT)
+        .attribute("name", STRING)
+        .entity("Student", parent="Person").attribute("year", INT)
+        .entity("Staff", parent="Person").attribute("salary", INT)
+        .entity("Course", key=["cid"]).attribute("cid", INT)
+        .attribute("title", STRING)
+        .association("Enrolled", "Student", "Course",
+                     source_cardinality=Cardinality(0, None),
+                     target_cardinality=Cardinality(0, None))
+        .build()
+    )
+
+
+_HOPS = [
+    ("er", "relational"),
+    ("relational", "oo"),
+    ("oo", "relational"),
+    ("relational", "nested"),
+    ("nested", "relational"),
+    ("relational", "er"),
+]
+
+
+@pytest.mark.parametrize("target", ["relational", "oo", "nested", "er"])
+def test_modelgen_to_each_metamodel(benchmark, target):
+    source = paper.figure4_source_schema()
+
+    result = benchmark(modelgen, source, target)
+    assert result.schema.metamodel == target
+    result.schema.check_metamodel()
+
+
+def test_er_to_relational_rich(benchmark):
+    schema = _rich_er_schema()
+
+    result = benchmark(modelgen, schema, "relational")
+    assert "Enrolled" in result.schema.entities  # M:N became a join table
+    result.schema.check_metamodel()
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_hierarchy_size_scaling(benchmark, depth):
+    schema = synthetic.inheritance_schema("MG", depth=depth, branching=2)
+
+    result = benchmark(modelgen, schema, "relational",
+                       InheritanceStrategy.TPT)
+    assert len(result.schema.entities) == len(schema.entities)
+
+
+def test_metamodel_walk_report(benchmark):
+    rows = []
+    current = _rich_er_schema()
+    for source_mm, target_mm in _HOPS:
+        if current.metamodel != source_mm:
+            continue
+        before = current.constructs_used()
+        result = modelgen(current, target_mm)
+        after = result.schema.constructs_used()
+        rows.append([
+            f"{source_mm} → {target_mm}",
+            len(current.entities),
+            len(result.schema.entities),
+            ", ".join(sorted(before - after)) or "-",
+            ", ".join(sorted(after - before)) or "-",
+        ])
+        current = result.schema
+    benchmark(modelgen, _rich_er_schema(), "relational")
+    print_table(
+        "E7: walking the metamodel square (constructs eliminated / "
+        "introduced per hop)",
+        ["hop", "entities in", "entities out", "eliminated", "introduced"],
+        rows,
+    )

@@ -1,0 +1,89 @@
+"""E4 — §4 / ADO.NET: inheritance-mapping strategies and
+roundtripping.
+
+For hierarchies of growing size, each strategy (TPH, TPT, TPC) is run
+through ModelGen → TransGen → roundtrip verification, measuring the
+generated view's size and the cost of the losslessness check.  This is
+the ablation DESIGN.md calls out: the strategy is a design choice with
+measurable consequences — TPT's views grow with hierarchy depth (one
+join per level), TPH's stay flat but its table gets wide, TPC
+duplicates inherited columns.
+"""
+
+import pytest
+
+from repro.instances import InstanceGenerator
+from repro.operators import InheritanceStrategy, modelgen, transgen
+from repro.workloads import synthetic
+
+from conftest import print_table
+
+
+def _hierarchy(depth: int, branching: int = 2):
+    return synthetic.inheritance_schema(
+        f"H{depth}x{branching}", depth=depth, branching=branching,
+        attributes_per_entity=2,
+    )
+
+
+@pytest.mark.parametrize("strategy", list(InheritanceStrategy))
+def test_modelgen_per_strategy(benchmark, strategy):
+    schema = _hierarchy(2)
+
+    result = benchmark(modelgen, schema, "relational", strategy)
+    assert result.mapping.equalities
+
+
+@pytest.mark.parametrize("strategy", list(InheritanceStrategy))
+def test_roundtrip_per_strategy(benchmark, strategy):
+    schema = _hierarchy(2)
+    views = transgen(modelgen(schema, "relational", strategy).mapping)
+    db = InstanceGenerator(schema, seed=7).generate(40)
+
+    benchmark(views.verify_roundtrip, db)
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_depth_scaling_tpt(benchmark, depth):
+    schema = _hierarchy(depth)
+    mapping = modelgen(schema, "relational", InheritanceStrategy.TPT).mapping
+
+    views = benchmark(transgen, mapping)
+    views.verify_roundtrip(
+        InstanceGenerator(schema, seed=2).generate(20)
+    )
+
+
+def test_strategy_report(benchmark):
+    rows = []
+    for depth in (1, 2, 3):
+        schema = _hierarchy(depth)
+        for strategy in InheritanceStrategy:
+            result = modelgen(schema, "relational", strategy)
+            views = transgen(result.mapping)
+            tables = len(result.schema.entities)
+            columns = sum(
+                len(e.attributes) for e in result.schema.entities.values()
+            )
+            rows.append([
+                depth,
+                strategy.name,
+                tables,
+                columns,
+                views.query_view.size(),
+                "yes",
+            ])
+            views.verify_roundtrip(
+                InstanceGenerator(schema, seed=3).generate(15)
+            )
+    schema = _hierarchy(2)
+    mapping = modelgen(schema, "relational", InheritanceStrategy.TPT).mapping
+    benchmark(transgen, mapping)
+    print_table(
+        "E4: inheritance strategies — schema shape, view size, "
+        "roundtrip (TPT: many narrow tables + joins; TPH: one wide "
+        "table; TPC: duplicated columns)",
+        ["depth", "strategy", "tables", "total columns",
+         "query-view nodes", "roundtrips"],
+        rows,
+    )

@@ -1,0 +1,210 @@
+"""E5 — §5: the mapping runtime's services.
+
+The paper's revised vision adds the runtime as a first-class component;
+this experiment quantifies its design choices:
+
+* **incremental vs recompute** maintenance of a materialized target
+  (the §5 "Notifications" service): expected shape — incremental cost
+  tracks the delta size, recompute cost tracks the database size, so
+  the gap widens as the base grows;
+* **update propagation** through update views as target size grows;
+* **provenance** lookups and full routes;
+* **view unfolding vs exchange-then-query** for answering one query;
+* **peer chains**: hop-by-hop propagation vs composing the chain first.
+"""
+
+import pytest
+
+from repro.algebra import Col, Scan, Select, eq, project_names
+from repro.instances import Instance
+from repro.logic import parse_tgd
+from repro.mappings import Mapping
+from repro.metamodel import INT, STRING, SchemaBuilder
+from repro.runtime import (
+    MaterializedTarget,
+    PeerNetwork,
+    QueryProcessor,
+    UpdatePropagator,
+    UpdateSet,
+    exchange,
+    lineage,
+)
+from repro.workloads import paper
+
+from conftest import print_table
+
+
+def _copy_mapping(tag: str):
+    source = (
+        SchemaBuilder(f"S{tag}").entity("Ord", key=["oid"])
+        .attribute("oid", INT).attribute("cust", INT).build()
+    )
+    target = (
+        SchemaBuilder(f"T{tag}").entity("Wh", key=["oid"])
+        .attribute("oid", INT).attribute("cust", INT).build()
+    )
+    return Mapping(source, target,
+                   [parse_tgd("Ord(oid=o, cust=c) -> Wh(oid=o, cust=c)")])
+
+
+def _base(rows: int) -> Instance:
+    db = Instance()
+    for i in range(rows):
+        db.add("Ord", oid=i, cust=i % 17)
+    return db
+
+
+@pytest.mark.parametrize("base_rows", [100, 400])
+def test_incremental_maintenance(benchmark, base_rows):
+    mapping = _copy_mapping(f"i{base_rows}")
+    materialized = MaterializedTarget(mapping, _base(base_rows))
+    counter = iter(range(10**6))
+
+    def one_insert():
+        i = base_rows + next(counter)
+        return materialized.on_source_change(
+            UpdateSet().insert("Ord", oid=i, cust=1)
+        )
+
+    delta = benchmark(one_insert)
+    assert not delta.recomputed
+
+
+@pytest.mark.parametrize("base_rows", [100, 400])
+def test_recompute_maintenance(benchmark, base_rows):
+    mapping = _copy_mapping(f"r{base_rows}")
+    materialized = MaterializedTarget(mapping, _base(base_rows))
+    counter = iter(range(10**6))
+
+    def one_mixed_change():
+        i = next(counter)
+        return materialized.on_source_change(
+            UpdateSet()
+            .insert("Ord", oid=base_rows + 10**5 + i, cust=1)
+            .delete("Ord", oid=i % base_rows)
+        )
+
+    delta = benchmark(one_mixed_change)
+    assert delta.recomputed
+
+
+def test_update_propagation(benchmark):
+    mapping = paper.figure2_mapping()
+    propagator = UpdatePropagator(mapping)
+    er = Instance(mapping.target)
+    for i in range(60):
+        er.insert_object("Employee", Id=i, Name=f"E{i}", Dept="D")
+    counter = iter(range(10**6))
+
+    def propagate_one():
+        i = 10_000 + next(counter)
+        update = UpdateSet().insert_object("Employee", Id=i, Name="N",
+                                           Dept="D")
+        return propagator.propagate(er, update)
+
+    source_update, _, _ = benchmark(propagate_one)
+    assert source_update.size() >= 2  # HR and Empl both gain a row
+
+
+def test_provenance_lookup(benchmark):
+    source = Instance()
+    for i in range(100):
+        source.add("Empl", EID=i, AID=i % 10)
+        if i < 10:
+            source.add("Addr", AID=i, City=f"C{i}")
+    tgd = parse_tgd(
+        "Empl(EID=e, AID=a) & Addr(AID=a, City=c) -> Staff(SID=e, City=c)"
+    )
+
+    entries = benchmark(lineage, {"SID": 42, "City": "C2"}, "Staff",
+                        source, [tgd])
+    assert len(entries) == 1
+
+
+def test_view_unfolding_vs_exchange(benchmark):
+    """Answering one selective query: unfolding pushes the selection to
+    the source; exchange materializes everything first."""
+    mapping = paper.figure2_mapping()
+    db = paper.figure2_sql_instance()
+    processor = QueryProcessor(mapping, db)
+    query = Select(project_names(Scan("Person"), ["Id", "Name"]),
+                   eq(Col("Id"), 2))
+
+    rows = benchmark(processor.answer_algebra, query)
+    assert len(rows) == 1
+
+
+def test_peer_chain_propagation(benchmark):
+    network = _chain_network(4, rows=50)
+
+    result = benchmark(network.propagate, "p0", "p3")
+    assert result.cardinality("R3") == 50
+
+
+def test_peer_chain_collapsed(benchmark):
+    network = _chain_network(4, rows=50)
+    collapsed = network.collapse_chain("p0", "p3")
+
+    result = benchmark(exchange, collapsed, network.peers["p0"].data)
+    assert result.cardinality("R3") == 50
+
+
+def _chain_network(peers: int, rows: int) -> PeerNetwork:
+    network = PeerNetwork()
+    schemas = []
+    for i in range(peers):
+        schemas.append(
+            SchemaBuilder(f"P{i}").entity(f"R{i}", key=["k"])
+            .attribute("k", INT).attribute("v", INT).build()
+        )
+        data = None
+        if i == 0:
+            data = Instance()
+            for r in range(rows):
+                data.add("R0", k=r, v=r * 2)
+        network.add_peer(f"p{i}", schemas[i], data)
+    for i in range(peers - 1):
+        network.add_mapping(
+            f"p{i}", f"p{i+1}",
+            Mapping(schemas[i], schemas[i + 1], [
+                parse_tgd(f"R{i}(k=x, v=y) -> R{i+1}(k=x, v=y)")
+            ]),
+        )
+    return network
+
+
+def test_runtime_report(benchmark):
+    import time
+
+    rows = []
+    for base_rows in (100, 400):
+        mapping = _copy_mapping(f"rep{base_rows}")
+        incremental = MaterializedTarget(mapping, _base(base_rows))
+        start = time.perf_counter()
+        for i in range(10):
+            incremental.on_source_change(
+                UpdateSet().insert("Ord", oid=10**6 + i, cust=1)
+            )
+        incremental_time = (time.perf_counter() - start) / 10
+        recompute = MaterializedTarget(mapping, _base(base_rows))
+        start = time.perf_counter()
+        for i in range(5):
+            recompute.on_source_change(
+                UpdateSet().insert("Ord", oid=10**6 + i, cust=1)
+                .delete("Ord", oid=i)
+            )
+        recompute_time = (time.perf_counter() - start) / 5
+        rows.append([
+            base_rows,
+            f"{incremental_time * 1000:.2f} ms",
+            f"{recompute_time * 1000:.2f} ms",
+            f"{recompute_time / incremental_time:.1f}×",
+        ])
+    mapping = _copy_mapping("repx")
+    benchmark(exchange, mapping, _base(100))
+    print_table(
+        "E5: incremental vs recompute maintenance per source change "
+        "(expected: gap widens with base size)",
+        ["base rows", "incremental", "recompute", "speedup"],
+        rows,
+    )

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the table/series its experiment in DESIGN.md
+reports, so that ``pytest benchmarks/ --benchmark-only`` regenerates
+the EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Fixed-width table printer used by every experiment's report."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    print(f"\n### {title}")
+    print("  " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rendered:
+        print("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4f}"
+    return str(value)

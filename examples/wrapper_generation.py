@@ -1,0 +1,94 @@
+"""Object-to-relational wrapper generation — the paper's Figures 2 & 3.
+
+The scenario of Sections 3.1.2 and 4 (and of ADO.NET): an ER is-a
+hierarchy (Person ⊇ Employee, Customer) is mapped onto relational
+tables HR, Empl, Client by three equality constraints (Figure 2).
+TransGen compiles them into a *query view* — the Figure 3 query that
+populates the Persons entity set — and an *update view*, verified to
+roundtrip.  The wrapper generator then wraps the whole thing into an
+object API with incremental updates and translated errors.
+
+Run:  python examples/wrapper_generation.py
+"""
+
+from repro import ModelManagementEngine
+from repro.algebra import to_sql
+from repro.operators import InheritanceStrategy
+from repro.tools import WrapperGenerator
+from repro.workloads import paper
+
+
+def main() -> None:
+    engine = ModelManagementEngine()
+    mapping = paper.figure2_mapping()
+
+    print("=== Figure 2: the mapping constraints ===")
+    for constraint in mapping.equalities:
+        print(f"  [{constraint.name}]")
+        print(f"    tables : {constraint.source_expr!r}")
+        print(f"    objects: {constraint.target_expr!r}")
+
+    # ------------------------------------------------------------------
+    # TransGen: derive the Figure 3 query view + the update view.
+    # ------------------------------------------------------------------
+    views = engine.transgen(mapping)
+    relation, query_expr = views.query_view.rules[0]
+    print(f"\n=== Generated query view for entity set {relation!r} ===")
+    print(to_sql(query_expr)[:2000])
+
+    print("\n=== Roundtrip verification (the views must be lossless) ===")
+    views.verify_roundtrip(paper.figure2_er_instance())
+    print("  query(update(D)) = D  ✓")
+
+    # ------------------------------------------------------------------
+    # The wrapper: an object API over the relational database.
+    # ------------------------------------------------------------------
+    database = paper.figure2_sql_instance()
+    wrapper, dataclass_source = WrapperGenerator().generate_from_mapping(
+        mapping, database
+    )
+    print("\n=== Generated object model ===")
+    print(dataclass_source)
+
+    print("=== Reading polymorphically ===")
+    for person in wrapper.all("Person"):
+        kind = person["$type"]
+        print(f"  #{person['Id']} {person['Name']} [{kind}]")
+
+    print("\n=== Incremental update: hire an employee ===")
+    wrapper.insert("Employee", Id=10, Name="Frank", Dept="Support")
+    print("  HR table  :", [r["Id"] for r in database.rows("HR")])
+    print("  Empl table:", [r["Id"] for r in database.rows("Empl")])
+
+    print("\n=== Incremental update: customer #4 leaves ===")
+    wrapper.delete("Customer", Id=4)
+    print("  Client table:", [r["Id"] for r in database.rows("Client")])
+
+    # ------------------------------------------------------------------
+    # Error translation (§5): failures surface in object vocabulary.
+    # ------------------------------------------------------------------
+    translator = engine.error_translator(mapping)
+    low_level = KeyError("duplicate key on table Client, column Score")
+    translated = translator.translate(low_level, operation="save Customer")
+    print("\n=== Error translation ===")
+    print("  raw       :", low_level)
+    print("  translated:", translated)
+
+    # ------------------------------------------------------------------
+    # §5's integrity example: which target constraints must the
+    # runtime enforce, per inheritance strategy?
+    # ------------------------------------------------------------------
+    print("\n=== Constraints the source cannot express (per strategy) ===")
+    for strategy in InheritanceStrategy:
+        derived = engine.modelgen(paper.figure2_er_schema(), "relational",
+                                  strategy)
+        flagged = engine.runtime_enforced_constraints(derived.mapping)
+        verdict = (
+            "; ".join(f.constraint.describe() for f in flagged)
+            if flagged else "none — all enforceable relationally"
+        )
+        print(f"  {strategy.value:28s}: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 builds
+fail with "invalid command 'bdist_wheel'"; this shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path, which needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

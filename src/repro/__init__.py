@@ -1,0 +1,52 @@
+"""repro — a generic model management engine.
+
+A production-quality reproduction of the system envisioned in:
+
+    Philip A. Bernstein, Sergey Melnik.
+    "Model Management 2.0: Manipulating Richer Mappings." SIGMOD 2007.
+
+The package implements the full architecture of the paper's Figure 1:
+
+* a **universal metamodel** (:mod:`repro.metamodel`) with importers and
+  exporters for relational, ER, nested (XML-like) and object-oriented
+  schemas (:mod:`repro.metamodels`);
+* **database instances** with labeled nulls (:mod:`repro.instances`);
+* a **relational algebra** engine (:mod:`repro.algebra`) and a
+  **logic layer** with tgds, second-order tgds and the chase
+  (:mod:`repro.logic`);
+* **mappings** at three levels of refinement — correspondences,
+  constraints, transformations (:mod:`repro.mappings`);
+* the **model management operators** — Match, ModelGen, TransGen,
+  Compose, Invert/Inverse, Diff, Extract, Merge
+  (:mod:`repro.operators`);
+* the **mapping runtime** — execution, query answering, update
+  propagation, provenance, debugging, notifications, access control,
+  integrity checking, peer-to-peer chains, batch loading
+  (:mod:`repro.runtime`);
+* the **engine facade and metadata repository** (:mod:`repro.core`) and
+  the tool layer built on it (:mod:`repro.tools`).
+
+Quickstart::
+
+    from repro import ModelManagementEngine
+    engine = ModelManagementEngine()
+
+See ``examples/quickstart.py`` for a complete walk-through.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ModelManagementError
+
+__all__ = ["ModelManagementError", "__version__"]
+
+
+def __getattr__(name):
+    # The engine facade pulls in every subsystem; import it lazily so
+    # that `import repro` stays cheap for clients that only need one
+    # layer.
+    if name == "ModelManagementEngine":
+        from repro.core.engine import ModelManagementEngine
+
+        return ModelManagementEngine
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,77 @@
+"""Relational algebra over universal-metamodel instances.
+
+This is the engine's transformation language: TransGen compiles mapping
+constraints into these expressions (the paper's Figure 3 query is one),
+the mapping runtime evaluates them, and printers render them as
+SQL-like text.
+
+Two expression families:
+
+* **scalar expressions** (:mod:`repro.algebra.scalars`): column
+  references, literals, functions, ``CASE``, comparisons, boolean
+  connectives, ``IS NULL``, and the Entity SQL ``IS OF`` type test;
+* **relational expressions** (:mod:`repro.algebra.expressions`): scan,
+  entity scan, select, project, extend, join (inner/left-outer),
+  union-all, difference, distinct, rename, aggregate, sort, values.
+"""
+
+from repro.algebra.scalars import (
+    Scalar,
+    Col,
+    Lit,
+    Func,
+    Arith,
+    Case,
+    Predicate,
+    Comparison,
+    And,
+    Or,
+    Not,
+    IsNull,
+    IsOf,
+    In,
+    TRUE,
+    FALSE,
+    col,
+    lit,
+    eq,
+    ne,
+    lt,
+    le,
+    gt,
+    ge,
+    conjunction,
+)
+from repro.algebra.expressions import (
+    RelExpr,
+    Scan,
+    EntityScan,
+    Values,
+    Select,
+    Project,
+    Extend,
+    Join,
+    UnionAll,
+    Difference,
+    Distinct,
+    Rename,
+    Aggregate,
+    Sort,
+    project_names,
+    eq_join,
+)
+from repro.algebra.evaluator import evaluate, EvalContext
+from repro.algebra.printer import to_text
+from repro.algebra.sql import to_sql
+from repro.algebra.optimizer import optimize
+
+__all__ = [
+    "Scalar", "Col", "Lit", "Func", "Arith", "Case", "Predicate",
+    "Comparison", "And", "Or", "Not", "IsNull", "IsOf", "In",
+    "TRUE", "FALSE", "col", "lit", "eq", "ne", "lt", "le", "gt", "ge",
+    "conjunction",
+    "RelExpr", "Scan", "EntityScan", "Values", "Select", "Project",
+    "Extend", "Join", "UnionAll", "Difference", "Distinct", "Rename",
+    "Aggregate", "Sort", "project_names", "eq_join",
+    "evaluate", "EvalContext", "to_text", "to_sql", "optimize",
+]

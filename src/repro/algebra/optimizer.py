@@ -1,0 +1,309 @@
+"""Algebraic rewriting of generated transformations.
+
+TransGen's output is systematic rather than minimal (the paper notes
+generating *efficient* transformations "is likely to expose a wealth of
+optimization opportunities", Section 4).  This optimizer applies the
+classical safe rewrites:
+
+* cascade and fuse selections (σp(σq(x)) → σp∧q(x));
+* push selections through projections/extends when the predicate only
+  reads pass-through columns, and into union branches;
+* fuse adjacent projections;
+* drop identity projections and empty renames;
+* simplify predicates (TRUE/FALSE absorption);
+* eliminate union branches that are provably empty (σFALSE).
+
+Rewrites run to a fixpoint; each is semantics-preserving under the bag
+semantics of the evaluator.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import expressions as E
+from repro.algebra import scalars as S
+
+
+def optimize(expr: E.RelExpr, max_passes: int = 10) -> E.RelExpr:
+    """Rewrite ``expr`` to a fixpoint of the rule set."""
+    current = expr
+    for _ in range(max_passes):
+        rewritten = _rewrite(current)
+        if rewritten == current:
+            return rewritten
+        current = rewritten
+    return current
+
+
+def _rewrite(expr: E.RelExpr) -> E.RelExpr:
+    expr = _rewrite_children(expr)
+
+    if isinstance(expr, E.Select):
+        predicate = simplify_predicate(expr.predicate)
+        if predicate is S.TRUE:
+            return expr.input
+        if predicate is S.FALSE:
+            return E.Values([])
+        # σp(σq(x)) → σ(p ∧ q)(x)
+        if isinstance(expr.input, E.Select):
+            return _rewrite(
+                E.Select(
+                    expr.input.input,
+                    S.conjunction([expr.input.predicate, predicate]),
+                )
+            )
+        # σp(δ(x)) → δ(σp(x))
+        if isinstance(expr.input, E.Distinct):
+            return _rewrite(
+                E.Distinct(E.Select(expr.input.input, predicate))
+            )
+        # σp(x ∪ y) → σp(x) ∪ σp(y)
+        if isinstance(expr.input, E.UnionAll):
+            return _rewrite(
+                E.UnionAll(
+                    E.Select(expr.input.left, predicate),
+                    E.Select(expr.input.right, predicate),
+                )
+            )
+        # σp(π(x)): first partially evaluate p against literal outputs
+        # (this statically prunes union branches whose discriminator —
+        # e.g. the $type a query-view branch pins — contradicts p)...
+        if isinstance(expr.input, E.Project):
+            literal_bindings = {
+                name: scalar
+                for name, scalar in expr.input.outputs
+                if isinstance(scalar, S.Lit)
+            }
+            if literal_bindings and (
+                predicate.columns() & set(literal_bindings)
+            ):
+                predicate = simplify_predicate(
+                    _partial_eval(
+                        _substitute_columns(predicate, literal_bindings)
+                    )
+                )
+                if predicate is S.TRUE:
+                    return expr.input
+                if predicate is S.FALSE:
+                    return E.Values([])
+            # ...then push through when p reads only pass-through columns.
+            passthrough = {
+                name
+                for name, scalar in expr.input.outputs
+                if isinstance(scalar, S.Col) and scalar.name == name
+            }
+            if predicate.columns() <= passthrough:
+                return _rewrite(
+                    E.Project(
+                        E.Select(expr.input.input, predicate),
+                        expr.input.outputs,
+                    )
+                )
+        return E.Select(expr.input, predicate)
+
+    if isinstance(expr, E.Project):
+        # identity projection over known-output input
+        if all(
+            isinstance(s, S.Col) and s.name == name for name, s in expr.outputs
+        ):
+            inner_names = _output_names(expr.input)
+            if inner_names is not None and list(expr.output_names) == list(
+                inner_names
+            ):
+                return expr.input
+        # π(π(x)) → π(x) with composed scalars
+        if isinstance(expr.input, E.Project):
+            inner = dict(expr.input.outputs)
+            composed = []
+            for name, scalar in expr.outputs:
+                composed.append((name, _substitute_columns(scalar, inner)))
+            return E.Project(expr.input.input, composed)
+        return expr
+
+    if isinstance(expr, E.Rename):
+        mapping = {o: n for o, n in expr.mapping.items() if o != n}
+        if not mapping:
+            return expr.input
+        return E.Rename(expr.input, mapping)
+
+    if isinstance(expr, E.UnionAll):
+        if _is_empty(expr.left):
+            return expr.right
+        if _is_empty(expr.right):
+            return expr.left
+        return expr
+
+    if isinstance(expr, E.Distinct):
+        if isinstance(expr.input, E.Distinct):
+            return expr.input
+        if _is_empty(expr.input):
+            return E.Values([])
+        return expr
+
+    return expr
+
+
+def _rewrite_children(expr: E.RelExpr) -> E.RelExpr:
+    if isinstance(expr, E.Select):
+        return E.Select(_rewrite(expr.input), expr.predicate)
+    if isinstance(expr, E.Project):
+        return E.Project(_rewrite(expr.input), expr.outputs)
+    if isinstance(expr, E.Extend):
+        return E.Extend(_rewrite(expr.input), expr.name, expr.scalar)
+    if isinstance(expr, E.Join):
+        return E.Join(
+            _rewrite(expr.left),
+            _rewrite(expr.right),
+            expr.predicate,
+            expr.kind,
+            expr.right_prefix,
+        )
+    if isinstance(expr, E.UnionAll):
+        return E.UnionAll(_rewrite(expr.left), _rewrite(expr.right))
+    if isinstance(expr, E.Difference):
+        return E.Difference(_rewrite(expr.left), _rewrite(expr.right))
+    if isinstance(expr, E.Distinct):
+        return E.Distinct(_rewrite(expr.input))
+    if isinstance(expr, E.Rename):
+        return E.Rename(_rewrite(expr.input), expr.mapping)
+    if isinstance(expr, E.Aggregate):
+        return E.Aggregate(_rewrite(expr.input), expr.group_by, expr.aggregations)
+    if isinstance(expr, E.Sort):
+        return E.Sort(_rewrite(expr.input), expr.keys)
+    return expr
+
+
+def _is_empty(expr: E.RelExpr) -> bool:
+    return isinstance(expr, E.Values) and not expr.rows
+
+
+def _output_names(expr: E.RelExpr):
+    """The exact output column list if statically known, else None."""
+    if isinstance(expr, E.Project):
+        return expr.output_names
+    if isinstance(expr, E.Rename):
+        inner = _output_names(expr.input)
+        if inner is None:
+            return None
+        return tuple(expr.mapping.get(c, c) for c in inner)
+    if isinstance(expr, (E.Distinct, E.Sort, E.Select)):
+        return _output_names(expr.inputs()[0])
+    return None
+
+
+def _partial_eval(predicate: S.Predicate) -> S.Predicate:
+    """Fold closed (column-free) sub-predicates to TRUE/FALSE."""
+    if not isinstance(predicate, S.Predicate):
+        return predicate
+    if not predicate.columns():
+        try:
+            return S.TRUE if predicate.eval({}, None) else S.FALSE
+        except Exception:  # noqa: BLE001 - leave unfoldable predicates be
+            return predicate
+    if isinstance(predicate, S.And):
+        return S.And(*(_partial_eval(p) for p in predicate.operands))
+    if isinstance(predicate, S.Or):
+        return S.Or(*(_partial_eval(p) for p in predicate.operands))
+    if isinstance(predicate, S.Not):
+        return S.Not(_partial_eval(predicate.operand))
+    return predicate
+
+
+def simplify_predicate(predicate: S.Predicate) -> S.Predicate:
+    """Constant-fold TRUE/FALSE through the boolean connectives."""
+    if isinstance(predicate, S.And):
+        operands = []
+        for operand in predicate.operands:
+            simplified = simplify_predicate(operand)
+            if simplified is S.FALSE:
+                return S.FALSE
+            if simplified is S.TRUE:
+                continue
+            if isinstance(simplified, S.And):
+                operands.extend(simplified.operands)
+            else:
+                operands.append(simplified)
+        if not operands:
+            return S.TRUE
+        if len(operands) == 1:
+            return operands[0]
+        return S.And(*operands)
+    if isinstance(predicate, S.Or):
+        operands = []
+        for operand in predicate.operands:
+            simplified = simplify_predicate(operand)
+            if simplified is S.TRUE:
+                return S.TRUE
+            if simplified is S.FALSE:
+                continue
+            operands.append(simplified)
+        if not operands:
+            return S.FALSE
+        if len(operands) == 1:
+            return operands[0]
+        return S.Or(*operands)
+    if isinstance(predicate, S.Not):
+        inner = simplify_predicate(predicate.operand)
+        if inner is S.TRUE:
+            return S.FALSE
+        if inner is S.FALSE:
+            return S.TRUE
+        if isinstance(inner, S.Not):
+            return inner.operand
+        return S.Not(inner)
+    if isinstance(predicate, S.Comparison):
+        if isinstance(predicate.left, S.Lit) and isinstance(predicate.right, S.Lit):
+            result = predicate.eval({}, None)
+            return S.TRUE if result else S.FALSE
+    return predicate
+
+
+def _substitute_columns(scalar: S.Scalar, bindings: dict[str, S.Scalar]) -> S.Scalar:
+    """Replace column references by the scalars that produce them (used
+    when fusing stacked projections)."""
+    if isinstance(scalar, S.Col):
+        return bindings.get(scalar.name, scalar)
+    if isinstance(scalar, S.Lit) or isinstance(scalar, S._Bool):
+        return scalar
+    if isinstance(scalar, S.Func):
+        return S.Func(
+            scalar.name,
+            [_substitute_columns(a, bindings) for a in scalar.args],
+            scalar.fn,
+            scalar.null_tolerant,
+        )
+    if isinstance(scalar, S.Arith):
+        return S.Arith(
+            scalar.op,
+            _substitute_columns(scalar.left, bindings),
+            _substitute_columns(scalar.right, bindings),
+        )
+    if isinstance(scalar, S.Comparison):
+        return S.Comparison(
+            scalar.op,
+            _substitute_columns(scalar.left, bindings),
+            _substitute_columns(scalar.right, bindings),
+        )
+    if isinstance(scalar, S.And):
+        return S.And(*(_substitute_columns(p, bindings) for p in scalar.operands))
+    if isinstance(scalar, S.Or):
+        return S.Or(*(_substitute_columns(p, bindings) for p in scalar.operands))
+    if isinstance(scalar, S.Not):
+        return S.Not(_substitute_columns(scalar.operand, bindings))
+    if isinstance(scalar, S.IsNull):
+        return S.IsNull(
+            _substitute_columns(scalar.operand, bindings), scalar.negated
+        )
+    if isinstance(scalar, S.In):
+        return S.In(_substitute_columns(scalar.operand, bindings), scalar.values)
+    if isinstance(scalar, S.Case):
+        return S.Case(
+            [
+                (
+                    _substitute_columns(p, bindings),
+                    _substitute_columns(v, bindings),
+                )
+                for p, v in scalar.whens
+            ],
+            _substitute_columns(scalar.default, bindings),
+        )
+    return scalar

@@ -1,0 +1,108 @@
+"""Pretty-printing of algebra expressions.
+
+Two renderings: a compact Greek-letter algebra notation (``to_text``,
+used in logs, reprs and the figure reproductions, matching the paper's
+Figure 4 notation like ``π_{EID,City}(Empl ⋈ Addr)``) and, in
+:mod:`repro.algebra.sql`, a SQL rendering for the Figure 3 view.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import expressions as E
+from repro.algebra import scalars as S
+
+
+def scalar_text(scalar: S.Scalar) -> str:
+    """Render a scalar expression as compact text."""
+    if isinstance(scalar, S.Col):
+        return scalar.name
+    if isinstance(scalar, S.Lit):
+        return repr(scalar.value)
+    if isinstance(scalar, S._Bool):
+        return "TRUE" if scalar.value else "FALSE"
+    if isinstance(scalar, S.Func):
+        args = ", ".join(scalar_text(a) for a in scalar.args)
+        return f"{scalar.name}({args})"
+    if isinstance(scalar, S.Arith):
+        return (
+            f"({scalar_text(scalar.left)} {scalar.op} "
+            f"{scalar_text(scalar.right)})"
+        )
+    if isinstance(scalar, S.Comparison):
+        return (
+            f"{scalar_text(scalar.left)} {scalar.op} "
+            f"{scalar_text(scalar.right)}"
+        )
+    if isinstance(scalar, S.And):
+        return "(" + " AND ".join(scalar_text(p) for p in scalar.operands) + ")"
+    if isinstance(scalar, S.Or):
+        return "(" + " OR ".join(scalar_text(p) for p in scalar.operands) + ")"
+    if isinstance(scalar, S.Not):
+        return f"NOT({scalar_text(scalar.operand)})"
+    if isinstance(scalar, S.IsNull):
+        verb = "IS NOT NULL" if scalar.negated else "IS NULL"
+        return f"{scalar_text(scalar.operand)} {verb}"
+    if isinstance(scalar, S.IsOf):
+        only = "ONLY " if scalar.only else ""
+        return f"IS OF ({only}{scalar.entity})"
+    if isinstance(scalar, S.In):
+        values = ", ".join(repr(v) for v in sorted(scalar.values, key=repr))
+        return f"{scalar_text(scalar.operand)} IN ({values})"
+    if isinstance(scalar, S.Case):
+        parts = [
+            f"WHEN {scalar_text(p)} THEN {scalar_text(v)}"
+            for p, v in scalar.whens
+        ]
+        return "CASE " + " ".join(parts) + f" ELSE {scalar_text(scalar.default)} END"
+    if isinstance(scalar, E._JoinEq):
+        return f"{scalar.left_col} = {scalar.right_col}"
+    return f"<{type(scalar).__name__}>"
+
+
+def to_text(expr: E.RelExpr) -> str:
+    """Render a relational expression in algebra notation."""
+    if isinstance(expr, E.Scan):
+        return expr.relation
+    if isinstance(expr, E.EntityScan):
+        suffix = "!" if expr.only else ""
+        return f"{expr.entity}{suffix}"
+    if isinstance(expr, E.Values):
+        return f"VALUES[{len(expr.rows)}]"
+    if isinstance(expr, E.Select):
+        return f"σ[{scalar_text(expr.predicate)}]({to_text(expr.input)})"
+    if isinstance(expr, E.Project):
+        cols = ", ".join(
+            name if isinstance(s, S.Col) and s.name == name
+            else f"{name}:={scalar_text(s)}"
+            for name, s in expr.outputs
+        )
+        return f"π[{cols}]({to_text(expr.input)})"
+    if isinstance(expr, E.Extend):
+        return (
+            f"ε[{expr.name}:={scalar_text(expr.scalar)}]({to_text(expr.input)})"
+        )
+    if isinstance(expr, E.Join):
+        symbol = "⟕" if expr.kind == "left" else "⋈"
+        condition = scalar_text(expr.predicate)
+        return (
+            f"({to_text(expr.left)} {symbol}[{condition}] {to_text(expr.right)})"
+        )
+    if isinstance(expr, E.UnionAll):
+        return f"({to_text(expr.left)} ∪ {to_text(expr.right)})"
+    if isinstance(expr, E.Difference):
+        return f"({to_text(expr.left)} − {to_text(expr.right)})"
+    if isinstance(expr, E.Distinct):
+        return f"δ({to_text(expr.input)})"
+    if isinstance(expr, E.Rename):
+        pairs = ", ".join(f"{o}→{n}" for o, n in sorted(expr.mapping.items()))
+        return f"ρ[{pairs}]({to_text(expr.input)})"
+    if isinstance(expr, E.Aggregate):
+        groups = ", ".join(expr.group_by)
+        aggs = ", ".join(
+            f"{name}:={func}({scalar_text(s) if s is not None else '*'})"
+            for name, func, s in expr.aggregations
+        )
+        return f"γ[{groups}; {aggs}]({to_text(expr.input)})"
+    if isinstance(expr, E.Sort):
+        return f"τ[{', '.join(expr.keys)}]({to_text(expr.input)})"
+    return f"<{type(expr).__name__}>"

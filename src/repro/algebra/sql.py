@@ -1,0 +1,199 @@
+"""SQL rendering of algebra expressions.
+
+The paper's TransGen emits concrete query text (Figure 3 is an Entity
+SQL query).  ``to_sql`` renders any algebra tree as nested standard
+SQL — good enough to paste into a relational engine for the flat
+fragments, and demonstrably faithful for inspection.  Entity
+constructors and ``IS OF`` tests are rendered in Entity SQL style.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.algebra import expressions as E
+from repro.algebra import scalars as S
+from repro.instances.database import TYPE_FIELD
+
+
+def to_sql(expr: E.RelExpr, pretty: bool = True) -> str:
+    """Render ``expr`` as a SQL query string."""
+    counter = itertools.count(1)
+    text = _render(expr, counter)
+    if pretty:
+        return text
+    return " ".join(text.split())
+
+
+def _alias(counter) -> str:
+    return f"T{next(counter)}"
+
+
+def _scalar_sql(scalar: S.Scalar) -> str:
+    if isinstance(scalar, S.Col):
+        if scalar.name == TYPE_FIELD:
+            return "TYPE_OF(t)"
+        return _quote_identifier(scalar.name)
+    if isinstance(scalar, S.Lit):
+        return _literal(scalar.value)
+    if isinstance(scalar, S._Bool):
+        return "TRUE" if scalar.value else "FALSE"
+    if isinstance(scalar, S.Func):
+        args = ", ".join(_scalar_sql(a) for a in scalar.args)
+        return f"{scalar.name.upper()}({args})"
+    if isinstance(scalar, S.Arith):
+        return f"({_scalar_sql(scalar.left)} {scalar.op} {_scalar_sql(scalar.right)})"
+    if isinstance(scalar, S.Comparison):
+        op = "<>" if scalar.op == "!=" else scalar.op
+        return f"{_scalar_sql(scalar.left)} {op} {_scalar_sql(scalar.right)}"
+    if isinstance(scalar, S.And):
+        return "(" + " AND ".join(_scalar_sql(p) for p in scalar.operands) + ")"
+    if isinstance(scalar, S.Or):
+        return "(" + " OR ".join(_scalar_sql(p) for p in scalar.operands) + ")"
+    if isinstance(scalar, S.Not):
+        return f"NOT ({_scalar_sql(scalar.operand)})"
+    if isinstance(scalar, S.IsNull):
+        verb = "IS NOT NULL" if scalar.negated else "IS NULL"
+        return f"{_scalar_sql(scalar.operand)} {verb}"
+    if isinstance(scalar, S.IsOf):
+        only = "ONLY " if scalar.only else ""
+        return f"t IS OF ({only}{scalar.entity})"
+    if isinstance(scalar, S.In):
+        values = ", ".join(
+            _literal(v) for v in sorted(scalar.values, key=repr)
+        )
+        return f"{_scalar_sql(scalar.operand)} IN ({values})"
+    if isinstance(scalar, S.Case):
+        parts = [
+            f"WHEN {_scalar_sql(p)} THEN {_scalar_sql(v)}" for p, v in scalar.whens
+        ]
+        return (
+            "CASE " + " ".join(parts) + f" ELSE {_scalar_sql(scalar.default)} END"
+        )
+    if isinstance(scalar, E._JoinEq):
+        return (
+            f"L.{_quote_identifier(scalar.left_col)} = "
+            f"R.{_quote_identifier(scalar.right_col)}"
+        )
+    raise TypeError(f"cannot render scalar {type(scalar).__name__}")
+
+
+def _literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def _quote_identifier(name: str) -> str:
+    if name.isidentifier():
+        return name
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _render(expr: E.RelExpr, counter) -> str:
+    if isinstance(expr, E.Scan):
+        return f"SELECT * FROM {_quote_identifier(expr.relation)}"
+    if isinstance(expr, E.EntityScan):
+        only = "ONLY " if expr.only else ""
+        return (
+            f"SELECT t.* FROM {_quote_identifier(expr.entity)} AS t "
+            f"WHERE t IS OF ({only}{expr.entity})"
+        )
+    if isinstance(expr, E.Values):
+        if not expr.rows:
+            return "SELECT NULL WHERE FALSE"
+        columns = sorted({k for row in expr.rows for k in row})
+        tuples = ", ".join(
+            "(" + ", ".join(_literal(row.get(c)) for c in columns) + ")"
+            for row in expr.rows
+        )
+        column_list = ", ".join(_quote_identifier(c) for c in columns)
+        return f"SELECT * FROM (VALUES {tuples}) AS v({column_list})"
+    if isinstance(expr, E.Select):
+        alias = _alias(counter)
+        return (
+            f"SELECT * FROM ({_render(expr.input, counter)}) AS {alias}\n"
+            f"WHERE {_scalar_sql(expr.predicate)}"
+        )
+    if isinstance(expr, E.Project):
+        alias = _alias(counter)
+        outputs = ", ".join(
+            f"{_scalar_sql(s)} AS {_quote_identifier(name)}"
+            for name, s in expr.outputs
+        )
+        return f"SELECT {outputs} FROM ({_render(expr.input, counter)}) AS {alias}"
+    if isinstance(expr, E.Extend):
+        alias = _alias(counter)
+        return (
+            f"SELECT *, {_scalar_sql(expr.scalar)} AS "
+            f"{_quote_identifier(expr.name)} "
+            f"FROM ({_render(expr.input, counter)}) AS {alias}"
+        )
+    if isinstance(expr, E.Join):
+        left_alias, right_alias = "L", "R"
+        join_kw = "LEFT OUTER JOIN" if expr.kind == "left" else "INNER JOIN"
+        condition = _scalar_sql(expr.predicate)
+        return (
+            f"SELECT * FROM ({_render(expr.left, counter)}) AS {left_alias}\n"
+            f"{join_kw} ({_render(expr.right, counter)}) AS {right_alias}\n"
+            f"ON {condition}"
+        )
+    if isinstance(expr, E.UnionAll):
+        return (
+            f"({_render(expr.left, counter)})\nUNION ALL\n"
+            f"({_render(expr.right, counter)})"
+        )
+    if isinstance(expr, E.Difference):
+        return (
+            f"({_render(expr.left, counter)})\nEXCEPT\n"
+            f"({_render(expr.right, counter)})"
+        )
+    if isinstance(expr, E.Distinct):
+        alias = _alias(counter)
+        return (
+            f"SELECT DISTINCT * FROM ({_render(expr.input, counter)}) AS {alias}"
+        )
+    if isinstance(expr, E.Rename):
+        alias = _alias(counter)
+        # Without schema info we emit a star-with-renames comment form.
+        renames = ", ".join(
+            f"{_quote_identifier(old)} AS {_quote_identifier(new)}"
+            for old, new in sorted(expr.mapping.items())
+        )
+        return (
+            f"SELECT {renames} FROM ({_render(expr.input, counter)}) AS {alias}"
+        )
+    if isinstance(expr, E.Aggregate):
+        alias = _alias(counter)
+        selects = [
+            _quote_identifier(c) for c in expr.group_by
+        ]
+        for name, func, scalar in expr.aggregations:
+            inner = "*" if scalar is None else _scalar_sql(scalar)
+            selects.append(f"{func.upper()}({inner}) AS {_quote_identifier(name)}")
+        sql = (
+            f"SELECT {', '.join(selects)} "
+            f"FROM ({_render(expr.input, counter)}) AS {alias}"
+        )
+        if expr.group_by:
+            sql += " GROUP BY " + ", ".join(
+                _quote_identifier(c) for c in expr.group_by
+            )
+        return sql
+    if isinstance(expr, E.Sort):
+        alias = _alias(counter)
+        keys = ", ".join(
+            f"{_quote_identifier(k[1:])} DESC" if k.startswith("-")
+            else _quote_identifier(k)
+            for k in expr.keys
+        )
+        return (
+            f"SELECT * FROM ({_render(expr.input, counter)}) AS {alias} "
+            f"ORDER BY {keys}"
+        )
+    raise TypeError(f"cannot render {type(expr).__name__}")

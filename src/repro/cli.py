@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+A thin shell over the engine for the artifacts the repository
+serializes (schemas, mappings, instances as JSON; DDL as SQL text):
+
+* ``describe SCHEMA.json`` — human-readable schema report;
+* ``validate SCHEMA.json [--instance DATA.json]`` — well-formedness /
+  integrity check;
+* ``ddl SCHEMA.json`` / ``parse-ddl FILE.sql`` — DDL in both directions;
+* ``dot SCHEMA.json`` — Graphviz rendering;
+* ``match SOURCE.json TARGET.json [--top-k N]`` — correspondence
+  candidates;
+* ``modelgen SCHEMA.json METAMODEL [--strategy S]`` — schema
+  translation (prints derived schema + mapping);
+* ``exchange MAPPING.json DATA.json`` — run the mapping, print the
+  target instance as JSON;
+* ``sql MAPPING.json`` — the generated query view(s) as SQL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ModelManagementError
+
+
+def _load_json(path: str) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def _load_schema(path: str):
+    from repro.metamodels.serialization import schema_from_dict
+
+    return schema_from_dict(_load_json(path))
+
+
+def _load_mapping(path: str):
+    from repro.metamodels.serialization import mapping_from_dict
+
+    return mapping_from_dict(_load_json(path))
+
+
+def cmd_describe(args) -> int:
+    print(_load_schema(args.schema).describe())
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.instances.serialization import instance_from_dict
+    from repro.instances.validation import violations
+    from repro.metamodel.validation import schema_violations
+
+    schema = _load_schema(args.schema)
+    problems = schema_violations(schema)
+    for problem in problems:
+        print(f"schema: {problem}")
+    if args.instance:
+        instance = instance_from_dict(_load_json(args.instance), schema)
+        for problem in violations(instance, schema):
+            problems.append(problem)
+            print(f"instance: {problem}")
+    if not problems:
+        print("ok")
+    return 1 if problems else 0
+
+
+def cmd_ddl(args) -> int:
+    from repro.metamodels.relational import emit_ddl
+
+    print(emit_ddl(_load_schema(args.schema)))
+    return 0
+
+
+def cmd_parse_ddl(args) -> int:
+    from repro.metamodels.relational import parse_ddl
+    from repro.metamodels.serialization import schema_to_dict
+
+    schema = parse_ddl(Path(args.file).read_text(),
+                       schema_name=args.name or Path(args.file).stem)
+    print(json.dumps(schema_to_dict(schema), indent=2))
+    return 0
+
+
+def cmd_dot(args) -> int:
+    from repro.metamodels.graphviz import schema_to_dot
+
+    print(schema_to_dot(_load_schema(args.schema)))
+    return 0
+
+
+def cmd_match(args) -> int:
+    from repro.operators.match import MatchConfig, match
+
+    source = _load_schema(args.source)
+    target = _load_schema(args.target)
+    correspondences = match(
+        source, target, MatchConfig(top_k=args.top_k, threshold=args.threshold)
+    )
+    print(correspondences.describe())
+    return 0
+
+
+def cmd_modelgen(args) -> int:
+    from repro.metamodels.serialization import mapping_to_dict
+    from repro.operators.modelgen import InheritanceStrategy, modelgen
+
+    strategy = InheritanceStrategy[args.strategy.upper()]
+    result = modelgen(_load_schema(args.schema), args.metamodel, strategy)
+    print(result.schema.describe())
+    print()
+    print(result.mapping.describe())
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(mapping_to_dict(result.mapping), indent=2,
+                       default=str)
+        )
+        print(f"\nmapping written to {args.out}")
+    return 0
+
+
+def cmd_exchange(args) -> int:
+    from repro.instances.serialization import (
+        dump_instance,
+        instance_from_dict,
+    )
+    from repro.runtime.executor import exchange
+
+    mapping = _load_mapping(args.mapping)
+    source = instance_from_dict(_load_json(args.data), mapping.source)
+    result = exchange(mapping, source, compute_core=args.core)
+    print(dump_instance(result))
+    return 0
+
+
+def cmd_sql(args) -> int:
+    from repro.algebra.sql import to_sql
+    from repro.operators.transgen import TransformationPair, transgen
+
+    mapping = _load_mapping(args.mapping)
+    views = transgen(mapping)
+    if isinstance(views, TransformationPair):
+        for relation, expr in views.query_view.rules:
+            print(f"-- query view for {relation}")
+            print(to_sql(expr))
+            print()
+    else:
+        print("-- tgd mapping: executed by the chase, no view SQL")
+        for tgd in mapping.tgds:
+            print(f"-- {tgd}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="generic model management engine "
+        "(Bernstein & Melnik, SIGMOD 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe", help="print a schema report")
+    p.add_argument("schema")
+    p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser("validate", help="check schema / instance")
+    p.add_argument("schema")
+    p.add_argument("--instance")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("ddl", help="emit SQL DDL for a relational schema")
+    p.add_argument("schema")
+    p.set_defaults(func=cmd_ddl)
+
+    p = sub.add_parser("parse-ddl", help="import CREATE TABLE statements")
+    p.add_argument("file")
+    p.add_argument("--name")
+    p.set_defaults(func=cmd_parse_ddl)
+
+    p = sub.add_parser("dot", help="Graphviz DOT rendering of a schema")
+    p.add_argument("schema")
+    p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser("match", help="propose correspondence candidates")
+    p.add_argument("source")
+    p.add_argument("target")
+    p.add_argument("--top-k", type=int, default=3)
+    p.add_argument("--threshold", type=float, default=0.25)
+    p.set_defaults(func=cmd_match)
+
+    p = sub.add_parser("modelgen", help="translate to another metamodel")
+    p.add_argument("schema")
+    p.add_argument("metamodel",
+                   choices=["relational", "er", "oo", "nested"])
+    p.add_argument("--strategy", default="TPT",
+                   choices=["TPH", "TPT", "TPC"])
+    p.add_argument("--out", help="write the mapping JSON here")
+    p.set_defaults(func=cmd_modelgen)
+
+    p = sub.add_parser("exchange", help="run a mapping over data")
+    p.add_argument("mapping")
+    p.add_argument("data")
+    p.add_argument("--core", action="store_true",
+                   help="minimize the result to its core")
+    p.set_defaults(func=cmd_exchange)
+
+    p = sub.add_parser("sql", help="print generated query-view SQL")
+    p.add_argument("mapping")
+    p.set_defaults(func=cmd_sql)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ModelManagementError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""Engine facade, metadata repository, and model-management scripts —
+the component box of the paper's Figure 1.
+"""
+
+from repro.core.engine import ModelManagementEngine
+from repro.core.repository import MetadataRepository, VersionedArtifact
+from repro.core.scripts import evolve_view_script, migrate_script, ScriptResult
+
+__all__ = [
+    "ModelManagementEngine",
+    "MetadataRepository",
+    "VersionedArtifact",
+    "evolve_view_script",
+    "migrate_script",
+    "ScriptResult",
+]

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the model management engine.
+
+Every error raised by :mod:`repro` derives from :class:`ModelManagementError`
+so that embedding tools can catch engine failures with a single handler and
+translate them into their own error vocabulary (the paper's Section 5
+"Errors" runtime service does exactly that via
+:mod:`repro.runtime.errors`).
+"""
+
+from __future__ import annotations
+
+
+class ModelManagementError(Exception):
+    """Base class for all errors raised by the engine."""
+
+
+class SchemaError(ModelManagementError):
+    """A schema is malformed or an element reference cannot be resolved."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value or expression does not conform to the declared type."""
+
+
+class ConstraintViolation(ModelManagementError):
+    """An integrity constraint is violated by a database instance."""
+
+    def __init__(self, constraint, message: str):
+        super().__init__(message)
+        self.constraint = constraint
+
+
+class MappingError(ModelManagementError):
+    """A mapping is malformed or used with schemas it does not relate."""
+
+
+class ExpressivenessError(MappingError):
+    """An operator needs more (or less) expressive constraints than given.
+
+    The paper's central theme is that operator behaviour is sensitive to
+    mapping-language expressiveness; this error surfaces the boundary,
+    e.g. when a composition result is not first-order expressible and the
+    caller demanded st-tgds.
+    """
+
+
+class CompositionError(MappingError):
+    """Composition failed (schemas do not chain, or language mismatch)."""
+
+
+class InversionError(MappingError):
+    """No (quasi-)inverse exists for the given mapping."""
+
+
+class ChaseFailure(ModelManagementError):
+    """The chase failed: an equality-generating dependency equated two
+    distinct constants, so no solution exists for this source instance."""
+
+
+class ChaseNonTermination(ModelManagementError):
+    """The chase exceeded its step budget; the dependency set is probably
+    not weakly acyclic."""
+
+
+class TransformationError(ModelManagementError):
+    """Transformation generation or execution failed."""
+
+
+class RoundTripError(TransformationError):
+    """Generated query/update views do not round-trip (are lossy)."""
+
+
+class EvaluationError(ModelManagementError):
+    """A relational algebra expression could not be evaluated."""
+
+
+class AccessDenied(ModelManagementError):
+    """The runtime's access-control service rejected an operation."""
+
+
+class RepositoryError(ModelManagementError):
+    """Metadata repository failure (unknown name, version conflict...)."""

@@ -1,0 +1,35 @@
+"""Database instances (states) of universal-metamodel schemas.
+
+An :class:`~repro.instances.database.Instance` assigns to each entity a
+set of tuples.  Instances may contain
+:class:`~repro.instances.labeled_null.LabeledNull` values — the labeled
+nulls of data-exchange universal instances (paper, Section 4) — and can
+be validated against a schema's types and integrity constraints.
+"""
+
+from repro.instances.labeled_null import LabeledNull, NullFactory, is_null
+from repro.instances.database import Instance, Row, freeze_row
+from repro.instances.validation import validate_instance, violations
+from repro.instances.generator import InstanceGenerator
+from repro.instances.serialization import (
+    dump_instance,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+)
+
+__all__ = [
+    "LabeledNull",
+    "NullFactory",
+    "is_null",
+    "Instance",
+    "Row",
+    "freeze_row",
+    "validate_instance",
+    "violations",
+    "InstanceGenerator",
+    "dump_instance",
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_instance",
+]

@@ -1,0 +1,273 @@
+"""In-memory database instances.
+
+An :class:`Instance` is the concrete representation of a database state
+``D`` in the paper's instance-level semantics: a finite set of named
+relations, each a bag of rows (``dict`` from attribute name to value).
+
+Entity sets with inheritance (ER/OO schemas) store each object in the
+extent of its *root* entity, with the reserved column ``$type`` naming
+the object's most specific type — exactly the information the ``IS OF``
+predicate of Entity SQL (paper, Figure 2) needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Optional
+
+from repro.errors import SchemaError
+from repro.instances.labeled_null import LabeledNull
+from repro.metamodel.schema import Schema
+
+#: Reserved column carrying an object's most-specific entity type.
+TYPE_FIELD = "$type"
+
+Row = dict[str, object]
+
+
+def freeze_row(row: Mapping[str, object]) -> frozenset:
+    """A hashable, order-insensitive image of a row (for set semantics)."""
+    return frozenset(row.items())
+
+
+class Instance:
+    """A database state: named relations of rows.
+
+    The optional ``schema`` enables typed insertion
+    (:meth:`insert_object`) and validation; an instance can also live
+    schema-free, which the logic layer uses for chase intermediates.
+    """
+
+    def __init__(self, schema: Optional[Schema] = None):
+        self.schema = schema
+        self.relations: dict[str, list[Row]] = {}
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def insert(self, relation: str, row: Mapping[str, object]) -> Row:
+        """Insert ``row`` into ``relation`` (bag semantics; duplicates kept)."""
+        stored = dict(row)
+        self.relations.setdefault(relation, []).append(stored)
+        return stored
+
+    def insert_all(
+        self, relation: str, rows: Iterable[Mapping[str, object]]
+    ) -> None:
+        for row in rows:
+            self.insert(relation, row)
+
+    def add(self, relation: str, **values: object) -> Row:
+        """Keyword-argument convenience for :meth:`insert`."""
+        return self.insert(relation, values)
+
+    def insert_object(self, entity_name: str, **values: object) -> Row:
+        """Insert an object of entity type ``entity_name`` into the
+        extent of its inheritance root, tagging it with ``$type``.
+
+        Requires a schema.  This is how ER/OO instances are built: the
+        paper's Persons entity set holds Person, Employee and Customer
+        objects side by side.
+        """
+        if self.schema is None:
+            raise SchemaError("insert_object requires a schema-bound instance")
+        entity = self.schema.entity(entity_name)
+        if entity.is_abstract:
+            raise SchemaError(f"entity {entity_name!r} is abstract")
+        legal = set(entity.all_attribute_names())
+        unknown = set(values) - legal
+        if unknown:
+            raise SchemaError(
+                f"unknown attributes for {entity_name!r}: {sorted(unknown)}"
+            )
+        row: Row = {TYPE_FIELD: entity_name}
+        row.update(values)
+        return self.insert(entity.root().name, row)
+
+    def delete(
+        self, relation: str, predicate: Callable[[Row], bool]
+    ) -> list[Row]:
+        """Remove and return rows of ``relation`` satisfying ``predicate``."""
+        rows = self.relations.get(relation, [])
+        removed = [r for r in rows if predicate(r)]
+        self.relations[relation] = [r for r in rows if not predicate(r)]
+        return removed
+
+    def clear(self, relation: str) -> None:
+        self.relations[relation] = []
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def rows(self, relation: str) -> list[Row]:
+        return self.relations.get(relation, [])
+
+    def objects_of(self, entity_name: str, strict: bool = False) -> list[Row]:
+        """Rows whose ``$type`` is (a subtype of) ``entity_name``.
+
+        ``strict=True`` restricts to exactly ``entity_name`` (the
+        ``IS OF ONLY`` test of Entity SQL).
+        """
+        if self.schema is None:
+            raise SchemaError("objects_of requires a schema-bound instance")
+        entity = self.schema.entity(entity_name)
+        extent = self.rows(entity.root().name)
+        if strict:
+            return [r for r in extent if r.get(TYPE_FIELD) == entity_name]
+        member_names = {entity.name} | {d.name for d in entity.descendants()}
+        return [r for r in extent if r.get(TYPE_FIELD, entity.root().name) in member_names]
+
+    def relation_names(self) -> list[str]:
+        return sorted(self.relations)
+
+    def cardinality(self, relation: str) -> int:
+        return len(self.rows(relation))
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self.relations.values())
+
+    @property
+    def is_empty(self) -> bool:
+        return all(not rows for rows in self.relations.values())
+
+    # ------------------------------------------------------------------
+    # values
+    # ------------------------------------------------------------------
+    def active_domain(self) -> set[object]:
+        """All constants appearing in the instance (labeled nulls excluded)."""
+        domain: set[object] = set()
+        for rows in self.relations.values():
+            for row in rows:
+                for key, value in row.items():
+                    if key != TYPE_FIELD and not isinstance(value, LabeledNull):
+                        if value is not None:
+                            domain.add(value)
+        return domain
+
+    def nulls(self) -> set[LabeledNull]:
+        """All labeled nulls appearing in the instance."""
+        found: set[LabeledNull] = set()
+        for rows in self.relations.values():
+            for row in rows:
+                for value in row.values():
+                    if isinstance(value, LabeledNull):
+                        found.add(value)
+        return found
+
+    def has_nulls(self) -> bool:
+        return bool(self.nulls())
+
+    def substitute(self, mapping: Mapping[LabeledNull, object]) -> "Instance":
+        """A new instance with labeled nulls replaced per ``mapping``
+        (used when egds equate nulls with constants or other nulls)."""
+        result = Instance(self.schema)
+        for relation, rows in self.relations.items():
+            for row in rows:
+                result.insert(
+                    relation,
+                    {
+                        k: mapping.get(v, v) if isinstance(v, LabeledNull) else v
+                        for k, v in row.items()
+                    },
+                )
+        return result
+
+    def without_null_rows(self) -> "Instance":
+        """Drop rows containing labeled nulls — the 'certain part' used
+        when returning answers to users (nulls may not be returned)."""
+        result = Instance(self.schema)
+        for relation, rows in self.relations.items():
+            result.relations[relation] = [
+                dict(row)
+                for row in rows
+                if not any(isinstance(v, LabeledNull) for v in row.values())
+            ]
+        return result
+
+    # ------------------------------------------------------------------
+    # comparison & copies
+    # ------------------------------------------------------------------
+    def copy(self) -> "Instance":
+        result = Instance(self.schema)
+        for relation, rows in self.relations.items():
+            result.relations[relation] = [dict(row) for row in rows]
+        return result
+
+    def as_sets(self) -> dict[str, set[frozenset]]:
+        """Set-semantics image: relation name → set of frozen rows."""
+        return {
+            relation: {freeze_row(row) for row in rows}
+            for relation, rows in self.relations.items()
+            if rows
+        }
+
+    def set_equal(self, other: "Instance") -> bool:
+        """Equality under set semantics (duplicates and order ignored)."""
+        return self.as_sets() == other.as_sets()
+
+    def contains_instance(self, other: "Instance") -> bool:
+        """True if every row of ``other`` appears here (set semantics)."""
+        mine = self.as_sets()
+        for relation, rows in other.as_sets().items():
+            if not rows <= mine.get(relation, set()):
+                return False
+        return True
+
+    def union(self, other: "Instance") -> "Instance":
+        result = self.copy()
+        for relation, rows in other.relations.items():
+            result.insert_all(relation, rows)
+        return result
+
+    def deduplicated(self) -> "Instance":
+        """A copy with exact duplicate rows removed per relation."""
+        result = Instance(self.schema)
+        for relation, rows in self.relations.items():
+            seen: set[frozenset] = set()
+            for row in rows:
+                frozen = freeze_row(row)
+                if frozen not in seen:
+                    seen.add(frozen)
+                    result.insert(relation, row)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self.set_equal(other)
+
+    def __hash__(self) -> int:  # pragma: no cover - instances are mutable
+        raise TypeError("Instance is unhashable")
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}:{len(rows)}" for name, rows in sorted(self.relations.items())
+        )
+        return f"<Instance {parts or 'empty'}>"
+
+    def __iter__(self) -> Iterator[tuple[str, Row]]:
+        for relation in sorted(self.relations):
+            for row in self.relations[relation]:
+                yield relation, row
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+    def show(self, relation: Optional[str] = None) -> str:
+        """ASCII tables for one or all relations (examples print these)."""
+        names = [relation] if relation else self.relation_names()
+        blocks = []
+        for name in names:
+            rows = self.rows(name)
+            columns: list[str] = []
+            for row in rows:
+                for key in row:
+                    if key not in columns:
+                        columns.append(key)
+            header = " | ".join(columns)
+            lines = [f"{name} ({len(rows)} rows)", header, "-" * max(len(header), 1)]
+            for row in rows:
+                lines.append(
+                    " | ".join(str(row.get(c, "")) for c in columns)
+                )
+            blocks.append("\n".join(lines))
+        return "\n\n".join(blocks)

@@ -1,0 +1,81 @@
+"""JSON serialization of database instances.
+
+Rounds-trips every value kind the engine produces, including labeled
+nulls (as ``{"⊥": label}`` objects), dates/datetimes (ISO strings with
+a type tag) and byte strings (hex with a type tag), so instances can be
+stored next to schemas in the metadata repository and shipped to the
+command-line tools.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from typing import Union
+
+from repro.errors import RepositoryError
+from repro.instances.database import Instance
+from repro.instances.labeled_null import LabeledNull
+from repro.metamodel.schema import Schema
+
+
+def _value_to_json(value: object) -> object:
+    if isinstance(value, LabeledNull):
+        return {"⊥": value.label, "hint": value.hint}
+    if isinstance(value, datetime.datetime):
+        return {"$type": "datetime", "value": value.isoformat()}
+    if isinstance(value, datetime.date):
+        return {"$type": "date", "value": value.isoformat()}
+    if isinstance(value, bytes):
+        return {"$type": "bytes", "value": value.hex()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise RepositoryError(f"unserializable value {value!r}")
+
+
+def _value_from_json(value: object) -> object:
+    if isinstance(value, dict):
+        if "⊥" in value:
+            return LabeledNull(int(value["⊥"]), value.get("hint", ""))
+        tag = value.get("$type")
+        if tag == "datetime":
+            return datetime.datetime.fromisoformat(value["value"])
+        if tag == "date":
+            return datetime.date.fromisoformat(value["value"])
+        if tag == "bytes":
+            return bytes.fromhex(value["value"])
+        raise RepositoryError(f"unknown value tag {value!r}")
+    return value
+
+
+def instance_to_dict(instance: Instance) -> dict:
+    return {
+        "schema": instance.schema.name if instance.schema else None,
+        "relations": {
+            relation: [
+                {key: _value_to_json(v) for key, v in row.items()}
+                for row in rows
+            ]
+            for relation, rows in instance.relations.items()
+        },
+    }
+
+
+def instance_from_dict(data: dict, schema: Union[Schema, None] = None) -> Instance:
+    instance = Instance(schema)
+    for relation, rows in data.get("relations", {}).items():
+        for row in rows:
+            instance.insert(
+                relation,
+                {key: _value_from_json(v) for key, v in row.items()},
+            )
+    return instance
+
+
+def dump_instance(instance: Instance, indent: int = 2) -> str:
+    return json.dumps(instance_to_dict(instance), indent=indent,
+                      ensure_ascii=False)
+
+
+def load_instance(text: str, schema: Union[Schema, None] = None) -> Instance:
+    return instance_from_dict(json.loads(text), schema)

@@ -1,0 +1,218 @@
+"""Instance validation against schemas and integrity constraints.
+
+The paper (Section 2) requires reasoning such as "if the source
+database satisfies the source integrity constraints then the target
+database also satisfies the target integrity constraints"; the runtime
+integrity service builds on this checker.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConstraintViolation, SchemaError
+from repro.instances.database import TYPE_FIELD, Instance, Row
+from repro.instances.labeled_null import is_null
+from repro.metamodel.constraints import (
+    Constraint,
+    Covering,
+    Disjointness,
+    InclusionDependency,
+    KeyConstraint,
+    NotNull,
+)
+from repro.metamodel.schema import Schema
+from repro.metamodel.types import conforms
+
+
+def violations(instance: Instance, schema: Optional[Schema] = None) -> list[str]:
+    """All validation failures of ``instance`` against ``schema``
+    (types, nullability, and every declared integrity constraint).
+    Returns human-readable messages; empty list means valid."""
+    schema = schema or instance.schema
+    if schema is None:
+        raise SchemaError("validation requires a schema")
+    messages: list[str] = []
+    messages.extend(_type_violations(instance, schema))
+    for constraint in schema.constraints:
+        messages.extend(_constraint_violations(instance, schema, constraint))
+    return messages
+
+
+def validate_instance(instance: Instance, schema: Optional[Schema] = None) -> None:
+    """Raise :class:`ConstraintViolation` on the first failure."""
+    problems = violations(instance, schema)
+    if problems:
+        raise ConstraintViolation(None, problems[0])
+
+
+def _entity_for_row(schema: Schema, relation: str, row: Row):
+    type_name = row.get(TYPE_FIELD)
+    if type_name is not None and type_name in schema.entities:
+        return schema.entity(str(type_name))
+    if relation in schema.entities:
+        return schema.entity(relation)
+    return None
+
+
+def _type_violations(instance: Instance, schema: Schema) -> list[str]:
+    messages: list[str] = []
+    for relation, rows in instance.relations.items():
+        for index, row in enumerate(rows):
+            entity = _entity_for_row(schema, relation, row)
+            if entity is None:
+                messages.append(f"relation {relation!r} not declared in schema")
+                break
+            declared = {a.name: a for a in entity.all_attributes()}
+            for name, value in row.items():
+                if name == TYPE_FIELD:
+                    continue
+                attr = declared.get(name)
+                if attr is None:
+                    messages.append(
+                        f"{relation}[{index}]: undeclared attribute {name!r}"
+                    )
+                    continue
+                if value is None:
+                    if not attr.nullable:
+                        messages.append(
+                            f"{relation}[{index}]: null in non-nullable "
+                            f"{entity.name}.{name}"
+                        )
+                    continue
+                if not conforms(value, attr.data_type):
+                    messages.append(
+                        f"{relation}[{index}]: value {value!r} does not conform "
+                        f"to {entity.name}.{name}: {attr.data_type}"
+                    )
+            for attr in declared.values():
+                if not attr.nullable and attr.name not in row:
+                    messages.append(
+                        f"{relation}[{index}]: missing required attribute "
+                        f"{entity.name}.{attr.name}"
+                    )
+    return messages
+
+
+def _constraint_violations(
+    instance: Instance, schema: Schema, constraint: Constraint
+) -> list[str]:
+    if isinstance(constraint, KeyConstraint):
+        return _key_violations(instance, schema, constraint)
+    if isinstance(constraint, InclusionDependency):
+        return _inclusion_violations(instance, schema, constraint)
+    if isinstance(constraint, Disjointness):
+        return _disjointness_violations(instance, schema, constraint)
+    if isinstance(constraint, Covering):
+        return _covering_violations(instance, schema, constraint)
+    if isinstance(constraint, NotNull):
+        return _not_null_violations(instance, constraint)
+    return []
+
+
+def _rows_of(instance: Instance, schema: Schema, entity_name: str) -> list[Row]:
+    """Rows belonging to an entity, whether stored flat or in a typed
+    root extent.  Works even when the instance is not schema-bound
+    (e.g. freshly deserialized) by consulting ``schema`` directly."""
+    if schema is not None and entity_name in schema.entities:
+        entity = schema.entity(entity_name)
+        if entity.parent is not None or entity.children():
+            working = instance
+            if working.schema is not schema:
+                working = instance.copy()
+                working.schema = schema
+            return working.objects_of(entity_name)
+    return instance.rows(entity_name)
+
+
+def _key_violations(
+    instance: Instance, schema: Schema, constraint: KeyConstraint
+) -> list[str]:
+    seen: dict[tuple, int] = {}
+    messages: list[str] = []
+    for row in _rows_of(instance, schema, constraint.entity):
+        key = tuple(row.get(a) for a in constraint.attributes)
+        if any(is_null(v) for v in key):
+            continue  # null keys are checked by NotNull, not uniqueness
+        seen[key] = seen.get(key, 0) + 1
+    for key, count in seen.items():
+        if count > 1:
+            messages.append(
+                f"key violation: {constraint.describe()} duplicated for {key!r}"
+            )
+    return messages
+
+
+def _inclusion_violations(
+    instance: Instance, schema: Schema, constraint: InclusionDependency
+) -> list[str]:
+    target_values = {
+        tuple(row.get(a) for a in constraint.target_attributes)
+        for row in _rows_of(instance, schema, constraint.target)
+    }
+    messages: list[str] = []
+    for row in _rows_of(instance, schema, constraint.source):
+        value = tuple(row.get(a) for a in constraint.source_attributes)
+        if any(v is None for v in value):
+            continue  # null FKs do not participate
+        if value not in target_values:
+            messages.append(
+                f"inclusion violation: {constraint.describe()} misses {value!r}"
+            )
+    return messages
+
+
+def _disjointness_violations(
+    instance: Instance, schema: Schema, constraint: Disjointness
+) -> list[str]:
+    messages: list[str] = []
+    for i, first in enumerate(constraint.entities):
+        for second in constraint.entities[i + 1 :]:
+            first_keys = _identity_set(instance, schema, first)
+            second_keys = _identity_set(instance, schema, second)
+            overlap = first_keys & second_keys
+            if overlap:
+                messages.append(
+                    f"disjointness violation: {first} ∩ {second} ⊇ "
+                    f"{sorted(overlap)[:3]!r}"
+                )
+    return messages
+
+
+def _covering_violations(
+    instance: Instance, schema: Schema, constraint: Covering
+) -> list[str]:
+    parent_ids = _identity_set(instance, schema, constraint.entity)
+    covered: set = set()
+    for name in constraint.covered_by:
+        covered |= _identity_set(instance, schema, name)
+    missing = parent_ids - covered
+    if missing:
+        return [
+            f"covering violation: {constraint.describe()} misses "
+            f"{sorted(missing)[:3]!r}"
+        ]
+    return []
+
+
+def _identity_set(instance: Instance, schema: Schema, entity_name: str) -> set:
+    """Key values (or whole rows) of an entity's extent, for overlap tests."""
+    if schema is not None and entity_name in schema.entities:
+        entity = schema.entity(entity_name)
+        key = entity.root().key
+        rows = _rows_of(instance, schema, entity_name)
+        if key:
+            return {tuple(row.get(k) for k in key) for row in rows}
+        return {frozenset((k, v) for k, v in row.items() if k != TYPE_FIELD) for row in rows}
+    return {frozenset(row.items()) for row in instance.rows(entity_name)}
+
+
+def _not_null_violations(instance: Instance, constraint: NotNull) -> list[str]:
+    messages = []
+    for index, row in enumerate(instance.rows(constraint.entity)):
+        if row.get(constraint.attribute) is None:
+            messages.append(
+                f"{constraint.entity}[{index}]: null in declared "
+                f"not-null attribute {constraint.attribute}"
+            )
+    return messages

@@ -1,0 +1,245 @@
+"""The chase: computing universal solutions for data exchange.
+
+Given a source instance and a set of dependencies, the chase extends
+the instance until all dependencies are satisfied, inventing labeled
+nulls for existential variables.  The result is a *universal solution*
+(paper, Section 4): it has a homomorphism into every solution, so
+evaluating a conjunctive query on it (and discarding rows with nulls)
+yields exactly the certain answers.
+
+This is the *standard* (restricted) chase: a tgd fires only when its
+head is not already satisfied, which keeps results small and guarantees
+termination for weakly acyclic dependency sets.
+:func:`is_weakly_acyclic` implements the classical position-graph test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.errors import ChaseFailure, ChaseNonTermination
+from repro.instances.database import Instance, Row
+from repro.instances.labeled_null import LabeledNull, NullFactory
+from repro.logic.dependencies import EGD, TGD, Dependency
+from repro.logic.formulas import Atom
+from repro.logic.homomorphism import find_homomorphism, iter_homomorphisms
+from repro.logic.terms import Const, Var
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run."""
+
+    instance: Instance
+    steps: int
+    fired: dict[str, int] = field(default_factory=dict)
+    null_factory: NullFactory = field(default_factory=NullFactory)
+
+    @property
+    def nulls_created(self) -> int:
+        return len(self.instance.nulls())
+
+
+def chase(
+    instance: Instance,
+    dependencies: Sequence[Union[TGD, EGD]],
+    max_steps: int = 100_000,
+    null_factory: Optional[NullFactory] = None,
+    copy: bool = True,
+) -> ChaseResult:
+    """Chase ``instance`` with ``dependencies``.
+
+    Raises :class:`ChaseFailure` if an egd equates distinct constants
+    (no solution exists) and :class:`ChaseNonTermination` when
+    ``max_steps`` is exhausted.
+    """
+    working = instance.copy() if copy else instance
+    factory = null_factory or _fresh_factory(working)
+    steps = 0
+    fired: dict[str, int] = {}
+
+    changed = True
+    while changed:
+        changed = False
+        for dependency in dependencies:
+            if isinstance(dependency, TGD):
+                applied = _apply_tgd(working, dependency, factory)
+            else:
+                applied = _apply_egd(working, dependency)
+            if applied:
+                changed = True
+                name = dependency.name or str(dependency)[:60]
+                fired[name] = fired.get(name, 0) + applied
+                steps += applied
+                if steps > max_steps:
+                    raise ChaseNonTermination(
+                        f"chase exceeded {max_steps} steps; dependency set is "
+                        "probably not weakly acyclic"
+                    )
+    return ChaseResult(instance=working, steps=steps, fired=fired, null_factory=factory)
+
+
+def _fresh_factory(instance: Instance) -> NullFactory:
+    existing = instance.nulls()
+    start = max((n.label for n in existing), default=-1) + 1
+    return NullFactory(start)
+
+
+def _apply_tgd(instance: Instance, tgd: TGD, factory: NullFactory) -> int:
+    """Fire every active trigger of ``tgd`` once; returns firings."""
+    applied = 0
+    # Materialize triggers first: firing while iterating would re-trigger.
+    triggers = list(iter_homomorphisms(tgd.body, instance))
+    for assignment in triggers:
+        if _head_satisfied(instance, tgd, assignment):
+            continue
+        existential_values: dict[Var, LabeledNull] = {}
+        for atom in tgd.head:
+            row: Row = {}
+            for name, term in atom.args:
+                if isinstance(term, Const):
+                    row[name] = term.value
+                elif isinstance(term, Var):
+                    if term in assignment:
+                        row[name] = assignment[term]
+                    else:
+                        if term not in existential_values:
+                            existential_values[term] = factory.fresh(
+                                hint=f"{tgd.name or 'tgd'}.{term.name}"
+                            )
+                        row[name] = existential_values[term]
+                else:
+                    raise ChaseFailure(
+                        "cannot chase second-order tgds directly; "
+                        "ground their function terms first"
+                    )
+            instance.insert(atom.relation, row)
+        applied += 1
+    return applied
+
+
+def _head_satisfied(instance: Instance, tgd: TGD, assignment: dict) -> bool:
+    """Standard-chase activity test: is there an extension of the body
+    assignment that already satisfies the head in the instance?"""
+    partial = {
+        var: value
+        for var, value in assignment.items()
+        if var in tgd.frontier()
+    }
+    return (
+        find_homomorphism(tgd.head, instance, partial=partial) is not None
+    )
+
+
+def _apply_egd(instance: Instance, egd: EGD) -> int:
+    """Fire egd triggers, merging values.  Constant–constant conflicts
+    raise :class:`ChaseFailure`."""
+    applied = 0
+    while True:
+        substitution: Optional[dict[LabeledNull, object]] = None
+        for assignment in iter_homomorphisms(egd.body, instance):
+            for equality in egd.equalities:
+                left = _value(equality.left, assignment)
+                right = _value(equality.right, assignment)
+                if left == right:
+                    continue
+                left_null = isinstance(left, LabeledNull)
+                right_null = isinstance(right, LabeledNull)
+                if not left_null and not right_null:
+                    raise ChaseFailure(
+                        f"egd {egd.name or egd} equates distinct constants "
+                        f"{left!r} and {right!r}"
+                    )
+                if left_null:
+                    substitution = {left: right}
+                else:
+                    substitution = {right: left}
+                break
+            if substitution:
+                break
+        if not substitution:
+            return applied
+        _substitute_in_place(instance, substitution)
+        applied += 1
+
+
+def _value(term, assignment):
+    if isinstance(term, Const):
+        return term.value
+    return assignment[term]
+
+
+def _substitute_in_place(instance: Instance, mapping: dict) -> None:
+    for rows in instance.relations.values():
+        for row in rows:
+            for key, value in row.items():
+                if isinstance(value, LabeledNull) and value in mapping:
+                    row[key] = mapping[value]
+
+
+# ----------------------------------------------------------------------
+# weak acyclicity
+# ----------------------------------------------------------------------
+def is_weakly_acyclic(tgds: Sequence[TGD]) -> bool:
+    """Position-graph test (Fagin et al.): nodes are (relation,
+    attribute) positions; a regular edge goes from each body position of
+    a frontier variable to each head position of that variable; a
+    *special* edge goes from each body position of a frontier variable
+    to each head position of an existential variable in the same atom
+    set.  The tgd set is weakly acyclic iff no cycle passes through a
+    special edge — and then every chase terminates.
+    """
+    regular: dict[tuple, set[tuple]] = {}
+    special: dict[tuple, set[tuple]] = {}
+
+    def add(edges: dict, src: tuple, dst: tuple) -> None:
+        edges.setdefault(src, set()).add(dst)
+
+    for tgd in tgds:
+        body_positions: dict[Var, list[tuple]] = {}
+        for atom in tgd.body:
+            for name, term in atom.args:
+                if isinstance(term, Var):
+                    body_positions.setdefault(term, []).append(
+                        (atom.relation, name)
+                    )
+        existentials = tgd.existentials()
+        head_positions_existential: list[tuple] = []
+        head_positions_by_var: dict[Var, list[tuple]] = {}
+        for atom in tgd.head:
+            for name, term in atom.args:
+                if isinstance(term, Var):
+                    if term in existentials:
+                        head_positions_existential.append((atom.relation, name))
+                    else:
+                        head_positions_by_var.setdefault(term, []).append(
+                            (atom.relation, name)
+                        )
+        for var, sources in body_positions.items():
+            if var not in tgd.frontier():
+                continue
+            for src in sources:
+                for dst in head_positions_by_var.get(var, []):
+                    add(regular, src, dst)
+                for dst in head_positions_existential:
+                    add(special, src, dst)
+
+    # Cycle through a special edge ⇔ some special edge (u, v) with a
+    # path from v back to u in the combined graph.
+    def reachable(start: tuple) -> set[tuple]:
+        seen: set[tuple] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbour in regular.get(node, set()) | special.get(node, set()):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        return seen
+
+    for src, destinations in special.items():
+        for dst in destinations:
+            if src == dst or src in reachable(dst):
+                return False
+    return True

@@ -1,0 +1,34 @@
+"""Conjunctive-query containment and equivalence (Chandra–Merlin).
+
+``q1 ⊆ q2`` iff there is a homomorphism from ``q2`` to ``q1``'s
+canonical (frozen) database mapping ``q2``'s head to ``q1``'s frozen
+head.  The engine uses this to verify operator outputs — e.g. that a
+composed mapping is equivalent to a directly-authored one (the Figure 6
+check), and that Extract ⊎ Diff loses nothing.
+"""
+
+from __future__ import annotations
+
+from repro.logic.formulas import ConjunctiveQuery
+from repro.logic.homomorphism import find_homomorphism
+
+
+def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """True iff ``q1 ⊆ q2`` on every database (set semantics)."""
+    if len(q1.head) != len(q2.head):
+        return False
+    canonical, frozen_head = q1.canonical_instance()
+    partial = {}
+    for var, value in zip(q2.head, frozen_head):
+        if var in partial and partial[var] != value:
+            return False
+        partial[var] = value
+    assignment = find_homomorphism(
+        q2.body, canonical, q2.conditions, partial=partial
+    )
+    return assignment is not None
+
+
+def are_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Mutual containment."""
+    return is_contained_in(q1, q2) and is_contained_in(q2, q1)

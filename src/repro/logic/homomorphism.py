@@ -1,0 +1,268 @@
+"""Homomorphism search.
+
+Two flavours, both backtracking with candidate filtering:
+
+* **formula → instance**: assign values to the variables of a
+  conjunction of atoms so every atom maps onto some row.  This is the
+  trigger-finding step of the chase and the evaluation step of
+  Chandra–Merlin containment.  Atoms use named arguments and may
+  mention only a *subset* of a relation's attributes — a row matches if
+  it agrees on the mentioned ones.
+
+* **instance → instance**: map labeled nulls to values such that every
+  row of the source maps onto a row of the target (constants fixed).
+  This is the workhorse of core computation and universal-solution
+  equivalence checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.instances.database import Instance, Row, freeze_row
+from repro.instances.labeled_null import LabeledNull
+from repro.logic.formulas import Atom, Equality
+from repro.logic.terms import Const, FuncTerm, Term, Var, apply_term
+
+
+Assignment = dict[Var, object]
+
+
+_MISSING = object()
+
+
+def _match_atom(atom: Atom, row: Row, assignment: Assignment) -> Optional[Assignment]:
+    """Try to extend ``assignment`` so ``atom`` maps onto ``row``.
+
+    Returns ``assignment`` itself when the atom matches without new
+    bindings (callers never mutate assignments, so sharing is safe);
+    the dict is only copied once a genuinely new binding appears.
+    """
+    new_bindings: Optional[dict[Var, object]] = None
+    for name, term in atom.args:
+        value = row.get(name, _MISSING)
+        if value is _MISSING:
+            return None
+        if isinstance(term, Const):
+            if value != term.value:
+                return None
+        elif isinstance(term, Var):
+            bound = assignment.get(term, _MISSING)
+            if bound is not _MISSING:
+                if bound != value:
+                    return None
+            elif new_bindings is not None and term in new_bindings:
+                if new_bindings[term] != value:
+                    return None
+            else:
+                if new_bindings is None:
+                    new_bindings = {}
+                new_bindings[term] = value
+        else:
+            raise TypeError("cannot match second-order terms against rows")
+    if new_bindings is None:
+        return assignment  # type: ignore[return-value]
+    merged = dict(assignment)
+    merged.update(new_bindings)
+    return merged
+
+
+def _conditions_hold(
+    conditions: Sequence[Equality], assignment: Assignment
+) -> bool:
+    for condition in conditions:
+        left = _term_value(condition.left, assignment)
+        right = _term_value(condition.right, assignment)
+        if left != right:
+            return False
+    return True
+
+
+def _term_value(term: Term, assignment: Assignment) -> object:
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        return assignment.get(term, term)
+    raise TypeError("conditions must be first-order")
+
+
+class _ValueIndex:
+    """Lazy per-(relation, attribute) hash index over an instance's
+    rows, so joins filter candidates instead of scanning (the standard
+    hash-join trick applied to the trigger search)."""
+
+    def __init__(self, instance: Instance):
+        self.instance = instance
+        self._indexes: dict[tuple[str, str], dict] = {}
+
+    def candidates(self, atom: Atom, assignment: Assignment) -> list[Row]:
+        """Rows possibly matching ``atom`` given current bindings: the
+        postings list of one bound attribute (or all rows if none is
+        bound)."""
+        bound_value = None
+        bound_attr = None
+        for name, term in atom.args:
+            if isinstance(term, Const):
+                bound_attr, bound_value = name, term.value
+                break
+            if isinstance(term, Var) and term in assignment:
+                bound_attr, bound_value = name, assignment[term]
+                break
+        if bound_attr is None:
+            return self.instance.rows(atom.relation)
+        key = (atom.relation, bound_attr)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for row in self.instance.rows(atom.relation):
+                if bound_attr in row:
+                    index.setdefault(_hashable(row[bound_attr]), []).append(row)
+            self._indexes[key] = index
+        return index.get(_hashable(bound_value), [])
+
+
+def _hashable(value):
+    if isinstance(value, LabeledNull):
+        return ("⊥", value.label)
+    try:
+        hash(value)
+    except TypeError:
+        return ("!", repr(value))
+    return value
+
+
+def iter_homomorphisms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    conditions: Sequence[Equality] = (),
+    partial: Optional[Assignment] = None,
+) -> Iterator[Assignment]:
+    """Yield every assignment of the atoms' variables onto the instance.
+
+    Atoms are matched most-constrained-first (fewest candidate rows);
+    within the backtracking, a lazily built value index narrows each
+    atom's candidates to rows agreeing on one already-bound attribute.
+    """
+    ordered = sorted(atoms, key=lambda a: len(instance.rows(a.relation)))
+    value_index = _ValueIndex(instance)
+
+    def backtrack(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        if index == len(ordered):
+            if _conditions_hold(conditions, assignment):
+                yield dict(assignment)
+            return
+        atom = ordered[index]
+        for row in value_index.candidates(atom, assignment):
+            extended = _match_atom(atom, row, assignment)
+            if extended is not None:
+                yield from backtrack(index + 1, extended)
+
+    yield from backtrack(0, dict(partial or {}))
+
+
+def find_homomorphism(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    conditions: Sequence[Equality] = (),
+    partial: Optional[Assignment] = None,
+) -> Optional[Assignment]:
+    """First homomorphism or ``None``."""
+    for assignment in iter_homomorphisms(atoms, instance, conditions, partial):
+        return assignment
+    return None
+
+
+def find_all_homomorphisms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    conditions: Sequence[Equality] = (),
+) -> list[Assignment]:
+    return list(iter_homomorphisms(atoms, instance, conditions))
+
+
+# ----------------------------------------------------------------------
+# instance → instance
+# ----------------------------------------------------------------------
+def instance_homomorphism(
+    source: Instance,
+    target: Instance,
+    fixed: Optional[dict[LabeledNull, object]] = None,
+    forbid_identity: bool = False,
+) -> Optional[dict[LabeledNull, object]]:
+    """A mapping of ``source``'s labeled nulls to values such that every
+    source row lands on a target row (constants map to themselves).
+
+    ``forbid_identity=True`` rejects the trivial solution in which every
+    null maps to itself *and* the row images are the originals — used
+    when searching for proper endomorphisms during core computation.
+    """
+    source_rows: list[tuple[str, Row]] = [
+        (relation, row)
+        for relation in sorted(source.relations)
+        for row in source.relations[relation]
+    ]
+    target_sets: dict[str, list[Row]] = {
+        relation: target.rows(relation) for relation, _ in source_rows
+    }
+    # Most-constrained-first ordering.
+    source_rows.sort(key=lambda item: len(target_sets.get(item[0], [])))
+
+    def row_image(row: Row, mapping: dict[LabeledNull, object]) -> Optional[Row]:
+        image = {}
+        for key, value in row.items():
+            if isinstance(value, LabeledNull):
+                if value not in mapping:
+                    return None
+                image[key] = mapping[value]
+            else:
+                image[key] = value
+        return image
+
+    def try_map_row(
+        row: Row, candidate: Row, mapping: dict[LabeledNull, object]
+    ) -> Optional[dict[LabeledNull, object]]:
+        if set(row) != set(candidate):
+            return None
+        extended = dict(mapping)
+        for key, value in row.items():
+            target_value = candidate[key]
+            if isinstance(value, LabeledNull):
+                if value in extended:
+                    if extended[value] != target_value:
+                        return None
+                else:
+                    extended[value] = target_value
+            elif value != target_value:
+                return None
+        return extended
+
+    def backtrack(
+        index: int, mapping: dict[LabeledNull, object]
+    ) -> Optional[dict[LabeledNull, object]]:
+        if index == len(source_rows):
+            if forbid_identity:
+                identity = all(
+                    null == image for null, image in mapping.items()
+                )
+                if identity:
+                    return None
+            return mapping
+        relation, row = source_rows[index]
+        for candidate in target_sets.get(relation, []):
+            extended = try_map_row(row, candidate, mapping)
+            if extended is not None:
+                result = backtrack(index + 1, extended)
+                if result is not None:
+                    return result
+        return None
+
+    return backtrack(0, dict(fixed or {}))
+
+
+def are_hom_equivalent(a: Instance, b: Instance) -> bool:
+    """True when homomorphisms exist both ways — the equivalence class
+    of universal solutions."""
+    return (
+        instance_homomorphism(a, b) is not None
+        and instance_homomorphism(b, a) is not None
+    )

@@ -1,0 +1,218 @@
+"""A terse text syntax for dependencies and queries.
+
+Keeping the many tests, examples and benchmark workloads readable::
+
+    parse_tgd("Empl(EID=x, AID=a) & Addr(AID=a, City=c) -> Staff(SID=x, City=c)")
+    parse_egd("R(k=x, v=a) & R(k=x, v=b) -> a = b")
+    parse_query("q(x, c) :- Empl(EID=x, AID=a) & Addr(AID=a, City=c)")
+
+Conventions: identifiers starting with a lowercase letter are
+variables; capitalized identifiers are relation/attribute names;
+numbers, single/double-quoted strings, ``true``/``false``/``null`` are
+constants; ``f(x, y)`` in term position is a (Skolem) function term.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import MappingError
+from repro.logic.dependencies import EGD, TGD
+from repro.logic.formulas import Atom, ConjunctiveQuery, Equality
+from repro.logic.terms import Const, FuncTerm, Term, Var
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->|:-)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.$]*)
+  | (?P<punct>[(),=&])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.tokens: list[tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN.match(text, position)
+            if match is None:
+                raise MappingError(
+                    f"cannot tokenize {text[position:position + 20]!r}"
+                )
+            position = match.end()
+            kind = match.lastgroup
+            if kind != "ws":
+                self.tokens.append((kind, match.group()))
+        self.index = 0
+
+    def peek(self) -> Optional[tuple[str, str]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise MappingError("unexpected end of input")
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, text = self.next()
+        if text != value:
+            raise MappingError(f"expected {value!r}, got {text!r}")
+
+    def accept(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token[1] == value:
+            self.index += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _parse_term(tokens: _Tokens) -> Term:
+    kind, text = tokens.next()
+    if kind == "number":
+        value = float(text) if "." in text else int(text)
+        return Const(value)
+    if kind == "string":
+        return Const(text[1:-1])
+    if kind == "ident":
+        if text == "true":
+            return Const(True)
+        if text == "false":
+            return Const(False)
+        if text == "null":
+            return Const(None)
+        if tokens.peek() is not None and tokens.peek()[1] == "(" and text[0].islower():
+            tokens.expect("(")
+            args: list[Term] = []
+            if not tokens.accept(")"):
+                args.append(_parse_term(tokens))
+                while tokens.accept(","):
+                    args.append(_parse_term(tokens))
+                tokens.expect(")")
+            return FuncTerm(text, tuple(args))
+        if text[0].islower():
+            return Var(text)
+        return Const(text)  # capitalized bare identifier: symbolic constant
+    raise MappingError(f"unexpected token {text!r} in term position")
+
+
+def _parse_atom_or_equality(tokens: _Tokens):
+    """Either ``Rel(attr=term, ...)`` or ``term = term``."""
+    start = tokens.index
+    kind, text = tokens.next()
+    if kind == "ident" and tokens.peek() is not None and tokens.peek()[1] == "(" \
+            and text[0].isupper():
+        tokens.expect("(")
+        args: list[tuple[str, Term]] = []
+        if not tokens.accept(")"):
+            while True:
+                attr_kind, attr = tokens.next()
+                if attr_kind != "ident":
+                    raise MappingError(f"expected attribute name, got {attr!r}")
+                tokens.expect("=")
+                args.append((attr, _parse_term(tokens)))
+                if not tokens.accept(","):
+                    break
+            tokens.expect(")")
+        return Atom(text, tuple(args))
+    # Rewind and parse an equality condition.
+    tokens.index = start
+    left = _parse_term(tokens)
+    tokens.expect("=")
+    right = _parse_term(tokens)
+    return Equality(left, right)
+
+
+def _parse_conjunction(tokens: _Tokens):
+    atoms: list[Atom] = []
+    conditions: list[Equality] = []
+    while True:
+        element = _parse_atom_or_equality(tokens)
+        if isinstance(element, Atom):
+            atoms.append(element)
+        else:
+            conditions.append(element)
+        if not tokens.accept("&"):
+            break
+    return atoms, conditions
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``"Empl(EID=x, Name='Ann')"``."""
+    tokens = _Tokens(text)
+    element = _parse_atom_or_equality(tokens)
+    if not isinstance(element, Atom) or not tokens.exhausted:
+        raise MappingError(f"not a single atom: {text!r}")
+    return element
+
+
+def parse_tgd(text: str, name: str = "") -> TGD:
+    """Parse ``body -> head`` into a :class:`TGD` (no conditions)."""
+    tokens = _Tokens(text)
+    body, body_conditions = _parse_conjunction(tokens)
+    tokens.expect("->")
+    head, head_conditions = _parse_conjunction(tokens)
+    if body_conditions or head_conditions:
+        raise MappingError("tgds may not contain equality conditions")
+    if not tokens.exhausted:
+        raise MappingError(f"trailing input in tgd: {text!r}")
+    return TGD(body=tuple(body), head=tuple(head), name=name)
+
+
+def parse_egd(text: str, name: str = "") -> EGD:
+    """Parse ``body -> t1 = t2 [& t3 = t4 ...]`` into an :class:`EGD`."""
+    tokens = _Tokens(text)
+    body, body_conditions = _parse_conjunction(tokens)
+    if body_conditions:
+        raise MappingError("egd bodies may not contain equality conditions")
+    tokens.expect("->")
+    _, equalities = _parse_conjunction(tokens)
+    if not equalities:
+        raise MappingError("egd head must be a conjunction of equalities")
+    if not tokens.exhausted:
+        raise MappingError(f"trailing input in egd: {text!r}")
+    return EGD(body=tuple(body), equalities=tuple(equalities), name=name)
+
+
+def parse_query(text: str, name: str = "") -> ConjunctiveQuery:
+    """Parse ``q(x, y) :- body`` into a :class:`ConjunctiveQuery`."""
+    tokens = _Tokens(text)
+    kind, query_name = tokens.next()
+    if kind != "ident":
+        raise MappingError("query must start with a name")
+    tokens.expect("(")
+    head: list[Var] = []
+    if not tokens.accept(")"):
+        while True:
+            term = _parse_term(tokens)
+            if not isinstance(term, Var):
+                raise MappingError("query head terms must be variables")
+            head.append(term)
+            if not tokens.accept(","):
+                break
+        tokens.expect(")")
+    kind, arrow = tokens.next()
+    if arrow != ":-":
+        raise MappingError(f"expected ':-', got {arrow!r}")
+    body, conditions = _parse_conjunction(tokens)
+    if not tokens.exhausted:
+        raise MappingError(f"trailing input in query: {text!r}")
+    return ConjunctiveQuery(
+        head=tuple(head),
+        body=tuple(body),
+        conditions=tuple(conditions),
+        name=name or query_name,
+    )

@@ -1,0 +1,130 @@
+"""Terms: variables, constants and Skolem function terms.
+
+Function terms only appear in second-order tgds, where the paper's
+Section 6.1 explains they are exactly what makes the mapping language
+closed under composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+
+@dataclass(frozen=True)
+class Var:
+    """A first-order variable (implicitly ∀ in bodies, ∃ in heads)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant value (any hashable Python value)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        # Mirror the parser's literal syntax so printed dependencies
+        # re-parse to themselves.
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        if self.value is True:
+            return "true"
+        if self.value is False:
+            return "false"
+        if self.value is None:
+            return "null"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FuncTerm:
+    """An applied (Skolem) function symbol, e.g. ``f(x, y)``."""
+
+    function: str
+    args: tuple["Term", ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.function}({inner})"
+
+
+Term = Union[Var, Const, FuncTerm]
+
+#: A substitution maps variables to terms.
+Substitution = Mapping[Var, Term]
+
+
+def apply_term(term: Term, substitution: Substitution) -> Term:
+    """Apply a substitution to a term (recursing into function terms).
+
+    Substitution chains (x → y, y → z) are followed; self-referential
+    bindings like x → f(x) are applied once rather than looping.
+    """
+    return _apply(term, substitution, frozenset())
+
+
+def _apply(term: Term, substitution: Substitution, blocked: frozenset) -> Term:
+    if isinstance(term, Var):
+        if term in blocked or term not in substitution:
+            return term
+        replacement = substitution[term]
+        return _apply(replacement, substitution, blocked | {term})
+    if isinstance(term, FuncTerm):
+        return FuncTerm(
+            term.function,
+            tuple(_apply(a, substitution, blocked) for a in term.args),
+        )
+    return term
+
+
+def variables_of(term: Term) -> set[Var]:
+    """All variables occurring in ``term``."""
+    if isinstance(term, Var):
+        return {term}
+    if isinstance(term, FuncTerm):
+        result: set[Var] = set()
+        for arg in term.args:
+            result |= variables_of(arg)
+        return result
+    return set()
+
+
+def functions_of(term: Term) -> set[str]:
+    """All function symbols occurring in ``term``."""
+    if isinstance(term, FuncTerm):
+        result = {term.function}
+        for arg in term.args:
+            result |= functions_of(arg)
+        return result
+    return set()
+
+
+def unify(left: Term, right: Term, substitution: dict[Var, Term]) -> bool:
+    """Extend ``substitution`` to unify ``left`` and ``right``.
+
+    Standard syntactic unification with occurs-check; mutates and
+    returns True on success, leaves ``substitution`` possibly extended
+    but returns False on failure (callers copy before calling when they
+    need rollback).
+    """
+    left = apply_term(left, substitution)
+    right = apply_term(right, substitution)
+    if left == right:
+        return True
+    if isinstance(left, Var):
+        if left in variables_of(right):
+            return False
+        substitution[left] = right
+        return True
+    if isinstance(right, Var):
+        return unify(right, left, substitution)
+    if isinstance(left, FuncTerm) and isinstance(right, FuncTerm):
+        if left.function != right.function or len(left.args) != len(right.args):
+            return False
+        return all(unify(l, r, substitution) for l, r in zip(left.args, right.args))
+    return False  # distinct constants, or constant vs function term

@@ -1,0 +1,383 @@
+"""Bridging the algebra fragment and conjunctive queries.
+
+The paper's Figure 4 constraints are equalities of projection-join
+expressions; its Section 6.1 composition machinery works on tgds.  This
+module converts between the two so that one operator suite serves both:
+
+* :func:`algebra_to_cq` — project/select/join/rename algebra → a
+  :class:`TableQuery` (a conjunctive query plus output column names);
+* :func:`cq_to_algebra` — back again (used by TransGen to make
+  composed tgds executable);
+* :func:`containment_tgd` — ``q1 ⊆ q2`` as a tgd;
+* :func:`equality_to_tgds` — a Figure-4-style equality constraint as
+  the two containment tgds it abbreviates.
+
+Only the conjunctive fragment converts; anything beyond it (outer
+joins, unions, aggregates, negation) raises
+:class:`~repro.errors.ExpressivenessError`, which is precisely the
+expressiveness boundary the paper keeps pointing at.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping as TMapping, Optional, Sequence, Union
+
+from repro.algebra import expressions as E
+from repro.algebra import scalars as S
+from repro.errors import ExpressivenessError
+from repro.logic.dependencies import TGD
+from repro.logic.formulas import Atom, ConjunctiveQuery, Equality
+from repro.logic.terms import Const, Term, Var
+from repro.metamodel.schema import Schema
+
+
+@dataclass(frozen=True)
+class TableQuery:
+    """A conjunctive query whose head positions carry column names."""
+
+    query: ConjunctiveQuery
+    columns: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.query}  AS ({', '.join(self.columns)})"
+
+
+AttributeMap = TMapping[str, Sequence[str]]
+
+
+def relation_attributes(*schemas: Schema) -> dict[str, tuple[str, ...]]:
+    """Relation → attribute list, for all entities of the given schemas."""
+    result: dict[str, tuple[str, ...]] = {}
+    for schema in schemas:
+        for entity in schema.entities.values():
+            result[entity.name] = entity.all_attribute_names()
+    return result
+
+
+# ----------------------------------------------------------------------
+# algebra → CQ
+# ----------------------------------------------------------------------
+class _Translation:
+    """Intermediate state: atoms, conditions, and visible columns."""
+
+    def __init__(self):
+        self.atoms: list[Atom] = []
+        self.conditions: list[Equality] = []
+        self.colmap: dict[str, Term] = {}
+
+
+def algebra_to_cq(
+    expr: E.RelExpr,
+    attributes: Union[AttributeMap, Schema, Sequence[Schema]],
+    name: str = "q",
+) -> TableQuery:
+    """Translate a conjunctive algebra expression into a TableQuery.
+
+    ``attributes`` supplies each scanned relation's attribute list
+    (pass schemas or a prebuilt map).
+    """
+    if isinstance(attributes, Schema):
+        attributes = relation_attributes(attributes)
+    elif not isinstance(attributes, dict):
+        attributes = relation_attributes(*attributes)
+    counter = itertools.count()
+    translation = _translate(expr, attributes, counter)
+    head_vars: list[Var] = []
+    columns: list[str] = []
+    conditions = list(translation.conditions)
+    for column, term in translation.colmap.items():
+        if isinstance(term, Const):
+            fresh = Var(f"c{next(counter)}")
+            conditions.append(Equality(fresh, term))
+            term = fresh
+        head_vars.append(term)
+        columns.append(column)
+    query = ConjunctiveQuery(
+        head=tuple(head_vars),
+        body=tuple(translation.atoms),
+        conditions=tuple(conditions),
+        name=name,
+    )
+    return TableQuery(query=query, columns=tuple(columns))
+
+
+def _translate(
+    expr: E.RelExpr, attributes: AttributeMap, counter
+) -> _Translation:
+    if isinstance(expr, (E.Scan, E.EntityScan)):
+        relation = expr.relation if isinstance(expr, E.Scan) else expr.entity
+        if relation not in attributes:
+            raise ExpressivenessError(
+                f"unknown attributes for relation {relation!r}"
+            )
+        translation = _Translation()
+        args = []
+        for attribute in attributes[relation]:
+            var = Var(f"v{next(counter)}")
+            args.append((attribute, var))
+            translation.colmap[attribute] = var
+        translation.atoms.append(Atom(relation, tuple(args)))
+        return translation
+
+    if isinstance(expr, E.Distinct):
+        return _translate(expr.input, attributes, counter)
+
+    if isinstance(expr, E.Select):
+        translation = _translate(expr.input, attributes, counter)
+        _apply_predicate(expr.predicate, translation)
+        return translation
+
+    if isinstance(expr, E.Project):
+        translation = _translate(expr.input, attributes, counter)
+        new_colmap: dict[str, Term] = {}
+        for output_name, scalar in expr.outputs:
+            if isinstance(scalar, S.Col):
+                if scalar.name not in translation.colmap:
+                    raise ExpressivenessError(
+                        f"projection of unknown column {scalar.name!r}"
+                    )
+                new_colmap[output_name] = translation.colmap[scalar.name]
+            elif isinstance(scalar, S.Lit):
+                new_colmap[output_name] = Const(scalar.value)
+            else:
+                raise ExpressivenessError(
+                    f"non-conjunctive projection output {scalar!r}"
+                )
+        translation.colmap = new_colmap
+        return translation
+
+    if isinstance(expr, E.Rename):
+        translation = _translate(expr.input, attributes, counter)
+        translation.colmap = {
+            expr.mapping.get(column, column): term
+            for column, term in translation.colmap.items()
+        }
+        return translation
+
+    if isinstance(expr, E.Extend):
+        translation = _translate(expr.input, attributes, counter)
+        if isinstance(expr.scalar, S.Lit):
+            translation.colmap[expr.name] = Const(expr.scalar.value)
+            return translation
+        if isinstance(expr.scalar, S.Col):
+            translation.colmap[expr.name] = translation.colmap[expr.scalar.name]
+            return translation
+        raise ExpressivenessError(f"non-conjunctive extend {expr.scalar!r}")
+
+    if isinstance(expr, E.Join):
+        if expr.kind != "inner":
+            raise ExpressivenessError(
+                "outer joins are outside the conjunctive fragment"
+            )
+        left = _translate(expr.left, attributes, counter)
+        right = _translate(expr.right, attributes, counter)
+        merged = _Translation()
+        merged.atoms = left.atoms + right.atoms
+        merged.conditions = left.conditions + right.conditions
+        merged.colmap = dict(left.colmap)
+        for column, term in right.colmap.items():
+            if column in merged.colmap:
+                if expr.right_prefix:
+                    merged.colmap[f"{expr.right_prefix}.{column}"] = term
+                # else the evaluator drops the right copy: so do we.
+            else:
+                merged.colmap[column] = term
+        _apply_join_predicate(expr.predicate, left, right, merged)
+        return merged
+
+    raise ExpressivenessError(
+        f"{type(expr).__name__} is outside the conjunctive fragment"
+    )
+
+
+def _apply_predicate(predicate: S.Predicate, translation: _Translation) -> None:
+    if predicate is S.TRUE:
+        return
+    if isinstance(predicate, S.And):
+        for operand in predicate.operands:
+            _apply_predicate(operand, translation)
+        return
+    if isinstance(predicate, S.Comparison) and predicate.op == "=":
+        left = _scalar_term(predicate.left, translation)
+        right = _scalar_term(predicate.right, translation)
+        _unify_terms(left, right, translation)
+        return
+    raise ExpressivenessError(
+        f"predicate {predicate!r} is outside the conjunctive fragment"
+    )
+
+
+def _apply_join_predicate(
+    predicate: S.Predicate,
+    left: _Translation,
+    right: _Translation,
+    merged: _Translation,
+) -> None:
+    if predicate is S.TRUE:
+        return
+    if isinstance(predicate, S.And):
+        for operand in predicate.operands:
+            _apply_join_predicate(operand, left, right, merged)
+        return
+    if isinstance(predicate, E._JoinEq):
+        left_term = left.colmap.get(predicate.left_col)
+        right_term = right.colmap.get(predicate.right_col)
+        if left_term is None or right_term is None:
+            raise ExpressivenessError(
+                f"join condition references unknown columns "
+                f"{predicate.left_col!r}/{predicate.right_col!r}"
+            )
+        _unify_terms(left_term, right_term, merged)
+        return
+    raise ExpressivenessError(
+        f"join predicate {predicate!r} is outside the conjunctive fragment"
+    )
+
+
+def _scalar_term(scalar: S.Scalar, translation: _Translation) -> Term:
+    if isinstance(scalar, S.Col):
+        if scalar.name not in translation.colmap:
+            raise ExpressivenessError(f"unknown column {scalar.name!r}")
+        return translation.colmap[scalar.name]
+    if isinstance(scalar, S.Lit):
+        return Const(scalar.value)
+    raise ExpressivenessError(f"scalar {scalar!r} outside conjunctive fragment")
+
+
+def _unify_terms(left: Term, right: Term, translation: _Translation) -> None:
+    """Record an equality by substituting through atoms and colmap."""
+    if left == right:
+        return
+    if isinstance(left, Const) and isinstance(right, Const):
+        # Constant equality: keep as (unsatisfiable or trivial) condition.
+        translation.conditions.append(Equality(left, right))
+        return
+    if isinstance(left, Const):
+        left, right = right, left
+    substitution = {left: right}
+    translation.atoms = [a.substitute(substitution) for a in translation.atoms]
+    translation.conditions = [
+        c.substitute(substitution) for c in translation.conditions
+    ]
+    translation.colmap = {
+        column: (right if term == left else term)
+        for column, term in translation.colmap.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# CQ → algebra
+# ----------------------------------------------------------------------
+def cq_to_algebra(table_query: TableQuery, distinct: bool = True) -> E.RelExpr:
+    """Compile a TableQuery into executable algebra.
+
+    Each atom becomes a scan, renamed to variable-keyed columns; atoms
+    join on shared variables; conditions become selections; the head
+    becomes the final projection.  ``distinct`` adds set semantics (the
+    default, matching CQ semantics).
+    """
+    query = table_query.query
+    if len(query.head) != len(table_query.columns):
+        raise ExpressivenessError("head arity and column list disagree")
+    plan: Optional[E.RelExpr] = None
+    bound: set[str] = set()
+    for index, atom in enumerate(query.body):
+        piece = _atom_plan(atom, index)
+        piece_vars = {v.name for v in atom.variables()}
+        if plan is None:
+            plan = piece
+        else:
+            shared = sorted(bound & piece_vars)
+            plan = E.eq_join(plan, piece, [(v, v) for v in shared])
+        bound |= piece_vars
+    if plan is None:
+        plan = E.Values([{}])  # empty body: single empty row
+    for condition in query.conditions:
+        plan = E.Select(plan, _condition_predicate(condition))
+    outputs = []
+    for column, var in zip(table_query.columns, query.head):
+        if var.name not in bound:
+            raise ExpressivenessError(f"unsafe head variable {var.name!r}")
+        outputs.append((column, S.Col(var.name)))
+    plan = E.Project(plan, outputs)
+    if distinct:
+        plan = E.Distinct(plan)
+    return plan
+
+
+def _atom_plan(atom: Atom, index: int) -> E.RelExpr:
+    scan: E.RelExpr = E.Scan(atom.relation)
+    outputs: dict[str, S.Scalar] = {}
+    selections: list[S.Predicate] = []
+    for attribute, term in atom.args:
+        if isinstance(term, Const):
+            selections.append(S.Comparison("=", S.Col(attribute), S.Lit(term.value)))
+        elif isinstance(term, Var):
+            if term.name in outputs:
+                # Repeated variable within the atom: equality selection.
+                selections.append(
+                    S.Comparison("=", outputs[term.name], S.Col(attribute))
+                )
+            else:
+                outputs[term.name] = S.Col(attribute)
+        else:
+            raise ExpressivenessError("function terms cannot be compiled")
+    if selections:
+        scan = E.Select(scan, S.conjunction(selections))
+    return E.Project(scan, [(name, scalar) for name, scalar in outputs.items()])
+
+
+def _condition_predicate(condition: Equality) -> S.Predicate:
+    def to_scalar(term: Term) -> S.Scalar:
+        if isinstance(term, Var):
+            return S.Col(term.name)
+        if isinstance(term, Const):
+            return S.Lit(term.value)
+        raise ExpressivenessError("function terms cannot be compiled")
+
+    return S.Comparison("=", to_scalar(condition.left), to_scalar(condition.right))
+
+
+# ----------------------------------------------------------------------
+# containments and equalities as tgds
+# ----------------------------------------------------------------------
+def containment_tgd(
+    sub: TableQuery, sup: TableQuery, name: str = ""
+) -> TGD:
+    """The tgd asserting ``sub ⊆ sup`` (answers of ``sub`` appear among
+    answers of ``sup``), heads aligned positionally."""
+    if len(sub.query.head) != len(sup.query.head):
+        raise ExpressivenessError("containment requires equal head arity")
+    if sub.query.conditions or sup.query.conditions:
+        raise ExpressivenessError(
+            "containment tgds require condition-free queries; "
+            "fold conditions into atoms first"
+        )
+    # Rename sup's variables apart from sub's.
+    used = {v.name for v in sub.query.variables()}
+    renaming: dict[Var, Var] = {}
+    for var in sorted(sup.query.variables(), key=lambda v: v.name):
+        fresh_name = var.name
+        while fresh_name in used:
+            fresh_name += "_"
+        renaming[var] = Var(fresh_name)
+        used.add(fresh_name)
+    head_alignment = {
+        renaming[sup_var]: sub_var
+        for sup_var, sub_var in zip(sup.query.head, sub.query.head)
+    }
+    substitution: dict[Var, Term] = {**renaming, **head_alignment}
+    head_atoms = tuple(a.substitute(substitution) for a in sup.query.body)
+    return TGD(body=sub.query.body, head=head_atoms, name=name)
+
+
+def equality_to_tgds(
+    sub: TableQuery, sup: TableQuery, name: str = ""
+) -> list[TGD]:
+    """An equality constraint ``q1 = q2`` as its two containment tgds."""
+    return [
+        containment_tgd(sub, sup, name=f"{name}⊆" if name else ""),
+        containment_tgd(sup, sub, name=f"{name}⊇" if name else ""),
+    ]

@@ -1,0 +1,230 @@
+"""Interpreting correspondences as mapping constraints.
+
+Two interpretation strategies from the paper's Section 3.1.2:
+
+* :func:`interpret_snowflake` — the unambiguous case of Melnik et al.
+  (Figure 4): when source and target are snowflake schemas and a
+  correspondence relates their roots, each attribute correspondence
+  becomes the equality of two projection-join expressions, one per
+  side, each projecting the root key plus the corresponded attribute
+  over the join path from the root.
+
+* :func:`interpret_as_tgds` — the Clio-style interpretation: for each
+  target entity with correspondences, emit one st-tgd whose body joins
+  the referenced source entities along foreign keys and whose head
+  populates the target entity, leaving uncorresponded target attributes
+  existential.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra import expressions as E
+from repro.errors import MappingError
+from repro.logic.dependencies import TGD
+from repro.logic.formulas import Atom
+from repro.logic.terms import Var
+from repro.mappings.correspondence import CorrespondenceSet
+from repro.mappings.mapping import EqualityConstraint, Mapping
+from repro.metamodel.constraints import InclusionDependency
+from repro.metamodel.schema import Schema
+
+
+# ----------------------------------------------------------------------
+# snowflake interpretation (Figure 4)
+# ----------------------------------------------------------------------
+def _join_paths_from_root(schema: Schema, root: str) -> dict[str, list[InclusionDependency]]:
+    """Entity → FK path from ``root`` (list of inclusion dependencies
+    walked root-outward).  BFS over the schema's foreign keys in both
+    directions, treating the snowflake as a tree rooted at ``root``."""
+    paths: dict[str, list[InclusionDependency]] = {root: []}
+    frontier = [root]
+    dependencies = schema.inclusion_dependencies()
+    while frontier:
+        current = frontier.pop(0)
+        for dep in dependencies:
+            if dep.source == current and dep.target not in paths:
+                paths[dep.target] = paths[current] + [dep]
+                frontier.append(dep.target)
+            elif dep.target == current and dep.source not in paths:
+                paths[dep.source] = paths[current] + [dep]
+                frontier.append(dep.source)
+    return paths
+
+
+def _path_expression(
+    schema: Schema, root: str, entity: str,
+    paths: dict[str, list[InclusionDependency]],
+) -> E.RelExpr:
+    """The join expression from the root to ``entity`` along FK edges
+    (just the root scan when entity == root)."""
+    expr: E.RelExpr = E.Scan(root)
+    current = root
+    for dep in paths[entity]:
+        if dep.source == current:
+            expr = E.eq_join(
+                expr, E.Scan(dep.target),
+                list(zip(dep.source_attributes, dep.target_attributes)),
+            )
+            current = dep.target
+        else:
+            expr = E.eq_join(
+                expr, E.Scan(dep.source),
+                list(zip(dep.target_attributes, dep.source_attributes)),
+            )
+            current = dep.source
+    return expr
+
+
+def interpret_snowflake(
+    correspondences: CorrespondenceSet,
+    source_root: Optional[str] = None,
+    target_root: Optional[str] = None,
+) -> Mapping:
+    """Interpret correspondences between two snowflake schemas as
+    equality constraints (paper, Figure 4).
+
+    The root correspondence may be given explicitly or is taken from
+    the (unique) entity-level correspondence in the set.  Each
+    attribute correspondence ``s.a ≈ t.b`` yields::
+
+        π[RootKey, a](join path to s) = π[RootKey', b](join path to t)
+
+    plus the root-key equality itself.
+    """
+    source, target = correspondences.source, correspondences.target
+    if source_root is None or target_root is None:
+        entity_level = [
+            c for c in correspondences
+            if c.source.is_entity and c.target.is_entity
+        ]
+        if len(entity_level) != 1:
+            raise MappingError(
+                "snowflake interpretation needs exactly one root "
+                f"correspondence, found {len(entity_level)}"
+            )
+        source_root = entity_level[0].source.path
+        target_root = entity_level[0].target.path
+    source_key = source.entity(source_root).key
+    target_key = target.entity(target_root).key
+    if len(source_key) != len(target_key) or not source_key:
+        raise MappingError("root entities must have keys of equal arity")
+    source_paths = _join_paths_from_root(source, source_root)
+    target_paths = _join_paths_from_root(target, target_root)
+
+    constraints: list[EqualityConstraint] = []
+    # Root identity constraint: π_key(source root tree) = π_key(target).
+    constraints.append(
+        EqualityConstraint(
+            E.Distinct(E.project_names(E.Scan(source_root), source_key)),
+            E.Distinct(
+                E.Project(
+                    E.Scan(target_root),
+                    [(sk, E.Col(tk)) for sk, tk in zip(source_key, target_key)],
+                )
+            ),
+            name="root-key",
+        )
+    )
+    for correspondence in correspondences.attribute_pairs():
+        s_entity = correspondence.source.entity
+        t_entity = correspondence.target.entity
+        s_attr = correspondence.source.attribute
+        t_attr = correspondence.target.attribute
+        if s_entity not in source_paths:
+            raise MappingError(
+                f"{s_entity!r} is not reachable from root {source_root!r}"
+            )
+        if t_entity not in target_paths:
+            raise MappingError(
+                f"{t_entity!r} is not reachable from root {target_root!r}"
+            )
+        source_columns = list(source_key)
+        if s_attr not in source_columns:
+            source_columns.append(s_attr)
+        source_expr = E.Distinct(
+            E.project_names(
+                _path_expression(source, source_root, s_entity, source_paths),
+                source_columns,
+            )
+        )
+        target_outputs = [
+            (sk, E.Col(tk)) for sk, tk in zip(source_key, target_key)
+        ]
+        if s_attr not in source_key:
+            target_outputs.append((s_attr, E.Col(t_attr)))
+        target_expr = E.Distinct(
+            E.Project(
+                _path_expression(target, target_root, t_entity, target_paths),
+                target_outputs,
+            )
+        )
+        constraints.append(
+            EqualityConstraint(
+                source_expr, target_expr, name=f"{s_entity}.{s_attr}≈{t_entity}.{t_attr}"
+            )
+        )
+    return Mapping(source, target, constraints, name="snowflake")
+
+
+# ----------------------------------------------------------------------
+# Clio-style tgd interpretation
+# ----------------------------------------------------------------------
+def interpret_as_tgds(correspondences: CorrespondenceSet) -> Mapping:
+    """Interpret attribute correspondences as st-tgds, one per target
+    entity (simplified Clio: source entities referenced by the target's
+    correspondences are joined along declared foreign keys; target
+    attributes without correspondences become existentials)."""
+    source, target = correspondences.source, correspondences.target
+    tgds: list[TGD] = []
+    by_target_entity: dict[str, list] = {}
+    for correspondence in correspondences.attribute_pairs():
+        by_target_entity.setdefault(correspondence.target.entity, []).append(
+            correspondence
+        )
+    for target_entity_name, items in sorted(by_target_entity.items()):
+        target_entity = target.entity(target_entity_name)
+        source_entities = sorted({c.source.entity for c in items})
+        variables: dict[tuple[str, str], Var] = {}
+
+        def var_for(entity: str, attribute: str) -> Var:
+            key = (entity, attribute)
+            if key not in variables:
+                variables[key] = Var(f"x_{entity}_{attribute}")
+            return variables[key]
+
+        # Join source entities along FKs that connect them.
+        for dep in source.inclusion_dependencies():
+            if dep.source in source_entities and dep.target in source_entities:
+                for s_attr, t_attr in zip(
+                    dep.source_attributes, dep.target_attributes
+                ):
+                    shared = var_for(dep.target, t_attr)
+                    variables[(dep.source, s_attr)] = shared
+        body = []
+        for entity_name in source_entities:
+            entity = source.entity(entity_name)
+            args = tuple(
+                (attribute, var_for(entity_name, attribute))
+                for attribute in entity.all_attribute_names()
+            )
+            body.append(Atom(entity_name, args))
+        head_args = []
+        corresponded = {
+            c.target.attribute: var_for(c.source.entity, c.source.attribute)
+            for c in items
+        }
+        for attribute in target_entity.all_attribute_names():
+            if attribute in corresponded:
+                head_args.append((attribute, corresponded[attribute]))
+            else:
+                head_args.append((attribute, Var(f"e_{attribute}")))
+        tgds.append(
+            TGD(
+                body=tuple(body),
+                head=(Atom(target_entity_name, tuple(head_args)),),
+                name=f"to_{target_entity_name}",
+            )
+        )
+    return Mapping(source, target, tgds, name="clio")

@@ -1,0 +1,98 @@
+"""Universal metamodel.
+
+The paper (Section 2) argues a generic model management system needs "a
+basis set of data type constructs that are common to many metamodels".
+This package provides that basis set: a schema is a collection of
+:class:`~repro.metamodel.elements.Entity` elements (which subsume SQL
+tables, ER entity types, XML complex types and OO classes), their
+:class:`~repro.metamodel.elements.Attribute` s, is-a generalizations,
+associations, containments (nesting) and references, plus integrity
+constraints (keys, inclusion dependencies, disjointness, covering).
+
+Concrete metamodels (:mod:`repro.metamodels`) import/export to this
+representation; the model management operators manipulate it directly.
+"""
+
+from repro.metamodel.types import (
+    DataType,
+    PrimitiveType,
+    ParametricType,
+    BOOL,
+    INT,
+    BIGINT,
+    FLOAT,
+    DECIMAL,
+    STRING,
+    TEXT,
+    DATE,
+    DATETIME,
+    BINARY,
+    ANY,
+    varchar,
+    decimal_type,
+    common_supertype,
+    type_compatibility,
+)
+from repro.metamodel.elements import (
+    Element,
+    Attribute,
+    Entity,
+    Association,
+    AssociationEnd,
+    Containment,
+    Reference,
+    Cardinality,
+    ElementKind,
+)
+from repro.metamodel.schema import Schema, ElementPath
+from repro.metamodel.constraints import (
+    Constraint,
+    KeyConstraint,
+    InclusionDependency,
+    Disjointness,
+    Covering,
+    NotNull,
+)
+from repro.metamodel.builder import SchemaBuilder
+from repro.metamodel.validation import schema_violations, validate_schema
+
+__all__ = [
+    "DataType",
+    "PrimitiveType",
+    "ParametricType",
+    "BOOL",
+    "INT",
+    "BIGINT",
+    "FLOAT",
+    "DECIMAL",
+    "STRING",
+    "TEXT",
+    "DATE",
+    "DATETIME",
+    "BINARY",
+    "ANY",
+    "varchar",
+    "decimal_type",
+    "common_supertype",
+    "type_compatibility",
+    "Element",
+    "Attribute",
+    "Entity",
+    "Association",
+    "AssociationEnd",
+    "Containment",
+    "Reference",
+    "Cardinality",
+    "ElementKind",
+    "Schema",
+    "ElementPath",
+    "Constraint",
+    "KeyConstraint",
+    "InclusionDependency",
+    "Disjointness",
+    "Covering",
+    "NotNull",
+    "SchemaBuilder",
+    "schema_violations",
+    "validate_schema",
+]

@@ -1,0 +1,195 @@
+"""Fluent construction of universal-metamodel schemas.
+
+The builder keeps examples and tests terse::
+
+    schema = (
+        SchemaBuilder("HRDB", metamodel="relational")
+        .entity("HR", key=["Id"])
+            .attribute("Id", INT)
+            .attribute("Name", STRING)
+        .entity("Empl", key=["Id"])
+            .attribute("Id", INT)
+            .attribute("Dept", STRING)
+        .foreign_key("Empl", ["Id"], "HR", ["Id"])
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.metamodel.constraints import (
+    Covering,
+    Disjointness,
+    InclusionDependency,
+    KeyConstraint,
+    NotNull,
+)
+from repro.metamodel.elements import (
+    Association,
+    AssociationEnd,
+    Attribute,
+    Cardinality,
+    Containment,
+    Entity,
+    MANY,
+    Reference,
+    ZERO_OR_ONE,
+)
+from repro.metamodel.schema import Schema
+from repro.metamodel.types import DataType
+
+
+class SchemaBuilder:
+    """Incrementally assemble a :class:`~repro.metamodel.schema.Schema`."""
+
+    def __init__(self, name: str, metamodel: str = "universal"):
+        self._schema = Schema(name, metamodel)
+        self._current: Optional[Entity] = None
+        self._pending_parents: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def entity(
+        self,
+        name: str,
+        key: Sequence[str] = (),
+        parent: Optional[str] = None,
+        abstract: bool = False,
+    ) -> "SchemaBuilder":
+        """Start a new entity; subsequent :meth:`attribute` calls attach
+        to it.  ``parent`` may name an entity defined later."""
+        entity = Entity(name, is_abstract=abstract)
+        entity.key = tuple(key)
+        self._schema.add_entity(entity)
+        if parent is not None:
+            self._pending_parents[name] = parent
+        self._current = entity
+        return self
+
+    def attribute(
+        self,
+        name: str,
+        data_type: DataType,
+        nullable: bool = False,
+        default: object = None,
+    ) -> "SchemaBuilder":
+        if self._current is None:
+            raise SchemaError("attribute() before any entity()")
+        self._current.add_attribute(Attribute(name, data_type, nullable, default))
+        return self
+
+    def association(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        source_cardinality: Cardinality = MANY,
+        target_cardinality: Cardinality = MANY,
+        source_role: Optional[str] = None,
+        target_role: Optional[str] = None,
+    ) -> "SchemaBuilder":
+        self._schema.add_association(
+            Association(
+                name,
+                AssociationEnd(
+                    source_role or source, self._schema.entity(source),
+                    source_cardinality,
+                ),
+                AssociationEnd(
+                    target_role or target, self._schema.entity(target),
+                    target_cardinality,
+                ),
+            )
+        )
+        return self
+
+    def containment(
+        self,
+        parent: str,
+        child: str,
+        cardinality: Cardinality = MANY,
+        name: Optional[str] = None,
+    ) -> "SchemaBuilder":
+        self._schema.add_containment(
+            Containment(
+                name or f"{parent}_{child}",
+                self._schema.entity(parent),
+                self._schema.entity(child),
+                cardinality,
+            )
+        )
+        return self
+
+    def reference(
+        self,
+        owner: str,
+        name: str,
+        target: str,
+        via: Sequence[str] = (),
+        cardinality: Cardinality = ZERO_OR_ONE,
+    ) -> "SchemaBuilder":
+        self._schema.add_reference(
+            Reference(
+                name,
+                self._schema.entity(owner),
+                self._schema.entity(target),
+                tuple(via),
+                cardinality,
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # constraints
+    # ------------------------------------------------------------------
+    def foreign_key(
+        self,
+        source: str,
+        source_attributes: Sequence[str],
+        target: str,
+        target_attributes: Sequence[str],
+    ) -> "SchemaBuilder":
+        self._schema.add_constraint(
+            InclusionDependency(
+                source, tuple(source_attributes), target, tuple(target_attributes)
+            )
+        )
+        return self
+
+    def unique(self, entity: str, attributes: Sequence[str]) -> "SchemaBuilder":
+        self._schema.add_constraint(
+            KeyConstraint(entity, tuple(attributes), is_primary=False)
+        )
+        return self
+
+    def disjoint(self, *entities: str) -> "SchemaBuilder":
+        self._schema.add_constraint(Disjointness(tuple(entities)))
+        return self
+
+    def covering(self, entity: str, *covered_by: str) -> "SchemaBuilder":
+        self._schema.add_constraint(Covering(entity, tuple(covered_by)))
+        return self
+
+    def not_null(self, entity: str, attribute: str) -> "SchemaBuilder":
+        self._schema.add_constraint(NotNull(entity, attribute))
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> Schema:
+        """Resolve deferred parents, register primary keys as
+        constraints, check metamodel conformance, and return the schema."""
+        for child_name, parent_name in self._pending_parents.items():
+            child = self._schema.entity(child_name)
+            child.parent = self._schema.entity(parent_name)
+        for entity in self._schema.entities.values():
+            list(entity.ancestry())  # raises on cycles
+            if entity.key:
+                for key_attr in entity.key:
+                    entity.attribute(key_attr)  # raises if dangling
+                self._schema.add_constraint(
+                    KeyConstraint(entity.name, entity.key, is_primary=True)
+                )
+        self._schema.check_metamodel()
+        return self._schema

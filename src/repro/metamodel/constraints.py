@@ -1,0 +1,112 @@
+"""Integrity constraints of the universal metamodel.
+
+Section 2 of the paper calls the common integrity-constraint language a
+design challenge of its own: it must cover the constraints of popular
+metamodels, yet remain simple enough to reason about across mappings
+(the runtime's cross-schema integrity service,
+:mod:`repro.runtime.integrity`, does that reasoning).
+
+The constraint kinds here cover what the supported metamodels need:
+
+* :class:`KeyConstraint` — SQL primary/unique keys, ER keys, XSD keys;
+* :class:`InclusionDependency` — foreign keys and, more generally, the
+  containment of one projection in another;
+* :class:`Disjointness` / :class:`Covering` — is-a hierarchy
+  constraints (the paper's Section 5 example of a constraint that is
+  *not* expressible relationally after a TPT mapping);
+* :class:`NotNull` — attribute-level totality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Base class; subclasses are frozen dataclasses keyed by content."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class KeyConstraint(Constraint):
+    """The attributes ``attributes`` uniquely identify tuples of ``entity``."""
+
+    entity: str
+    attributes: tuple[str, ...]
+    is_primary: bool = True
+
+    def describe(self) -> str:
+        kind = "key" if self.is_primary else "unique"
+        return f"{kind} {self.entity}({', '.join(self.attributes)})"
+
+
+@dataclass(frozen=True)
+class InclusionDependency(Constraint):
+    """``π(source_attributes)(source) ⊆ π(target_attributes)(target)``.
+
+    With ``target_attributes`` a key of ``target`` this is a foreign key.
+    """
+
+    source: str
+    source_attributes: tuple[str, ...]
+    target: str
+    target_attributes: tuple[str, ...]
+
+    def describe(self) -> str:
+        return (
+            f"{self.source}[{', '.join(self.source_attributes)}] ⊆ "
+            f"{self.target}[{', '.join(self.target_attributes)}]"
+        )
+
+
+@dataclass(frozen=True)
+class Disjointness(Constraint):
+    """No instance belongs to more than one of ``entities`` (sibling
+    subtypes in an is-a hierarchy, typically)."""
+
+    entities: tuple[str, ...]
+
+    def describe(self) -> str:
+        return f"disjoint({', '.join(self.entities)})"
+
+
+@dataclass(frozen=True)
+class Covering(Constraint):
+    """Every instance of ``entity`` belongs to at least one of
+    ``covered_by`` (total specialization)."""
+
+    entity: str
+    covered_by: tuple[str, ...]
+
+    def describe(self) -> str:
+        return f"{self.entity} covered by ({', '.join(self.covered_by)})"
+
+
+@dataclass(frozen=True)
+class NotNull(Constraint):
+    """``entity.attribute`` admits no nulls."""
+
+    entity: str
+    attribute: str
+
+    def describe(self) -> str:
+        return f"not null {self.entity}.{self.attribute}"
+
+
+def foreign_key(
+    source: str,
+    source_attributes: Sequence[str],
+    target: str,
+    target_attributes: Sequence[str],
+) -> InclusionDependency:
+    """Convenience constructor for the FK-shaped inclusion dependency."""
+    return InclusionDependency(
+        source=source,
+        source_attributes=tuple(source_attributes),
+        target=target,
+        target_attributes=tuple(target_attributes),
+    )

@@ -1,0 +1,238 @@
+"""Type system for the universal metamodel.
+
+A small lattice of primitive types shared by all supported metamodels
+(SQL, ER, XSD-subset, OO), with parametric refinements (``varchar(n)``,
+``decimal(p, s)``).  The lattice supports:
+
+* *assignability* — can a value of type ``t`` be stored in a slot of
+  type ``u`` without loss (used by instance validation and TransGen);
+* *common supertype* — the join in the lattice (used by Merge when two
+  corresponding attributes disagree on type);
+* *compatibility scoring* — a similarity in ``[0, 1]`` (used by the
+  datatype matcher in :mod:`repro.operators.match.datatype`).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DataType:
+    """Base class for all universal-metamodel types."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PrimitiveType(DataType):
+    """An unparameterized primitive type such as ``int`` or ``string``.
+
+    ``widens_to`` names the primitive this one can be losslessly widened
+    to (e.g. ``int`` widens to ``bigint``); it induces the subtyping
+    chain used by :func:`is_assignable`.
+    """
+
+    widens_to: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ParametricType(DataType):
+    """A primitive refined by size parameters, e.g. ``varchar(30)``.
+
+    ``base`` is the underlying primitive's name; ``params`` are the
+    integer parameters in declaration order.
+    """
+
+    base: str = ""
+    params: tuple[int, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(p) for p in self.params)
+        return f"{self.base}({inner})"
+
+
+BOOL = PrimitiveType("bool", widens_to="int")
+INT = PrimitiveType("int", widens_to="bigint")
+BIGINT = PrimitiveType("bigint", widens_to="decimal")
+DECIMAL = PrimitiveType("decimal", widens_to="float")
+FLOAT = PrimitiveType("float")
+STRING = PrimitiveType("string", widens_to="text")
+TEXT = PrimitiveType("text")
+DATE = PrimitiveType("date", widens_to="datetime")
+DATETIME = PrimitiveType("datetime")
+BINARY = PrimitiveType("binary")
+ANY = PrimitiveType("any")
+
+_PRIMITIVES: dict[str, PrimitiveType] = {
+    t.name: t
+    for t in (
+        BOOL,
+        INT,
+        BIGINT,
+        DECIMAL,
+        FLOAT,
+        STRING,
+        TEXT,
+        DATE,
+        DATETIME,
+        BINARY,
+        ANY,
+    )
+}
+
+#: Type families used for compatibility scoring: types in the same family
+#: are closely convertible, across families only via explicit functions.
+_FAMILIES: dict[str, str] = {
+    "bool": "numeric",
+    "int": "numeric",
+    "bigint": "numeric",
+    "decimal": "numeric",
+    "float": "numeric",
+    "string": "textual",
+    "text": "textual",
+    "date": "temporal",
+    "datetime": "temporal",
+    "binary": "binary",
+    "any": "any",
+}
+
+_PYTHON_REPRESENTATIONS: dict[str, tuple[type, ...]] = {
+    "bool": (bool,),
+    "int": (int,),
+    "bigint": (int,),
+    "decimal": (int, float, Fraction),
+    "float": (int, float),
+    "string": (str,),
+    "text": (str,),
+    "date": (datetime.date,),
+    "datetime": (datetime.date, datetime.datetime),
+    "binary": (bytes,),
+}
+
+
+def primitive(name: str) -> PrimitiveType:
+    """Look up a primitive type by name, raising ``KeyError`` if unknown."""
+    return _PRIMITIVES[name]
+
+
+def varchar(length: int) -> ParametricType:
+    """A length-limited string type, ``varchar(length)``."""
+    return ParametricType(name=f"varchar({length})", base="string", params=(length,))
+
+
+def decimal_type(precision: int, scale: int = 0) -> ParametricType:
+    """A fixed-point numeric, ``decimal(precision, scale)``."""
+    return ParametricType(
+        name=f"decimal({precision},{scale})", base="decimal", params=(precision, scale)
+    )
+
+
+def base_primitive(t: DataType) -> PrimitiveType:
+    """Strip parameters: the primitive underlying ``t``."""
+    if isinstance(t, ParametricType):
+        return _PRIMITIVES[t.base]
+    if isinstance(t, PrimitiveType):
+        return t
+    raise TypeError(f"not a universal-metamodel type: {t!r}")
+
+
+def _widening_chain(t: PrimitiveType) -> list[str]:
+    chain = [t.name]
+    current = t
+    while current.widens_to is not None:
+        chain.append(current.widens_to)
+        current = _PRIMITIVES[current.widens_to]
+    return chain
+
+
+def is_assignable(source: DataType, target: DataType) -> bool:
+    """True if any value of ``source`` can be stored as ``target`` losslessly.
+
+    ``any`` accepts everything.  Parametric types are assignable when the
+    base primitives are and the target's parameters are at least as wide.
+    """
+    src, tgt = base_primitive(source), base_primitive(target)
+    if tgt.name == "any":
+        return True
+    if tgt.name not in _widening_chain(src):
+        return False
+    if isinstance(source, ParametricType) and isinstance(target, ParametricType):
+        if source.base == target.base:
+            return all(
+                sp <= tp for sp, tp in zip(source.params, target.params)
+            ) and len(source.params) == len(target.params)
+    if isinstance(source, PrimitiveType) and isinstance(target, ParametricType):
+        # An unbounded primitive cannot be promised to fit a bounded slot.
+        return False
+    return True
+
+
+def common_supertype(a: DataType, b: DataType) -> DataType:
+    """The least type both ``a`` and ``b`` are assignable to (``ANY`` worst case).
+
+    Used by Merge to reconcile corresponding attributes of different types.
+    """
+    if is_assignable(a, b):
+        return b
+    if is_assignable(b, a):
+        return a
+    chain_a = _widening_chain(base_primitive(a))
+    chain_b = set(_widening_chain(base_primitive(b)))
+    for name in chain_a:
+        if name in chain_b:
+            return _PRIMITIVES[name]
+    return ANY
+
+
+def type_compatibility(a: DataType, b: DataType) -> float:
+    """Similarity of two types in ``[0, 1]`` for the datatype matcher.
+
+    1.0 for identical types, 0.9 for same primitive with different
+    parameters, 0.7 when one widens to the other, 0.4 for same family,
+    0.05 across families (nothing is flatly impossible with a cast).
+    """
+    if a == b:
+        return 1.0
+    pa, pb = base_primitive(a), base_primitive(b)
+    if pa == pb:
+        return 0.9
+    if pb.name in _widening_chain(pa) or pa.name in _widening_chain(pb):
+        return 0.7
+    if _FAMILIES[pa.name] == _FAMILIES[pb.name]:
+        return 0.4
+    if "any" in (pa.name, pb.name):
+        return 0.5
+    return 0.05
+
+
+def conforms(value: object, t: DataType) -> bool:
+    """True if the Python ``value`` is a legal instance of type ``t``.
+
+    ``None`` never conforms here — nullability is an attribute property
+    checked separately by instance validation.  Labeled nulls (see
+    :mod:`repro.instances.labeled_null`) conform to every type, since
+    they stand for an unknown value.
+    """
+    from repro.instances.labeled_null import LabeledNull
+
+    if isinstance(value, LabeledNull):
+        return True
+    base = base_primitive(t)
+    if base.name == "any":
+        return value is not None
+    allowed = _PYTHON_REPRESENTATIONS[base.name]
+    if not isinstance(value, allowed):
+        return False
+    if base.name in ("int", "bigint") and isinstance(value, bool):
+        return False
+    if isinstance(t, ParametricType):
+        if t.base == "string" and isinstance(value, str):
+            return len(value) <= t.params[0]
+    return True

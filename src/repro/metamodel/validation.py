@@ -1,0 +1,195 @@
+"""Schema well-formedness validation.
+
+Operators assume their input schemas are sane; this checker makes the
+assumptions explicit and reportable: dangling constraint references,
+keys over nullable or missing attributes, arity mismatches in inclusion
+dependencies, hierarchy constraints naming unrelated entities,
+containment/association ends pointing outside the schema, and
+metamodel-construct violations.
+"""
+
+from __future__ import annotations
+
+from repro.metamodel.constraints import (
+    Covering,
+    Disjointness,
+    InclusionDependency,
+    KeyConstraint,
+    NotNull,
+)
+from repro.metamodel.schema import Schema
+
+
+def schema_violations(schema: Schema) -> list[str]:
+    """All well-formedness problems, as human-readable messages."""
+    problems: list[str] = []
+    problems.extend(_construct_violations(schema))
+    problems.extend(_key_violations(schema))
+    problems.extend(_constraint_violations(schema))
+    problems.extend(_hierarchy_violations(schema))
+    return problems
+
+
+def validate_schema(schema: Schema) -> None:
+    """Raise :class:`~repro.errors.SchemaError` on the first problem."""
+    from repro.errors import SchemaError
+
+    problems = schema_violations(schema)
+    if problems:
+        raise SchemaError(problems[0])
+
+
+def _construct_violations(schema: Schema) -> list[str]:
+    allowed = Schema.METAMODEL_CONSTRUCTS[schema.metamodel]
+    illegal = schema.constructs_used() - allowed
+    if illegal:
+        return [
+            f"schema uses constructs {sorted(illegal)} not allowed by "
+            f"metamodel {schema.metamodel!r}"
+        ]
+    return []
+
+
+def _key_violations(schema: Schema) -> list[str]:
+    problems = []
+    for entity in schema.entities.values():
+        for key_attr in entity.key:
+            if not entity.has_attribute(key_attr):
+                problems.append(
+                    f"entity {entity.name!r}: key attribute {key_attr!r} "
+                    "does not exist"
+                )
+            else:
+                attribute = entity.attribute(key_attr)
+                if attribute.nullable:
+                    problems.append(
+                        f"entity {entity.name!r}: key attribute "
+                        f"{key_attr!r} is nullable"
+                    )
+        if entity.parent is not None and entity.key:
+            if entity.key != entity.root().key:
+                problems.append(
+                    f"entity {entity.name!r}: subtype declares its own key "
+                    f"{entity.key}; keys belong to the hierarchy root"
+                )
+    return problems
+
+
+def _constraint_violations(schema: Schema) -> list[str]:
+    problems = []
+    for constraint in schema.constraints:
+        if isinstance(constraint, KeyConstraint):
+            if constraint.entity not in schema.entities:
+                problems.append(
+                    f"key constraint on unknown entity {constraint.entity!r}"
+                )
+                continue
+            entity = schema.entity(constraint.entity)
+            for attr in constraint.attributes:
+                if not entity.has_attribute(attr):
+                    problems.append(
+                        f"key {constraint.describe()}: attribute {attr!r} "
+                        "does not exist"
+                    )
+        elif isinstance(constraint, InclusionDependency):
+            for role, entity_name, attrs in (
+                ("source", constraint.source, constraint.source_attributes),
+                ("target", constraint.target, constraint.target_attributes),
+            ):
+                if entity_name not in schema.entities:
+                    problems.append(
+                        f"inclusion {constraint.describe()}: unknown {role} "
+                        f"entity {entity_name!r}"
+                    )
+                    continue
+                entity = schema.entity(entity_name)
+                for attr in attrs:
+                    if not entity.has_attribute(attr):
+                        problems.append(
+                            f"inclusion {constraint.describe()}: {role} "
+                            f"attribute {attr!r} does not exist"
+                        )
+            if len(constraint.source_attributes) != len(
+                constraint.target_attributes
+            ):
+                problems.append(
+                    f"inclusion {constraint.describe()}: arity mismatch"
+                )
+        elif isinstance(constraint, Disjointness):
+            known = [e for e in constraint.entities if e in schema.entities]
+            if len(known) != len(constraint.entities):
+                problems.append(
+                    f"disjointness {constraint.describe()}: unknown entity"
+                )
+            elif len(constraint.entities) < 2:
+                problems.append(
+                    f"disjointness {constraint.describe()}: needs ≥2 entities"
+                )
+        elif isinstance(constraint, Covering):
+            if constraint.entity not in schema.entities:
+                problems.append(
+                    f"covering {constraint.describe()}: unknown entity"
+                )
+            else:
+                parent = schema.entity(constraint.entity)
+                for child_name in constraint.covered_by:
+                    if child_name not in schema.entities:
+                        problems.append(
+                            f"covering {constraint.describe()}: unknown "
+                            f"entity {child_name!r}"
+                        )
+                    elif not schema.entity(child_name).is_subtype_of(parent):
+                        problems.append(
+                            f"covering {constraint.describe()}: "
+                            f"{child_name!r} is not a subtype of "
+                            f"{constraint.entity!r}"
+                        )
+        elif isinstance(constraint, NotNull):
+            if constraint.entity not in schema.entities or not schema.entity(
+                constraint.entity
+            ).has_attribute(constraint.attribute):
+                problems.append(
+                    f"not-null {constraint.describe()}: dangling reference"
+                )
+    return problems
+
+
+def _hierarchy_violations(schema: Schema) -> list[str]:
+    problems = []
+    for entity in schema.entities.values():
+        if entity.parent is not None and entity.parent.name not in (
+            schema.entities
+        ):
+            problems.append(
+                f"entity {entity.name!r}: parent {entity.parent.name!r} is "
+                "not in the schema"
+            )
+        if entity.parent is not None:
+            inherited = set(entity.parent.all_attribute_names())
+            shadowed = inherited & set(entity.own_attribute_names())
+            if shadowed:
+                problems.append(
+                    f"entity {entity.name!r}: shadows inherited attributes "
+                    f"{sorted(shadowed)}"
+                )
+        root = entity.root()
+        if (entity.children() or entity.parent) and not root.key:
+            problems.append(
+                f"hierarchy rooted at {root.name!r} has no key; most "
+                "operators require one"
+            )
+    for containment in schema.containments.values():
+        for end_name in (containment.parent.name, containment.child.name):
+            if end_name not in schema.entities:
+                problems.append(
+                    f"containment {containment.name!r}: end {end_name!r} "
+                    "is not in the schema"
+                )
+    for association in schema.associations.values():
+        for end in association.ends():
+            if end.entity.name not in schema.entities:
+                problems.append(
+                    f"association {association.name!r}: end "
+                    f"{end.entity.name!r} is not in the schema"
+                )
+    return problems

@@ -1,0 +1,48 @@
+"""Concrete metamodels: importers and exporters for the universal
+metamodel.
+
+Section 2 of the paper: "an MMS must support schemas expressed in all
+popular metamodels.  Today, that means SQL, XML Schema (XSD),
+Entity-Relationship (ER), and object-oriented (OO) metamodels."
+
+* :mod:`~repro.metamodels.relational` — SQL DDL emission and parsing;
+* :mod:`~repro.metamodels.nested` — XSD-subset emission, nested
+  document ↔ flat instance conversion (the containment convention
+  ModelGen relies on);
+* :mod:`~repro.metamodels.objects` — OO class-source generation (the
+  wrapper generator's substrate) and import from annotated classes;
+* :mod:`~repro.metamodels.serialization` — lossless JSON round-trip of
+  any universal-metamodel schema and of mappings (the metadata
+  repository's storage format).
+"""
+
+from repro.metamodels.relational import emit_ddl, parse_ddl
+from repro.metamodels.nested import (
+    emit_xsd,
+    flatten_documents,
+    nest_instance,
+)
+from repro.metamodels.objects import emit_classes, schema_from_classes
+from repro.metamodels.serialization import (
+    schema_to_dict,
+    schema_from_dict,
+    mapping_to_dict,
+    mapping_from_dict,
+)
+from repro.metamodels.graphviz import correspondences_to_dot, schema_to_dot
+
+__all__ = [
+    "emit_ddl",
+    "parse_ddl",
+    "emit_xsd",
+    "flatten_documents",
+    "nest_instance",
+    "emit_classes",
+    "schema_from_classes",
+    "schema_to_dict",
+    "schema_from_dict",
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "correspondences_to_dot",
+    "schema_to_dot",
+]

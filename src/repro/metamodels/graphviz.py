@@ -1,0 +1,105 @@
+"""Graphviz DOT export for schemas and correspondence sets.
+
+The paper's §3.1.1 bets that "the biggest productivity gains will come
+from better user interfaces"; while this library has no GUI, it renders
+the two pictures a mapping designer stares at — the schema graph and
+the correspondence bipartite graph (the Figure 4 picture) — as DOT text
+for any graphviz viewer.
+"""
+
+from __future__ import annotations
+
+from repro.mappings.correspondence import CorrespondenceSet
+from repro.metamodel.schema import Schema
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def _entity_label(schema: Schema, entity_name: str) -> str:
+    entity = schema.entity(entity_name)
+    rows = [f"<b>{entity.name}</b>"]
+    for attribute in entity.attributes:
+        marker = "• " if attribute.name in entity.key else "  "
+        rows.append(f"{marker}{attribute.name}: {attribute.data_type}")
+    inner = "<br align='left'/>".join(rows)
+    return f"<{inner}<br align='left'/>>"
+
+
+def schema_to_dot(schema: Schema) -> str:
+    """One schema as a DOT digraph: record-ish entity nodes, is-a
+    edges (hollow arrows), FK/association/containment/reference edges."""
+    lines = [
+        f"digraph {_quote(schema.name)} {{",
+        "  rankdir=LR;",
+        "  node [shape=box, fontname=Helvetica, fontsize=10];",
+    ]
+    for entity in schema.entities.values():
+        lines.append(
+            f"  {_quote(entity.name)} "
+            f"[label={_entity_label(schema, entity.name)}];"
+        )
+    for entity in schema.entities.values():
+        if entity.parent is not None:
+            lines.append(
+                f"  {_quote(entity.name)} -> {_quote(entity.parent.name)} "
+                "[arrowhead=onormal, label=\"is-a\"];"
+            )
+    for dep in schema.inclusion_dependencies():
+        label = ",".join(dep.source_attributes)
+        lines.append(
+            f"  {_quote(dep.source)} -> {_quote(dep.target)} "
+            f"[style=dashed, label={_quote(label)}];"
+        )
+    for association in schema.associations.values():
+        lines.append(
+            f"  {_quote(association.source.entity.name)} -> "
+            f"{_quote(association.target.entity.name)} "
+            f"[dir=none, label={_quote(association.name)}];"
+        )
+    for containment in schema.containments.values():
+        lines.append(
+            f"  {_quote(containment.parent.name)} -> "
+            f"{_quote(containment.child.name)} "
+            f"[arrowtail=diamond, dir=back, "
+            f"label={_quote(containment.name)}];"
+        )
+    for reference in schema.references.values():
+        lines.append(
+            f"  {_quote(reference.owner.name)} -> "
+            f"{_quote(reference.target.name)} "
+            f"[style=dotted, label={_quote(reference.name)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def correspondences_to_dot(correspondences: CorrespondenceSet) -> str:
+    """The Figure 4 picture: two schema columns with weighted arrows."""
+    source, target = correspondences.source, correspondences.target
+    lines = [
+        "digraph correspondences {",
+        "  rankdir=LR;",
+        "  node [shape=plaintext, fontname=Helvetica, fontsize=10];",
+        f"  subgraph cluster_source {{ label={_quote(source.name)};",
+    ]
+    for path in (str(p.path) for p in source.all_element_paths()):
+        lines.append(f"    {_quote('S:' + path)} [label={_quote(path)}];")
+    lines.append("  }")
+    lines.append(
+        f"  subgraph cluster_target {{ label={_quote(target.name)};"
+    )
+    for path in (str(p.path) for p in target.all_element_paths()):
+        lines.append(f"    {_quote('T:' + path)} [label={_quote(path)}];")
+    lines.append("  }")
+    for correspondence in correspondences:
+        weight = correspondence.confidence
+        style = "bold" if weight >= 0.99 else "solid" if weight >= 0.5 else "dashed"
+        lines.append(
+            f"  {_quote('S:' + correspondence.source.path)} -> "
+            f"{_quote('T:' + correspondence.target.path)} "
+            f"[style={style}, label=\"{weight:.2f}\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""SQL DDL: emit a relational schema as ``CREATE TABLE`` statements and
+parse such statements back into the universal metamodel.
+
+The dialect is deliberately the portable core: column types from the
+universal type system, ``PRIMARY KEY``, ``UNIQUE``, ``NOT NULL`` and
+table-level ``FOREIGN KEY`` clauses.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SchemaError
+from repro.metamodel.constraints import InclusionDependency, KeyConstraint
+from repro.metamodel.elements import Attribute, Entity
+from repro.metamodel.schema import Schema
+from repro.metamodel.types import (
+    BIGINT,
+    BINARY,
+    BOOL,
+    DATE,
+    DATETIME,
+    DECIMAL,
+    FLOAT,
+    INT,
+    ParametricType,
+    STRING,
+    TEXT,
+    DataType,
+    decimal_type,
+    varchar,
+)
+
+_TYPE_TO_SQL = {
+    "bool": "BOOLEAN",
+    "int": "INTEGER",
+    "bigint": "BIGINT",
+    "decimal": "DECIMAL",
+    "float": "DOUBLE PRECISION",
+    "string": "VARCHAR",
+    "text": "TEXT",
+    "date": "DATE",
+    "datetime": "TIMESTAMP",
+    "binary": "BLOB",
+    "any": "TEXT",
+}
+
+_SQL_TO_TYPE = {
+    "boolean": BOOL,
+    "bool": BOOL,
+    "integer": INT,
+    "int": INT,
+    "smallint": INT,
+    "bigint": BIGINT,
+    "decimal": DECIMAL,
+    "numeric": DECIMAL,
+    "real": FLOAT,
+    "float": FLOAT,
+    "double": FLOAT,
+    "varchar": STRING,
+    "char": STRING,
+    "string": STRING,
+    "text": TEXT,
+    "clob": TEXT,
+    "date": DATE,
+    "timestamp": DATETIME,
+    "datetime": DATETIME,
+    "blob": BINARY,
+    "binary": BINARY,
+}
+
+
+def _sql_type(data_type: DataType) -> str:
+    if isinstance(data_type, ParametricType):
+        params = ", ".join(str(p) for p in data_type.params)
+        return f"{_TYPE_TO_SQL[data_type.base]}({params})"
+    return _TYPE_TO_SQL[data_type.name]
+
+
+def emit_ddl(schema: Schema) -> str:
+    """Render a relational schema as SQL DDL text."""
+    if schema.metamodel not in ("relational", "universal"):
+        raise SchemaError(
+            f"emit_ddl expects a relational schema, got {schema.metamodel!r} "
+            "(run ModelGen first)"
+        )
+    statements = []
+    for entity in schema.entities.values():
+        lines = []
+        for attribute in entity.attributes:
+            null = "" if attribute.nullable else " NOT NULL"
+            lines.append(f"  {attribute.name} {_sql_type(attribute.data_type)}{null}")
+        if entity.key:
+            lines.append(f"  PRIMARY KEY ({', '.join(entity.key)})")
+        for constraint in schema.constraints:
+            if (
+                isinstance(constraint, KeyConstraint)
+                and constraint.entity == entity.name
+                and not constraint.is_primary
+            ):
+                lines.append(
+                    f"  UNIQUE ({', '.join(constraint.attributes)})"
+                )
+            if (
+                isinstance(constraint, InclusionDependency)
+                and constraint.source == entity.name
+            ):
+                lines.append(
+                    f"  FOREIGN KEY ({', '.join(constraint.source_attributes)}) "
+                    f"REFERENCES {constraint.target} "
+                    f"({', '.join(constraint.target_attributes)})"
+                )
+        statements.append(
+            f"CREATE TABLE {entity.name} (\n" + ",\n".join(lines) + "\n);"
+        )
+    return "\n\n".join(statements)
+
+
+_CREATE = re.compile(
+    r"CREATE\s+TABLE\s+(?P<name>[A-Za-z_][\w.]*)\s*\((?P<body>.*?)\)\s*;",
+    re.IGNORECASE | re.DOTALL,
+)
+_COLUMN = re.compile(
+    r"^(?P<name>[A-Za-z_]\w*)\s+(?P<type>[A-Za-z ]+?)"
+    r"(\s*\(\s*(?P<params>[\d,\s]+)\))?"
+    r"(?P<rest>(\s+NOT\s+NULL|\s+NULL|\s+PRIMARY\s+KEY)*)\s*$",
+    re.IGNORECASE,
+)
+_PK = re.compile(r"^PRIMARY\s+KEY\s*\((?P<cols>[^)]*)\)$", re.IGNORECASE)
+_UNIQUE = re.compile(r"^UNIQUE\s*\((?P<cols>[^)]*)\)$", re.IGNORECASE)
+_FK = re.compile(
+    r"^FOREIGN\s+KEY\s*\((?P<cols>[^)]*)\)\s*REFERENCES\s+"
+    r"(?P<target>[A-Za-z_][\w.]*)\s*\((?P<tcols>[^)]*)\)$",
+    re.IGNORECASE,
+)
+
+
+def _split_clauses(body: str) -> list[str]:
+    """Split a CREATE TABLE body on top-level commas."""
+    clauses, depth, current = [], 0, []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            clauses.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    final = "".join(current).strip()
+    if final:
+        clauses.append(final)
+    return clauses
+
+
+def _parse_type(name: str, params: str | None) -> DataType:
+    base = name.strip().lower().split()[0]
+    if base not in _SQL_TO_TYPE:
+        raise SchemaError(f"unknown SQL type {name!r}")
+    resolved = _SQL_TO_TYPE[base]
+    if params:
+        numbers = [int(p) for p in params.replace(" ", "").split(",") if p]
+        if resolved is STRING and numbers:
+            return varchar(numbers[0])
+        if resolved is DECIMAL and numbers:
+            return decimal_type(*numbers[:2])
+    return resolved
+
+
+def parse_ddl(ddl: str, schema_name: str = "parsed") -> Schema:
+    """Parse ``CREATE TABLE`` statements into a relational schema."""
+    schema = Schema(schema_name, metamodel="relational")
+    found_any = False
+    for match in _CREATE.finditer(ddl):
+        found_any = True
+        entity = Entity(match.group("name"))
+        pk: tuple[str, ...] = ()
+        uniques: list[tuple[str, ...]] = []
+        fks: list[InclusionDependency] = []
+        for clause in _split_clauses(match.group("body")):
+            pk_match = _PK.match(clause)
+            if pk_match:
+                pk = tuple(
+                    c.strip() for c in pk_match.group("cols").split(",")
+                )
+                continue
+            unique_match = _UNIQUE.match(clause)
+            if unique_match:
+                uniques.append(
+                    tuple(c.strip() for c in unique_match.group("cols").split(","))
+                )
+                continue
+            fk_match = _FK.match(clause)
+            if fk_match:
+                fks.append(
+                    InclusionDependency(
+                        entity.name,
+                        tuple(c.strip() for c in fk_match.group("cols").split(",")),
+                        fk_match.group("target"),
+                        tuple(c.strip() for c in fk_match.group("tcols").split(",")),
+                    )
+                )
+                continue
+            column_match = _COLUMN.match(clause)
+            if column_match is None:
+                raise SchemaError(f"cannot parse DDL clause: {clause!r}")
+            rest = (column_match.group("rest") or "").upper()
+            nullable = "NOT NULL" not in rest
+            attribute = Attribute(
+                column_match.group("name"),
+                _parse_type(column_match.group("type"),
+                            column_match.group("params")),
+                nullable=nullable,
+            )
+            entity.add_attribute(attribute)
+            if "PRIMARY KEY" in rest:
+                pk = (attribute.name,)
+        if pk:
+            entity.key = pk
+            for key_attr in pk:
+                entity.attribute(key_attr).nullable = False
+        schema.add_entity(entity)
+        if pk:
+            schema.add_constraint(KeyConstraint(entity.name, pk))
+        for unique in uniques:
+            schema.add_constraint(
+                KeyConstraint(entity.name, unique, is_primary=False)
+            )
+        for fk in fks:
+            schema.add_constraint(fk)
+    if not found_any:
+        raise SchemaError("no CREATE TABLE statements found")
+    return schema

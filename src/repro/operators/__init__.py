@@ -1,0 +1,47 @@
+"""The model management operators (paper, Figure 1 and Sections 3–6).
+
+* :mod:`repro.operators.match` — Match: propose correspondences;
+* :mod:`repro.operators.modelgen` — ModelGen: translate a schema to
+  another metamodel, with instance-level mapping constraints;
+* :mod:`repro.operators.transgen` — TransGen: compile constraints into
+  executable transformations (query views, update views, exchange
+  programs), with the roundtripping check;
+* :mod:`repro.operators.compose` — Compose: σ12 ∘ σ23, via second-order
+  tgds for the dependency language and view unfolding for the equality
+  language;
+* :mod:`repro.operators.inverse` — Invert (syntactic) and Inverse /
+  quasi-inverse (Fagin);
+* :mod:`repro.operators.diff` — Extract and Diff (view complement);
+* :mod:`repro.operators.merge` — Merge driven by correspondences.
+"""
+
+from repro.operators.compose import compose, unfold_scans
+from repro.operators.inverse import invert, inverse, quasi_inverse
+from repro.operators.diff import extract, diff
+from repro.operators.merge import merge, MergeResult
+from repro.operators.modelgen import modelgen, InheritanceStrategy
+from repro.operators.transgen import transgen, Transformation, TransformationPair
+from repro.operators.match import match, MatchConfig
+from repro.operators.evolution import (
+    AddColumn,
+    AddEntity,
+    Change,
+    DropColumn,
+    EvolutionResult,
+    RenameColumn,
+    RenameEntity,
+    SplitByValue,
+    evolve,
+)
+
+__all__ = [
+    "AddColumn", "AddEntity", "Change", "DropColumn", "EvolutionResult",
+    "RenameColumn", "RenameEntity", "SplitByValue", "evolve",
+    "compose", "unfold_scans",
+    "invert", "inverse", "quasi_inverse",
+    "extract", "diff",
+    "merge", "MergeResult",
+    "modelgen", "InheritanceStrategy",
+    "transgen", "Transformation", "TransformationPair",
+    "match", "MatchConfig",
+]

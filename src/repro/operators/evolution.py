@@ -1,0 +1,345 @@
+"""Structured schema evolution: change scripts that generate both the
+evolved schema and the evolution mapping.
+
+The paper's §6.1 recipe starts with "express the change from S to S′
+as a mapping mapS-S′" — and assumes the data architect writes that
+mapping by hand.  This module automates the common cases: a
+:class:`ChangeScript` is a list of change operations; :func:`evolve`
+applies them to a schema and *derives* the evolution mapping in the
+equality language, ready for the §6 operator pipeline (compose with
+view mappings, migrate data via TransGen, Diff the new parts, …).
+
+Change operations:
+
+* :class:`AddColumn` — new (nullable or defaulted) attribute;
+* :class:`DropColumn` — attribute removed (information loss is
+  reported, since dependent views will break);
+* :class:`RenameColumn` / :class:`RenameEntity`;
+* :class:`AddEntity` — a brand-new entity (no constraint: it is what
+  Diff will report as "new parts");
+* :class:`SplitByValue` — the paper's Figure 6 change: partition an
+  entity into two by a column's value, the discriminating constant
+  dropped from the "matching" side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.algebra import (
+    Col,
+    Extend,
+    Lit,
+    Project,
+    Scan,
+    Select,
+    eq,
+    ne,
+    project_names,
+)
+from repro.errors import SchemaError
+from repro.mappings.mapping import EqualityConstraint, Mapping
+from repro.metamodel.constraints import KeyConstraint
+from repro.metamodel.elements import Attribute, Entity
+from repro.metamodel.schema import Schema
+from repro.metamodel.types import DataType
+
+
+@dataclass(frozen=True)
+class AddColumn:
+    entity: str
+    name: str
+    data_type: DataType
+    nullable: bool = True
+    default: object = None
+
+
+@dataclass(frozen=True)
+class DropColumn:
+    entity: str
+    name: str
+
+
+@dataclass(frozen=True)
+class RenameColumn:
+    entity: str
+    old: str
+    new: str
+
+
+@dataclass(frozen=True)
+class RenameEntity:
+    old: str
+    new: str
+
+
+@dataclass(frozen=True)
+class AddEntity:
+    name: str
+    attributes: tuple[tuple[str, DataType], ...]
+    key: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SplitByValue:
+    """Partition ``entity`` by ``column = value`` (Figure 6's shape).
+
+    Rows matching the value go to ``match_name`` *without* the column
+    (its value is implied); the rest go to ``rest_name`` keeping it.
+    """
+
+    entity: str
+    column: str
+    value: object
+    match_name: str
+    rest_name: str
+
+
+Change = Union[AddColumn, DropColumn, RenameColumn, RenameEntity,
+               AddEntity, SplitByValue]
+
+
+@dataclass
+class EvolutionResult:
+    """Evolved schema, the derived mapping S → S′, and analyst notes
+    (e.g. information-loss warnings for dropped columns)."""
+
+    schema: Schema
+    mapping: Mapping
+    notes: list[str] = field(default_factory=list)
+
+
+def evolve(
+    schema: Schema, changes: Sequence[Change], name: Optional[str] = None
+) -> EvolutionResult:
+    """Apply ``changes`` to ``schema``; return S′ and mapS-S′."""
+    evolved = schema.clone(name or f"{schema.name}_v2")
+    notes: list[str] = []
+    # Track, per surviving original entity, how to express it over S′:
+    # (new_relation, column renames old→new, added-constant columns).
+    plans: dict[str, "_EntityPlan"] = {
+        entity_name: _EntityPlan(entity_name)
+        for entity_name in schema.entities
+    }
+    splits: list[SplitByValue] = []
+
+    def plan_for(name: str) -> "_EntityPlan":
+        """Resolve an entity reference by original *or* current name,
+        so changes may refer to entities renamed earlier in the script."""
+        if name in plans and plans[name].current == name:
+            return plans[name]
+        for plan in plans.values():
+            if plan.current == name:
+                return plan
+        if name in plans:
+            return plans[name]
+        raise SchemaError(f"change references unknown entity {name!r}")
+
+    for change in changes:
+        if isinstance(change, AddColumn):
+            entity = evolved.entity(plan_for(change.entity).current)
+            entity.add_attribute(
+                Attribute(change.name, change.data_type,
+                          nullable=change.nullable, default=change.default)
+            )
+        elif isinstance(change, DropColumn):
+            plan = plan_for(change.entity)
+            entity = evolved.entity(plan.current)
+            if change.name in entity.key:
+                raise SchemaError(
+                    f"cannot drop key attribute {change.name!r} of "
+                    f"{change.entity!r}"
+                )
+            entity.attributes = [
+                a for a in entity.attributes if a.name != change.name
+            ]
+            plan.dropped.add(change.name)
+            notes.append(
+                f"DropColumn {change.entity}.{change.name}: information "
+                "loss — views reading it will break"
+            )
+        elif isinstance(change, RenameColumn):
+            plan = plan_for(change.entity)
+            entity = evolved.entity(plan.current)
+            attribute = entity.attribute(change.old)
+            attribute.name = change.new
+            if change.old in entity.key:
+                entity.key = tuple(
+                    change.new if k == change.old else k for k in entity.key
+                )
+                evolved.constraints = [
+                    KeyConstraint(entity.name, entity.key, c.is_primary)
+                    if isinstance(c, KeyConstraint) and c.entity == entity.name
+                    else c
+                    for c in evolved.constraints
+                ]
+            plan.renames[change.old] = change.new
+        elif isinstance(change, RenameEntity):
+            plan = plan_for(change.old)
+            entity = evolved.entities.pop(plan.current)
+            entity.name = change.new
+            evolved.entities[change.new] = entity
+            evolved.constraints = [
+                _rename_in_constraint(c, plan.current, change.new)
+                for c in evolved.constraints
+            ]
+            plan.current = change.new
+        elif isinstance(change, AddEntity):
+            entity = Entity(change.name)
+            for attr_name, data_type in change.attributes:
+                entity.add_attribute(Attribute(attr_name, data_type))
+            entity.key = change.key
+            evolved.add_entity(entity)
+            if change.key:
+                evolved.add_constraint(KeyConstraint(change.name, change.key))
+            notes.append(
+                f"AddEntity {change.name}: new part of S′ (Diff will "
+                "report it)"
+            )
+        elif isinstance(change, SplitByValue):
+            _apply_split(evolved, plan_for(change.entity), change)
+            splits.append(change)
+        else:
+            raise SchemaError(f"unknown change {change!r}")
+
+    mapping = _derive_mapping(schema, evolved, plans, splits)
+    return EvolutionResult(schema=evolved, mapping=mapping, notes=notes)
+
+
+@dataclass
+class _EntityPlan:
+    original: str
+    current: str = ""
+    renames: dict[str, str] = field(default_factory=dict)
+    dropped: set[str] = field(default_factory=set)
+    split: Optional[SplitByValue] = None
+
+    def __post_init__(self):
+        if not self.current:
+            self.current = self.original
+
+
+def _rename_in_constraint(constraint, old: str, new: str):
+    from repro.metamodel.constraints import (
+        Covering,
+        Disjointness,
+        InclusionDependency,
+        NotNull,
+    )
+
+    def swap(name: str) -> str:
+        return new if name == old else name
+
+    if isinstance(constraint, KeyConstraint):
+        return KeyConstraint(swap(constraint.entity), constraint.attributes,
+                             constraint.is_primary)
+    if isinstance(constraint, InclusionDependency):
+        return InclusionDependency(
+            swap(constraint.source), constraint.source_attributes,
+            swap(constraint.target), constraint.target_attributes,
+        )
+    if isinstance(constraint, Disjointness):
+        return Disjointness(tuple(swap(e) for e in constraint.entities))
+    if isinstance(constraint, Covering):
+        return Covering(swap(constraint.entity),
+                        tuple(swap(e) for e in constraint.covered_by))
+    if isinstance(constraint, NotNull):
+        return NotNull(swap(constraint.entity), constraint.attribute)
+    return constraint
+
+
+def _apply_split(evolved: Schema, plan: "_EntityPlan",
+                 change: SplitByValue) -> None:
+    entity = evolved.entities.pop(plan.current)
+    match_entity = Entity(change.match_name)
+    rest_entity = Entity(change.rest_name)
+    for attribute in entity.attributes:
+        if attribute.name != change.column:
+            match_entity.add_attribute(attribute.clone())
+        rest_entity.add_attribute(attribute.clone())
+    match_entity.key = tuple(k for k in entity.key if k != change.column)
+    rest_entity.key = entity.key
+    evolved.add_entity(match_entity)
+    evolved.add_entity(rest_entity)
+    evolved.constraints = [
+        c for c in evolved.constraints
+        if not (isinstance(c, KeyConstraint) and c.entity == plan.current)
+    ]
+    if match_entity.key:
+        evolved.add_constraint(KeyConstraint(change.match_name,
+                                             match_entity.key))
+    if rest_entity.key:
+        evolved.add_constraint(KeyConstraint(change.rest_name,
+                                             rest_entity.key))
+    plan.split = change
+
+
+def _derive_mapping(
+    schema: Schema,
+    evolved: Schema,
+    plans: dict[str, "_EntityPlan"],
+    splits: list[SplitByValue],
+) -> Mapping:
+    constraints: list[EqualityConstraint] = []
+    for entity_name, plan in plans.items():
+        original_entity = schema.entity(entity_name)
+        if plan.split is not None:
+            constraints.extend(_split_constraints(original_entity, plan))
+            continue
+        kept = [
+            a.name for a in original_entity.attributes
+            if a.name not in plan.dropped
+        ]
+        source_expr = project_names(Scan(entity_name), kept)
+        target_outputs = [
+            (old, Col(plan.renames.get(old, old))) for old in kept
+        ]
+        constraints.append(
+            EqualityConstraint(
+                source_expr=source_expr,
+                target_expr=Project(Scan(plan.current), target_outputs),
+                name=f"evolve_{entity_name}",
+            )
+        )
+    return Mapping(schema, evolved, constraints,
+                   name=f"map_{schema.name}_{evolved.name}")
+
+
+def _split_constraints(original_entity: Entity,
+                       plan: "_EntityPlan") -> list[EqualityConstraint]:
+    change = plan.split
+    assert change is not None
+    columns = [a.name for a in original_entity.attributes]
+
+    def renamed(column: str) -> str:
+        return plan.renames.get(column, column)
+
+    match_target = Project(
+        Extend(Scan(change.match_name), renamed(change.column),
+               Lit(change.value)),
+        [(c, Col(renamed(c))) for c in columns],
+    )
+    rest_target = Project(
+        Scan(change.rest_name), [(c, Col(renamed(c))) for c in columns]
+    )
+    return [
+        EqualityConstraint(
+            source_expr=project_names(
+                Select(Scan(original_entity.name),
+                       eq(Col(change.column), change.value)),
+                columns,
+            ),
+            target_expr=match_target,
+            name=f"split_{change.match_name}",
+        ),
+        EqualityConstraint(
+            source_expr=project_names(
+                Select(Scan(original_entity.name),
+                       ne(Col(change.column), change.value)),
+                columns,
+            ),
+            target_expr=rest_target,
+            name=f"split_{change.rest_name}",
+        ),
+    ]

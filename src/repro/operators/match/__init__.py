@@ -1,0 +1,48 @@
+"""The Match operator (paper, Section 3.1.1).
+
+Schema matching proposes correspondences between two schemas.  The
+paper surveys the algorithm families — "lexical analysis of element
+names, schema structure, data types, value distributions, thesauri" —
+and argues that for engineered mappings the matcher's job is to return
+**all viable candidates per element (top-k)**, not one best guess.
+
+This package implements one matcher per family plus an ensemble:
+
+* :mod:`~repro.operators.match.lexical` — name tokenization, edit
+  distance, trigram overlap;
+* :mod:`~repro.operators.match.structural` — similarity flooding
+  (Melnik, Garcia-Molina & Rahm), propagating similarity through the
+  schema graphs;
+* :mod:`~repro.operators.match.datatype` — type-compatibility scores;
+* :mod:`~repro.operators.match.thesaurus` — synonym-aware token match;
+* :mod:`~repro.operators.match.instance_based` — value-distribution
+  comparison over sample instances;
+* :mod:`~repro.operators.match.combiner` — weighted ensemble, top-k
+  candidate sets, threshold and one-to-one selection.
+"""
+
+from repro.operators.match.base import Matcher, SimilarityMatrix
+from repro.operators.match.lexical import LexicalMatcher, name_similarity, tokenize
+from repro.operators.match.structural import SimilarityFlooding
+from repro.operators.match.datatype import DatatypeMatcher
+from repro.operators.match.thesaurus import ThesaurusMatcher, DEFAULT_THESAURUS
+from repro.operators.match.instance_based import InstanceBasedMatcher
+from repro.operators.match.combiner import MatchConfig, match, evaluate_against_truth
+from repro.operators.match.incremental import IncrementalMatcher
+
+__all__ = [
+    "Matcher",
+    "SimilarityMatrix",
+    "LexicalMatcher",
+    "name_similarity",
+    "tokenize",
+    "SimilarityFlooding",
+    "DatatypeMatcher",
+    "ThesaurusMatcher",
+    "DEFAULT_THESAURUS",
+    "InstanceBasedMatcher",
+    "MatchConfig",
+    "match",
+    "evaluate_against_truth",
+    "IncrementalMatcher",
+]

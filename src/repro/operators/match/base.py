@@ -1,0 +1,95 @@
+"""Matcher interface and the similarity matrix they produce."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.metamodel.schema import ElementPath, Schema
+
+
+class SimilarityMatrix:
+    """Sparse similarity scores between element paths of two schemas.
+
+    Scores live in [0, 1]; absent pairs are 0.  Matrices combine by
+    weighted sum (:meth:`blend`) and normalize per source element.
+    """
+
+    def __init__(self, source: Schema, target: Schema):
+        self.source = source
+        self.target = target
+        self._scores: dict[tuple[str, str], float] = {}
+
+    def set(self, source_path: str, target_path: str, score: float) -> None:
+        if score <= 0.0:
+            self._scores.pop((source_path, target_path), None)
+        else:
+            self._scores[(source_path, target_path)] = min(1.0, score)
+
+    def get(self, source_path: str, target_path: str) -> float:
+        return self._scores.get((source_path, target_path), 0.0)
+
+    def items(self) -> Iterator[tuple[str, str, float]]:
+        for (source_path, target_path), score in self._scores.items():
+            yield source_path, target_path, score
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def blend(self, others: Iterable[tuple["SimilarityMatrix", float]]) -> "SimilarityMatrix":
+        """Weighted combination of this matrix (weight folded in by the
+        caller) with others; pairs missing from a matrix contribute 0."""
+        result = SimilarityMatrix(self.source, self.target)
+        keys: set[tuple[str, str]] = set(self._scores)
+        weighted: list[tuple[SimilarityMatrix, float]] = list(others)
+        for matrix, _ in weighted:
+            keys |= set(matrix._scores)
+        for key in keys:
+            total = self._scores.get(key, 0.0)
+            for matrix, weight in weighted:
+                total += weight * matrix._scores.get(key, 0.0)
+            if total > 0:
+                result._scores[key] = min(1.0, total)
+        return result
+
+    def scale(self, factor: float) -> "SimilarityMatrix":
+        result = SimilarityMatrix(self.source, self.target)
+        for key, score in self._scores.items():
+            result._scores[key] = score * factor
+        return result
+
+    def normalized(self) -> "SimilarityMatrix":
+        """Divide by the global maximum so the best pair scores 1."""
+        best = max(self._scores.values(), default=0.0)
+        if best == 0:
+            return self
+        return self.scale(1.0 / best)
+
+    def best_for_source(self, source_path: str, k: int = 1) -> list[tuple[str, float]]:
+        candidates = [
+            (target_path, score)
+            for (s, target_path), score in self._scores.items()
+            if s == source_path
+        ]
+        candidates.sort(key=lambda item: -item[1])
+        return candidates[:k]
+
+
+class Matcher:
+    """Base class: produce a similarity matrix for a schema pair."""
+
+    name: str = "matcher"
+
+    def similarity(self, source: Schema, target: Schema) -> SimilarityMatrix:
+        raise NotImplementedError
+
+    @staticmethod
+    def attribute_paths(schema: Schema) -> list[str]:
+        return [
+            str(p.path)
+            for p in schema.all_element_paths()
+            if not p.is_entity
+        ]
+
+    @staticmethod
+    def entity_paths(schema: Schema) -> list[str]:
+        return list(schema.entities)

@@ -1,0 +1,33 @@
+"""Datatype matching: attribute pairs scored by type compatibility.
+
+On its own this is a weak signal (many attributes share a type), so the
+ensemble gives it a small weight; it mainly *vetoes* lexically similar
+pairs with irreconcilable types.
+"""
+
+from __future__ import annotations
+
+from repro.metamodel.schema import Schema
+from repro.metamodel.types import type_compatibility
+from repro.operators.match.base import Matcher, SimilarityMatrix
+
+
+class DatatypeMatcher(Matcher):
+    name = "datatype"
+
+    def similarity(self, source: Schema, target: Schema) -> SimilarityMatrix:
+        matrix = SimilarityMatrix(source, target)
+        source_attrs = [
+            (f"{e.name}.{a.name}", a.data_type)
+            for e in source.entities.values()
+            for a in e.attributes
+        ]
+        target_attrs = [
+            (f"{e.name}.{a.name}", a.data_type)
+            for e in target.entities.values()
+            for a in e.attributes
+        ]
+        for s_path, s_type in source_attrs:
+            for t_path, t_type in target_attrs:
+                matrix.set(s_path, t_path, type_compatibility(s_type, t_type))
+        return matrix

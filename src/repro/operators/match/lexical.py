@@ -1,0 +1,169 @@
+"""Lexical matching: name-based similarity.
+
+Combines three classic signals on tokenized identifiers:
+
+* exact / prefix-abbreviation token matches ("Dept" vs "Department");
+* trigram Dice coefficient on the raw names;
+* normalized Levenshtein distance.
+
+Tokenization splits camelCase, snake_case, digits and common
+separators, so ``billingAddr`` and ``billing_address`` share tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+from repro.metamodel.schema import Schema
+from repro.operators.match.base import Matcher, SimilarityMatrix
+
+_SPLITTER = re.compile(
+    r"[A-Z]+(?=[A-Z][a-z])|[A-Z]?[a-z]+|[A-Z]+|\d+"
+)
+
+
+@lru_cache(maxsize=65536)
+def tokenize(identifier: str) -> tuple[str, ...]:
+    """Split an identifier into lowercase tokens.
+
+    >>> tokenize("billingAddr")
+    ('billing', 'addr')
+    >>> tokenize("CUSTOMER_ID2")
+    ('customer', 'id', '2')
+    """
+    return tuple(t.lower() for t in _SPLITTER.findall(identifier))
+
+
+def _trigrams(text: str) -> set[str]:
+    padded = f"  {text.lower()} "
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+
+def _dice(a: set, b: set) -> float:
+    if not a or not b:
+        return 0.0
+    return 2 * len(a & b) / (len(a) + len(b))
+
+
+@lru_cache(maxsize=65536)
+def _levenshtein(a: str, b: str) -> int:
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        current = [i]
+        for j, cb in enumerate(b, 1):
+            current.append(
+                min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (ca != cb),
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def _token_similarity(a: tuple[str, ...], b: tuple[str, ...]) -> float:
+    """Greedy best-pair token alignment with abbreviation awareness."""
+    if not a or not b:
+        return 0.0
+    total = 0.0
+    used: set[int] = set()
+    for token_a in a:
+        best, best_index = 0.0, -1
+        for index, token_b in enumerate(b):
+            if index in used:
+                continue
+            if token_a == token_b:
+                score = 1.0
+            elif token_a.startswith(token_b) or token_b.startswith(token_a):
+                score = 0.85
+            elif _is_abbreviation(token_a, token_b) or _is_abbreviation(
+                token_b, token_a
+            ):
+                score = 0.75
+            else:
+                distance = _levenshtein(token_a, token_b)
+                longest = max(len(token_a), len(token_b))
+                score = max(0.0, 1.0 - distance / longest) * 0.7
+            if score > best:
+                best, best_index = score, index
+        if best_index >= 0 and best > 0.3:
+            used.add(best_index)
+            total += best
+    return total / max(len(a), len(b))
+
+
+def _is_abbreviation(short: str, long: str) -> bool:
+    """True when ``short`` plausibly abbreviates ``long``: either
+    ``long`` with (some) vowels removed ("addr"/"address") or an
+    in-order character selection sharing a 2-char prefix
+    ("dept"/"department")."""
+    if len(short) >= len(long) or len(short) < 2:
+        return False
+    if short[0] != long[0]:
+        return False
+    position = 0
+    for ch in long:
+        if position < len(short) and ch == short[position]:
+            position += 1
+        elif ch in "aeiou":
+            continue
+        else:
+            break
+    if position == len(short):
+        return True
+    if len(short) >= 3 and short[:2] == long[:2]:
+        position = 0
+        for ch in long:
+            if position < len(short) and ch == short[position]:
+                position += 1
+        return position == len(short)
+    return False
+
+
+def name_similarity(a: str, b: str) -> float:
+    """Overall lexical similarity of two element names in [0, 1]."""
+    if a == b:
+        return 1.0
+    if a.lower() == b.lower():
+        return 0.98
+    tokens = _token_similarity(tokenize(a), tokenize(b))
+    trigram = _dice(_trigrams(a), _trigrams(b))
+    distance = _levenshtein(a.lower(), b.lower())
+    edit = max(0.0, 1.0 - distance / max(len(a), len(b)))
+    return max(tokens, 0.5 * trigram + 0.5 * edit)
+
+
+class LexicalMatcher(Matcher):
+    """Name similarity on the final path segment (attribute or entity
+    name), with a small bonus when the owning entities also match."""
+
+    name = "lexical"
+
+    def __init__(self, floor: float = 0.05):
+        self.floor = floor
+
+    def similarity(self, source: Schema, target: Schema) -> SimilarityMatrix:
+        matrix = SimilarityMatrix(source, target)
+        entity_scores: dict[tuple[str, str], float] = {}
+        for s_entity in source.entities:
+            for t_entity in target.entities:
+                score = name_similarity(s_entity, t_entity)
+                entity_scores[(s_entity, t_entity)] = score
+                if score > self.floor:
+                    matrix.set(s_entity, t_entity, score)
+        for s_path in self.attribute_paths(source):
+            s_entity, s_attr = s_path.split(".", 1)
+            for t_path in self.attribute_paths(target):
+                t_entity, t_attr = t_path.split(".", 1)
+                score = name_similarity(s_attr, t_attr)
+                owner = entity_scores.get((s_entity, t_entity), 0.0)
+                blended = 0.85 * score + 0.15 * owner
+                if blended > self.floor:
+                    matrix.set(s_path, t_path, blended)
+        return matrix

@@ -1,0 +1,139 @@
+"""Similarity flooding (Melnik, Garcia-Molina & Rahm, ICDE 2002).
+
+The structural matcher the paper's second author invented: build a
+*pairwise connectivity graph* whose nodes are pairs of elements, one
+from each schema, and whose edges connect pairs that are linked by the
+same edge label in both schemas; then iteratively propagate similarity
+along those edges until a fixpoint.
+
+Schema graph edge labels used here:
+
+* ``attr`` — entity → its attribute;
+* ``isa`` — entity → its parent entity;
+* ``fk`` — FK source entity → target entity;
+* ``type`` — attribute → its (base) primitive type node;
+* ``assoc`` / ``contains`` — association and containment ends.
+"""
+
+from __future__ import annotations
+
+from repro.metamodel.schema import Schema
+from repro.metamodel.types import base_primitive
+from repro.operators.match.base import Matcher, SimilarityMatrix
+from repro.operators.match.lexical import LexicalMatcher
+
+
+def _schema_graph(schema: Schema) -> list[tuple[str, str, str]]:
+    """(from_node, label, to_node) edges; type nodes are shared across
+    schemas by name (``type:int``)."""
+    edges: list[tuple[str, str, str]] = []
+    for entity in schema.entities.values():
+        for attribute in entity.attributes:
+            path = f"{entity.name}.{attribute.name}"
+            edges.append((entity.name, "attr", path))
+            edges.append(
+                (path, "type", f"type:{base_primitive(attribute.data_type).name}")
+            )
+        if entity.parent is not None:
+            edges.append((entity.name, "isa", entity.parent.name))
+    for dep in schema.inclusion_dependencies():
+        edges.append((dep.source, "fk", dep.target))
+    for association in schema.associations.values():
+        edges.append(
+            (association.source.entity.name, "assoc",
+             association.target.entity.name)
+        )
+    for containment in schema.containments.values():
+        edges.append((containment.parent.name, "contains",
+                      containment.child.name))
+    return edges
+
+
+class SimilarityFlooding(Matcher):
+    """Fixpoint similarity propagation over the pairwise connectivity
+    graph, seeded by a lexical matcher."""
+
+    name = "similarity-flooding"
+
+    def __init__(
+        self,
+        iterations: int = 20,
+        epsilon: float = 1e-4,
+        seed_matcher: Matcher | None = None,
+    ):
+        self.iterations = iterations
+        self.epsilon = epsilon
+        self.seed_matcher = seed_matcher or LexicalMatcher()
+
+    def similarity(self, source: Schema, target: Schema) -> SimilarityMatrix:
+        seed = self.seed_matcher.similarity(source, target)
+        source_edges = _schema_graph(source)
+        target_edges = _schema_graph(target)
+
+        # Pairwise connectivity graph: for same-labelled edges
+        # (a --L--> b) and (a' --L--> b'), pair (a, a') feeds (b, b')
+        # and vice versa.
+        propagation: dict[tuple[str, str], list[tuple[str, str]]] = {}
+
+        def add_edge(from_pair, to_pair) -> None:
+            propagation.setdefault(from_pair, []).append(to_pair)
+
+        by_label_target: dict[str, list[tuple[str, str]]] = {}
+        for from_node, label, to_node in target_edges:
+            by_label_target.setdefault(label, []).append((from_node, to_node))
+        for s_from, label, s_to in source_edges:
+            for t_from, t_to in by_label_target.get(label, []):
+                add_edge((s_from, t_from), (s_to, t_to))
+                add_edge((s_to, t_to), (s_from, t_from))
+
+        # Fanout-weighted coefficients (the 1/outdegree of the PCG).
+        weights: dict[tuple[tuple[str, str], tuple[str, str]], float] = {}
+        for from_pair, neighbours in propagation.items():
+            coefficient = 1.0 / len(neighbours)
+            for to_pair in neighbours:
+                weights[(from_pair, to_pair)] = coefficient
+
+        # Initial σ⁰: seed scores for element pairs, 1.0 for shared type
+        # nodes (they are identical constants).
+        sigma: dict[tuple[str, str], float] = {}
+        pairs = set(propagation)
+        for neighbours in propagation.values():
+            pairs.update(neighbours)
+        for pair in pairs:
+            s_node, t_node = pair
+            if s_node.startswith("type:") or t_node.startswith("type:"):
+                sigma[pair] = 1.0 if s_node == t_node else 0.0
+            else:
+                sigma[pair] = seed.get(s_node, t_node)
+
+        for _ in range(self.iterations):
+            updated: dict[tuple[str, str], float] = {}
+            for pair in pairs:
+                incoming = 0.0
+                for neighbour in propagation.get(pair, []):
+                    incoming += sigma.get(neighbour, 0.0) * weights[
+                        (neighbour, pair)
+                    ]
+                updated[pair] = sigma[pair] + incoming
+            best = max(updated.values(), default=1.0)
+            if best > 0:
+                for pair in updated:
+                    updated[pair] /= best
+            delta = max(
+                abs(updated[pair] - sigma[pair]) for pair in pairs
+            ) if pairs else 0.0
+            sigma = updated
+            if delta < self.epsilon:
+                break
+
+        matrix = SimilarityMatrix(source, target)
+        for (s_node, t_node), score in sigma.items():
+            if s_node.startswith("type:") or t_node.startswith("type:"):
+                continue
+            if score > 0.01:
+                matrix.set(s_node, t_node, score)
+        # Elements disconnected in the PCG keep their seed score.
+        for s_path, t_path, score in seed.items():
+            if matrix.get(s_path, t_path) == 0.0:
+                matrix.set(s_path, t_path, score * 0.5)
+        return matrix

@@ -1,0 +1,263 @@
+"""The Merge operator (paper, Section 6.3).
+
+Merge "takes as input the two schemas to be merged and a mapping
+between them that describes where the two schemas overlap.  It returns
+a merged schema along with mappings between the merged schema and each
+of the two input schemas."  The algorithm follows Pottinger &
+Bernstein's correspondence-driven merge [82], adapted to the universal
+metamodel:
+
+* corresponding entities collapse into one merged entity (first
+  input's name is preferred);
+* corresponding attributes collapse, their types reconciled to the
+  common supertype;
+* non-corresponding elements are copied through; name collisions from
+  unrelated elements are disambiguated with the owning schema's name;
+* keys, foreign keys and hierarchy edges are carried over where their
+  referenced elements survive;
+* the output mappings are identity-style st-tgds from each input into
+  the merged schema, so data from either side can be migrated in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.logic.dependencies import TGD
+from repro.logic.formulas import Atom
+from repro.logic.terms import Var
+from repro.mappings.correspondence import CorrespondenceSet
+from repro.mappings.mapping import Mapping
+from repro.metamodel.constraints import (
+    Covering,
+    Disjointness,
+    InclusionDependency,
+    KeyConstraint,
+    NotNull,
+)
+from repro.metamodel.elements import Attribute, Entity
+from repro.metamodel.schema import Schema
+from repro.metamodel.types import common_supertype
+
+
+@dataclass
+class MergeResult:
+    """Merged schema plus embeddings of both inputs."""
+
+    schema: Schema
+    mapping_first: Mapping
+    mapping_second: Mapping
+    collisions_renamed: dict[str, str]
+
+    def describe(self) -> str:
+        lines = [self.schema.describe()]
+        if self.collisions_renamed:
+            lines.append("renamed collisions:")
+            for old, new in sorted(self.collisions_renamed.items()):
+                lines.append(f"  {old} → {new}")
+        return "\n".join(lines)
+
+
+def merge(
+    first: Schema,
+    second: Schema,
+    correspondences: CorrespondenceSet,
+    name: str = "",
+) -> MergeResult:
+    """Merge two schemas along the given correspondences."""
+    if correspondences.source.name != first.name or (
+        correspondences.target.name != second.name
+    ):
+        raise MappingError(
+            "correspondence set endpoints do not match the schemas to merge"
+        )
+    merged = Schema(name or f"{first.name}+{second.name}", _merge_metamodel(first, second))
+    collisions: dict[str, str] = {}
+
+    entity_map_second: dict[str, str] = {}  # second entity → merged entity
+    for s_entity, t_entity in correspondences.entity_pairs():
+        entity_map_second[t_entity] = s_entity
+    attribute_map_second: dict[str, tuple[str, str]] = {}
+    for correspondence in correspondences.attribute_pairs():
+        attribute_map_second[correspondence.target.path] = (
+            correspondence.source.entity,
+            correspondence.source.attribute,
+        )
+
+    # 1. Copy the first schema wholesale.
+    first_to_merged: dict[str, tuple[str, dict[str, str]]] = {}
+    for entity in first.entities.values():
+        copy = entity.clone()
+        merged.add_entity(copy)
+        first_to_merged[entity.name] = (
+            entity.name,
+            {a.name: a.name for a in entity.attributes},
+        )
+    for entity in first.entities.values():
+        if entity.parent is not None:
+            merged.entities[entity.name].parent = merged.entities[entity.parent.name]
+
+    # 2. Fold in the second schema.
+    second_to_merged: dict[str, tuple[str, dict[str, str]]] = {}
+    for entity in second.entities.values():
+        target_name = entity_map_second.get(entity.name)
+        if target_name is not None and target_name in merged.entities:
+            merged_entity = merged.entities[target_name]
+            attr_names: dict[str, str] = {}
+            for attribute in entity.attributes:
+                path = f"{entity.name}.{attribute.name}"
+                corresponding = attribute_map_second.get(path)
+                if corresponding is not None and corresponding[0] == target_name:
+                    # Collapse onto the corresponding first-schema attribute.
+                    existing = merged_entity.attribute(corresponding[1])
+                    existing.data_type = common_supertype(
+                        existing.data_type, attribute.data_type
+                    )
+                    existing.nullable = existing.nullable or attribute.nullable
+                    attr_names[attribute.name] = corresponding[1]
+                elif merged_entity.has_attribute(attribute.name):
+                    if attribute_map_second.get(path) is None and not _same_shape(
+                        merged_entity.attribute(attribute.name), attribute
+                    ):
+                        renamed = f"{attribute.name}_{second.name}"
+                        merged_entity.add_attribute(
+                            Attribute(renamed, attribute.data_type,
+                                      attribute.nullable)
+                        )
+                        collisions[path] = f"{target_name}.{renamed}"
+                        attr_names[attribute.name] = renamed
+                    else:
+                        # Same name, compatible shape: treat as implicit
+                        # correspondence.
+                        existing = merged_entity.attribute(attribute.name)
+                        existing.data_type = common_supertype(
+                            existing.data_type, attribute.data_type
+                        )
+                        attr_names[attribute.name] = attribute.name
+                else:
+                    merged_entity.add_attribute(attribute.clone())
+                    attr_names[attribute.name] = attribute.name
+            second_to_merged[entity.name] = (target_name, attr_names)
+        else:
+            # Non-corresponding entity: copy, renaming on collision.
+            new_name = entity.name
+            if new_name in merged.entities:
+                new_name = f"{entity.name}_{second.name}"
+                collisions[entity.name] = new_name
+            copy = Entity(new_name, entity.is_abstract)
+            copy.key = entity.key
+            for attribute in entity.attributes:
+                copy.add_attribute(attribute.clone())
+            merged.add_entity(copy)
+            second_to_merged[entity.name] = (
+                new_name,
+                {a.name: a.name for a in entity.attributes},
+            )
+    for entity in second.entities.values():
+        if entity.parent is None:
+            continue
+        child = second_to_merged[entity.name][0]
+        parent = second_to_merged[entity.parent.name][0]
+        if merged.entities[child].parent is None:
+            merged.entities[child].parent = merged.entities[parent]
+
+    # 3. Constraints.
+    for constraint in first.constraints:
+        merged.add_constraint(constraint)
+    for constraint in second.constraints:
+        rewritten = _rewrite_constraint(constraint, second_to_merged)
+        if rewritten is not None:
+            merged.add_constraint(rewritten)
+
+    mapping_first = _embedding(first, merged, first_to_merged, "merge_first")
+    mapping_second = _embedding(second, merged, second_to_merged, "merge_second")
+    return MergeResult(
+        schema=merged,
+        mapping_first=mapping_first,
+        mapping_second=mapping_second,
+        collisions_renamed=collisions,
+    )
+
+
+def _merge_metamodel(first: Schema, second: Schema) -> str:
+    if first.metamodel == second.metamodel:
+        return first.metamodel
+    return "universal"
+
+
+def _same_shape(a: Attribute, b: Attribute) -> bool:
+    from repro.metamodel.types import type_compatibility
+
+    return type_compatibility(a.data_type, b.data_type) >= 0.7
+
+
+def _rewrite_constraint(constraint, renaming: dict[str, tuple[str, dict[str, str]]]):
+    def entity_of(name: str):
+        return renaming.get(name, (name, {}))[0]
+
+    def attr_of(entity: str, attribute: str):
+        return renaming.get(entity, (entity, {}))[1].get(attribute, attribute)
+
+    if isinstance(constraint, KeyConstraint):
+        return KeyConstraint(
+            entity_of(constraint.entity),
+            tuple(attr_of(constraint.entity, a) for a in constraint.attributes),
+            constraint.is_primary,
+        )
+    if isinstance(constraint, InclusionDependency):
+        return InclusionDependency(
+            entity_of(constraint.source),
+            tuple(attr_of(constraint.source, a) for a in constraint.source_attributes),
+            entity_of(constraint.target),
+            tuple(attr_of(constraint.target, a) for a in constraint.target_attributes),
+        )
+    if isinstance(constraint, Disjointness):
+        return Disjointness(tuple(entity_of(e) for e in constraint.entities))
+    if isinstance(constraint, Covering):
+        return Covering(
+            entity_of(constraint.entity),
+            tuple(entity_of(e) for e in constraint.covered_by),
+        )
+    if isinstance(constraint, NotNull):
+        return NotNull(
+            entity_of(constraint.entity),
+            attr_of(constraint.entity, constraint.attribute),
+        )
+    return None
+
+
+def _embedding(
+    source: Schema,
+    merged: Schema,
+    renaming: dict[str, tuple[str, dict[str, str]]],
+    name: str,
+) -> Mapping:
+    """Identity-style st-tgds: each source entity populates its merged
+    counterpart; merged attributes without a source become existential."""
+    tgds: list[TGD] = []
+    for entity in source.entities.values():
+        merged_name, attr_names = renaming[entity.name]
+        merged_entity = merged.entities[merged_name]
+        body_args = tuple(
+            (a.name, Var(f"x_{a.name}")) for a in entity.attributes
+        )
+        source_to_var = {
+            attr_names[a.name]: Var(f"x_{a.name}") for a in entity.attributes
+        }
+        head_args = []
+        for attribute in merged_entity.attributes:
+            head_args.append(
+                (
+                    attribute.name,
+                    source_to_var.get(attribute.name, Var(f"e_{attribute.name}")),
+                )
+            )
+        tgds.append(
+            TGD(
+                body=(Atom(entity.name, body_args),),
+                head=(Atom(merged_name, tuple(head_args)),),
+                name=f"{name}_{entity.name}",
+            )
+        )
+    return Mapping(source, merged, tgds, name=name)

@@ -1,0 +1,157 @@
+"""Mapping debugging (paper, Section 5).
+
+"Like any program, a mapping needs to be debugged."  The debugger
+offers the two facilities the paper describes: rule-by-rule *tracing*
+(the single-stepping analogue — watch each constraint/rule fire and
+inspect intermediate results) and *routes* (provenance-based
+explanation of how target data was generated, as in [30]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algebra.evaluator import evaluate
+from repro.instances.database import Instance, Row
+from repro.mappings.mapping import Mapping
+from repro.operators.transgen import (
+    ExchangeTransformation,
+    TransformationPair,
+    transgen,
+)
+from repro.runtime.provenance import ProvenanceEntry, lineage, route
+
+
+@dataclass
+class TraceStep:
+    """One rule's contribution during a traced execution."""
+
+    label: str
+    output_relation: str
+    row_count: int
+    sample: list[Row] = field(default_factory=list)
+
+    def describe(self) -> str:
+        preview = f", e.g. {self.sample[0]}" if self.sample else ""
+        return f"{self.label}: {self.output_relation} ← {self.row_count} rows{preview}"
+
+
+class MappingDebugger:
+    """Stepwise inspection of a mapping's execution."""
+
+    def __init__(self, mapping: Mapping, sample_size: int = 3):
+        self.mapping = mapping
+        self.sample_size = sample_size
+
+    # ------------------------------------------------------------------
+    def trace(self, source: Instance) -> list[TraceStep]:
+        """Execute the mapping rule by rule, recording row counts and
+        samples — the single-stepping view."""
+        transformation = transgen(self.mapping)
+        steps: list[TraceStep] = []
+        if isinstance(transformation, TransformationPair):
+            for relation, expr in transformation.query_view.rules:
+                rows = evaluate(expr, source, self.mapping.source)
+                steps.append(
+                    TraceStep(
+                        label=f"view:{relation}",
+                        output_relation=relation,
+                        row_count=len(rows),
+                        sample=rows[: self.sample_size],
+                    )
+                )
+            return steps
+        # tgd path: chase one dependency at a time against a growing
+        # instance, so each step shows that rule's marginal effect.
+        from repro.logic.chase import chase
+
+        working = source.copy()
+        for tgd in self.mapping.tgds:
+            before = working.total_rows()
+            result = chase(working, [tgd], copy=False)
+            added = working.total_rows() - before
+            head_relation = next(iter(tgd.head)).relation if tgd.head else "?"
+            rows = working.rows(head_relation)
+            steps.append(
+                TraceStep(
+                    label=f"tgd:{tgd.name or tgd}",
+                    output_relation=head_relation,
+                    row_count=added,
+                    sample=rows[: self.sample_size],
+                )
+            )
+        return steps
+
+    # ------------------------------------------------------------------
+    def explain_row(
+        self, target_row: Row, relation: str, source: Instance
+    ) -> list[ProvenanceEntry]:
+        """Why is this row in the target?  (why-provenance)"""
+        return lineage(target_row, relation, source, self.mapping.tgds)
+
+    def explain_route(
+        self, target_row: Row, relation: str, source: Instance
+    ) -> list[list[ProvenanceEntry]]:
+        """Full derivation routes through intermediate relations."""
+        return route(target_row, relation, source, self.mapping.tgds)
+
+    def explain_missing(
+        self, expected_row: Row, relation: str, source: Instance
+    ) -> list[str]:
+        """Why is an expected row *absent*?  Reports, per dependency
+        that could produce the relation, which body atoms found no
+        matching source data — the paper's debugging scenario of a
+        mapping that silently drops data."""
+        from repro.logic.formulas import Atom
+        from repro.logic.homomorphism import find_homomorphism
+        from repro.logic.terms import Const, Var
+
+        reasons: list[str] = []
+        for tgd in self.mapping.tgds:
+            heads = [a for a in tgd.head if a.relation == relation]
+            if not heads:
+                continue
+            for head_atom in heads:
+                from repro.runtime.provenance import _head_matches
+
+                seed = _head_matches(head_atom, expected_row, {})
+                if seed is None:
+                    reasons.append(
+                        f"[{tgd.name or tgd}] head cannot produce the row "
+                        "(constant mismatch)"
+                    )
+                    continue
+                partial = {
+                    var: value
+                    for var, value in seed.items()
+                    if var in tgd.frontier()
+                }
+                if find_homomorphism(tgd.body, source, partial=partial):
+                    reasons.append(
+                        f"[{tgd.name or tgd}] would produce the row — "
+                        "it should be present; check execution"
+                    )
+                    continue
+                # Identify the first body atom with no match at all.
+                for atom in tgd.body:
+                    if find_homomorphism([atom], source, partial=partial) is None:
+                        reasons.append(
+                            f"[{tgd.name or tgd}] no source row matches "
+                            f"{atom} under {_pretty(partial)}"
+                        )
+                        break
+                else:
+                    reasons.append(
+                        f"[{tgd.name or tgd}] atoms match individually but "
+                        "their join is empty"
+                    )
+        return reasons or [f"no dependency produces relation {relation!r}"]
+
+
+def _pretty(assignment: dict) -> str:
+    return "{" + ", ".join(
+        f"{var.name}={value!r}" for var, value in sorted(
+            assignment.items(), key=lambda item: item[0].name
+        )
+    ) + "}"

@@ -1,0 +1,41 @@
+"""Transformation execution and data exchange."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.instances.database import Instance
+from repro.mappings.mapping import Mapping
+from repro.operators.transgen import (
+    ExchangeTransformation,
+    Transformation,
+    TransformationPair,
+    transgen,
+)
+
+
+def execute(transformation, instance: Instance) -> Instance:
+    """Run any transformation produced by TransGen.
+
+    For a :class:`TransformationPair`, the *query view* is executed —
+    the direction that materializes the entity/target side.
+    """
+    if isinstance(transformation, TransformationPair):
+        return transformation.query_view.apply(instance)
+    if isinstance(transformation, Transformation):
+        return transformation.apply(instance)
+    raise TypeError(f"not a transformation: {transformation!r}")
+
+
+def exchange(
+    mapping: Mapping, source: Instance, compute_core: bool = False
+) -> Instance:
+    """One-call data exchange: TransGen + execute.
+
+    For tgd mappings this computes a universal solution (optionally the
+    core); for equality mappings it evaluates the generated query view.
+    """
+    transformation = transgen(mapping, compute_core=compute_core)
+    if isinstance(transformation, TransformationPair):
+        return transformation.query_view.apply(source)
+    return transformation.apply(source)

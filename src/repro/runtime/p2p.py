@@ -1,0 +1,100 @@
+"""Peer-to-peer mapping chains (paper, Section 5).
+
+"There is a chain of mappings from the schema to be queried, T, to a
+source S1, which is mapped to a source S2, etc.  The mapping design
+tool might optimize a query on T to collapse the chain into direct
+mappings … the runtime needs to be able to process a query on T by
+propagating it through the chain."
+
+:class:`PeerNetwork` supports both execution styles the paper
+describes: *propagation* (exchange hop by hop along the chain) and
+*collapsed* (compose the chain's mappings into one and exchange once)
+— and the benchmark compares them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import MappingError
+from repro.instances.database import Instance
+from repro.mappings.mapping import Mapping
+from repro.metamodel.schema import Schema
+from repro.operators.compose import compose
+from repro.runtime.executor import exchange
+
+
+@dataclass
+class Peer:
+    name: str
+    schema: Schema
+    data: Optional[Instance] = None
+
+
+class PeerNetwork:
+    """Peers connected by mappings, queried through chains."""
+
+    def __init__(self):
+        self.peers: dict[str, Peer] = {}
+        self.mappings: dict[tuple[str, str], Mapping] = {}
+
+    def add_peer(self, name: str, schema: Schema,
+                 data: Optional[Instance] = None) -> Peer:
+        if name in self.peers:
+            raise MappingError(f"duplicate peer {name!r}")
+        peer = Peer(name=name, schema=schema, data=data)
+        self.peers[name] = peer
+        return peer
+
+    def add_mapping(self, source_peer: str, target_peer: str,
+                    mapping: Mapping) -> None:
+        if source_peer not in self.peers or target_peer not in self.peers:
+            raise MappingError("both peers must exist before mapping them")
+        self.mappings[(source_peer, target_peer)] = mapping
+
+    # ------------------------------------------------------------------
+    def find_chain(self, source_peer: str, target_peer: str) -> list[Mapping]:
+        """Shortest mapping chain from source to target (BFS)."""
+        frontier: list[tuple[str, list[Mapping]]] = [(source_peer, [])]
+        seen = {source_peer}
+        while frontier:
+            current, path = frontier.pop(0)
+            if current == target_peer:
+                return path
+            for (from_peer, to_peer), mapping in self.mappings.items():
+                if from_peer == current and to_peer not in seen:
+                    seen.add(to_peer)
+                    frontier.append((to_peer, path + [mapping]))
+        raise MappingError(
+            f"no mapping chain from {source_peer!r} to {target_peer!r}"
+        )
+
+    def collapse_chain(self, source_peer: str, target_peer: str) -> Mapping:
+        """Compose the chain into one direct mapping (the design-time
+        optimization the paper mentions)."""
+        chain = self.find_chain(source_peer, target_peer)
+        if not chain:
+            raise MappingError("peers coincide; nothing to collapse")
+        collapsed = chain[0]
+        for mapping in chain[1:]:
+            collapsed = compose(collapsed, mapping)
+        return collapsed
+
+    # ------------------------------------------------------------------
+    def propagate(self, source_peer: str, target_peer: str) -> Instance:
+        """Exchange the source peer's data hop by hop to the target."""
+        peer = self.peers[source_peer]
+        if peer.data is None:
+            raise MappingError(f"peer {source_peer!r} holds no data")
+        current = peer.data
+        for mapping in self.find_chain(source_peer, target_peer):
+            current = exchange(mapping, current)
+        return current
+
+    def propagate_collapsed(self, source_peer: str, target_peer: str) -> Instance:
+        """Exchange once through the composed chain."""
+        peer = self.peers[source_peer]
+        if peer.data is None:
+            raise MappingError(f"peer {source_peer!r} holds no data")
+        return exchange(self.collapse_chain(source_peer, target_peer), peer.data)

@@ -1,0 +1,151 @@
+"""Update propagation (paper, Section 5, first bullet).
+
+"Updates on T need to be translated into updates on S via mapST."  For
+bidirectional equality mappings the update view gives the translation
+directly: apply the target-side update logically, run the update view,
+and diff against the current source state to obtain the source-side
+delta.  The roundtripping property guarantees the translated update is
+*exact* — re-running the query view reproduces the updated target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ExpressivenessError, TransformationError
+from repro.instances.database import Instance, Row, freeze_row
+from repro.mappings.mapping import Mapping
+from repro.operators.transgen import TransformationPair, transgen
+
+
+@dataclass
+class UpdateSet:
+    """A batch of tuple-level changes to one schema's relations."""
+
+    inserts: dict[str, list[Row]] = field(default_factory=dict)
+    deletes: dict[str, list[Row]] = field(default_factory=dict)
+
+    def insert(self, relation: str, **values: object) -> "UpdateSet":
+        self.inserts.setdefault(relation, []).append(values)
+        return self
+
+    def insert_object(self, entity: str, **values: object) -> "UpdateSet":
+        """Typed insert for entity hierarchies (sets ``$type``)."""
+        row = {"$type": entity}
+        row.update(values)
+        self.inserts.setdefault("$typed", []).append(row)
+        return self
+
+    def delete(self, relation: str, **values: object) -> "UpdateSet":
+        self.deletes.setdefault(relation, []).append(values)
+        return self
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.inserts and not self.deletes
+
+    def size(self) -> int:
+        return sum(len(r) for r in self.inserts.values()) + sum(
+            len(r) for r in self.deletes.values()
+        )
+
+    def describe(self) -> str:
+        lines = []
+        for relation, rows in sorted(self.inserts.items()):
+            for row in rows:
+                lines.append(f"+ {relation} {row}")
+        for relation, rows in sorted(self.deletes.items()):
+            for row in rows:
+                lines.append(f"- {relation} {row}")
+        return "\n".join(lines) or "(no changes)"
+
+
+def apply_update(instance: Instance, update: UpdateSet) -> Instance:
+    """A new instance with the update applied (deletes match by subset
+    of attributes; typed inserts route through ``insert_object``)."""
+    result = instance.copy()
+    for relation, rows in update.deletes.items():
+        for pattern in rows:
+            result.delete(
+                relation,
+                lambda row, p=pattern: all(
+                    row.get(k) == v for k, v in p.items()
+                ),
+            )
+    for relation, rows in update.inserts.items():
+        if relation == "$typed":
+            for row in rows:
+                values = {k: v for k, v in row.items() if k != "$type"}
+                result.insert_object(str(row["$type"]), **values)
+        else:
+            result.insert_all(relation, rows)
+    return result
+
+
+def instance_delta(before: Instance, after: Instance) -> UpdateSet:
+    """The tuple-level difference between two states (set semantics)."""
+    update = UpdateSet()
+    relations = set(before.relations) | set(after.relations)
+    for relation in sorted(relations):
+        old = {freeze_row(r): r for r in before.rows(relation)}
+        new = {freeze_row(r): r for r in after.rows(relation)}
+        for key in new.keys() - old.keys():
+            update.inserts.setdefault(relation, []).append(dict(new[key]))
+        for key in old.keys() - new.keys():
+            update.deletes.setdefault(relation, []).append(dict(old[key]))
+    return update
+
+
+class UpdatePropagator:
+    """Translates target-side updates into source-side updates.
+
+    Requires a bidirectional (equality) mapping — the paper's ADO.NET
+    scenario.  For tgd mappings the translation is ambiguous (view
+    update problem) and :class:`ExpressivenessError` is raised, which
+    is itself one of the paper's points: runtime services constrain the
+    usable mapping language.
+    """
+
+    def __init__(self, mapping: Mapping):
+        if not mapping.equalities:
+            raise ExpressivenessError(
+                "update propagation needs a bidirectional equality mapping; "
+                "tgd mappings do not determine a unique source update"
+            )
+        self.mapping = mapping
+        views = transgen(mapping)
+        assert isinstance(views, TransformationPair)
+        self.views = views
+
+    def propagate(
+        self,
+        target_instance: Instance,
+        update: UpdateSet,
+        source_instance: Optional[Instance] = None,
+    ) -> tuple[UpdateSet, Instance, Instance]:
+        """Apply ``update`` on the target side; return the translated
+        source update, the new source state, and the new target state.
+
+        Raises :class:`TransformationError` if the updated target is
+        not representable through the mapping (the update view loses
+        it), before any state is touched.
+        """
+        new_target = apply_update(target_instance, update)
+        new_source = self.views.update_view.apply(new_target)
+        # Validate representability: query view must reproduce the
+        # updated target (roundtrip of the *new* state).
+        recovered = self.views.query_view.apply(new_source)
+        relations = set(recovered.relations)
+        visible = Instance(new_target.schema)
+        for relation in relations:
+            visible.relations[relation] = new_target.rows(relation)
+        if not recovered.set_equal(visible):
+            raise TransformationError(
+                "update is not representable through the mapping: "
+                "query(update(T′)) ≠ T′"
+            )
+        if source_instance is None:
+            source_instance = self.views.update_view.apply(target_instance)
+        source_update = instance_delta(source_instance, new_source)
+        return source_update, new_source, new_target

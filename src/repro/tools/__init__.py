@@ -1,0 +1,46 @@
+"""The tool layer of Figure 1.
+
+Section 1.1 lists the product categories where engineered mappings are
+central; Section 2's thesis is that one engine can serve them all.
+Each tool here is a deliberately thin adapter over
+:class:`~repro.core.engine.ModelManagementEngine`, demonstrating the
+reuse the paper calls for:
+
+* :mod:`~repro.tools.etl` — extract-transform-load pipelines;
+* :mod:`~repro.tools.wrapper` — OO wrapper generation over a
+  relational source (queries *and* updates);
+* :mod:`~repro.tools.mediator` — query mediation over multiple
+  sources (EII);
+* :mod:`~repro.tools.message_mapper` — message translation between
+  two formats;
+* :mod:`~repro.tools.report` — a report writer over mapped data.
+"""
+
+from repro.tools.etl import EtlPipeline, EtlStep
+from repro.tools.wrapper import WrapperGenerator, GeneratedWrapper
+from repro.tools.mediator import QueryMediator
+from repro.tools.message_mapper import MessageMapper
+from repro.tools.report import ReportWriter, ReportSpec
+from repro.tools.cleaning import (
+    chain,
+    fuzzy_dedup,
+    normalizer,
+    null_filter,
+    range_filter,
+)
+
+__all__ = [
+    "chain",
+    "fuzzy_dedup",
+    "normalizer",
+    "null_filter",
+    "range_filter",
+    "EtlPipeline",
+    "EtlStep",
+    "WrapperGenerator",
+    "GeneratedWrapper",
+    "QueryMediator",
+    "MessageMapper",
+    "ReportWriter",
+    "ReportSpec",
+]

@@ -1,0 +1,130 @@
+"""Heuristic cleaning operators for ETL pipelines.
+
+The paper's §5 "Data exchange" bullet notes warehouse mappings involve
+"deduplication or other heuristic operators".  This module provides
+cleaner factories plugging into :class:`~repro.tools.etl.EtlStep`:
+
+* :func:`fuzzy_dedup` — approximate duplicate elimination: rows whose
+  key columns agree and whose fuzzy columns are lexically similar above
+  a threshold collapse onto the first-seen representative;
+* :func:`null_filter` — drop rows with nulls in required columns;
+* :func:`range_filter` — drop rows outside a numeric range;
+* :func:`normalizer` — canonicalize string columns (case/whitespace);
+* :func:`chain` — compose cleaners left to right.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.instances.database import Row
+from repro.instances.labeled_null import is_null
+from repro.operators.match.lexical import name_similarity
+
+Cleaner = Callable[[str, Row], Optional[Row]]
+
+
+def chain(*cleaners: Cleaner) -> Cleaner:
+    """Apply cleaners in order; the first to drop a row wins."""
+
+    def run(relation: str, row: Row) -> Optional[Row]:
+        current: Optional[Row] = row
+        for cleaner in cleaners:
+            if current is None:
+                return None
+            current = cleaner(relation, current)
+        return current
+
+    return run
+
+
+def null_filter(required: Sequence[str]) -> Cleaner:
+    """Drop rows with (labeled or SQL) nulls in the given columns."""
+    required_set = set(required)
+
+    def run(relation: str, row: Row) -> Optional[Row]:
+        for column in required_set:
+            if column in row and is_null(row[column]):
+                return None
+        return row
+
+    return run
+
+
+def range_filter(column: str, minimum=None, maximum=None) -> Cleaner:
+    """Drop rows whose numeric ``column`` falls outside [min, max]."""
+
+    def run(relation: str, row: Row) -> Optional[Row]:
+        value = row.get(column)
+        if value is None:
+            return row
+        if minimum is not None and value < minimum:
+            return None
+        if maximum is not None and value > maximum:
+            return None
+        return row
+
+    return run
+
+
+def normalizer(columns: Sequence[str], lowercase: bool = True) -> Cleaner:
+    """Trim and collapse whitespace (and optionally lowercase) the
+    given string columns."""
+    column_set = set(columns)
+
+    def run(relation: str, row: Row) -> Optional[Row]:
+        cleaned = dict(row)
+        for column in column_set:
+            value = cleaned.get(column)
+            if isinstance(value, str):
+                text = " ".join(value.split())
+                cleaned[column] = text.lower() if lowercase else text
+        return cleaned
+
+    return run
+
+
+class fuzzy_dedup:  # noqa: N801 - factory used like a function
+    """Stateful approximate deduplication.
+
+    Two rows are duplicates when they agree exactly on ``exact_columns``
+    and every ``fuzzy_column`` pair scores ≥ ``threshold`` under the
+    lexical similarity used by the matcher.  The first-seen row is the
+    representative; later duplicates are dropped.  State is per
+    pipeline run — construct a fresh instance per run.
+    """
+
+    def __init__(
+        self,
+        exact_columns: Sequence[str] = (),
+        fuzzy_columns: Sequence[str] = (),
+        threshold: float = 0.85,
+    ):
+        self.exact_columns = tuple(exact_columns)
+        self.fuzzy_columns = tuple(fuzzy_columns)
+        self.threshold = threshold
+        self._seen: dict[str, list[Row]] = {}
+        self.dropped = 0
+
+    def __call__(self, relation: str, row: Row) -> Optional[Row]:
+        bucket = self._seen.setdefault(relation, [])
+        for representative in bucket:
+            if self._duplicates(representative, row):
+                self.dropped += 1
+                return None
+        bucket.append(row)
+        return row
+
+    def _duplicates(self, a: Row, b: Row) -> bool:
+        for column in self.exact_columns:
+            if a.get(column) != b.get(column):
+                return False
+        for column in self.fuzzy_columns:
+            left, right = a.get(column), b.get(column)
+            if left is None or right is None:
+                if left is not right:
+                    return False
+                continue
+            if name_similarity(str(left), str(right)) < self.threshold:
+                return False
+        return bool(self.exact_columns or self.fuzzy_columns)

@@ -1,0 +1,14 @@
+"""Workloads: the paper's worked examples and synthetic generators.
+
+:mod:`repro.workloads.paper` builds the exact schemas, constraints and
+sample data of the paper's Figures 2, 3, 4 and 6, so tests and
+benchmarks can check the engine's outputs against the published
+artifacts.  :mod:`repro.workloads.synthetic` generates parametric
+schema/mapping families (snowflakes, inheritance hierarchies, mapping
+chains, evolution deltas, noisy correspondences) for the scaling
+experiments in EXPERIMENTS.md.
+"""
+
+from repro.workloads import paper, synthetic
+
+__all__ = ["paper", "synthetic"]

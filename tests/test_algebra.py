@@ -1,0 +1,358 @@
+"""Unit tests for relational algebra: scalars, evaluation, printing, SQL."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import (
+    Aggregate,
+    And,
+    Arith,
+    Case,
+    Col,
+    Comparison,
+    Difference,
+    Distinct,
+    EntityScan,
+    Extend,
+    FALSE,
+    Func,
+    In,
+    IsNull,
+    IsOf,
+    Join,
+    Lit,
+    Not,
+    Or,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Sort,
+    TRUE,
+    UnionAll,
+    Values,
+    col,
+    eq,
+    eq_join,
+    evaluate,
+    ge,
+    gt,
+    lit,
+    project_names,
+    to_sql,
+    to_text,
+)
+from repro.instances import Instance, LabeledNull
+from tests.test_metamodel_schema import person_hierarchy
+
+
+@pytest.fixture
+def db():
+    instance = Instance()
+    instance.insert_all(
+        "Empl",
+        [
+            {"EID": 1, "Name": "Ann", "AID": 10},
+            {"EID": 2, "Name": "Bob", "AID": 20},
+            {"EID": 3, "Name": "Cat", "AID": None},
+        ],
+    )
+    instance.insert_all(
+        "Addr",
+        [
+            {"AID": 10, "City": "Rome", "Zip": "00100"},
+            {"AID": 20, "City": "Oslo", "Zip": "0150"},
+            {"AID": 30, "City": "Lima", "Zip": "15001"},
+        ],
+    )
+    return instance
+
+
+class TestScalars:
+    def test_col_and_lit(self, db):
+        rows = evaluate(Project(Scan("Empl"), [("n", Col("Name")), ("k", Lit(7))]), db)
+        assert rows[0] == {"n": "Ann", "k": 7}
+
+    def test_arithmetic(self, db):
+        rows = evaluate(Extend(Scan("Empl"), "Double", Arith("*", Col("EID"), Lit(2))), db)
+        assert [r["Double"] for r in rows] == [2, 4, 6]
+
+    def test_arithmetic_null_propagates(self, db):
+        rows = evaluate(Extend(Scan("Empl"), "X", Arith("+", Col("AID"), Lit(1))), db)
+        assert rows[2]["X"] is None
+
+    def test_func(self, db):
+        upper = Func("upper", [Col("Name")], lambda s: s.upper())
+        rows = evaluate(Project(Scan("Empl"), [("U", upper)]), db)
+        assert rows[0]["U"] == "ANN"
+
+    def test_func_null_propagates(self, db):
+        f = Func("inc", [Col("AID")], lambda x: x + 1)
+        rows = evaluate(Project(Scan("Empl"), [("x", f)]), db)
+        assert rows[2]["x"] is None
+
+    def test_comparison_unknown_filters(self, db):
+        rows = evaluate(Select(Scan("Empl"), gt(Col("AID"), 5)), db)
+        assert len(rows) == 2  # the None row is unknown, filtered out
+
+    def test_comparison_cross_type(self, db):
+        rows = evaluate(Select(Scan("Empl"), eq(Col("Name"), 3)), db)
+        assert rows == []
+
+    def test_boolean_connectives(self, db):
+        p = And(ge(Col("EID"), 1), Not(Or(eq(Col("Name"), "Bob"), FALSE)))
+        rows = evaluate(Select(Scan("Empl"), p), db)
+        assert {r["Name"] for r in rows} == {"Ann", "Cat"}
+
+    def test_is_null(self, db):
+        rows = evaluate(Select(Scan("Empl"), IsNull(Col("AID"))), db)
+        assert [r["Name"] for r in rows] == ["Cat"]
+        rows = evaluate(Select(Scan("Empl"), IsNull(Col("AID"), negated=True)), db)
+        assert len(rows) == 2
+
+    def test_is_null_true_for_labeled(self):
+        db = Instance()
+        db.add("R", x=LabeledNull(1))
+        assert len(evaluate(Select(Scan("R"), IsNull(Col("x"))), db)) == 1
+
+    def test_in(self, db):
+        rows = evaluate(Select(Scan("Empl"), In(Col("Name"), ["Ann", "Cat"])), db)
+        assert len(rows) == 2
+
+    def test_case(self, db):
+        expr = Project(
+            Scan("Empl"),
+            [("Band", Case([(eq(Col("EID"), 1), Lit("one"))], Lit("many")))],
+        )
+        assert [r["Band"] for r in evaluate(expr, db)] == ["one", "many", "many"]
+
+    def test_labeled_null_equality_in_predicates(self):
+        db = Instance()
+        n = LabeledNull(5)
+        db.add("R", x=n, y=n)
+        db.add("R", x=LabeledNull(5), y=LabeledNull(6))
+        rows = evaluate(Select(Scan("R"), eq(Col("x"), Col("y"))), db)
+        assert len(rows) == 1
+
+
+class TestRelationalOperators:
+    def test_scan_copies(self, db):
+        rows = evaluate(Scan("Empl"), db)
+        rows[0]["EID"] = 99
+        assert db.rows("Empl")[0]["EID"] == 1
+
+    def test_values(self, db):
+        rows = evaluate(Values([{"a": 1}, {"a": 2}]), db)
+        assert len(rows) == 2
+
+    def test_project_duplicate_columns_rejected(self):
+        with pytest.raises(Exception):
+            Project(Scan("R"), [("a", Col("x")), ("a", Col("y"))])
+
+    def test_inner_join(self, db):
+        expr = eq_join(Scan("Empl"), Scan("Addr"), [("AID", "AID")])
+        rows = evaluate(expr, db)
+        assert len(rows) == 2
+        assert {r["City"] for r in rows} == {"Rome", "Oslo"}
+
+    def test_left_join_pads_nulls(self, db):
+        expr = eq_join(Scan("Empl"), Scan("Addr"), [("AID", "AID")], kind="left")
+        rows = evaluate(expr, db)
+        assert len(rows) == 3
+        cat = next(r for r in rows if r["Name"] == "Cat")
+        assert cat["City"] is None
+
+    def test_join_same_column_names(self, db):
+        # both sides have AID; ensure the equality compares correct sides
+        expr = eq_join(Scan("Addr"), Scan("Addr"), [("AID", "AID")])
+        rows = evaluate(expr, db)
+        assert len(rows) == 3
+
+    def test_join_right_prefix(self, db):
+        expr = eq_join(
+            Scan("Empl"), Scan("Addr"), [("AID", "AID")], right_prefix="a"
+        )
+        rows = evaluate(expr, db)
+        assert all("a.AID" in r for r in rows)
+
+    def test_theta_join(self, db):
+        expr = Join(Scan("Empl"), Scan("Addr"), gt(Col("$right.AID"), Col("$left.EID")))
+        rows = evaluate(expr, db)
+        assert len(rows) == 9  # every AID (10,20,30) > every EID (1,2,3)
+
+    def test_join_null_keys_never_match(self, db):
+        db2 = Instance()
+        db2.add("L", k=None)
+        db2.add("R2", k=None)
+        expr = eq_join(Scan("L"), Scan("R2"), [("k", "k")])
+        assert evaluate(expr, db2) == []
+
+    def test_labeled_null_join_matches_by_label(self):
+        db = Instance()
+        n = LabeledNull(1)
+        db.add("L", k=n, a=1)
+        db.add("R", k=n, b=2)
+        db.add("R", k=LabeledNull(2), b=3)
+        rows = evaluate(eq_join(Scan("L"), Scan("R"), [("k", "k")]), db)
+        assert len(rows) == 1 and rows[0]["b"] == 2
+
+    def test_union_all_pads_missing_columns(self, db):
+        expr = UnionAll(
+            project_names(Scan("Empl"), ["EID", "Name"]),
+            Project(Scan("Addr"), [("EID", Col("AID")), ("City", Col("City"))]),
+        )
+        rows = evaluate(expr, db)
+        assert len(rows) == 6
+        assert all(set(r) == {"EID", "Name", "City"} for r in rows)
+
+    def test_difference(self, db):
+        all_ids = Project(Scan("Addr"), [("AID", Col("AID"))])
+        used = Select(
+            Project(Scan("Empl"), [("AID", Col("AID"))]),
+            IsNull(Col("AID"), negated=True),
+        )
+        rows = evaluate(Difference(all_ids, used), db)
+        assert [r["AID"] for r in rows] == [30]
+
+    def test_distinct(self, db):
+        expr = Distinct(Project(Scan("Addr"), [("c", Lit("x"))]))
+        assert len(evaluate(expr, db)) == 1
+
+    def test_rename(self, db):
+        rows = evaluate(Rename(Scan("Empl"), {"EID": "Id"}), db)
+        assert "Id" in rows[0] and "EID" not in rows[0]
+
+    def test_aggregate_grouped(self, db):
+        expr = Aggregate(
+            Scan("Empl"),
+            group_by=[],
+            aggregations=[("n", "count", None), ("m", "max", Col("EID")),
+                          ("s", "sum", Col("EID")), ("a", "avg", Col("EID")),
+                          ("mn", "min", Col("EID"))],
+        )
+        row = evaluate(expr, db)[0]
+        assert row == {"n": 3, "m": 3, "s": 6, "a": 2.0, "mn": 1}
+
+    def test_aggregate_by_group(self, db):
+        db.add("Empl", EID=4, Name="Ann", AID=30)
+        expr = Aggregate(Scan("Empl"), ["Name"], [("n", "count", None)])
+        rows = {r["Name"]: r["n"] for r in evaluate(expr, db)}
+        assert rows["Ann"] == 2 and rows["Bob"] == 1
+
+    def test_aggregate_empty_input_no_groups(self, db):
+        expr = Aggregate(Scan("Nothing"), [], [("n", "count", None),
+                                               ("s", "sum", Col("x"))])
+        row = evaluate(expr, db)[0]
+        assert row["n"] == 0 and row["s"] is None
+
+    def test_aggregate_count_ignores_nulls(self, db):
+        expr = Aggregate(Scan("Empl"), [], [("n", "count", Col("AID"))])
+        assert evaluate(expr, db)[0]["n"] == 2
+
+    def test_sort(self, db):
+        rows = evaluate(Sort(Scan("Empl"), ["-EID"]), db)
+        assert [r["EID"] for r in rows] == [3, 2, 1]
+
+    def test_sort_nulls_last(self, db):
+        rows = evaluate(Sort(Scan("Empl"), ["AID"]), db)
+        assert rows[-1]["AID"] is None
+
+
+class TestEntityScan:
+    def test_polymorphic_scan(self):
+        schema = person_hierarchy()
+        db = Instance(schema)
+        db.insert_object("Person", Id=1, Name="P")
+        db.insert_object("Employee", Id=2, Name="E", Dept="QA")
+        db.insert_object("Customer", Id=3, Name="C", CreditScore=1, BillingAddr="x")
+        assert len(evaluate(EntityScan("Person"), db)) == 3
+        assert len(evaluate(EntityScan("Employee"), db)) == 1
+        assert len(evaluate(EntityScan("Person", only=True), db)) == 1
+
+    def test_is_of_predicate(self):
+        schema = person_hierarchy()
+        db = Instance(schema)
+        db.insert_object("Employee", Id=2, Name="E", Dept="QA")
+        rows = evaluate(Select(EntityScan("Person"), IsOf("Person")), db)
+        assert len(rows) == 1
+        rows = evaluate(Select(EntityScan("Person"), IsOf("Person", only=True)), db)
+        assert rows == []
+
+
+class TestPrinting:
+    def test_algebra_text(self, db):
+        expr = Select(
+            project_names(Scan("Empl"), ["EID", "Name"]), eq(Col("EID"), 1)
+        )
+        text = to_text(expr)
+        assert "σ" in text and "π" in text and "Empl" in text
+
+    def test_sql_rendering_runs(self, db):
+        expr = eq_join(
+            Select(Scan("Empl"), gt(Col("EID"), 1)), Scan("Addr"), [("AID", "AID")]
+        )
+        sql = to_sql(expr)
+        assert "INNER JOIN" in sql and "WHERE EID > 1" in sql
+
+    def test_sql_literals(self):
+        expr = Select(Scan("R"), eq(Col("x"), "O'Hara"))
+        assert "'O''Hara'" in to_sql(expr)
+
+    def test_sql_case(self):
+        expr = Project(
+            Scan("R"),
+            [("t", Case([(IsOf("Employee"), Lit("emp"))], Lit("other")))],
+        )
+        sql = to_sql(expr)
+        assert "CASE WHEN" in sql and "IS OF" in sql
+
+
+class TestExpressionUtilities:
+    def test_relations(self, db):
+        expr = UnionAll(Scan("A"), eq_join(Scan("B"), EntityScan("C"), []))
+        assert expr.relations() == {"A", "B", "C"}
+
+    def test_size_and_depth(self):
+        expr = Select(Scan("A"), TRUE)
+        assert expr.size() == 2 and expr.depth() == 2
+
+    def test_structural_equality(self):
+        a = Select(Scan("R"), eq(Col("x"), 1))
+        b = Select(Scan("R"), eq(Col("x"), 1))
+        assert a == b and hash(a) == hash(b)
+        assert a != Select(Scan("R"), eq(Col("x"), 2))
+
+
+@given(
+    st.lists(
+        st.fixed_dictionaries({"x": st.integers(-5, 5), "y": st.integers(-5, 5)}),
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_select_partition_property(rows):
+    """σp(R) ∪ σ¬p(R) == R when p is two-valued on all rows."""
+    db = Instance()
+    db.insert_all("R", rows)
+    p = gt(Col("x"), Col("y"))
+    kept = evaluate(Select(Scan("R"), p), db)
+    dropped = evaluate(Select(Scan("R"), Not(p)), db)
+    assert len(kept) + len(dropped) == len(rows)
+
+
+@given(
+    st.lists(st.fixed_dictionaries({"k": st.integers(0, 3)}), max_size=15),
+    st.lists(st.fixed_dictionaries({"k": st.integers(0, 3), "v": st.integers()}),
+             max_size=15),
+)
+@settings(max_examples=50, deadline=None)
+def test_join_cardinality_property(left, right):
+    """|L ⋈ R| equals the sum over L of matching R rows."""
+    db = Instance()
+    db.insert_all("L", left)
+    db.insert_all("R", right)
+    rows = evaluate(eq_join(Scan("L"), Scan("R"), [("k", "k")]), db)
+    expected = sum(
+        sum(1 for r in right if r["k"] == l["k"]) for l in left
+    )
+    assert len(rows) == expected

@@ -1,0 +1,168 @@
+"""Tests for instance serialization, DOT export and the CLI."""
+
+import datetime
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.instances import Instance, LabeledNull
+from repro.instances.serialization import (
+    dump_instance,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+)
+from repro.metamodels.graphviz import correspondences_to_dot, schema_to_dot
+from repro.metamodels.serialization import mapping_to_dict, schema_to_dict
+from repro.workloads import paper
+from tests.test_metamodel_schema import person_hierarchy
+
+
+class TestInstanceSerialization:
+    def test_roundtrip_plain_values(self):
+        db = Instance()
+        db.add("R", i=1, f=2.5, s="x", b=True, n=None)
+        assert load_instance(dump_instance(db)) == db
+
+    def test_roundtrip_labeled_nulls(self):
+        db = Instance()
+        db.add("R", v=LabeledNull(7, hint="f_x"))
+        back = load_instance(dump_instance(db))
+        value = back.rows("R")[0]["v"]
+        assert isinstance(value, LabeledNull)
+        assert value.label == 7 and value.hint == "f_x"
+
+    def test_roundtrip_temporal_and_bytes(self):
+        db = Instance()
+        db.add("R", d=datetime.date(2020, 5, 17),
+               ts=datetime.datetime(2021, 1, 2, 3, 4, 5),
+               blob=b"\x00\xff")
+        back = load_instance(dump_instance(db))
+        row = back.rows("R")[0]
+        assert row["d"] == datetime.date(2020, 5, 17)
+        assert row["ts"].hour == 3
+        assert row["blob"] == b"\x00\xff"
+
+    def test_typed_rows_roundtrip(self):
+        db = paper.figure2_er_instance()
+        back = instance_from_dict(instance_to_dict(db), db.schema)
+        assert back == db
+        assert back.objects_of("Employee")
+
+    def test_unserializable_rejected(self):
+        from repro.errors import RepositoryError
+
+        db = Instance()
+        db.add("R", v=object())
+        with pytest.raises(RepositoryError):
+            instance_to_dict(db)
+
+
+class TestDot:
+    def test_schema_dot(self):
+        dot = schema_to_dot(person_hierarchy())
+        assert dot.startswith('digraph "ERS"')
+        assert '"Employee" -> "Person"' in dot and "is-a" in dot
+        assert "CreditScore" in dot
+
+    def test_fk_edges(self):
+        dot = schema_to_dot(paper.figure4_source_schema())
+        assert '"Empl" -> "Addr"' in dot
+
+    def test_correspondence_dot(self):
+        dot = correspondences_to_dot(paper.figure4_correspondences())
+        assert "cluster_source" in dot and "cluster_target" in dot
+        assert '"S:Empl.Name" -> "T:Staff.Name"' in dot
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    """Schema / mapping / instance JSON files for the CLI."""
+    schema_path = tmp_path / "sql.json"
+    schema_path.write_text(json.dumps(schema_to_dict(paper.figure2_sql_schema())))
+    er_path = tmp_path / "er.json"
+    er_path.write_text(json.dumps(schema_to_dict(paper.figure2_er_schema())))
+    mapping_path = tmp_path / "mapping.json"
+    mapping_path.write_text(
+        json.dumps(mapping_to_dict(paper.figure2_mapping()), default=str)
+    )
+    data_path = tmp_path / "data.json"
+    data_path.write_text(dump_instance(paper.figure2_sql_instance()))
+    return {
+        "schema": str(schema_path),
+        "er": str(er_path),
+        "mapping": str(mapping_path),
+        "data": str(data_path),
+        "dir": tmp_path,
+    }
+
+
+class TestCli:
+    def test_describe(self, artifacts, capsys):
+        assert main(["describe", artifacts["schema"]]) == 0
+        out = capsys.readouterr().out
+        assert "entity HR" in out and "entity Client" in out
+
+    def test_validate_ok(self, artifacts, capsys):
+        code = main(["validate", artifacts["schema"],
+                     "--instance", artifacts["data"]])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_validate_catches_bad_instance(self, artifacts, tmp_path, capsys):
+        bad = Instance()
+        bad.add("Empl", Id=999, Dept="Ghost")
+        bad_path = tmp_path / "bad.json"
+        bad_path.write_text(dump_instance(bad))
+        code = main(["validate", artifacts["schema"],
+                     "--instance", str(bad_path)])
+        assert code == 1
+        assert "inclusion violation" in capsys.readouterr().out
+
+    def test_ddl(self, artifacts, capsys):
+        assert main(["ddl", artifacts["schema"]]) == 0
+        assert "CREATE TABLE HR" in capsys.readouterr().out
+
+    def test_parse_ddl(self, artifacts, tmp_path, capsys):
+        sql_file = tmp_path / "schema.sql"
+        sql_file.write_text(
+            "CREATE TABLE T (id INTEGER PRIMARY KEY, v TEXT);"
+        )
+        assert main(["parse-ddl", str(sql_file)]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["entities"][0]["name"] == "T"
+
+    def test_dot(self, artifacts, capsys):
+        assert main(["dot", artifacts["er"]]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_match(self, artifacts, capsys):
+        code = main(["match", artifacts["schema"], artifacts["er"],
+                     "--top-k", "2", "--threshold", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "≈" in out
+
+    def test_modelgen(self, artifacts, tmp_path, capsys):
+        out_path = tmp_path / "generated.json"
+        code = main(["modelgen", artifacts["er"], "relational",
+                     "--strategy", "TPH", "--out", str(out_path)])
+        assert code == 0
+        assert "Person_all" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_exchange(self, artifacts, capsys):
+        assert main(["exchange", artifacts["mapping"],
+                     artifacts["data"]]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert len(result["relations"]["Person"]) == 5
+
+    def test_sql(self, artifacts, capsys):
+        assert main(["sql", artifacts["mapping"]]) == 0
+        out = capsys.readouterr().out
+        assert "query view for Person" in out and "UNION ALL" in out
+
+    def test_missing_file_is_graceful(self, capsys):
+        assert main(["describe", "/nonexistent.json"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,223 @@
+"""Unit tests for terms, formulas, the parser and homomorphism search."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.instances import Instance, LabeledNull
+from repro.logic import (
+    Atom,
+    Const,
+    ConjunctiveQuery,
+    Equality,
+    FuncTerm,
+    TGD,
+    Var,
+    find_all_homomorphisms,
+    find_homomorphism,
+    instance_homomorphism,
+    parse_atom,
+    parse_egd,
+    parse_query,
+    parse_tgd,
+)
+from repro.logic.terms import apply_term, unify, variables_of
+
+
+class TestTerms:
+    def test_apply_substitution(self):
+        x, y = Var("x"), Var("y")
+        assert apply_term(x, {x: Const(1)}) == Const(1)
+        assert apply_term(y, {x: Const(1)}) == y
+
+    def test_apply_chases_chains(self):
+        x, y = Var("x"), Var("y")
+        assert apply_term(x, {x: y, y: Const(2)}) == Const(2)
+
+    def test_apply_into_func_terms(self):
+        x = Var("x")
+        term = FuncTerm("f", (x, Const(1)))
+        assert apply_term(term, {x: Const(9)}) == FuncTerm("f", (Const(9), Const(1)))
+
+    def test_unify_var_const(self):
+        x = Var("x")
+        sub = {}
+        assert unify(x, Const(3), sub)
+        assert sub[x] == Const(3)
+
+    def test_unify_func_terms(self):
+        x, y = Var("x"), Var("y")
+        sub = {}
+        assert unify(FuncTerm("f", (x, Const(1))), FuncTerm("f", (Const(2), y)), sub)
+        assert sub[x] == Const(2) and sub[y] == Const(1)
+
+    def test_unify_mismatched_functions(self):
+        assert not unify(FuncTerm("f", ()), FuncTerm("g", ()), {})
+
+    def test_unify_occurs_check(self):
+        x = Var("x")
+        assert not unify(x, FuncTerm("f", (x,)), {})
+
+    def test_variables_of(self):
+        x, y = Var("x"), Var("y")
+        assert variables_of(FuncTerm("f", (x, FuncTerm("g", (y,))))) == {x, y}
+
+
+class TestAtoms:
+    def test_atom_of_wraps_constants(self):
+        atom = Atom.of("R", a=Var("x"), b=5)
+        assert atom.term("a") == Var("x")
+        assert atom.term("b") == Const(5)
+
+    def test_substitute(self):
+        atom = Atom.of("R", a=Var("x"))
+        assert atom.substitute({Var("x"): Const(1)}).term("a") == Const(1)
+
+    def test_str(self):
+        assert str(Atom.of("R", a=Var("x"), b="hi")) == 'R(a=x, b="hi")'
+
+
+class TestParser:
+    def test_parse_atom(self):
+        atom = parse_atom("Empl(EID=x, Name='Ann')")
+        assert atom.relation == "Empl"
+        assert atom.term("EID") == Var("x")
+        assert atom.term("Name") == Const("Ann")
+
+    def test_parse_numbers_and_keywords(self):
+        atom = parse_atom("R(a=1, b=2.5, c=true, d=null, e=-3)")
+        assert atom.term("a") == Const(1)
+        assert atom.term("b") == Const(2.5)
+        assert atom.term("c") == Const(True)
+        assert atom.term("d") == Const(None)
+        assert atom.term("e") == Const(-3)
+
+    def test_parse_func_term(self):
+        atom = parse_atom("R(a=f(x, y))")
+        assert atom.term("a") == FuncTerm("f", (Var("x"), Var("y")))
+
+    def test_parse_tgd(self):
+        tgd = parse_tgd("Empl(EID=x, AID=a) & Addr(AID=a, City=c) -> Staff(SID=x, City=c)")
+        assert len(tgd.body) == 2 and len(tgd.head) == 1
+        assert tgd.frontier() == {Var("x"), Var("c")}
+        assert tgd.is_full
+
+    def test_parse_tgd_with_existential(self):
+        tgd = parse_tgd("HR(Id=i) -> Badge(Id=i, Code=b)")
+        assert tgd.existentials() == {Var("b")}
+        assert not tgd.is_full
+
+    def test_parse_egd(self):
+        egd = parse_egd("R(k=x, v=a) & R(k=x, v=b) -> a = b")
+        assert len(egd.body) == 2
+        assert egd.equalities == (Equality(Var("a"), Var("b")),)
+
+    def test_parse_query(self):
+        q = parse_query("q(x, c) :- Empl(EID=x, AID=a) & Addr(AID=a, City=c)")
+        assert q.head == (Var("x"), Var("c"))
+        assert q.is_safe()
+        assert q.relations() == {"Empl", "Addr"}
+
+    def test_parse_query_with_condition(self):
+        q = parse_query("q(x) :- R(a=x, b=y) & y = 5")
+        assert q.conditions == (Equality(Var("y"), Const(5)),)
+
+    def test_reject_garbage(self):
+        with pytest.raises(MappingError):
+            parse_tgd("R(a=x) ->")
+        with pytest.raises(MappingError):
+            parse_atom("R(a=x) & S(b=y)")
+        with pytest.raises(MappingError):
+            parse_egd("R(a=x) -> S(b=x)")
+
+    def test_roundtrip_str(self):
+        tgd = parse_tgd("R(a=x) -> S(b=x, c=y)")
+        again = parse_tgd(str(tgd).replace("∃y ", ""))
+        assert again.body == tgd.body and again.head == tgd.head
+
+
+class TestFormulaHomomorphisms:
+    def setup_method(self):
+        self.db = Instance()
+        self.db.insert_all("Empl", [
+            {"EID": 1, "AID": 10}, {"EID": 2, "AID": 20}, {"EID": 3, "AID": 10},
+        ])
+        self.db.insert_all("Addr", [
+            {"AID": 10, "City": "Rome"}, {"AID": 20, "City": "Oslo"},
+        ])
+
+    def test_single_atom(self):
+        homs = find_all_homomorphisms([parse_atom("Empl(EID=x)")], self.db)
+        assert {h[Var("x")] for h in homs} == {1, 2, 3}
+
+    def test_join(self):
+        atoms = [parse_atom("Empl(EID=x, AID=a)"), parse_atom("Addr(AID=a, City=c)")]
+        homs = find_all_homomorphisms(atoms, self.db)
+        assert len(homs) == 3
+        rome = [h for h in homs if h[Var("c")] == "Rome"]
+        assert {h[Var("x")] for h in rome} == {1, 3}
+
+    def test_constant_filtering(self):
+        homs = find_all_homomorphisms([parse_atom("Addr(City='Rome', AID=a)")], self.db)
+        assert len(homs) == 1 and homs[0][Var("a")] == 10
+
+    def test_partial_assignment(self):
+        hom = find_homomorphism(
+            [parse_atom("Empl(EID=x, AID=a)")], self.db, partial={Var("x"): 2}
+        )
+        assert hom[Var("a")] == 20
+
+    def test_conditions(self):
+        q = parse_query("q(x) :- Empl(EID=x, AID=a) & a = 10")
+        homs = find_all_homomorphisms(q.body, self.db, q.conditions)
+        assert {h[Var("x")] for h in homs} == {1, 3}
+
+    def test_no_match(self):
+        assert find_homomorphism([parse_atom("Empl(EID=99)")], self.db) is None
+
+    def test_repeated_variable_must_agree(self):
+        db = Instance()
+        db.add("R", a=1, b=1)
+        db.add("R", a=1, b=2)
+        homs = find_all_homomorphisms([parse_atom("R(a=x, b=x)")], db)
+        assert len(homs) == 1
+
+
+class TestInstanceHomomorphism:
+    def test_nulls_map_to_constants(self):
+        source, target = Instance(), Instance()
+        n = LabeledNull(0)
+        source.add("R", a=n, b=1)
+        target.add("R", a=7, b=1)
+        mapping = instance_homomorphism(source, target)
+        assert mapping == {n: 7}
+
+    def test_constants_are_fixed(self):
+        source, target = Instance(), Instance()
+        source.add("R", a=1)
+        target.add("R", a=2)
+        assert instance_homomorphism(source, target) is None
+
+    def test_consistency_across_rows(self):
+        source, target = Instance(), Instance()
+        n = LabeledNull(0)
+        source.add("R", a=n)
+        source.add("S", a=n)
+        target.add("R", a=1)
+        target.add("S", a=2)
+        assert instance_homomorphism(source, target) is None
+        target.add("S", a=1)
+        assert instance_homomorphism(source, target) == {n: 1}
+
+
+class TestCanonicalInstance:
+    def test_variables_become_nulls(self):
+        q = parse_query("q(x) :- R(a=x, b=y)")
+        instance, head = q.canonical_instance()
+        assert instance.cardinality("R") == 1
+        assert all(isinstance(v, LabeledNull) for v in instance.rows("R")[0].values())
+        assert head[0] == instance.rows("R")[0]["a"]
+
+    def test_constants_stay(self):
+        q = parse_query("q(x) :- R(a=x, b=5)")
+        instance, _ = q.canonical_instance()
+        assert instance.rows("R")[0]["b"] == 5

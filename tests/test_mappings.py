@@ -1,0 +1,313 @@
+"""Tests for mappings: correspondences, constraint semantics, the
+algebra↔CQ bridge, interpretation, and the paper's figure workloads."""
+
+import pytest
+
+from repro.algebra import (
+    Col, Distinct, Project, Scan, Select, eq, eq_join, evaluate,
+    project_names,
+)
+from repro.errors import ExpressivenessError, MappingError
+from repro.instances import Instance
+from repro.logic import Var, are_equivalent, parse_query, parse_tgd
+from repro.mappings import (
+    Correspondence,
+    CorrespondenceSet,
+    EqualityConstraint,
+    Mapping,
+    MappingLanguage,
+    algebra_to_cq,
+    containment_tgd,
+    cq_to_algebra,
+    equality_to_tgds,
+    interpret_as_tgds,
+    interpret_snowflake,
+)
+from repro.mappings.algebra_bridge import TableQuery, relation_attributes
+from repro.workloads import paper
+
+
+class TestCorrespondences:
+    def test_add_pair_resolves_paths(self):
+        cs = paper.figure4_correspondences()
+        assert len(cs) == 4
+
+    def test_reject_dangling(self):
+        cs = CorrespondenceSet(
+            paper.figure4_source_schema(), paper.figure4_target_schema()
+        )
+        with pytest.raises(Exception):
+            cs.add_pair("Empl.Bogus", "Staff.SID")
+
+    def test_reject_wrong_schema(self):
+        source = paper.figure4_source_schema()
+        target = paper.figure4_target_schema()
+        cs = CorrespondenceSet(source, target)
+        from repro.metamodel import ElementPath
+
+        with pytest.raises(MappingError):
+            cs.add(Correspondence(ElementPath("Nope", "Empl"),
+                                  ElementPath(target.name, "Staff")))
+
+    def test_top_k(self):
+        source = paper.figure4_source_schema()
+        target = paper.figure4_target_schema()
+        cs = CorrespondenceSet(source, target)
+        cs.add_pair("Empl.Name", "Staff.Name", 0.9)
+        cs.add_pair("Empl.Name", "Staff.City", 0.5)
+        cs.add_pair("Empl.Name", "Staff.SID", 0.2)
+        top2 = cs.top_k(2)
+        assert len(top2) == 2
+        assert {c.target.path for c in top2} == {"Staff.Name", "Staff.City"}
+
+    def test_best_one_to_one(self):
+        source = paper.figure4_source_schema()
+        target = paper.figure4_target_schema()
+        cs = CorrespondenceSet(source, target)
+        cs.add_pair("Empl.Name", "Staff.Name", 0.9)
+        cs.add_pair("Empl.Tel", "Staff.Name", 0.8)
+        cs.add_pair("Empl.Tel", "Staff.City", 0.3)
+        selected = cs.best_one_to_one()
+        assert len(selected) == 2
+        pairs = {(c.source.path, c.target.path) for c in selected}
+        assert ("Empl.Name", "Staff.Name") in pairs
+        assert ("Empl.Tel", "Staff.City") in pairs
+
+    def test_above_threshold(self):
+        cs = paper.figure4_correspondences()
+        assert len(cs.above(0.5)) == 4
+        assert len(cs.above(1.1)) == 0
+
+
+class TestMappingSemantics:
+    def test_tgd_mapping_holds(self):
+        source = paper.figure6_s_schema()
+        target = paper.figure6_s_prime_schema()
+        tgd = parse_tgd("Names(SID=s, Name=n) -> NamesP(SID=s, Name=n)")
+        mapping = Mapping(source, target, [tgd])
+        s = paper.figure6_s_instance()
+        sp = paper.figure6_s_prime_instance()
+        assert mapping.holds_for(s, sp)
+        sp.delete("NamesP", lambda r: r["SID"] == 1)
+        assert not mapping.holds_for(s, sp)
+
+    def test_language_classification(self):
+        source = paper.figure6_s_schema()
+        target = paper.figure6_s_prime_schema()
+        st = Mapping(source, target,
+                     [parse_tgd("Names(SID=s) -> NamesP(SID=s)")])
+        assert st.language == MappingLanguage.ST_TGD
+        general = Mapping(source, target,
+                          [parse_tgd("NamesP(SID=s) -> Names(SID=s)")])
+        assert general.language == MappingLanguage.TGD
+
+    def test_constraint_referencing_unknown_relation_rejected(self):
+        source = paper.figure6_s_schema()
+        target = paper.figure6_s_prime_schema()
+        with pytest.raises(MappingError):
+            Mapping(source, target, [parse_tgd("Ghost(a=x) -> NamesP(SID=x)")])
+
+    def test_equality_mapping_holds(self):
+        mapping = paper.figure6_map_s_sprime()
+        assert mapping.holds_for(
+            paper.figure6_s_instance(), paper.figure6_s_prime_instance()
+        )
+
+    def test_equality_mapping_detects_mismatch(self):
+        mapping = paper.figure6_map_s_sprime()
+        broken = paper.figure6_s_prime_instance()
+        broken.add("Local", SID=9, Address="extra")
+        assert not mapping.holds_for(paper.figure6_s_instance(), broken)
+
+    def test_invert_swaps_roles(self):
+        mapping = paper.figure6_map_s_sprime()
+        inverted = mapping.invert()
+        assert inverted.source.name == "Sprime"
+        assert inverted.holds_for(
+            paper.figure6_s_prime_instance(), paper.figure6_s_instance()
+        )
+
+    def test_figure2_mapping_holds_on_paper_instances(self):
+        mapping = paper.figure2_mapping()
+        assert mapping.holds_for(
+            paper.figure2_sql_instance(), paper.figure2_er_instance()
+        )
+
+    def test_figure2_mapping_rejects_wrong_er_side(self):
+        mapping = paper.figure2_mapping()
+        er = paper.figure2_er_instance()
+        er.insert_object("Person", Id=99, Name="Ghost")
+        assert not mapping.holds_for(paper.figure2_sql_instance(), er)
+
+
+class TestAlgebraBridge:
+    def setup_method(self):
+        self.schema = paper.figure4_source_schema()
+        self.attrs = relation_attributes(self.schema)
+
+    def test_scan_to_cq(self):
+        tq = algebra_to_cq(Scan("Empl"), self.attrs)
+        assert tq.columns == ("EID", "Name", "Tel", "AID")
+        assert len(tq.query.body) == 1
+
+    def test_select_constant(self):
+        expr = Select(Scan("Addr"), eq(Col("City"), "Rome"))
+        tq = algebra_to_cq(expr, self.attrs)
+        atom = tq.query.body[0]
+        from repro.logic import Const
+
+        assert atom.term("City") == Const("Rome")
+
+    def test_join_unifies_variables(self):
+        expr = eq_join(Scan("Empl"), Scan("Addr"), [("AID", "AID")])
+        tq = algebra_to_cq(expr, self.attrs)
+        empl, addr = tq.query.body
+        assert empl.term("AID") == addr.term("AID")
+
+    def test_projection(self):
+        expr = project_names(
+            eq_join(Scan("Empl"), Scan("Addr"), [("AID", "AID")]),
+            ["EID", "City"],
+        )
+        tq = algebra_to_cq(expr, self.attrs)
+        assert tq.columns == ("EID", "City")
+
+    def test_rejects_outer_join(self):
+        expr = eq_join(Scan("Empl"), Scan("Addr"), [("AID", "AID")], kind="left")
+        with pytest.raises(ExpressivenessError):
+            algebra_to_cq(expr, self.attrs)
+
+    def test_rejects_inequality(self):
+        from repro.algebra import gt
+
+        with pytest.raises(ExpressivenessError):
+            algebra_to_cq(Select(Scan("Empl"), gt(Col("EID"), 3)), self.attrs)
+
+    def test_roundtrip_evaluates_identically(self):
+        expr = Distinct(project_names(
+            eq_join(Scan("Empl"), Scan("Addr"), [("AID", "AID")]),
+            ["EID", "City"],
+        ))
+        tq = algebra_to_cq(expr, self.attrs)
+        compiled = cq_to_algebra(tq)
+        db = paper.figure4_source_instance()
+        original = {frozenset(r.items()) for r in evaluate(expr, db)}
+        recompiled = {frozenset(r.items()) for r in evaluate(compiled, db)}
+        assert original == recompiled
+
+    def test_cq_to_algebra_repeated_var(self):
+        q = parse_query("q(x) :- R(a=x, b=x)")
+        compiled = cq_to_algebra(TableQuery(q, ("x",)))
+        db = Instance()
+        db.add("R", a=1, b=1)
+        db.add("R", a=1, b=2)
+        assert evaluate(compiled, db) == [{"x": 1}]
+
+    def test_cq_to_algebra_constant(self):
+        q = parse_query("q(x) :- R(a=x, b=5)")
+        compiled = cq_to_algebra(TableQuery(q, ("x",)))
+        db = Instance()
+        db.add("R", a=1, b=5)
+        db.add("R", a=2, b=6)
+        assert evaluate(compiled, db) == [{"x": 1}]
+
+    def test_containment_tgd(self):
+        attrs = self.attrs
+        sub = algebra_to_cq(
+            project_names(
+                eq_join(Scan("Empl"), Scan("Addr"), [("AID", "AID")]),
+                ["EID"],
+            ),
+            attrs,
+        )
+        sup = algebra_to_cq(project_names(Scan("Empl"), ["EID"]), attrs)
+        tgd = containment_tgd(sub, sup)
+        assert len(tgd.body) == 2 and len(tgd.head) == 1
+        assert tgd.head[0].relation == "Empl"
+        # The head's EID must be the body's EID variable.
+        assert tgd.head[0].term("EID") == sub.query.head[0]
+
+    def test_equality_to_tgds(self):
+        attrs = self.attrs
+        left = algebra_to_cq(project_names(Scan("Empl"), ["EID"]), attrs)
+        right = algebra_to_cq(
+            Project(Scan("Addr"), [("EID", Col("AID"))]), attrs
+        )
+        tgds = equality_to_tgds(left, right, name="t")
+        assert len(tgds) == 2
+        assert tgds[0].body[0].relation == "Empl"
+        assert tgds[1].body[0].relation == "Addr"
+
+
+class TestSnowflakeInterpretation:
+    def test_figure4_constraint_count(self):
+        mapping = interpret_snowflake(paper.figure4_correspondences())
+        # root-key + 3 attribute correspondences
+        assert len(mapping.equalities) == 4
+
+    def test_figure4_shapes(self):
+        """Constraint 3 must be π[EID, City](Empl ⋈ Addr) = π[SID, City](Staff)."""
+        mapping = interpret_snowflake(paper.figure4_correspondences())
+        city = next(c for c in mapping.equalities if "City" in c.name)
+        assert city.source_expr.relations() == {"Empl", "Addr"}
+        assert city.target_expr.relations() == {"Staff"}
+
+    def test_figure4_holds_on_consistent_instances(self):
+        mapping = interpret_snowflake(paper.figure4_correspondences())
+        source = paper.figure4_source_instance()
+        target = Instance(paper.figure4_target_schema())
+        target.insert_all("Staff", [
+            {"SID": 1, "Name": "Ann", "BirthDate": None, "City": "Rome"},
+            {"SID": 2, "Name": "Bob", "BirthDate": None, "City": "Oslo"},
+        ])
+        assert mapping.holds_for(source, target)
+        target.add("Staff", SID=3, Name="Zed", BirthDate=None, City="Lima")
+        assert not mapping.holds_for(source, target)
+
+    def test_needs_root(self):
+        cs = CorrespondenceSet(
+            paper.figure4_source_schema(), paper.figure4_target_schema()
+        )
+        cs.add_pair("Empl.Name", "Staff.Name")
+        with pytest.raises(MappingError):
+            interpret_snowflake(cs)
+
+    def test_explicit_roots(self):
+        cs = CorrespondenceSet(
+            paper.figure4_source_schema(), paper.figure4_target_schema()
+        )
+        cs.add_pair("Empl.Name", "Staff.Name")
+        mapping = interpret_snowflake(cs, source_root="Empl", target_root="Staff")
+        assert len(mapping.equalities) == 2
+
+
+class TestTgdInterpretation:
+    def test_one_tgd_per_target_entity(self):
+        mapping = interpret_as_tgds(paper.figure4_correspondences())
+        assert len(mapping.tgds) == 1
+        tgd = mapping.tgds[0]
+        assert tgd.head[0].relation == "Staff"
+        assert {a.relation for a in tgd.body} == {"Empl", "Addr"}
+
+    def test_fk_join_in_body(self):
+        mapping = interpret_as_tgds(paper.figure4_correspondences())
+        tgd = mapping.tgds[0]
+        empl = next(a for a in tgd.body if a.relation == "Empl")
+        addr = next(a for a in tgd.body if a.relation == "Addr")
+        assert empl.term("AID") == addr.term("AID")
+
+    def test_uncorresponded_attributes_existential(self):
+        mapping = interpret_as_tgds(paper.figure4_correspondences())
+        tgd = mapping.tgds[0]
+        birth = tgd.head[0].term("BirthDate")
+        assert birth in tgd.existentials()
+
+    def test_executes_correctly_via_chase(self):
+        from repro.logic import chase
+
+        mapping = interpret_as_tgds(paper.figure4_correspondences())
+        result = chase(paper.figure4_source_instance(), mapping.tgds)
+        staff = result.instance.rows("Staff")
+        assert {(r["SID"], r["Name"], r["City"]) for r in staff} == {
+            (1, "Ann", "Rome"), (2, "Bob", "Oslo"),
+        }

@@ -1,0 +1,86 @@
+"""Regression tests: mediated aggregation must group across sources,
+not per source."""
+
+from repro.algebra import Aggregate, Col, Scan, Sort
+from repro.instances import Instance
+from repro.logic import parse_tgd
+from repro.mappings import Mapping
+from repro.metamodel import INT, STRING, SchemaBuilder
+from repro.tools import QueryMediator
+
+
+def _mediator_with_overlapping_groups():
+    global_schema = (
+        SchemaBuilder("G").entity("Revenue", key=["rid"])
+        .attribute("rid", INT).attribute("region", STRING)
+        .attribute("value", INT).build()
+    )
+    s1 = (
+        SchemaBuilder("S1").entity("A", key=["rid"])
+        .attribute("rid", INT).attribute("region", STRING)
+        .attribute("value", INT).build()
+    )
+    s2 = (
+        SchemaBuilder("S2").entity("B", key=["rid"])
+        .attribute("rid", INT).attribute("region", STRING)
+        .attribute("value", INT).build()
+    )
+    m1 = Mapping(s1, global_schema, [
+        parse_tgd("A(rid=r, region=g, value=v) -> "
+                  "Revenue(rid=r, region=g, value=v)")
+    ])
+    m2 = Mapping(s2, global_schema, [
+        parse_tgd("B(rid=r, region=g, value=v) -> "
+                  "Revenue(rid=r, region=g, value=v)")
+    ])
+    d1, d2 = Instance(), Instance()
+    d1.add("A", rid=1, region="EU", value=10)
+    d1.add("A", rid=2, region="US", value=5)
+    d2.add("B", rid=3, region="EU", value=7)  # EU spans both sources
+    mediator = QueryMediator(global_schema)
+    mediator.add_source("one", m1, d1)
+    mediator.add_source("two", m2, d2)
+    return mediator
+
+
+class TestCrossSourceAggregation:
+    def test_groups_span_sources(self):
+        mediator = _mediator_with_overlapping_groups()
+        query = Aggregate(Scan("Revenue"), ["region"],
+                          [("total", "sum", Col("value")),
+                           ("n", "count", None)])
+        rows = {r["region"]: r for r in mediator.answer(query)}
+        assert rows["EU"]["total"] == 17  # 10 from one + 7 from two
+        assert rows["EU"]["n"] == 2
+        assert rows["US"]["total"] == 5
+
+    def test_global_aggregate(self):
+        mediator = _mediator_with_overlapping_groups()
+        query = Aggregate(Scan("Revenue"), [],
+                          [("total", "sum", Col("value"))])
+        rows = mediator.answer(query)
+        assert len(rows) == 1 and rows[0]["total"] == 22
+
+    def test_sort_over_union(self):
+        mediator = _mediator_with_overlapping_groups()
+        query = Sort(Scan("Revenue"), ["-value"])
+        values = [r["value"] for r in mediator.answer(query)]
+        assert values == sorted(values, reverse=True)
+
+    def test_sorted_aggregate(self):
+        mediator = _mediator_with_overlapping_groups()
+        query = Sort(
+            Aggregate(Scan("Revenue"), ["region"],
+                      [("total", "sum", Col("value"))]),
+            ["total"],
+        )
+        rows = mediator.answer(query)
+        assert [r["region"] for r in rows] == ["US", "EU"]
+
+    def test_plain_queries_unaffected(self):
+        mediator = _mediator_with_overlapping_groups()
+        from repro.algebra import project_names
+
+        rows = mediator.answer(project_names(Scan("Revenue"),
+                                             ["rid", "region"]))
+        assert len(rows) == 3

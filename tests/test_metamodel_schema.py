@@ -1,0 +1,205 @@
+"""Unit tests for schema elements, builder, and constraints."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.metamodel import (
+    Attribute,
+    Cardinality,
+    Entity,
+    INT,
+    KeyConstraint,
+    InclusionDependency,
+    STRING,
+    Schema,
+    SchemaBuilder,
+)
+
+
+def person_hierarchy() -> Schema:
+    """The paper's Figure 2 ER schema: Person <- Employee, Customer."""
+    return (
+        SchemaBuilder("ERS", metamodel="er")
+        .entity("Person", key=["Id"])
+        .attribute("Id", INT)
+        .attribute("Name", STRING)
+        .entity("Employee", parent="Person")
+        .attribute("Dept", STRING)
+        .entity("Customer", parent="Person")
+        .attribute("CreditScore", INT)
+        .attribute("BillingAddr", STRING)
+        .disjoint("Employee", "Customer")
+        .build()
+    )
+
+
+class TestBuilder:
+    def test_builds_entities_and_attributes(self):
+        schema = person_hierarchy()
+        assert set(schema.entities) == {"Person", "Employee", "Customer"}
+        assert schema.entity("Person").own_attribute_names() == ("Id", "Name")
+
+    def test_parent_resolution(self):
+        schema = person_hierarchy()
+        assert schema.entity("Employee").parent is schema.entity("Person")
+
+    def test_key_constraint_registered(self):
+        schema = person_hierarchy()
+        keys = schema.keys_of("Person")
+        assert keys == [KeyConstraint("Person", ("Id",), is_primary=True)]
+
+    def test_forward_parent_reference(self):
+        schema = (
+            SchemaBuilder("S")
+            .entity("Child", parent="Root")
+            .attribute("X", INT)
+            .entity("Root", key=["Id"])
+            .attribute("Id", INT)
+            .build()
+        )
+        assert schema.entity("Child").parent.name == "Root"
+
+    def test_duplicate_entity_rejected(self):
+        builder = SchemaBuilder("S").entity("A")
+        with pytest.raises(SchemaError):
+            builder.entity("A")
+
+    def test_duplicate_attribute_rejected(self):
+        builder = SchemaBuilder("S").entity("A").attribute("x", INT)
+        with pytest.raises(SchemaError):
+            builder.attribute("x", STRING)
+
+    def test_dangling_key_rejected(self):
+        builder = SchemaBuilder("S").entity("A", key=["missing"]).attribute("x", INT)
+        with pytest.raises(SchemaError):
+            builder.build()
+
+    def test_inheritance_cycle_rejected(self):
+        builder = (
+            SchemaBuilder("S")
+            .entity("A", parent="B").attribute("x", INT)
+            .entity("B", parent="A").attribute("y", INT)
+        )
+        with pytest.raises(SchemaError):
+            builder.build()
+
+    def test_metamodel_conformance(self):
+        builder = (
+            SchemaBuilder("R", metamodel="relational")
+            .entity("Sub", parent="Base").attribute("x", INT)
+            .entity("Base", key=["Id"]).attribute("Id", INT)
+        )
+        with pytest.raises(SchemaError):
+            builder.build()  # relational metamodel has no generalization
+
+
+class TestHierarchy:
+    def test_ancestry(self):
+        schema = person_hierarchy()
+        names = [e.name for e in schema.entity("Employee").ancestry()]
+        assert names == ["Employee", "Person"]
+
+    def test_inherited_attributes(self):
+        schema = person_hierarchy()
+        assert schema.entity("Customer").all_attribute_names() == (
+            "Id", "Name", "CreditScore", "BillingAddr",
+        )
+
+    def test_subtype_test(self):
+        schema = person_hierarchy()
+        assert schema.entity("Employee").is_subtype_of(schema.entity("Person"))
+        assert not schema.entity("Person").is_subtype_of(schema.entity("Employee"))
+        assert schema.entity("Person").is_subtype_of(schema.entity("Person"))
+
+    def test_descendants(self):
+        schema = person_hierarchy()
+        names = {e.name for e in schema.entity("Person").descendants()}
+        assert names == {"Employee", "Customer"}
+
+    def test_key_attributes_come_from_root(self):
+        schema = person_hierarchy()
+        attrs = schema.entity("Customer").key_attributes()
+        assert [a.name for a in attrs] == ["Id"]
+
+
+class TestResolution:
+    def test_resolve_entity(self):
+        schema = person_hierarchy()
+        assert schema.resolve("Person").name == "Person"
+
+    def test_resolve_attribute(self):
+        schema = person_hierarchy()
+        attr = schema.resolve("Employee.Dept")
+        assert isinstance(attr, Attribute)
+        assert attr.path == "Employee.Dept"
+
+    def test_resolve_inherited_attribute(self):
+        schema = person_hierarchy()
+        assert schema.resolve("Employee.Name").name == "Name"
+
+    def test_unknown_raises(self):
+        schema = person_hierarchy()
+        with pytest.raises(SchemaError):
+            schema.resolve("Nope")
+        with pytest.raises(SchemaError):
+            schema.resolve("Person.Nope")
+
+    def test_contains(self):
+        schema = person_hierarchy()
+        assert "Person.Name" in schema
+        assert "Person.Zip" not in schema
+
+    def test_all_element_paths(self):
+        schema = person_hierarchy()
+        paths = {str(p) for p in schema.all_element_paths()}
+        assert "ERS::Person" in paths
+        assert "ERS::Customer.CreditScore" in paths
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        schema = person_hierarchy()
+        copy = schema.clone("ERS2")
+        copy.entity("Person").add_attribute(Attribute("Extra", INT))
+        assert not schema.entity("Person").has_attribute("Extra")
+        assert copy.name == "ERS2"
+
+    def test_clone_preserves_hierarchy(self):
+        copy = person_hierarchy().clone()
+        assert copy.entity("Employee").parent is copy.entity("Person")
+
+    def test_clone_preserves_constraints(self):
+        schema = person_hierarchy()
+        assert schema.clone().constraints == schema.constraints
+
+
+class TestAssociationsAndContainment:
+    def test_association(self):
+        schema = (
+            SchemaBuilder("S", metamodel="er")
+            .entity("A", key=["Id"]).attribute("Id", INT)
+            .entity("B", key=["Id"]).attribute("Id", INT)
+            .association("AB", "A", "B",
+                         source_cardinality=Cardinality(0, None),
+                         target_cardinality=Cardinality(0, None))
+            .build()
+        )
+        assoc = schema.associations["AB"]
+        assert assoc.is_many_to_many
+
+    def test_containment(self):
+        schema = (
+            SchemaBuilder("S", metamodel="nested")
+            .entity("Order", key=["Id"]).attribute("Id", INT)
+            .entity("Line").attribute("Qty", INT)
+            .containment("Order", "Line")
+            .build()
+        )
+        cont = schema.containments["Order_Line"]
+        assert cont.parent.name == "Order"
+        assert cont.cardinality.is_many
+
+    def test_describe_mentions_everything(self):
+        schema = person_hierarchy()
+        text = schema.describe()
+        assert "Person" in text and "is-a Person" in text and "disjoint" in text

@@ -1,0 +1,145 @@
+"""Unit tests for the universal metamodel type system."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metamodel import types as T
+
+
+ALL_PRIMITIVES = [
+    T.BOOL, T.INT, T.BIGINT, T.DECIMAL, T.FLOAT,
+    T.STRING, T.TEXT, T.DATE, T.DATETIME, T.BINARY, T.ANY,
+]
+
+
+class TestAssignability:
+    def test_identity(self):
+        for t in ALL_PRIMITIVES:
+            assert T.is_assignable(t, t)
+
+    def test_widening_chain(self):
+        assert T.is_assignable(T.INT, T.BIGINT)
+        assert T.is_assignable(T.BOOL, T.INT)
+        assert T.is_assignable(T.INT, T.DECIMAL)
+        assert T.is_assignable(T.INT, T.FLOAT)
+        assert T.is_assignable(T.STRING, T.TEXT)
+        assert T.is_assignable(T.DATE, T.DATETIME)
+
+    def test_narrowing_rejected(self):
+        assert not T.is_assignable(T.BIGINT, T.INT)
+        assert not T.is_assignable(T.TEXT, T.STRING)
+        assert not T.is_assignable(T.DATETIME, T.DATE)
+
+    def test_cross_family_rejected(self):
+        assert not T.is_assignable(T.STRING, T.INT)
+        assert not T.is_assignable(T.DATE, T.FLOAT)
+
+    def test_any_accepts_everything(self):
+        for t in ALL_PRIMITIVES:
+            assert T.is_assignable(t, T.ANY)
+
+    def test_varchar_widening(self):
+        assert T.is_assignable(T.varchar(10), T.varchar(20))
+        assert not T.is_assignable(T.varchar(20), T.varchar(10))
+        assert T.is_assignable(T.varchar(10), T.STRING)
+        assert not T.is_assignable(T.STRING, T.varchar(10))
+
+    def test_decimal_parametric(self):
+        assert T.is_assignable(T.decimal_type(5, 2), T.DECIMAL)
+
+
+class TestCommonSupertype:
+    def test_symmetric_for_primitives(self):
+        for a in ALL_PRIMITIVES:
+            for b in ALL_PRIMITIVES:
+                assert T.common_supertype(a, b) == T.common_supertype(b, a)
+
+    def test_join_on_chain(self):
+        assert T.common_supertype(T.INT, T.BIGINT) == T.BIGINT
+        assert T.common_supertype(T.BOOL, T.FLOAT) == T.FLOAT
+        assert T.common_supertype(T.STRING, T.TEXT) == T.TEXT
+
+    def test_incomparable_goes_to_any(self):
+        assert T.common_supertype(T.STRING, T.INT) == T.ANY
+
+    def test_supertype_is_assignable_target(self):
+        for a in ALL_PRIMITIVES:
+            for b in ALL_PRIMITIVES:
+                join = T.common_supertype(a, b)
+                assert T.is_assignable(a, join)
+                assert T.is_assignable(b, join)
+
+
+class TestCompatibilityScore:
+    def test_range(self):
+        for a in ALL_PRIMITIVES:
+            for b in ALL_PRIMITIVES:
+                assert 0.0 <= T.type_compatibility(a, b) <= 1.0
+
+    def test_identity_is_one(self):
+        assert T.type_compatibility(T.INT, T.INT) == 1.0
+
+    def test_symmetry(self):
+        for a in ALL_PRIMITIVES:
+            for b in ALL_PRIMITIVES:
+                assert T.type_compatibility(a, b) == T.type_compatibility(b, a)
+
+    def test_parametric_same_base(self):
+        assert T.type_compatibility(T.varchar(10), T.varchar(20)) == 0.9
+
+    def test_family_beats_cross_family(self):
+        same_family = T.type_compatibility(T.INT, T.FLOAT)
+        cross = T.type_compatibility(T.INT, T.STRING)
+        assert same_family > cross
+
+
+class TestConforms:
+    def test_int(self):
+        assert T.conforms(5, T.INT)
+        assert not T.conforms("5", T.INT)
+        assert not T.conforms(True, T.INT)  # bools are not ints here
+
+    def test_bool(self):
+        assert T.conforms(True, T.BOOL)
+        assert not T.conforms(1, T.BOOL)
+
+    def test_string_and_varchar(self):
+        assert T.conforms("abc", T.STRING)
+        assert T.conforms("abc", T.varchar(3))
+        assert not T.conforms("abcd", T.varchar(3))
+
+    def test_temporal(self):
+        assert T.conforms(datetime.date(2020, 1, 1), T.DATE)
+        assert T.conforms(datetime.datetime(2020, 1, 1), T.DATETIME)
+        assert not T.conforms("2020-01-01", T.DATE)
+
+    def test_float_accepts_int(self):
+        assert T.conforms(3, T.FLOAT)
+
+    def test_none_never_conforms(self):
+        for t in ALL_PRIMITIVES:
+            assert not T.conforms(None, t)
+
+    def test_labeled_null_conforms_everywhere(self):
+        from repro.instances.labeled_null import LabeledNull
+
+        null = LabeledNull(1)
+        for t in ALL_PRIMITIVES:
+            assert T.conforms(null, t)
+
+
+@given(st.sampled_from(ALL_PRIMITIVES), st.sampled_from(ALL_PRIMITIVES),
+       st.sampled_from(ALL_PRIMITIVES))
+def test_assignability_is_transitive(a, b, c):
+    if T.is_assignable(a, b) and T.is_assignable(b, c):
+        assert T.is_assignable(a, c)
+
+
+@given(st.integers(min_value=1, max_value=500))
+def test_varchar_str_roundtrip(n):
+    t = T.varchar(n)
+    assert str(t) == f"string({n})" or str(t).startswith("varchar")
+    assert t.params == (n,)
+    assert T.base_primitive(t) == T.STRING

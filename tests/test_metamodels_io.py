@@ -1,0 +1,232 @@
+"""Tests for concrete metamodel importers/exporters and serialization."""
+
+import datetime
+from typing import Optional
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.instances import Instance
+from repro.metamodel import INT, STRING, SchemaBuilder, varchar
+from repro.metamodels import (
+    emit_classes,
+    emit_ddl,
+    emit_xsd,
+    flatten_documents,
+    mapping_from_dict,
+    mapping_to_dict,
+    nest_instance,
+    parse_ddl,
+    schema_from_classes,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.workloads import paper
+from tests.test_metamodel_schema import person_hierarchy
+
+
+class TestDDL:
+    def test_emit_contains_tables_and_constraints(self):
+        ddl = emit_ddl(paper.figure4_source_schema())
+        assert "CREATE TABLE Empl" in ddl
+        assert "PRIMARY KEY (EID)" in ddl
+        assert "FOREIGN KEY (AID) REFERENCES Addr (AID)" in ddl
+
+    def test_emit_rejects_er(self):
+        with pytest.raises(SchemaError):
+            emit_ddl(person_hierarchy())
+
+    def test_parse_roundtrip(self):
+        original = paper.figure4_source_schema()
+        parsed = parse_ddl(emit_ddl(original), schema_name=original.name)
+        assert set(parsed.entities) == set(original.entities)
+        assert parsed.entity("Empl").key == ("EID",)
+        assert parsed.entity("Addr").attribute("City").data_type == STRING
+        assert parsed.foreign_keys_of("Empl") == original.foreign_keys_of("Empl")
+
+    def test_parse_varchar_and_inline_pk(self):
+        schema = parse_ddl(
+            "CREATE TABLE T (id INTEGER PRIMARY KEY, "
+            "name VARCHAR(40) NOT NULL, note TEXT);"
+        )
+        assert schema.entity("T").key == ("id",)
+        assert schema.entity("T").attribute("name").data_type == varchar(40)
+        assert schema.entity("T").attribute("note").nullable
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            parse_ddl("DROP TABLE everything;")
+
+    def test_parse_multiple_tables(self):
+        schema = parse_ddl(
+            "CREATE TABLE A (x INTEGER NOT NULL, PRIMARY KEY (x));\n"
+            "CREATE TABLE B (y INTEGER NOT NULL, "
+            "FOREIGN KEY (y) REFERENCES A (x));"
+        )
+        assert set(schema.entities) == {"A", "B"}
+        assert len(schema.inclusion_dependencies()) == 1
+
+
+class TestNested:
+    def _order_schema(self):
+        return (
+            SchemaBuilder("Orders", metamodel="nested")
+            .entity("Order", key=["oid"]).attribute("oid", INT)
+            .attribute("customer", STRING)
+            .entity("Line", key=["lid"]).attribute("lid", INT)
+            .attribute("qty", INT)
+            .containment("Order", "Line", name="lines")
+            .build()
+        )
+
+    def test_emit_xsd(self):
+        xsd = emit_xsd(self._order_schema())
+        assert '<xs:element name="Order">' in xsd
+        assert '<xs:element name="qty" type="xs:integer"/>' in xsd
+        assert xsd.count("<xs:element") >= 5
+
+    def test_flatten(self):
+        schema = self._order_schema()
+        docs = [
+            {"oid": 1, "customer": "Ann",
+             "lines": [{"lid": 10, "qty": 2}, {"lid": 11, "qty": 5}]},
+            {"oid": 2, "customer": "Bob", "lines": []},
+        ]
+        flat = flatten_documents(schema, "Order", docs)
+        assert flat.cardinality("Order") == 2
+        assert flat.cardinality("Line") == 2
+        assert all(r["Order_oid"] in (1, 2) for r in flat.rows("Line"))
+
+    def test_nest_roundtrip(self):
+        schema = self._order_schema()
+        docs = [
+            {"oid": 1, "customer": "Ann",
+             "lines": [{"lid": 10, "qty": 2}]},
+        ]
+        flat = flatten_documents(schema, "Order", docs)
+        nested = nest_instance(schema, "Order", flat)
+        assert nested == docs
+
+    def test_flatten_rejects_unknown_field(self):
+        schema = self._order_schema()
+        with pytest.raises(SchemaError):
+            flatten_documents(schema, "Order", [{"oid": 1, "bogus": 2}])
+
+
+class TestObjects:
+    def test_emit_classes(self):
+        source = emit_classes(person_hierarchy())
+        assert "class Person:" in source
+        assert "class Employee(Person):" in source
+        assert "Id: int" in source
+        namespace: dict = {}
+        exec(compile(source, "<generated>", "exec"), namespace)  # noqa: S102
+        employee_cls = namespace["Employee"]
+        instance = employee_cls(Id=1, Name="A", Dept="QA")
+        assert instance.Dept == "QA"
+
+    def test_emit_classes_references(self):
+        schema = (
+            SchemaBuilder("App", metamodel="oo")
+            .entity("User", key=["uid"]).attribute("uid", INT)
+            .entity("Post", key=["pid"]).attribute("pid", INT)
+            .reference("Post", "author", "User")
+            .build()
+        )
+        source = emit_classes(schema)
+        assert 'author: Optional["User"] = None' in source
+
+    def test_schema_from_classes(self):
+        class Person:
+            id: int
+            name: str
+
+        class Employee(Person):
+            dept: str
+            manager: Optional["Employee"] = None
+
+        schema = schema_from_classes(
+            "HR", [Person, Employee], keys={"Person": ["id"]}
+        )
+        assert schema.entity("Employee").parent.name == "Person"
+        assert schema.entity("Employee").has_attribute("dept")
+        assert "Employee.manager" in schema.references
+        assert schema.entity("Person").key == ("id",)
+
+    def test_roundtrip_through_classes(self):
+        source = emit_classes(person_hierarchy())
+        namespace: dict = {}
+        exec(compile(source, "<generated>", "exec"), namespace)  # noqa: S102
+        classes = [namespace[n] for n in ("Person", "Employee", "Customer")]
+        schema = schema_from_classes("ERS2", classes, keys={"Person": ["Id"]})
+        assert set(schema.entities) == {"Person", "Employee", "Customer"}
+        assert schema.entity("Customer").has_attribute("CreditScore")
+
+
+class TestSerialization:
+    def test_schema_roundtrip(self):
+        for schema in (
+            person_hierarchy(),
+            paper.figure4_source_schema(),
+            paper.figure6_s_prime_schema(),
+        ):
+            data = schema_to_dict(schema)
+            back = schema_from_dict(data)
+            assert schema_to_dict(back) == data
+
+    def test_schema_roundtrip_rich_constructs(self):
+        schema = (
+            SchemaBuilder("Rich")
+            .entity("A", key=["id"]).attribute("id", INT)
+            .attribute("v", varchar(12), nullable=True)
+            .entity("B", key=["id"]).attribute("id", INT)
+            .association("AB", "A", "B")
+            .containment("A", "B", name="kids")
+            .reference("B", "owner", "A")
+            .disjoint("A", "B")
+            .covering("A", "B")
+            .build()
+        )
+        back = schema_from_dict(schema_to_dict(schema))
+        assert schema_to_dict(back) == schema_to_dict(schema)
+        assert back.entity("A").attribute("v").data_type == varchar(12)
+
+    def test_tgd_mapping_roundtrip(self):
+        from repro.logic import parse_tgd
+        from repro.mappings import Mapping
+
+        mapping = Mapping(
+            paper.figure6_s_schema(), paper.figure6_s_prime_schema(),
+            [parse_tgd("Names(SID=s, Name=n) -> NamesP(SID=s, Name=n)",
+                       name="names")],
+        )
+        back = mapping_from_dict(mapping_to_dict(mapping))
+        assert mapping_to_dict(back) == mapping_to_dict(mapping)
+        assert back.tgds[0].name == "names"
+
+    def test_equality_mapping_roundtrip(self):
+        mapping = paper.figure2_mapping()
+        back = mapping_from_dict(mapping_to_dict(mapping))
+        assert mapping_to_dict(back) == mapping_to_dict(mapping)
+        # The revived mapping still works end-to-end.
+        assert back.holds_for(
+            paper.figure2_sql_instance(), paper.figure2_er_instance()
+        )
+
+    def test_so_tgd_mapping_roundtrip(self):
+        from repro.operators import compose
+        from repro.workloads import synthetic
+
+        m12, m23 = synthetic.composition_pair_exponential(2)
+        composed = compose(m12, m23, prefer_first_order=False)
+        back = mapping_from_dict(mapping_to_dict(composed))
+        assert back.so_tgd is not None
+        assert len(back.so_tgd.implications) == len(
+            composed.so_tgd.implications
+        )
+
+    def test_json_serializable(self):
+        import json
+
+        text = json.dumps(mapping_to_dict(paper.figure2_mapping()))
+        assert "Person" in text

@@ -1,0 +1,133 @@
+"""Remaining coverage: script edge cases, loader options, CLI core
+flag, engine evolve facade, and miscellaneous small behaviours."""
+
+import json
+
+import pytest
+
+from repro import ModelManagementEngine
+from repro.core.scripts import migrate_script
+from repro.instances import Instance, dump_instance
+from repro.logic import parse_tgd
+from repro.mappings import Mapping
+from repro.metamodel import INT, STRING, SchemaBuilder
+from repro.metamodels import mapping_to_dict
+from repro.runtime import BatchLoader
+from repro.workloads import paper
+
+
+class TestScriptsEdgeCases:
+    def test_migrate_without_database(self):
+        result = migrate_script(
+            paper.figure6_map_v_s(), paper.figure6_map_s_sprime()
+        )
+        assert "database" not in result.artifacts
+        assert "mapping" in result.artifacts
+        assert "composed" in result.describe()
+
+
+class TestLoaderOptions:
+    def test_validation_disabled(self):
+        loader = BatchLoader(paper.figure2_mapping(), validate=False)
+        loader.stage("Employee", [
+            {"Id": 1, "Name": "A", "Dept": "X"},
+            {"Id": 1, "Name": "B", "Dept": "Y"},  # duplicate key
+        ])
+        _, report = loader.flush()
+        assert report.ok  # nothing checked
+        assert report.violations == []
+
+    def test_loader_resets_after_flush(self):
+        loader = BatchLoader(paper.figure2_mapping())
+        loader.stage("Person", [{"Id": 50, "Name": "Q"}])
+        loader.flush()
+        loaded, report = loader.flush()
+        assert report.target_rows == 0
+        assert loaded.total_rows() == 0
+
+
+class TestCliCoreFlag:
+    def test_exchange_with_core(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = (
+            SchemaBuilder("CS").entity("S", key=["a"]).attribute("a", INT)
+            .build()
+        )
+        target = (
+            SchemaBuilder("CT").entity("T", key=["a"])
+            .attribute("a", INT).attribute("b", INT, nullable=True).build()
+        )
+        mapping = Mapping(source, target, [
+            parse_tgd("S(a=x) -> T(a=x, b=y)"),
+            parse_tgd("S(a=x) -> T(a=x, b=0)"),
+        ])
+        mapping_path = tmp_path / "m.json"
+        mapping_path.write_text(json.dumps(mapping_to_dict(mapping)))
+        db = Instance()
+        db.add("S", a=1)
+        data_path = tmp_path / "d.json"
+        data_path.write_text(dump_instance(db))
+        assert main(["exchange", str(mapping_path), str(data_path),
+                     "--core"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert len(result["relations"]["T"]) == 1  # core collapsed nulls
+
+
+class TestEngineEvolveFacade:
+    def test_evolve_via_engine(self):
+        from repro.operators import AddColumn
+
+        engine = ModelManagementEngine()
+        schema = (
+            SchemaBuilder("Fz").entity("R", key=["k"]).attribute("k", INT)
+            .build()
+        )
+        result = engine.evolve(schema, [AddColumn("R", "extra", STRING)])
+        assert result.schema.entity("R").has_attribute("extra")
+        assert result.mapping.source.name == "Fz"
+
+
+class TestMiscBehaviours:
+    def test_instance_repr_and_iter(self):
+        db = Instance()
+        db.add("B", x=1)
+        db.add("A", x=2)
+        assert "A:1" in repr(db) and "B:1" in repr(db)
+        assert [rel for rel, _ in db] == ["A", "B"]  # sorted iteration
+
+    def test_instance_hash_forbidden(self):
+        with pytest.raises(TypeError):
+            hash(Instance())
+
+    def test_correspondence_str(self):
+        cs = paper.figure4_correspondences()
+        text = str(next(iter(cs)))
+        assert "≈" in text and "1.00" in text
+
+    def test_mapping_describe(self):
+        text = paper.figure2_mapping().describe()
+        assert "figure2" in text and "equality" in text
+
+    def test_schema_slice_repr(self):
+        from repro.operators import diff
+
+        mapping = paper.figure6_map_s_sprime()
+        slice_ = diff(paper.figure6_s_prime_schema(), mapping.invert())
+        assert slice_.mapping.source.name.endswith("_diff")
+
+    def test_so_tgd_str_shows_functions(self):
+        from repro.logic.second_order import skolemize_all
+
+        so = skolemize_all([parse_tgd("S(a=x) -> T(a=x, b=y)", name="m")])
+        assert "∃" in str(so) and "f_m_y" in str(so)
+
+    def test_chase_result_metadata(self):
+        from repro.logic import chase
+
+        db = Instance()
+        db.add("A", x=1)
+        result = chase(db, [parse_tgd("A(x=v) -> B(x=v, y=w)", name="t")])
+        assert result.steps == 1
+        assert result.fired == {"t": 1}
+        assert result.nulls_created == 1

@@ -1,0 +1,184 @@
+"""Tests for the Compose operator — both algorithms, and the paper's
+Figure 6 scenario end-to-end."""
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.errors import CompositionError
+from repro.instances import Instance
+from repro.logic import chase, parse_tgd
+from repro.logic.homomorphism import are_hom_equivalent
+from repro.mappings import Mapping, MappingLanguage
+from repro.operators import compose
+from repro.operators.compose import view_definitions, unfold_scans
+from repro.workloads import paper, synthetic
+from repro.metamodel import INT, SchemaBuilder
+
+
+def _simple_schemas():
+    a = SchemaBuilder("A").entity("R", key=["k"]).attribute("k", INT) \
+        .attribute("v", INT).build()
+    b = SchemaBuilder("B").entity("S", key=["k"]).attribute("k", INT) \
+        .attribute("v", INT).build()
+    c = SchemaBuilder("C").entity("T", key=["k"]).attribute("k", INT) \
+        .attribute("v", INT).build()
+    return a, b, c
+
+
+class TestTgdComposition:
+    def test_copy_chain(self):
+        a, b, c = _simple_schemas()
+        m12 = Mapping(a, b, [parse_tgd("R(k=x, v=y) -> S(k=x, v=y)")])
+        m23 = Mapping(b, c, [parse_tgd("S(k=x, v=y) -> T(k=x, v=y)")])
+        composed = compose(m12, m23)
+        assert composed.source.name == "A" and composed.target.name == "C"
+        assert composed.language == MappingLanguage.ST_TGD
+        assert len(composed.tgds) == 1
+        tgd = composed.tgds[0]
+        assert tgd.body[0].relation == "R" and tgd.head[0].relation == "T"
+        assert tgd.is_full
+
+    def test_composition_semantics_on_instances(self):
+        """⟨D1, D3⟩ satisfies the composition iff the exchange through
+        the middle produces it."""
+        a, b, c = _simple_schemas()
+        m12 = Mapping(a, b, [parse_tgd("R(k=x, v=y) -> S(k=x, v=y)")])
+        m23 = Mapping(b, c, [parse_tgd("S(k=x, v=y) -> T(k=x, v=y)")])
+        composed = compose(m12, m23)
+        d1 = Instance()
+        d1.add("R", k=1, v=2)
+        d3 = Instance()
+        d3.add("T", k=1, v=2)
+        assert composed.holds_for(d1, d3)
+        assert not composed.holds_for(d1, Instance())
+
+    def test_projection_then_use(self):
+        a, b, c = _simple_schemas()
+        m12 = Mapping(a, b, [parse_tgd("R(k=x, v=y) -> S(k=x, v=y)")])
+        m23 = Mapping(b, c, [parse_tgd("S(k=x, v=y) -> T(k=y, v=x)")])
+        composed = compose(m12, m23)
+        tgd = composed.tgds[0]
+        assert tgd.head[0].term("k") == tgd.body[0].term("v")
+
+    def test_existential_in_first_mapping(self):
+        """m12 invents a value; m23 copies it: the composition keeps it
+        existential (de-Skolemizable)."""
+        a, b, c = _simple_schemas()
+        m12 = Mapping(a, b, [parse_tgd("R(k=x, v=y) -> S(k=x, v=e)")])
+        m23 = Mapping(b, c, [parse_tgd("S(k=x, v=y) -> T(k=x, v=y)")])
+        composed = compose(m12, m23)
+        assert composed.language == MappingLanguage.ST_TGD
+        tgd = composed.tgds[0]
+        assert tgd.existentials()  # the invented v survives as ∃
+
+    def test_second_order_needed(self):
+        """The classic non-FO case: m23 joins on the invented value
+        twice — the composition needs a Skolem function shared across
+        atoms and stays second-order."""
+        a = SchemaBuilder("A").entity("Emp", key=["e"]).attribute("e", INT).build()
+        b = SchemaBuilder("B").entity("Mgr", key=["e"]).attribute("e", INT) \
+            .attribute("m", INT).build()
+        c = SchemaBuilder("C").entity("SelfMgr", key=["e"]).attribute("e", INT) \
+            .build()
+        m12 = Mapping(a, b, [parse_tgd("Emp(e=x) -> Mgr(e=x, m=y)")])
+        m23 = Mapping(b, c, [parse_tgd("Mgr(e=x, m=x) -> SelfMgr(e=x)")])
+        composed = compose(m12, m23)
+        assert composed.language == MappingLanguage.SO_TGD
+        assert composed.so_tgd is not None
+        assert composed.so_tgd.functions  # genuine Skolem functions
+
+    def test_multi_atom_body_case_product(self):
+        m12, m23 = synthetic.composition_pair_exponential(width=3)
+        composed = compose(m12, m23, prefer_first_order=False)
+        # 2 origin choices per of 3 atoms → 8 implications.
+        assert len(composed.so_tgd.implications) == 8
+
+    def test_exponential_growth(self):
+        sizes = []
+        for width in (1, 2, 3, 4, 5):
+            m12, m23 = synthetic.composition_pair_exponential(width)
+            composed = compose(m12, m23, prefer_first_order=False)
+            sizes.append(len(composed.so_tgd.implications))
+        assert sizes == [2, 4, 8, 16, 32]
+
+    def test_unproducible_middle_relation_vacuous(self):
+        a, b, c = _simple_schemas()
+        m12 = Mapping(a, b, [])  # produces nothing in B
+        m23 = Mapping(b, c, [parse_tgd("S(k=x, v=y) -> T(k=x, v=y)")])
+        composed = compose(m12, m23)
+        assert composed.constraint_count() == 0
+
+    def test_schema_mismatch_rejected(self):
+        a, b, c = _simple_schemas()
+        m12 = Mapping(a, b, [parse_tgd("R(k=x, v=y) -> S(k=x, v=y)")])
+        m_ca = Mapping(c, a, [parse_tgd("T(k=x, v=y) -> R(k=x, v=y)")])
+        with pytest.raises(CompositionError):
+            compose(m12, m_ca)
+
+    def test_composed_exchange_equals_two_step_exchange(self):
+        """Chasing with the composed mapping gives the same target (up
+        to homomorphic equivalence) as chasing twice."""
+        mappings = synthetic.composition_chain_linear(2, relations=2)
+        composed = compose(mappings[0], mappings[1])
+        source = Instance()
+        source.add("L0R0", L0R0_k=1, L0R0_a0=10, L0R0_a1=11)
+        source.add("L0R1", L0R1_k=2, L0R1_a0=20, L0R1_a1=21)
+
+        step1 = chase(source, mappings[0].tgds).instance
+        step2 = chase(step1, mappings[1].tgds).instance
+        direct = chase(source, composed.tgds).instance
+        final_relations = set(mappings[1].target.entities)
+        two_step = Instance()
+        one_step = Instance()
+        for relation in final_relations:
+            two_step.relations[relation] = step2.rows(relation)
+            one_step.relations[relation] = direct.rows(relation)
+        assert are_hom_equivalent(two_step, one_step)
+
+
+class TestEqualityComposition:
+    def test_view_definitions_direct(self):
+        definitions = view_definitions(paper.figure6_map_s_sprime())
+        assert set(definitions) == {"Names", "Addresses"}
+
+    def test_complementary_split_reconstructed(self):
+        definitions = view_definitions(paper.figure6_map_s_sprime())
+        # Addresses = (Local × {'US'}) ∪ Foreign — evaluate to check.
+        expr = definitions["Addresses"]
+        result = evaluate(expr, paper.figure6_s_prime_instance())
+        expected = paper.figure6_s_instance().rows("Addresses")
+        assert {frozenset(r.items()) for r in result} == {
+            frozenset(r.items()) for r in expected
+        }
+
+    def test_figure6_composition(self):
+        """The composed mapping must behave exactly like the paper's
+        stated result: Students = π(Names′ ⋈ (Local×{'US'} ∪ Foreign))."""
+        composed = compose(paper.figure6_map_v_s(), paper.figure6_map_s_sprime())
+        assert composed.source.name == "V"
+        assert composed.target.name == "Sprime"
+        constraint = composed.equalities[0]
+        s_prime = paper.figure6_s_prime_instance()
+        ours = evaluate(constraint.target_expr, s_prime)
+        stated = evaluate(paper.figure6_composed_view_expr(), s_prime)
+        assert {frozenset(r.items()) for r in ours} == {
+            frozenset(r.items()) for r in stated
+        }
+
+    def test_figure6_composed_mapping_holds(self):
+        composed = compose(paper.figure6_map_v_s(), paper.figure6_map_s_sprime())
+        students = Instance(paper.figure6_view_schema())
+        students.insert_all("Students", [
+            {"Name": "Ann", "Address": "12 Elm St", "Country": "US"},
+            {"Name": "Bob", "Address": "9 Oak Ave", "Country": "US"},
+            {"Name": "Chen", "Address": "5 Rue Neuve", "Country": "FR"},
+        ])
+        assert composed.holds_for(students, paper.figure6_s_prime_instance())
+        students.add("Students", Name="Zed", Address="x", Country="ZZ")
+        assert not composed.holds_for(students, paper.figure6_s_prime_instance())
+
+    def test_unfold_scans_leaves_other_relations(self):
+        from repro.algebra import Scan, project_names
+
+        expr = project_names(Scan("Keep"), ["a"])
+        assert unfold_scans(expr, {"Other": Scan("X")}) == expr

@@ -1,0 +1,290 @@
+"""Tests for the schema-evolution operators: Invert/Inverse, Extract,
+Diff, Merge (paper, Section 6)."""
+
+import pytest
+
+from repro.errors import InversionError
+from repro.instances import Instance, LabeledNull
+from repro.logic import parse_tgd
+from repro.mappings import CorrespondenceSet, Mapping
+from repro.metamodel import INT, STRING, SchemaBuilder
+from repro.operators import diff, extract, inverse, invert, merge, quasi_inverse
+from repro.operators.inverse import roundtrips
+from repro.workloads import paper
+
+
+def _pair():
+    source = (
+        SchemaBuilder("Src").entity("P", key=["id"])
+        .attribute("id", INT).attribute("name", STRING).attribute("age", INT)
+        .build()
+    )
+    target = (
+        SchemaBuilder("Tgt").entity("Q", key=["id"])
+        .attribute("id", INT).attribute("name", STRING).attribute("age", INT)
+        .build()
+    )
+    return source, target
+
+
+class TestInverse:
+    def test_invert_is_syntactic(self):
+        mapping = paper.figure6_map_s_sprime()
+        assert invert(mapping).source.name == "Sprime"
+
+    def test_exact_inverse_of_lossless_copy(self):
+        source, target = _pair()
+        mapping = Mapping(source, target, [
+            parse_tgd("P(id=i, name=n, age=a) -> Q(id=i, name=n, age=a)")
+        ])
+        back = inverse(mapping)
+        db = Instance()
+        db.add("P", id=1, name="Ann", age=30)
+        assert roundtrips(mapping, back, db)
+
+    def test_lossy_projection_has_no_exact_inverse(self):
+        source, target = _pair()
+        mapping = Mapping(source, target, [
+            parse_tgd("P(id=i, name=n, age=a) -> Q(id=i, name=n, age=n)")
+        ])
+        # age is dropped by the forward mapping
+        lossy = Mapping(source, target, [
+            parse_tgd("P(id=i, name=n, age=a) -> Q(id=i, name=n)")
+        ])
+        with pytest.raises(InversionError):
+            inverse(lossy)
+
+    def test_existential_mapping_has_no_exact_inverse(self):
+        source, target = _pair()
+        mapping = Mapping(source, target, [
+            parse_tgd("P(id=i, name=n, age=a) -> Q(id=i, name=n, age=e)")
+        ])
+        with pytest.raises(InversionError):
+            inverse(mapping)
+
+    def test_quasi_inverse_recovers_with_nulls(self):
+        source, target = _pair()
+        lossy = Mapping(source, target, [
+            parse_tgd("P(id=i, name=n, age=a) -> Q(id=i, name=n)")
+        ])
+        back = quasi_inverse(lossy)
+        db = Instance()
+        db.add("P", id=1, name="Ann", age=30)
+        from repro.logic import chase
+
+        forward = chase(db, lossy.tgds).instance
+        target_only = Instance()
+        target_only.relations["Q"] = forward.rows("Q")
+        recovered = chase(target_only, back.tgds).instance
+        row = recovered.rows("P")[0]
+        assert row["id"] == 1 and row["name"] == "Ann"
+        assert isinstance(row["age"], LabeledNull)  # unknown, not invented
+
+    def test_quasi_inverse_of_quasi_inverse_roundtrips_certain_part(self):
+        source, target = _pair()
+        lossy = Mapping(source, target, [
+            parse_tgd("P(id=i, name=n, age=a) -> Q(id=i, name=n)")
+        ])
+        back = quasi_inverse(lossy)
+        db = Instance()
+        db.add("P", id=1, name="Ann", age=30)
+        assert not roundtrips(lossy, back, db)  # age is genuinely lost
+
+
+class TestExtractDiff:
+    def _evolved_mapping(self):
+        """S has covered and uncovered parts; the mapping reads id/name."""
+        s = (
+            SchemaBuilder("S").entity("Person", key=["id"])
+            .attribute("id", INT).attribute("name", STRING)
+            .attribute("hobby", STRING).attribute("shoe_size", INT)
+            .build()
+        )
+        v = (
+            SchemaBuilder("Vw").entity("People", key=["id"])
+            .attribute("id", INT).attribute("name", STRING)
+            .build()
+        )
+        mapping = Mapping(
+            s, v, [parse_tgd("Person(id=i, name=n) -> People(id=i, name=n)")]
+        )
+        return s, v, mapping
+
+    def test_extract_keeps_participating(self):
+        s, _, mapping = self._evolved_mapping()
+        slice_ = extract(s, mapping)
+        kept = slice_.schema.entity("Person")
+        assert kept.has_attribute("id") and kept.has_attribute("name")
+        assert not kept.has_attribute("hobby")
+
+    def test_diff_keeps_complement_plus_keys(self):
+        s, _, mapping = self._evolved_mapping()
+        slice_ = diff(s, mapping)
+        kept = slice_.schema.entity("Person")
+        assert kept.has_attribute("hobby") and kept.has_attribute("shoe_size")
+        assert kept.has_attribute("id")       # key glues the halves
+        assert not kept.has_attribute("name")
+
+    def test_extract_diff_cover_schema(self):
+        """View-complement condition: every attribute survives in
+        Extract or Diff (keys in both)."""
+        s, _, mapping = self._evolved_mapping()
+        extracted = extract(s, mapping)
+        complement = diff(s, mapping)
+        all_attrs = {
+            f"{e.name}.{a.name}"
+            for e in s.entities.values() for a in e.attributes
+        }
+        covered = set()
+        for sub in (extracted.schema, complement.schema):
+            for entity in sub.entities.values():
+                for attribute in entity.attributes:
+                    covered.add(f"{entity.name}.{attribute.name}")
+        assert covered == all_attrs
+
+    def test_embedding_mappings_valid(self):
+        s, _, mapping = self._evolved_mapping()
+        slice_ = extract(s, mapping)
+        assert slice_.mapping.source.name == slice_.schema.name
+        assert slice_.mapping.target.name == s.name
+        # The embedding holds on a consistent pair of instances.
+        full = Instance()
+        full.add("Person", id=1, name="A", hobby="chess", shoe_size=42)
+        part = Instance()
+        part.add("Person", id=1, name="A")
+        assert slice_.mapping.holds_for(part, full)
+
+    def test_diff_on_equality_mapping(self):
+        """Figure 6 framing: diff of S′ against mapS-S′ finds nothing new
+        (all of S′ participates except nothing)."""
+        mapping = paper.figure6_map_s_sprime()
+        s_prime = paper.figure6_s_prime_schema()
+        slice_ = diff(s_prime, mapping.invert())
+        leftover_attrs = [
+            a.name
+            for e in slice_.schema.entities.values()
+            for a in e.attributes
+        ]
+        # All S′ attributes participate in the mapping: only keys could
+        # remain, and entities with nothing but keys are dropped.
+        non_key = [a for a in leftover_attrs if a not in ("SID",)]
+        assert non_key == []
+
+    def test_diff_finds_new_attribute(self):
+        """Add a column to S′; Diff reports exactly it."""
+        s_prime = paper.figure6_s_prime_schema().clone()
+        from repro.metamodel import Attribute
+
+        s_prime.entity("Foreign").add_attribute(
+            Attribute("Visa", STRING, nullable=True)
+        )
+        mapping = Mapping(
+            paper.figure6_s_schema(), s_prime,
+            paper.figure6_map_s_sprime().constraints,
+            name="to_evolved",
+        )
+        slice_ = diff(s_prime, mapping.invert())
+        assert "Foreign.Visa" in slice_.participating
+
+
+class TestMerge:
+    def _schemas(self):
+        first = (
+            SchemaBuilder("HRx").entity("Emp", key=["id"])
+            .attribute("id", INT).attribute("name", STRING)
+            .attribute("dept", STRING)
+            .build()
+        )
+        second = (
+            SchemaBuilder("Payroll").entity("Staff", key=["sid"])
+            .attribute("sid", INT).attribute("full_name", STRING)
+            .attribute("salary", INT)
+            .entity("Account", key=["iban"])
+            .attribute("iban", STRING).attribute("owner", INT)
+            .build()
+        )
+        cs = CorrespondenceSet(first, second)
+        cs.add_pair("Emp", "Staff")
+        cs.add_pair("Emp.id", "Staff.sid")
+        cs.add_pair("Emp.name", "Staff.full_name")
+        return first, second, cs
+
+    def test_corresponding_entities_collapse(self):
+        first, second, cs = self._schemas()
+        result = merge(first, second, cs)
+        assert "Emp" in result.schema.entities
+        assert "Staff" not in result.schema.entities
+
+    def test_attributes_union(self):
+        first, second, cs = self._schemas()
+        merged_entity = merge(first, second, cs).schema.entity("Emp")
+        names = set(merged_entity.own_attribute_names())
+        assert names == {"id", "name", "dept", "salary"}
+
+    def test_non_corresponding_entity_copied(self):
+        first, second, cs = self._schemas()
+        result = merge(first, second, cs)
+        assert "Account" in result.schema.entities
+
+    def test_embedding_mappings(self):
+        first, second, cs = self._schemas()
+        result = merge(first, second, cs)
+        assert result.mapping_first.source.name == "HRx"
+        assert result.mapping_second.source.name == "Payroll"
+        # Second schema's Staff rows land in merged Emp.
+        tgd = next(
+            t for t in result.mapping_second.tgds if t.body[0].relation == "Staff"
+        )
+        assert tgd.head[0].relation == "Emp"
+        # full_name flows into name.
+        assert tgd.head[0].term("name") == tgd.body[0].term("full_name")
+
+    def test_merge_migration_end_to_end(self):
+        from repro.logic import chase
+
+        first, second, cs = self._schemas()
+        result = merge(first, second, cs)
+        payroll = Instance()
+        payroll.add("Staff", sid=7, full_name="Greta", salary=90)
+        migrated = chase(payroll, result.mapping_second.tgds).instance
+        row = migrated.rows("Emp")[0]
+        assert row["id"] == 7 and row["name"] == "Greta" and row["salary"] == 90
+        assert isinstance(row["dept"], LabeledNull)
+
+    def test_type_conflict_reconciled(self):
+        first = (
+            SchemaBuilder("F").entity("T", key=["k"])
+            .attribute("k", INT).attribute("v", INT).build()
+        )
+        from repro.metamodel import BIGINT
+
+        second = (
+            SchemaBuilder("G").entity("U", key=["k"])
+            .attribute("k", INT).attribute("v", BIGINT).build()
+        )
+        cs = CorrespondenceSet(first, second)
+        cs.add_pair("T", "U")
+        cs.add_pair("T.k", "U.k")
+        cs.add_pair("T.v", "U.v")
+        merged = merge(first, second, cs).schema
+        assert merged.entity("T").attribute("v").data_type == BIGINT
+
+    def test_collision_renamed(self):
+        first = (
+            SchemaBuilder("F").entity("T", key=["k"])
+            .attribute("k", INT).attribute("note", STRING).build()
+        )
+        from repro.metamodel import DATE
+
+        second = (
+            SchemaBuilder("G").entity("U", key=["k"])
+            .attribute("k", INT).attribute("note", DATE).build()
+        )
+        cs = CorrespondenceSet(first, second)
+        cs.add_pair("T", "U")
+        cs.add_pair("T.k", "U.k")
+        result = merge(first, second, cs)
+        merged_entity = result.schema.entity("T")
+        assert merged_entity.has_attribute("note")
+        assert merged_entity.has_attribute("note_G")
+        assert result.collisions_renamed == {"U.note": "T.note_G"}

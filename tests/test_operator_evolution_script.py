@@ -1,0 +1,169 @@
+"""Tests for structured schema evolution (change scripts that derive
+mapS-S′ automatically)."""
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.errors import SchemaError
+from repro.instances import Instance
+from repro.metamodel import INT, STRING, SchemaBuilder, schema_violations
+from repro.operators import compose, diff, transgen
+from repro.operators.evolution import (
+    AddColumn,
+    AddEntity,
+    DropColumn,
+    RenameColumn,
+    RenameEntity,
+    SplitByValue,
+    evolve,
+)
+from repro.workloads import paper
+
+
+def _base():
+    return (
+        SchemaBuilder("App", metamodel="relational")
+        .entity("Users", key=["uid"])
+        .attribute("uid", INT)
+        .attribute("name", STRING)
+        .attribute("plan", STRING)
+        .build()
+    )
+
+
+class TestSingleChanges:
+    def test_add_column(self):
+        result = evolve(_base(), [AddColumn("Users", "email", STRING)])
+        assert result.schema.entity("Users").has_attribute("email")
+        assert result.schema.entity("Users").attribute("email").nullable
+        # Mapping: original Users = projection of evolved Users.
+        old = Instance()
+        old.add("Users", uid=1, name="A", plan="free")
+        new = Instance()
+        new.add("Users", uid=1, name="A", plan="free", email=None)
+        assert result.mapping.holds_for(old, new)
+
+    def test_drop_column_reports_loss(self):
+        result = evolve(_base(), [DropColumn("Users", "plan")])
+        assert not result.schema.entity("Users").has_attribute("plan")
+        assert any("information loss" in n for n in result.notes)
+        old = Instance()
+        old.add("Users", uid=1, name="A", plan="free")
+        new = Instance()
+        new.add("Users", uid=1, name="A")
+        assert result.mapping.holds_for(old, new)
+
+    def test_drop_key_rejected(self):
+        with pytest.raises(SchemaError):
+            evolve(_base(), [DropColumn("Users", "uid")])
+
+    def test_rename_column(self):
+        result = evolve(_base(), [RenameColumn("Users", "name", "full_name")])
+        assert result.schema.entity("Users").has_attribute("full_name")
+        old = Instance()
+        old.add("Users", uid=1, name="A", plan="p")
+        new = Instance()
+        new.add("Users", uid=1, full_name="A", plan="p")
+        assert result.mapping.holds_for(old, new)
+
+    def test_rename_key_column_updates_constraints(self):
+        result = evolve(_base(), [RenameColumn("Users", "uid", "id")])
+        entity = result.schema.entity("Users")
+        assert entity.key == ("id",)
+        assert schema_violations(result.schema) == []
+
+    def test_rename_entity(self):
+        result = evolve(_base(), [RenameEntity("Users", "Accounts")])
+        assert "Accounts" in result.schema.entities
+        assert "Users" not in result.schema.entities
+        old = Instance()
+        old.add("Users", uid=1, name="A", plan="p")
+        new = Instance()
+        new.add("Accounts", uid=1, name="A", plan="p")
+        assert result.mapping.holds_for(old, new)
+
+    def test_add_entity_appears_in_diff(self):
+        result = evolve(_base(), [
+            AddEntity("AuditLog", (("eid", INT), ("what", STRING)),
+                      key=("eid",)),
+        ])
+        slice_ = diff(result.schema, result.mapping.invert())
+        assert "AuditLog.what" in slice_.participating
+
+    def test_split_by_value_matches_figure6(self):
+        schema = (
+            SchemaBuilder("S", metamodel="relational")
+            .entity("Addresses", key=["SID"])
+            .attribute("SID", INT).attribute("Address", STRING)
+            .attribute("Country", STRING)
+            .build()
+        )
+        result = evolve(schema, [
+            SplitByValue("Addresses", "Country", "US", "Local", "Foreign"),
+        ])
+        assert set(result.schema.entities) == {"Local", "Foreign"}
+        assert not result.schema.entity("Local").has_attribute("Country")
+        old = Instance()
+        old.add("Addresses", SID=1, Address="a", Country="US")
+        old.add("Addresses", SID=2, Address="b", Country="FR")
+        new = Instance()
+        new.add("Local", SID=1, Address="a")
+        new.add("Foreign", SID=2, Address="b", Country="FR")
+        assert result.mapping.holds_for(old, new)
+        new.add("Local", SID=9, Address="ghost")
+        assert not result.mapping.holds_for(old, new)
+
+
+class TestChainedChanges:
+    def test_multiple_changes_compose(self):
+        result = evolve(_base(), [
+            RenameEntity("Users", "Accounts"),
+            RenameColumn("Users", "name", "full_name"),
+            AddColumn("Users", "email", STRING),
+            DropColumn("Users", "plan"),
+        ])
+        entity = result.schema.entity("Accounts")
+        assert entity.has_attribute("full_name")
+        assert entity.has_attribute("email")
+        assert not entity.has_attribute("plan")
+        old = Instance()
+        old.add("Users", uid=1, name="A", plan="p")
+        new = Instance()
+        new.add("Accounts", uid=1, full_name="A", email=None)
+        assert result.mapping.holds_for(old, new)
+
+    def test_migration_through_transgen(self):
+        """The derived mapping is executable: migrate data S → S′."""
+        result = evolve(_base(), [
+            RenameColumn("Users", "name", "full_name"),
+            AddColumn("Users", "email", STRING),
+        ])
+        views = transgen(result.mapping)
+        old = Instance(result.mapping.source)
+        old.add("Users", uid=1, name="Ann", plan="pro")
+        migrated = views.query_view.apply(old)
+        row = migrated.rows("Users")[0]
+        assert row["full_name"] == "Ann"
+
+    def test_composes_with_view_mapping(self):
+        """The whole Figure 6 pipeline with a *derived* (not
+        hand-written) evolution mapping."""
+        evolution = evolve(paper.figure6_s_schema(), [
+            RenameEntity("Names", "NamesP"),
+            SplitByValue("Addresses", "Country", "US", "Local", "Foreign"),
+        ])
+        composed = compose(paper.figure6_map_v_s(), evolution.mapping)
+        s_prime = Instance()
+        s_prime.add("NamesP", SID=1, Name="Ann")
+        s_prime.add("Local", SID=1, Address="12 Elm St")
+        rows = evaluate(composed.equalities[0].target_expr, s_prime)
+        assert rows == [{"Name": "Ann", "Address": "12 Elm St",
+                         "Country": "US"}]
+
+    def test_evolved_schema_is_well_formed(self):
+        result = evolve(_base(), [
+            RenameEntity("Users", "Accounts"),
+            SplitByValue("Accounts", "plan", "free", "FreeUsers",
+                         "PaidUsers"),
+        ])
+        assert schema_violations(result.schema) == []

@@ -1,0 +1,132 @@
+"""Coverage for the text and SQL printers across all node kinds."""
+
+import pytest
+
+from repro.algebra import (
+    Aggregate,
+    Arith,
+    Case,
+    Col,
+    Difference,
+    Distinct,
+    EntityScan,
+    Extend,
+    FALSE,
+    Func,
+    In,
+    IsNull,
+    IsOf,
+    Lit,
+    Not,
+    Or,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Sort,
+    TRUE,
+    UnionAll,
+    Values,
+    eq,
+    eq_join,
+    to_sql,
+    to_text,
+)
+from repro.algebra.printer import scalar_text
+
+
+class TestAlgebraText:
+    def test_every_relational_node_renders(self):
+        exprs = [
+            Scan("R"),
+            EntityScan("E", only=True),
+            Values([{"a": 1}]),
+            Select(Scan("R"), eq(Col("x"), 1)),
+            Project(Scan("R"), [("y", Col("x")), ("k", Lit(3))]),
+            Extend(Scan("R"), "z", Arith("+", Col("x"), Lit(1))),
+            eq_join(Scan("R"), Scan("S"), [("x", "x")], kind="left"),
+            UnionAll(Scan("R"), Scan("S")),
+            Difference(Scan("R"), Scan("S")),
+            Distinct(Scan("R")),
+            Rename(Scan("R"), {"x": "y"}),
+            Aggregate(Scan("R"), ["g"], [("n", "count", None),
+                                         ("s", "sum", Col("x"))]),
+            Sort(Scan("R"), ["-x", "y"]),
+        ]
+        for expr in exprs:
+            text = to_text(expr)
+            assert text and "<" not in text.split("[")[0]
+
+    def test_every_scalar_renders(self):
+        scalars = [
+            Col("x"),
+            Lit("it's"),
+            TRUE,
+            FALSE,
+            Func("upper", [Col("x")], str.upper),
+            Arith("*", Col("x"), Lit(2)),
+            eq(Col("x"), 1),
+            Or(eq(Col("x"), 1), Not(FALSE)),
+            IsNull(Col("x")),
+            IsNull(Col("x"), negated=True),
+            IsOf("T"),
+            IsOf("T", only=True),
+            In(Col("x"), [1, 2]),
+            Case([(TRUE, Lit(1))], Lit(0)),
+        ]
+        for scalar in scalars:
+            assert scalar_text(scalar)
+
+    def test_text_is_repr(self):
+        expr = Select(Scan("R"), eq(Col("x"), 1))
+        assert repr(expr) == to_text(expr)
+
+
+class TestSqlRendering:
+    def test_every_node_renders_sql(self):
+        exprs = [
+            Scan("R"),
+            EntityScan("E"),
+            Values([{"a": 1, "b": "x"}]),
+            Values([]),
+            Select(Scan("R"), In(Col("x"), [1, 2])),
+            Project(Scan("R"), [("y", Func("upper", [Col("x")], str.upper))]),
+            Extend(Scan("R"), "z", Lit(None)),
+            eq_join(Scan("R"), Scan("S"), [("x", "x")], kind="left"),
+            UnionAll(Scan("R"), Scan("S")),
+            Difference(Scan("R"), Scan("S")),
+            Distinct(Scan("R")),
+            Rename(Scan("R"), {"x": "y"}),
+            Aggregate(Scan("R"), ["g"], [("n", "count", None),
+                                         ("avg_x", "avg", Col("x"))]),
+            Sort(Scan("R"), ["-x"]),
+        ]
+        for expr in exprs:
+            sql = to_sql(expr)
+            assert "SELECT" in sql
+
+    def test_compact_mode(self):
+        sql = to_sql(Select(Scan("R"), eq(Col("x"), 1)), pretty=False)
+        assert "\n" not in sql
+
+    def test_identifier_quoting(self):
+        sql = to_sql(Scan("weird name"))
+        assert '"weird name"' in sql
+
+    def test_boolean_and_null_literals(self):
+        sql = to_sql(Select(Scan("R"), eq(Col("b"), True)))
+        assert "TRUE" in sql
+        sql = to_sql(Project(Scan("R"), [("n", Lit(None))]))
+        assert "NULL" in sql
+
+    def test_left_join_keyword(self):
+        sql = to_sql(eq_join(Scan("R"), Scan("S"), [("x", "x")], kind="left"))
+        assert "LEFT OUTER JOIN" in sql
+
+    def test_group_by_clause(self):
+        sql = to_sql(Aggregate(Scan("R"), ["g"], [("n", "count", None)]))
+        assert "GROUP BY g" in sql
+
+    def test_order_by_desc(self):
+        sql = to_sql(Sort(Scan("R"), ["-x"]))
+        assert "ORDER BY x DESC" in sql

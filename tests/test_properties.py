@@ -1,0 +1,232 @@
+"""Cross-cutting property-based tests on the engine's core invariants.
+
+Each property is a theorem the implementation must satisfy; hypothesis
+searches for counterexamples:
+
+* chase confluence — the order of dependencies does not change the
+  result up to homomorphic equivalence (universal solutions are unique
+  up to homomorphism);
+* core idempotence and hom-equivalence;
+* composition semantics — exchanging through the composed mapping
+  equals the two-step exchange, up to homomorphic equivalence;
+* composition associativity on copy-style chains;
+* invert is an involution; quasi-inverse recovers the certain part;
+* roundtripping of ModelGen+TransGen views on random hierarchy data;
+* serialization is lossless for random schemas.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.instances import Instance, InstanceGenerator
+from repro.logic import chase, core_of, parse_tgd
+from repro.logic.homomorphism import are_hom_equivalent, instance_homomorphism
+from repro.mappings import Mapping
+from repro.metamodel import INT, SchemaBuilder
+from repro.metamodels import schema_from_dict, schema_to_dict
+from repro.operators import (
+    InheritanceStrategy,
+    compose,
+    modelgen,
+    quasi_inverse,
+    transgen,
+)
+from repro.workloads import synthetic
+
+# ----------------------------------------------------------------------
+# chase properties
+# ----------------------------------------------------------------------
+_TGD_POOL = [
+    parse_tgd("A(x=v) -> B(x=v)", name="t1"),
+    parse_tgd("B(x=v) -> C(x=v, y=w)", name="t2"),
+    parse_tgd("A(x=v) & B(x=v) -> D(x=v)", name="t3"),
+    parse_tgd("C(x=v, y=w) -> E(y=w)", name="t4"),
+    parse_tgd("D(x=v) -> C(x=v, y=0)", name="t5"),
+]
+
+
+@given(
+    st.permutations(_TGD_POOL),
+    st.lists(st.integers(0, 4), min_size=0, max_size=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_chase_confluence(order, values):
+    """Universal solutions are unique up to homomorphic equivalence,
+    whatever the firing order."""
+    db = Instance()
+    for value in values:
+        db.add("A", x=value)
+    first = chase(db, list(order)).instance
+    second = chase(db, _TGD_POOL).instance
+    assert are_hom_equivalent(first, second)
+
+
+@given(st.lists(st.integers(0, 3), min_size=0, max_size=5))
+@settings(max_examples=30, deadline=None)
+def test_core_is_idempotent_and_equivalent(values):
+    db = Instance()
+    for value in values:
+        db.add("S", a=value)
+    chased = chase(db, [
+        parse_tgd("S(a=x) -> T(a=x, b=y)"),
+        parse_tgd("S(a=x) -> T(a=x, b=1)"),
+    ]).instance
+    target = Instance()
+    target.relations["T"] = chased.relations.get("T", [])
+    core = core_of(target)
+    assert are_hom_equivalent(core, target)
+    again = core_of(core)
+    assert again.total_rows() == core.total_rows()
+
+
+# ----------------------------------------------------------------------
+# composition properties
+# ----------------------------------------------------------------------
+def _chain_schemas():
+    def flat(name, rel):
+        return (
+            SchemaBuilder(name).entity(rel, key=[f"{rel}_k"])
+            .attribute(f"{rel}_k", INT).attribute(f"{rel}_v", INT).build()
+        )
+
+    return flat("CA", "R"), flat("CB", "S"), flat("CC", "T"), flat("CD", "U")
+
+
+_M12_VARIANTS = [
+    "R(R_k=x, R_v=y) -> S(S_k=x, S_v=y)",       # copy
+    "R(R_k=x, R_v=y) -> S(S_k=x, S_v=e)",       # invent v
+    "R(R_k=x, R_v=y) -> S(S_k=y, S_v=x)",       # swap
+]
+_M23_VARIANTS = [
+    "S(S_k=x, S_v=y) -> T(T_k=x, T_v=y)",
+    "S(S_k=x, S_v=y) -> T(T_k=x, T_v=x)",
+]
+
+
+@given(
+    st.sampled_from(_M12_VARIANTS),
+    st.sampled_from(_M23_VARIANTS),
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        min_size=0, max_size=5,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_composition_equals_two_step_exchange(m12_text, m23_text, rows):
+    a, b, c, _ = _chain_schemas()
+    m12 = Mapping(a, b, [parse_tgd(m12_text)])
+    m23 = Mapping(b, c, [parse_tgd(m23_text)])
+    composed = compose(m12, m23, prefer_first_order=False)
+
+    source = Instance()
+    for k, v in rows:
+        source.add("R", R_k=k, R_v=v)
+    step1 = chase(source, m12.tgds).instance
+    step2 = chase(step1, m23.tgds).instance
+    two_step = Instance()
+    two_step.relations["T"] = step2.relations.get("T", [])
+
+    from repro.logic.second_order import execute_so_tgd
+    from repro.logic.second_order import skolemize_all
+
+    so = composed.so_tgd or skolemize_all(composed.tgds)
+    direct = execute_so_tgd(so, source)
+    one_step = Instance()
+    one_step.relations["T"] = direct.relations.get("T", [])
+    assert are_hom_equivalent(two_step, one_step)
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                min_size=0, max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_composition_associativity(rows):
+    """(m12 ∘ m23) ∘ m34 and m12 ∘ (m23 ∘ m34) agree on exchange."""
+    a, b, c, d = _chain_schemas()
+    m12 = Mapping(a, b, [parse_tgd("R(R_k=x, R_v=y) -> S(S_k=x, S_v=y)")])
+    m23 = Mapping(b, c, [parse_tgd("S(S_k=x, S_v=y) -> T(T_k=x, T_v=e)")])
+    m34 = Mapping(c, d, [parse_tgd("T(T_k=x, T_v=y) -> U(U_k=x, U_v=y)")])
+    left = compose(compose(m12, m23), m34)
+    right = compose(m12, compose(m23, m34))
+
+    source = Instance()
+    for k, v in rows:
+        source.add("R", R_k=k, R_v=v)
+    left_result = chase(source, left.tgds).instance
+    right_result = chase(source, right.tgds).instance
+    left_u, right_u = Instance(), Instance()
+    left_u.relations["U"] = left_result.relations.get("U", [])
+    right_u.relations["U"] = right_result.relations.get("U", [])
+    assert are_hom_equivalent(left_u, right_u)
+
+
+# ----------------------------------------------------------------------
+# inverse properties
+# ----------------------------------------------------------------------
+def test_invert_is_involution():
+    from repro.workloads import paper
+
+    mapping = paper.figure6_map_s_sprime()
+    twice = mapping.invert().invert()
+    assert twice.source.name == mapping.source.name
+    assert twice.constraints == mapping.constraints
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                min_size=1, max_size=5, unique_by=lambda t: t[0]))
+@settings(max_examples=30, deadline=None)
+def test_quasi_inverse_recovers_certain_part(rows):
+    """Forward-then-backward exchange preserves what the mapping kept:
+    the original is homomorphically embeddable in the recovery."""
+    a, b, _, _ = _chain_schemas()
+    lossy = Mapping(a, b, [parse_tgd("R(R_k=x, R_v=y) -> S(S_k=x)")])
+    backward = quasi_inverse(lossy)
+    source = Instance()
+    for k, v in rows:
+        source.add("R", R_k=k, R_v=v)
+    forward = chase(source, lossy.tgds).instance
+    target_only = Instance()
+    target_only.relations["S"] = forward.relations.get("S", [])
+    recovered = chase(target_only, backward.tgds).instance
+    recovered_r = Instance()
+    recovered_r.relations["R"] = recovered.relations.get("R", [])
+    # The key column must round-trip exactly:
+    assert {r["R_k"] for r in recovered_r.rows("R")} == {
+        r["R_k"] for r in source.rows("R")
+    }
+    # And every recovered value column is an unknown (labeled null) —
+    # the mapping dropped it, so the inverse cannot invent it.
+    from repro.instances import LabeledNull
+
+    assert all(
+        isinstance(r["R_v"], LabeledNull) for r in recovered_r.rows("R")
+    )
+
+
+# ----------------------------------------------------------------------
+# modelgen/transgen roundtripping on random data
+# ----------------------------------------------------------------------
+@given(
+    st.sampled_from(list(InheritanceStrategy)),
+    st.integers(min_value=0, max_value=2**16),
+    st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=25, deadline=None)
+def test_views_roundtrip_random_hierarchy_data(strategy, seed, rows):
+    schema = synthetic.inheritance_schema("P", depth=2, branching=2,
+                                          attributes_per_entity=1)
+    views = transgen(modelgen(schema, "relational", strategy).mapping)
+    db = InstanceGenerator(schema, seed=seed).generate(rows)
+    views.verify_roundtrip(db)
+
+
+# ----------------------------------------------------------------------
+# serialization losslessness on random schemas
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=2**16),
+       st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_serialization_roundtrip_random_schema(seed, depth):
+    schema = synthetic.snowflake_schema("Rand", depth=depth, branching=2,
+                                        attributes_per_entity=3, seed=seed)
+    data = schema_to_dict(schema)
+    assert schema_to_dict(schema_from_dict(data)) == data

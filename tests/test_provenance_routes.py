@@ -1,0 +1,99 @@
+"""Tests for derivation routes (Chiticariu–Tan style) through
+intermediate relations, and debugger route explanations."""
+
+import pytest
+
+from repro.instances import Instance
+from repro.logic import chase, parse_tgd
+from repro.mappings import Mapping
+from repro.metamodel import INT, SchemaBuilder
+from repro.runtime import MappingDebugger, route
+
+
+def _two_hop():
+    """base → Mid → Final: routes must chain through Mid."""
+    tgds = [
+        parse_tgd("Base(a=x, b=y) -> Mid(m=x, n=y)", name="step1"),
+        parse_tgd("Mid(m=x, n=y) -> Final(f=y)", name="step2"),
+    ]
+    source = Instance()
+    source.add("Base", a=1, b=10)
+    source.add("Base", a=2, b=20)
+    return source, tgds
+
+
+class TestRoutes:
+    def test_route_chains_to_base(self):
+        source, tgds = _two_hop()
+        routes = route({"f": 10}, "Final", source, tgds)
+        assert routes
+        chain = routes[0]
+        assert chain[0].dependency.name == "step2"
+        assert chain[1].dependency.name == "step1"
+        base_witnesses = [
+            row for entry in chain for rel, row in entry.source_rows
+            if rel == "Base"
+        ]
+        assert {"a": 1, "b": 10} in base_witnesses
+
+    def test_route_absent_row(self):
+        source, tgds = _two_hop()
+        assert route({"f": 999}, "Final", source, tgds) == []
+
+    def test_route_depth_limit(self):
+        """With max_depth=0 a two-hop chain cannot complete, so no
+        route is reported (incomplete chains are never returned)."""
+        source, tgds = _two_hop()
+        assert route({"f": 10}, "Final", source, tgds, max_depth=0) == []
+        assert route({"f": 10}, "Final", source, tgds, max_depth=1) != []
+
+    def test_multiple_routes(self):
+        """Two derivations of the same target row: both reported."""
+        tgds = [
+            parse_tgd("P(x=v) -> Out(o=v)", name="via_p"),
+            parse_tgd("Q(x=v) -> Out(o=v)", name="via_q"),
+        ]
+        source = Instance()
+        source.add("P", x=5)
+        source.add("Q", x=5)
+        routes = route({"o": 5}, "Out", source, tgds)
+        names = {chain[0].dependency.name for chain in routes}
+        assert names == {"via_p", "via_q"}
+
+
+class TestDebuggerRoutes:
+    def _mapping(self):
+        s = (
+            SchemaBuilder("DR").entity("Base", key=["a"])
+            .attribute("a", INT).attribute("b", INT)
+            .entity("Mid", key=["m"]).attribute("m", INT).attribute("n", INT)
+            .build()
+        )
+        t = (
+            SchemaBuilder("DRT").entity("Final", key=["f"])
+            .attribute("f", INT)
+            .entity("Mid", key=["m"]).attribute("m", INT).attribute("n", INT)
+            .build()
+        )
+        return Mapping(s, t, [
+            parse_tgd("Base(a=x, b=y) -> Mid(m=x, n=y)", name="step1"),
+            parse_tgd("Mid(m=x, n=y) -> Final(f=y)", name="step2"),
+        ])
+
+    def test_explain_route_via_debugger(self):
+        mapping = self._mapping()
+        source = Instance()
+        source.add("Base", a=1, b=10)
+        debugger = MappingDebugger(mapping)
+        routes = debugger.explain_route({"f": 10}, "Final", source)
+        assert routes and len(routes[0]) == 2
+
+    def test_trace_shows_marginal_rows(self):
+        mapping = self._mapping()
+        source = Instance()
+        source.add("Base", a=1, b=10)
+        source.add("Base", a=2, b=20)
+        steps = MappingDebugger(mapping).trace(source)
+        by_label = {s.label: s for s in steps}
+        assert by_label["tgd:step1"].row_count == 2
+        assert by_label["tgd:step2"].row_count == 2

@@ -1,0 +1,64 @@
+"""Regression tests for SO-tgd mapping semantics, including the
+inverted-mapping case that once executed the SO-tgd against the wrong
+side."""
+
+import pytest
+
+from repro.instances import Instance
+from repro.logic import parse_tgd
+from repro.logic.second_order import skolemize_all
+from repro.mappings import Mapping, MappingLanguage
+from repro.metamodel import INT, SchemaBuilder
+
+
+def _so_mapping():
+    a = SchemaBuilder("SA").entity("R", key=["k"]).attribute("k", INT).build()
+    b = (
+        SchemaBuilder("SB").entity("T", key=["k"])
+        .attribute("k", INT).attribute("v", INT, nullable=True).build()
+    )
+    so = skolemize_all([parse_tgd("R(k=x) -> T(k=x, v=y)", name="m")])
+    return Mapping(a, b, so, name="so_map")
+
+
+class TestSoTgdHoldsFor:
+    def test_holds_on_consistent_pair(self):
+        mapping = _so_mapping()
+        d1, d2 = Instance(), Instance()
+        d1.add("R", k=1)
+        d2.add("T", k=1, v=42)
+        assert mapping.holds_for(d1, d2)
+
+    def test_fails_when_target_missing(self):
+        mapping = _so_mapping()
+        d1 = Instance()
+        d1.add("R", k=1)
+        assert not mapping.holds_for(d1, Instance())
+
+    def test_function_consistency_enforced(self):
+        """Two body matches for the same arguments must map to the SAME
+        target value (Skolem semantics): T rows with distinct v for one
+        k satisfy it (hom picks one), but an empty slot does not."""
+        mapping = _so_mapping()
+        d1, d2 = Instance(), Instance()
+        d1.add("R", k=1)
+        d1.add("R", k=2)
+        d2.add("T", k=1, v=10)
+        assert not mapping.holds_for(d1, d2)  # k=2 unaccounted
+        d2.add("T", k=2, v=20)
+        assert mapping.holds_for(d1, d2)
+
+    def test_inverted_so_mapping(self):
+        """invert() transposes the relation: ⟨D2, D1⟩ ∈ invert(m) iff
+        ⟨D1, D2⟩ ∈ m — including for SO-tgd mappings."""
+        mapping = _so_mapping()
+        inverted = mapping.invert()
+        d1, d2 = Instance(), Instance()
+        d1.add("R", k=1)
+        d2.add("T", k=1, v=42)
+        assert inverted.holds_for(d2, d1)
+        # And the failing pair still fails after inversion.
+        assert not inverted.holds_for(Instance(), d1)
+
+    def test_language_reported(self):
+        assert _so_mapping().language == MappingLanguage.SO_TGD

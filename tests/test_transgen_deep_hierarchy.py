@@ -1,0 +1,195 @@
+"""Adversarial TransGen tests: hand-written (not ModelGen-generated)
+mappings over a three-level hierarchy, in the paper's Figure 2 custom
+style where tables hold *unions of types* rather than clean per-type
+fragments.
+
+Hierarchy: Person ⊃ Employee ⊃ Manager, and Person ⊃ Customer.
+Tables (deliberately Figure-2-ish):
+
+* ``People``  — Id, Name of everyone **except** customers;
+* ``Staff``   — Id, Dept of employees and managers;
+* ``Bosses``  — Id, Reports of managers only;
+* ``Clients`` — Id, Name, Score of customers only.
+
+Fragment patterns: Person {People}, Employee {People, Staff},
+Manager {People, Staff, Bosses}, Customer {Clients} — reconstruction
+needs chained joins *and* chained anti-joins.
+"""
+
+import pytest
+
+from repro.algebra import (
+    Col,
+    EntityScan,
+    IsOf,
+    Or,
+    Project,
+    Scan,
+    Select,
+    project_names,
+)
+from repro.instances import Instance
+from repro.mappings import EqualityConstraint, Mapping
+from repro.metamodel import INT, STRING, SchemaBuilder
+from repro.operators import transgen
+
+
+def deep_er_schema():
+    return (
+        SchemaBuilder("DeepER", metamodel="er")
+        .entity("Person", key=["Id"])
+        .attribute("Id", INT)
+        .attribute("Name", STRING)
+        .entity("Employee", parent="Person")
+        .attribute("Dept", STRING)
+        .entity("Manager", parent="Employee")
+        .attribute("Reports", INT)
+        .entity("Customer", parent="Person")
+        .attribute("Score", INT)
+        .build()
+    )
+
+
+def deep_sql_schema():
+    return (
+        SchemaBuilder("DeepSQL", metamodel="relational")
+        .entity("People", key=["Id"])
+        .attribute("Id", INT).attribute("Name", STRING)
+        .entity("Staff", key=["Id"])
+        .attribute("Id", INT).attribute("Dept", STRING)
+        .entity("Bosses", key=["Id"])
+        .attribute("Id", INT).attribute("Reports", INT)
+        .entity("Clients", key=["Id"])
+        .attribute("Id", INT).attribute("Name", STRING)
+        .attribute("Score", INT)
+        .build()
+    )
+
+
+def deep_mapping() -> Mapping:
+    sql, er = deep_sql_schema(), deep_er_schema()
+    c_people = EqualityConstraint(
+        source_expr=project_names(Scan("People"), ["Id", "Name"]),
+        target_expr=Project(
+            Select(
+                EntityScan("Person"),
+                Or(IsOf("Person", only=True), IsOf("Employee")),
+            ),
+            [("Id", Col("Id")), ("Name", Col("Name"))],
+        ),
+        name="People",
+    )
+    c_staff = EqualityConstraint(
+        source_expr=project_names(Scan("Staff"), ["Id", "Dept"]),
+        target_expr=Project(
+            Select(EntityScan("Person"), IsOf("Employee")),
+            [("Id", Col("Id")), ("Dept", Col("Dept"))],
+        ),
+        name="Staff",
+    )
+    c_bosses = EqualityConstraint(
+        source_expr=project_names(Scan("Bosses"), ["Id", "Reports"]),
+        target_expr=Project(
+            Select(EntityScan("Person"), IsOf("Manager")),
+            [("Id", Col("Id")), ("Reports", Col("Reports"))],
+        ),
+        name="Bosses",
+    )
+    c_clients = EqualityConstraint(
+        source_expr=project_names(Scan("Clients"), ["Id", "Name", "Score"]),
+        target_expr=Project(
+            Select(EntityScan("Person"), IsOf("Customer")),
+            [("Id", Col("Id")), ("Name", Col("Name")),
+             ("Score", Col("Score"))],
+        ),
+        name="Clients",
+    )
+    return Mapping(sql, er, [c_people, c_staff, c_bosses, c_clients],
+                   name="deep")
+
+
+def er_sample() -> Instance:
+    db = Instance(deep_er_schema())
+    db.insert_object("Person", Id=1, Name="Plain")
+    db.insert_object("Employee", Id=2, Name="Emp", Dept="QA")
+    db.insert_object("Manager", Id=3, Name="Mgr", Dept="Eng", Reports=7)
+    db.insert_object("Customer", Id=4, Name="Cust", Score=650)
+    return db
+
+
+class TestDeepHierarchy:
+    def test_update_view_table_contents(self):
+        views = transgen(deep_mapping())
+        tables = views.update_view.apply(er_sample())
+        assert {r["Id"] for r in tables.rows("People")} == {1, 2, 3}
+        assert {r["Id"] for r in tables.rows("Staff")} == {2, 3}
+        assert {r["Id"] for r in tables.rows("Bosses")} == {3}
+        assert {r["Id"] for r in tables.rows("Clients")} == {4}
+
+    def test_query_view_reconstructs_all_four_types(self):
+        views = transgen(deep_mapping())
+        tables = views.update_view.apply(er_sample())
+        entities = views.query_view.apply(tables)
+        by_id = {r["Id"]: r["$type"] for r in entities.rows("Person")}
+        assert by_id == {1: "Person", 2: "Employee", 3: "Manager",
+                         4: "Customer"}
+
+    def test_manager_keeps_all_inherited_attributes(self):
+        views = transgen(deep_mapping())
+        tables = views.update_view.apply(er_sample())
+        entities = views.query_view.apply(tables)
+        manager = next(r for r in entities.rows("Person") if r["Id"] == 3)
+        assert manager == {"$type": "Manager", "Id": 3, "Name": "Mgr",
+                           "Dept": "Eng", "Reports": 7}
+
+    def test_roundtrip(self):
+        transgen(deep_mapping()).verify_roundtrip(er_sample())
+
+    def test_mapping_holds_on_generated_tables(self):
+        views = transgen(deep_mapping())
+        er = er_sample()
+        tables = views.update_view.apply(er)
+        assert deep_mapping().holds_for(tables, er)
+
+    def test_constraints_reject_inconsistent_pair(self):
+        views = transgen(deep_mapping())
+        er = er_sample()
+        tables = views.update_view.apply(er)
+        tables.add("Bosses", Id=2, Reports=1)  # employee posing as manager
+        assert not deep_mapping().holds_for(tables, er)
+
+    def test_roundtrip_with_many_objects(self):
+        db = Instance(deep_er_schema())
+        for i in range(60):
+            kind = i % 4
+            if kind == 0:
+                db.insert_object("Person", Id=i, Name=f"P{i}")
+            elif kind == 1:
+                db.insert_object("Employee", Id=i, Name=f"E{i}",
+                                 Dept=f"D{i % 3}")
+            elif kind == 2:
+                db.insert_object("Manager", Id=i, Name=f"M{i}",
+                                 Dept=f"D{i % 3}", Reports=i % 5)
+            else:
+                db.insert_object("Customer", Id=i, Name=f"C{i}",
+                                 Score=500 + i)
+        transgen(deep_mapping()).verify_roundtrip(db)
+
+    def test_query_processor_over_deep_mapping(self):
+        from repro.runtime import QueryProcessor
+
+        views = transgen(deep_mapping())
+        tables = views.update_view.apply(er_sample())
+        processor = QueryProcessor(deep_mapping(), tables)
+        rows = processor.answer_algebra(
+            project_names(
+                Select(EntityScan("Person"), IsOf("Employee")), ["Id"]
+            )
+        )
+        assert {r["Id"] for r in rows} == {2, 3}  # managers are employees
+        only_managers = processor.answer_algebra(
+            project_names(
+                Select(EntityScan("Person"), IsOf("Manager")), ["Id"]
+            )
+        )
+        assert {r["Id"] for r in only_managers} == {3}

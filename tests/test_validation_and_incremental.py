@@ -1,0 +1,193 @@
+"""Tests for schema well-formedness validation and incremental
+matching."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.metamodel import (
+    Attribute,
+    Covering,
+    Disjointness,
+    INT,
+    InclusionDependency,
+    KeyConstraint,
+    NotNull,
+    STRING,
+    Schema,
+    SchemaBuilder,
+)
+from repro.metamodel.elements import Entity
+from repro.metamodel.validation import schema_violations, validate_schema
+from repro.operators.match import MatchConfig
+from repro.operators.match.incremental import IncrementalMatcher
+from repro.workloads import paper
+from tests.test_metamodel_schema import person_hierarchy
+
+
+class TestSchemaValidation:
+    def test_valid_schemas(self):
+        for schema in (
+            person_hierarchy(),
+            paper.figure4_source_schema(),
+            paper.figure6_s_prime_schema(),
+        ):
+            assert schema_violations(schema) == []
+            validate_schema(schema)
+
+    def test_nullable_key(self):
+        schema = Schema("S")
+        entity = Entity("R")
+        entity.add_attribute(Attribute("id", INT, nullable=True))
+        entity.key = ("id",)
+        schema.add_entity(entity)
+        assert any("nullable" in v for v in schema_violations(schema))
+
+    def test_missing_key_attribute(self):
+        schema = Schema("S")
+        entity = Entity("R")
+        entity.key = ("ghost",)
+        schema.add_entity(entity)
+        assert any("does not exist" in v for v in schema_violations(schema))
+
+    def test_dangling_key_constraint(self):
+        schema = Schema("S")
+        schema.add_constraint(KeyConstraint("Nope", ("x",)))
+        assert any("unknown entity" in v for v in schema_violations(schema))
+
+    def test_inclusion_arity_mismatch(self):
+        schema = (
+            SchemaBuilder("S")
+            .entity("A", key=["x"]).attribute("x", INT).attribute("y", INT)
+            .entity("B", key=["x"]).attribute("x", INT)
+            .build()
+        )
+        schema.add_constraint(
+            InclusionDependency("A", ("x", "y"), "B", ("x",))
+        )
+        assert any("arity" in v for v in schema_violations(schema))
+
+    def test_inclusion_dangling_attribute(self):
+        schema = (
+            SchemaBuilder("S")
+            .entity("A", key=["x"]).attribute("x", INT)
+            .entity("B", key=["x"]).attribute("x", INT)
+            .build()
+        )
+        schema.add_constraint(InclusionDependency("A", ("zz",), "B", ("x",)))
+        assert any("zz" in v for v in schema_violations(schema))
+
+    def test_covering_non_subtype(self):
+        schema = person_hierarchy()
+        schema.add_constraint(Covering("Employee", ("Customer",)))
+        assert any(
+            "not a subtype" in v for v in schema_violations(schema)
+        )
+
+    def test_not_null_dangling(self):
+        schema = person_hierarchy()
+        schema.add_constraint(NotNull("Person", "Ghost"))
+        assert any("dangling" in v for v in schema_violations(schema))
+
+    def test_shadowed_attribute(self):
+        schema = person_hierarchy()
+        schema.entity("Employee").add_attribute(Attribute("Name", STRING))
+        assert any("shadows" in v for v in schema_violations(schema))
+
+    def test_hierarchy_without_key(self):
+        schema = Schema("S", metamodel="er")
+        root = Entity("Root")
+        root.add_attribute(Attribute("x", INT))
+        child = Entity("Child")
+        schema.add_entity(root)
+        schema.add_entity(child)
+        child.parent = root
+        assert any("no key" in v for v in schema_violations(schema))
+
+    def test_subtype_own_key_flagged(self):
+        schema = person_hierarchy()
+        schema.entity("Employee").key = ("Dept",)
+        assert any(
+            "keys belong to the hierarchy root" in v
+            for v in schema_violations(schema)
+        )
+
+    def test_validate_raises(self):
+        schema = Schema("S")
+        schema.add_constraint(KeyConstraint("Nope", ("x",)))
+        with pytest.raises(SchemaError):
+            validate_schema(schema)
+
+
+class TestIncrementalMatching:
+    def _session(self):
+        return IncrementalMatcher(
+            paper.figure4_source_schema(),
+            paper.figure4_target_schema(),
+            MatchConfig(top_k=3, threshold=0.05),
+        )
+
+    def test_initial_candidates(self):
+        session = self._session()
+        candidates = session.candidates("Empl.Name")
+        assert candidates
+        assert candidates[0][0] == "Staff.Name"
+
+    def test_accept_boosts_neighbours(self):
+        session = self._session()
+        before = session.matrix.get("Empl.EID", "Staff.SID")
+        session.accept("Empl", "Staff")
+        after = session.matrix.get("Empl.EID", "Staff.SID")
+        assert after > before
+
+    def test_accept_penalizes_competitors(self):
+        session = self._session()
+        before = session.matrix.get("Empl.Tel", "Staff.Name")
+        session.accept("Empl.Name", "Staff.Name")
+        after = session.matrix.get("Empl.Tel", "Staff.Name")
+        assert after < before
+
+    def test_reject_removes_candidate(self):
+        session = self._session()
+        session.reject("Empl.Tel", "Staff.Name")
+        assert all(
+            target != "Staff.Name"
+            for target, _ in session.candidates("Empl.Tel")
+        )
+
+    def test_next_undecided_prefers_ambiguity(self):
+        session = self._session()
+        first = session.next_undecided()
+        assert first is not None
+        session.accept(first, session.candidates(first)[0][0])
+        second = session.next_undecided()
+        assert second != first
+
+    def test_result_contains_confirmations(self):
+        session = self._session()
+        session.accept("Empl.Name", "Staff.Name")
+        session.accept("Addr.City", "Staff.City")
+        result = session.result()
+        pairs = {(c.source.path, c.target.path, c.confidence)
+                 for c in result}
+        assert ("Empl.Name", "Staff.Name", 1.0) in pairs
+        assert ("Addr.City", "Staff.City", 1.0) in pairs
+
+    def test_full_session_converges(self):
+        """Accept the top candidate for every element the tool asks
+        about; the session ends with no undecided ambiguous elements
+        and the confirmed pairs include the paper's Figure 4 arrows."""
+        session = self._session()
+        for _ in range(30):
+            path = session.next_undecided()
+            if path is None:
+                break
+            candidates = session.candidates(path)
+            if not candidates:
+                session._confirmed.add((path, "(none)"))
+                continue
+            session.accept(path, candidates[0][0])
+        confirmed = {
+            (s, t) for s, t in session._confirmed if t != "(none)"
+        }
+        assert ("Empl.Name", "Staff.Name") in confirmed
+        assert ("Addr.City", "Staff.City") in confirmed
