@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench-chase bench
+
+# Tier-1: the whole unit/integration suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast perf sanity after tier-1: smallest size only, no JSON rewrite.
+bench-smoke: test
+	$(PYTHON) benchmarks/bench_chase_scaling.py --smoke
+
+# Full chase trajectory: rewrites BENCH_chase.json at three sizes.
+bench-chase:
+	$(PYTHON) benchmarks/bench_chase_scaling.py
+
+# The whole pytest-benchmark suite (slow).
+bench:
+	$(PYTHON) -m pytest benchmarks -q

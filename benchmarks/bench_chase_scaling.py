@@ -4,22 +4,44 @@ solutions, cores, certain answers.
 Measures, as the source grows:
 
 * chase time and universal-solution size;
+* semi-naive (delta-driven) engine vs the naive Gauss–Seidel baseline;
 * how many labeled nulls a mapping with existential density e invents;
 * core computation — how much smaller the core is than the raw chase
   result when redundant derivations exist;
 * certain-answer evaluation over the universal solution.
 
 Expected shape: chase time grows with source size and with existential
-density; the core shrinks the redundant workload's output but never
-the irredundant one's.
+density; the semi-naive engine's advantage grows with the number of
+dependency "stages" (its per-round cost tracks the delta, the naive
+engine's the whole instance); the core shrinks the redundant workload's
+output but never the irredundant one's.
+
+Run standalone (``python benchmarks/bench_chase_scaling.py``) to emit
+``BENCH_chase.json`` — rows/sec, rounds and speedup at three instance
+sizes — so successive PRs leave a perf trajectory.  ``--smoke`` runs
+only the smallest size (the ``make bench-smoke`` target).
 """
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
 
 import pytest
 
 from repro.instances import Instance, InstanceGenerator
-from repro.logic import certain_answers, chase, core_of, parse_query, parse_tgd
-from repro.mappings import Mapping
-from repro.metamodel import INT, SchemaBuilder
+from repro.logic import (
+    certain_answers,
+    chase,
+    core_of,
+    naive_chase,
+    parse_query,
+    parse_tgd,
+)
+from repro.logic.homomorphism import are_hom_equivalent
 from repro.workloads import synthetic
 
 from conftest import print_table
@@ -33,6 +55,24 @@ def _exchange_workload(rows: int, existential_fraction: float, seed: int = 5):
     return db, tgds
 
 
+def _chain_workload(rows: int, stages: int = 8):
+    """A copy chain R0 → R1 → … with the dependencies listed in
+    *reverse* order — the naive engine needs ``stages`` full sweeps
+    (each re-enumerating every trigger of every tgd), the semi-naive
+    engine does delta-sized work per round."""
+    db = Instance()
+    for i in range(rows):
+        db.add("R0", a=i, b=i % 7)
+    tgds = [
+        parse_tgd(f"R{k}(a=x, b=y) -> R{k + 1}(a=x, b=y)")
+        for k in range(stages)
+    ][::-1]
+    return db, tgds
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark suite
+# ----------------------------------------------------------------------
 @pytest.mark.parametrize("rows", [50, 100, 200])
 def test_chase_time_scaling(benchmark, rows):
     db, tgds = _exchange_workload(rows, existential_fraction=0.5)
@@ -48,6 +88,16 @@ def test_existential_density(benchmark, density):
     result = benchmark(chase, db, tgds)
     if density == 0.0:
         assert result.nulls_created == 0
+
+
+def test_seminaive_vs_naive_chain(benchmark):
+    db, tgds = _chain_workload(200)
+
+    result = benchmark(chase, db, tgds)
+    assert result.instance.cardinality("R8") == 200
+    assert are_hom_equivalent(
+        result.instance, naive_chase(db, tgds).instance
+    )
 
 
 def _redundant_workload(rows: int):
@@ -117,3 +167,130 @@ def test_chase_report(benchmark):
              f"{len(target.nulls())} → {len(core.nulls())}"],
         ],
     )
+
+
+# ----------------------------------------------------------------------
+# standalone trajectory run → BENCH_chase.json
+# ----------------------------------------------------------------------
+_SIZES = (250, 1000, 4000)
+
+
+def _time(engine, db, tgds):
+    start = time.perf_counter()
+    result = engine(db, tgds)
+    return time.perf_counter() - start, result
+
+
+def _measure(rows: int, check_equivalence: bool) -> dict:
+    # The gap between engines scales with the number of stages (naive
+    # sweeps cost O(stages² · rows), delta rounds O(stages · rows)):
+    # 12 stages is the depth of the composition-chain workloads.
+    db, tgds = _chain_workload(rows, stages=12)
+    naive_seconds, naive_result = _time(naive_chase, db, tgds)
+    semi_seconds, semi_result = _time(chase, db, tgds)
+    entry = {
+        "workload": "chain(stages=12)",
+        "source_rows": rows,
+        "rows_produced": semi_result.steps,
+        "rounds": semi_result.stats.rounds,
+        "seminaive_seconds": round(semi_seconds, 4),
+        "seminaive_rows_per_sec": round(semi_result.steps / semi_seconds)
+        if semi_seconds
+        else None,
+        "naive_seconds": round(naive_seconds, 4),
+        "naive_rows_per_sec": round(naive_result.steps / naive_seconds)
+        if naive_seconds
+        else None,
+        "speedup": round(naive_seconds / semi_seconds, 2)
+        if semi_seconds
+        else None,
+        "delta_sizes": semi_result.stats.delta_sizes,
+    }
+    if check_equivalence:
+        entry["hom_equivalent"] = are_hom_equivalent(
+            semi_result.instance, naive_result.instance
+        )
+    return entry
+
+
+def _measure_exchange(rows: int, check_equivalence: bool) -> dict:
+    db, tgds = _exchange_workload(rows, existential_fraction=0.5, seed=9)
+    naive_seconds, naive_result = _time(naive_chase, db, tgds)
+    semi_seconds, semi_result = _time(chase, db, tgds)
+    entry = {
+        "workload": "exchange(∃=0.5)",
+        "source_rows": rows,
+        "rows_produced": semi_result.steps,
+        "rounds": semi_result.stats.rounds,
+        "seminaive_seconds": round(semi_seconds, 4),
+        "naive_seconds": round(naive_seconds, 4),
+        "speedup": round(naive_seconds / semi_seconds, 2)
+        if semi_seconds
+        else None,
+    }
+    if check_equivalence:
+        entry["hom_equivalent"] = are_hom_equivalent(
+            semi_result.instance, naive_result.instance
+        )
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Chase scaling trajectory → BENCH_chase.json"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run only the smallest size (CI sanity, no JSON rewrite "
+             "unless --out is given)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output path (default: BENCH_chase.json next to the repo "
+             "root on full runs)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = _SIZES[:1] if args.smoke else _SIZES
+    results = []
+    for index, rows in enumerate(sizes):
+        entry = _measure(rows, check_equivalence=(index == 0))
+        results.append(entry)
+        print(
+            f"chain  rows={rows:>5}  semi={entry['seminaive_seconds']:.4f}s"
+            f"  naive={entry['naive_seconds']:.4f}s"
+            f"  speedup={entry['speedup']}×"
+        )
+    for index, rows in enumerate(sizes):
+        entry = _measure_exchange(rows, check_equivalence=(index == 0))
+        results.append(entry)
+        print(
+            f"exchange rows={rows:>4}  semi={entry['seminaive_seconds']:.4f}s"
+            f"  naive={entry['naive_seconds']:.4f}s"
+            f"  speedup={entry['speedup']}×"
+        )
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = Path(__file__).resolve().parent.parent / "BENCH_chase.json"
+    if out is not None:
+        payload = {
+            "benchmark": "chase_scaling",
+            "engine": "semi-naive delta-driven chase",
+            "baseline": "naive Gauss–Seidel chase (seed)",
+            "results": results,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    failures = [
+        r for r in results if r.get("hom_equivalent") is False
+    ]
+    if failures:
+        print("ERROR: semi-naive result not hom-equivalent to naive")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

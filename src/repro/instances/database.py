@@ -8,11 +8,20 @@ Entity sets with inheritance (ER/OO schemas) store each object in the
 extent of its *root* entity, with the reserved column ``$type`` naming
 the object's most specific type — exactly the information the ``IS OF``
 predicate of Entity SQL (paper, Figure 2) needs.
+
+Instances also maintain **persistent, incrementally extended indexes**
+over their rows — per-(relation, attribute) value postings and
+per-(relation, attribute-tuple) projection sets — consumed by the
+homomorphism search and the semi-naive chase.  The maintenance contract
+(see :meth:`Instance.mark_dirty`): appends through :meth:`insert` and
+wholesale list replacement via ``relations[r] = [...]`` are detected
+automatically; code that mutates stored row dicts *in place* must call
+:meth:`Instance.mark_dirty` afterwards or the indexes go stale.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping, Optional
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import SchemaError
 from repro.instances.labeled_null import LabeledNull
@@ -29,6 +38,106 @@ def freeze_row(row: Mapping[str, object]) -> frozenset:
     return frozenset(row.items())
 
 
+class _IndexTag:
+    """Private sentinel used to build index keys that cannot collide
+    with user data: unlike the old string-tagged tuples, no genuine row
+    value can ever equal a tuple whose first element is this object."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self._name}>"
+
+
+_NULL_TAG = _IndexTag("labeled-null")
+_OPAQUE_TAG = _IndexTag("unhashable")
+
+
+def hashable_key(value: object) -> object:
+    """A hashable stand-in for an arbitrary row value.
+
+    Labeled nulls and unhashable values are wrapped in tuples tagged
+    with private sentinels, so a genuine tuple value such as
+    ``("⊥", 3)`` can never collide with the key of ``LabeledNull(3)``.
+    """
+    if isinstance(value, LabeledNull):
+        return (_NULL_TAG, value.label)
+    try:
+        hash(value)
+    except TypeError:
+        return (_OPAQUE_TAG, repr(value))
+    return value
+
+
+_NO_ROWS: list = []  # shared empty backing list for views of absent relations
+
+
+class RowsView(Sequence):
+    """A read-only, live view of one relation's row list.
+
+    Supports everything read-only callers need (iteration, ``len``,
+    indexing, slicing, equality with plain lists) while preventing the
+    aliasing bugs of handing out the internal list itself: mutations
+    must go through the owning :class:`Instance`.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: list):
+        self._rows = rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._rows[index])
+        return self._rows[index]
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RowsView):
+            return self._rows == other._rows
+        if isinstance(other, (list, tuple)):
+            return self._rows == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"RowsView({self._rows!r})"
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+class _AttrIndex:
+    """Postings index: value key → rows of one relation carrying it."""
+
+    __slots__ = ("source", "seen", "epoch", "postings")
+
+    def __init__(self, source: list, epoch: int):
+        self.source = source
+        self.seen = 0
+        self.epoch = epoch
+        self.postings: dict[object, list[Row]] = {}
+
+
+class _ProjectionSet:
+    """Membership set of one relation's rows projected onto an
+    attribute tuple (rows lacking any of the attributes are skipped)."""
+
+    __slots__ = ("source", "seen", "epoch", "members")
+
+    def __init__(self, source: list, epoch: int):
+        self.source = source
+        self.seen = 0
+        self.epoch = epoch
+        self.members: set[tuple] = set()
+
+
 class Instance:
     """A database state: named relations of rows.
 
@@ -40,6 +149,14 @@ class Instance:
     def __init__(self, schema: Optional[Schema] = None):
         self.schema = schema
         self.relations: dict[str, list[Row]] = {}
+        # Persistent index caches.  Validated per access against the
+        # backing list's identity and length plus ``_dirty_epoch``, so
+        # appends extend incrementally while replacements, deletions and
+        # declared in-place mutations trigger a rebuild.
+        self._attr_indexes: dict[tuple[str, str], _AttrIndex] = {}
+        self._projection_sets: dict[tuple[str, tuple[str, ...]], _ProjectionSet] = {}
+        self._dirty_epoch = 0
+        self.index_stats = {"hits": 0, "extends": 0, "rebuilds": 0}
 
     # ------------------------------------------------------------------
     # population
@@ -86,20 +203,36 @@ class Instance:
     def delete(
         self, relation: str, predicate: Callable[[Row], bool]
     ) -> list[Row]:
-        """Remove and return rows of ``relation`` satisfying ``predicate``."""
-        rows = self.relations.get(relation, [])
+        """Remove and return rows of ``relation`` satisfying ``predicate``.
+
+        The relation key is dropped entirely when the deletion empties
+        it, so absent and emptied relations are indistinguishable.
+        """
+        rows = self.relations.get(relation)
+        if rows is None:
+            return []
         removed = [r for r in rows if predicate(r)]
-        self.relations[relation] = [r for r in rows if not predicate(r)]
+        kept = [r for r in rows if not predicate(r)]
+        if kept:
+            self.relations[relation] = kept
+        else:
+            self.relations.pop(relation, None)
+        if removed:
+            self.mark_dirty()
         return removed
 
     def clear(self, relation: str) -> None:
         self.relations[relation] = []
+        self.mark_dirty()
 
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
-    def rows(self, relation: str) -> list[Row]:
-        return self.relations.get(relation, [])
+    def rows(self, relation: str) -> RowsView:
+        """A read-only live view of ``relation``'s rows (compares equal
+        to plain lists).  Copy with ``list(...)`` before storing
+        elsewhere; mutate only through the instance's own methods."""
+        return RowsView(self.relations.get(relation, _NO_ROWS))
 
     def objects_of(self, entity_name: str, strict: bool = False) -> list[Row]:
         """Rows whose ``$type`` is (a subtype of) ``entity_name``.
@@ -120,7 +253,7 @@ class Instance:
         return sorted(self.relations)
 
     def cardinality(self, relation: str) -> int:
-        return len(self.rows(relation))
+        return len(self.relations.get(relation, _NO_ROWS))
 
     def total_rows(self) -> int:
         return sum(len(rows) for rows in self.relations.values())
@@ -128,6 +261,96 @@ class Instance:
     @property
     def is_empty(self) -> bool:
         return all(not rows for rows in self.relations.values())
+
+    # ------------------------------------------------------------------
+    # persistent indexes
+    # ------------------------------------------------------------------
+    def mark_dirty(self) -> None:
+        """Invalidate all persistent indexes.
+
+        Call after mutating stored row dicts in place (the chase's egd
+        substitution does); appends via :meth:`insert` and wholesale
+        relation-list replacement are detected without it.
+        """
+        self._dirty_epoch += 1
+
+    def _attr_entry(self, relation: str, attribute: str) -> Optional[_AttrIndex]:
+        rows = self.relations.get(relation)
+        if rows is None:
+            return None
+        key = (relation, attribute)
+        entry = self._attr_indexes.get(key)
+        if (
+            entry is None
+            or entry.source is not rows
+            or entry.epoch != self._dirty_epoch
+            or entry.seen > len(rows)
+        ):
+            entry = _AttrIndex(rows, self._dirty_epoch)
+            self._attr_indexes[key] = entry
+            self.index_stats["rebuilds"] += 1
+        elif entry.seen < len(rows):
+            self.index_stats["extends"] += 1
+        else:
+            self.index_stats["hits"] += 1
+            return entry
+        postings = entry.postings
+        for row in rows[entry.seen:]:
+            if attribute in row:
+                postings.setdefault(
+                    hashable_key(row[attribute]), []
+                ).append(row)
+        entry.seen = len(rows)
+        return entry
+
+    def index_lookup(
+        self, relation: str, attribute: str, value: object
+    ) -> Sequence[Row]:
+        """Rows of ``relation`` whose ``attribute`` equals ``value``,
+        served from the incrementally maintained postings index."""
+        entry = self._attr_entry(relation, attribute)
+        if entry is None:
+            return _NO_ROWS
+        return entry.postings.get(hashable_key(value), _NO_ROWS)
+
+    def projection_member(
+        self, relation: str, attributes: tuple[str, ...], values: tuple
+    ) -> bool:
+        """Is there a row of ``relation`` whose projection onto
+        ``attributes`` equals ``values`` (already ``hashable_key``-mapped)?
+
+        This is the frozen-row membership test the semi-naive chase uses
+        in place of a per-trigger homomorphism search for full tgds.
+        """
+        rows = self.relations.get(relation)
+        if rows is None:
+            return False
+        key = (relation, attributes)
+        entry = self._projection_sets.get(key)
+        if (
+            entry is None
+            or entry.source is not rows
+            or entry.epoch != self._dirty_epoch
+            or entry.seen > len(rows)
+        ):
+            entry = _ProjectionSet(rows, self._dirty_epoch)
+            self._projection_sets[key] = entry
+            self.index_stats["rebuilds"] += 1
+        elif entry.seen < len(rows):
+            self.index_stats["extends"] += 1
+        else:
+            self.index_stats["hits"] += 1
+            return values in entry.members
+        members = entry.members
+        for row in rows[entry.seen:]:
+            try:
+                members.add(
+                    tuple([hashable_key(row[a]) for a in attributes])
+                )
+            except KeyError:
+                continue  # row lacks one of the attributes: no match
+        entry.seen = len(rows)
+        return values in entry.members
 
     # ------------------------------------------------------------------
     # values

@@ -31,8 +31,15 @@ from repro.logic.homomorphism import (
     find_homomorphism,
     find_all_homomorphisms,
     instance_homomorphism,
+    are_hom_equivalent,
 )
-from repro.logic.chase import chase, ChaseResult, is_weakly_acyclic
+from repro.logic.chase import (
+    chase,
+    naive_chase,
+    ChaseResult,
+    ChaseStats,
+    is_weakly_acyclic,
+)
 from repro.logic.core_computation import core_of
 from repro.logic.certain_answers import certain_answers, naive_evaluate
 from repro.logic.containment import is_contained_in, are_equivalent
@@ -44,7 +51,8 @@ __all__ = [
     "TGD", "EGD", "Dependency",
     "SecondOrderTGD", "Implication", "skolemize", "deskolemize",
     "find_homomorphism", "find_all_homomorphisms", "instance_homomorphism",
-    "chase", "ChaseResult", "is_weakly_acyclic",
+    "are_hom_equivalent",
+    "chase", "naive_chase", "ChaseResult", "ChaseStats", "is_weakly_acyclic",
     "core_of",
     "certain_answers", "naive_evaluate",
     "is_contained_in", "are_equivalent",

@@ -11,20 +11,84 @@ This is the *standard* (restricted) chase: a tgd fires only when its
 head is not already satisfied, which keeps results small and guarantees
 termination for weakly acyclic dependency sets.
 :func:`is_weakly_acyclic` implements the classical position-graph test.
+
+Two engines live here:
+
+* :func:`chase` — the **semi-naive (delta-driven)** engine.  Each round
+  enumerates only triggers that touch at least one row inserted (or
+  rewritten by an egd merge) in the previous round, via per-dependency
+  body-atom → relation subscriptions; round 0 seeds with a full
+  enumeration.  Head-satisfaction for full tgds is a frozen-row
+  membership test against the instance's incrementally maintained
+  projection sets; existential heads keep the homomorphism-extension
+  test (it cannot be expressed as plain membership) but memoize it per
+  frontier assignment.  Egd equalities are batched per round into a
+  union-find over labeled nulls and applied in a single substitution
+  pass driven by a null → row occurrence index.  Per-round work is
+  proportional to the *delta*, not to the whole instance.
+
+* :func:`naive_chase` — the original Gauss–Seidel engine kept verbatim
+  as the reference implementation: equivalence tests assert the
+  semi-naive result is hom-equivalent to it, and
+  ``benchmarks/bench_chase_scaling.py`` uses it as the speedup
+  baseline.
+
+Both produce universal solutions; for non-full tgds the instances may
+differ syntactically but are homomorphically equivalent.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from repro.errors import ChaseFailure, ChaseNonTermination
-from repro.instances.database import Instance, Row
+from repro.instances.database import Instance, Row, hashable_key
 from repro.instances.labeled_null import LabeledNull, NullFactory
 from repro.logic.dependencies import EGD, TGD, Dependency
-from repro.logic.formulas import Atom
 from repro.logic.homomorphism import find_homomorphism, iter_homomorphisms
 from repro.logic.terms import Const, Var
+
+
+@dataclass
+class ChaseStats:
+    """Observability counters for one chase run.
+
+    * ``rounds`` — delta rounds executed (round 0 included);
+    * ``triggers_examined`` — per-dependency count of trigger
+      assignments enumerated (before satisfaction filtering);
+    * ``delta_sizes`` — rows inserted or rewritten per round; the run
+      stops after the first ``0``;
+    * ``merges`` — egd equalities applied (null↦value substitutions);
+    * ``index_hits`` / ``index_extends`` / ``index_rebuilds`` — how the
+      instance's persistent indexes behaved: a *hit* reused an index
+      as-is, an *extend* appended only new rows, a *rebuild* scanned the
+      relation from scratch;
+    * ``wall_time`` — seconds spent inside the engine.
+    """
+
+    rounds: int = 0
+    triggers_examined: dict[str, int] = field(default_factory=dict)
+    delta_sizes: list[int] = field(default_factory=list)
+    merges: int = 0
+    index_hits: int = 0
+    index_extends: int = 0
+    index_rebuilds: int = 0
+    wall_time: float = 0.0
+
+    def describe(self) -> str:
+        lines = [
+            f"rounds: {self.rounds}",
+            f"delta sizes: {self.delta_sizes}",
+            f"merges: {self.merges}",
+            f"index hits/extends/rebuilds: "
+            f"{self.index_hits}/{self.index_extends}/{self.index_rebuilds}",
+            f"wall time: {self.wall_time:.4f}s",
+        ]
+        for name, count in sorted(self.triggers_examined.items()):
+            lines.append(f"  triggers[{name}]: {count}")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -35,10 +99,30 @@ class ChaseResult:
     steps: int
     fired: dict[str, int] = field(default_factory=dict)
     null_factory: NullFactory = field(default_factory=NullFactory)
+    stats: Optional[ChaseStats] = None
 
     @property
     def nulls_created(self) -> int:
         return len(self.instance.nulls())
+
+
+def _fresh_factory(instance: Instance) -> NullFactory:
+    existing = instance.nulls()
+    start = max((n.label for n in existing), default=-1) + 1
+    return NullFactory(start)
+
+
+def _unique_names(dependencies: Sequence[Dependency]) -> list[str]:
+    """Collision-free display keys for the ``fired`` dict: unnamed
+    dependencies sharing a 60-char ``str()`` prefix get ``#n`` suffixes."""
+    names: list[str] = []
+    used: dict[str, int] = {}
+    for dependency in dependencies:
+        base = dependency.name or str(dependency)[:60]
+        count = used.get(base, 0)
+        used[base] = count + 1
+        names.append(base if count == 0 else f"{base}#{count + 1}")
+    return names
 
 
 def chase(
@@ -48,51 +132,468 @@ def chase(
     null_factory: Optional[NullFactory] = None,
     copy: bool = True,
 ) -> ChaseResult:
-    """Chase ``instance`` with ``dependencies``.
+    """Chase ``instance`` with ``dependencies`` (semi-naive engine).
 
     Raises :class:`ChaseFailure` if an egd equates distinct constants
-    (no solution exists) and :class:`ChaseNonTermination` when
-    ``max_steps`` is exhausted.
+    (no solution exists) and :class:`ChaseNonTermination` as soon as a
+    firing beyond the ``max_steps`` budget is attempted (the budget is
+    exact — no mid-round overshoot).
     """
+    working = instance.copy() if copy else instance
+    factory = null_factory or _fresh_factory(working)
+    engine = _SemiNaiveChase(working, dependencies, factory, max_steps)
+    return engine.run()
+
+
+class _UnionFind:
+    """Union-find over chase values (labeled nulls and constants).
+
+    Constants are sinks: a class may contain at most one constant,
+    which becomes its representative; uniting two classes holding
+    distinct constants raises :class:`ChaseFailure`.  Among nulls the
+    lowest label wins, keeping substitutions deterministic.
+    """
+
+    __slots__ = ("parent", "value")
+
+    def __init__(self) -> None:
+        self.parent: dict[object, object] = {}
+        self.value: dict[object, object] = {}
+
+    def _add(self, item: object) -> object:
+        key = hashable_key(item)
+        if key not in self.parent:
+            self.parent[key] = key
+            self.value[key] = item
+        return key
+
+    def _find(self, key: object) -> object:
+        root = key
+        parent = self.parent
+        while parent[root] != root:
+            root = parent[root]
+        while parent[key] != root:  # path compression
+            parent[key], key = root, parent[key]
+        return root
+
+    def union(self, left: object, right: object, context: str) -> bool:
+        """Unite the classes of ``left`` and ``right``; True if the
+        classes were previously distinct."""
+        left_root = self._find(self._add(left))
+        right_root = self._find(self._add(right))
+        if left_root == right_root:
+            return False
+        left_value = self.value[left_root]
+        right_value = self.value[right_root]
+        left_null = isinstance(left_value, LabeledNull)
+        right_null = isinstance(right_value, LabeledNull)
+        if not left_null and not right_null:
+            raise ChaseFailure(
+                f"egd {context} equates distinct constants "
+                f"{left_value!r} and {right_value!r}"
+            )
+        if left_null and right_null:
+            if left_value.label <= right_value.label:
+                root, child = left_root, right_root
+            else:
+                root, child = right_root, left_root
+        elif left_null:
+            root, child = right_root, left_root
+        else:
+            root, child = left_root, right_root
+        self.parent[child] = root
+        return True
+
+    def substitution(self) -> dict[LabeledNull, object]:
+        """null → representative for every non-representative null."""
+        mapping: dict[LabeledNull, object] = {}
+        for key, item in self.value.items():
+            if isinstance(item, LabeledNull):
+                root = self._find(key)
+                if root != key:
+                    mapping[item] = self.value[root]
+        return mapping
+
+
+class _SemiNaiveChase:
+    """One run of the delta-driven chase over a working instance."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        dependencies: Sequence[Union[TGD, EGD]],
+        factory: NullFactory,
+        max_steps: int,
+    ) -> None:
+        self.instance = instance
+        self.dependencies = list(dependencies)
+        self.factory = factory
+        self.max_steps = max_steps
+        self.steps = 0
+        self.fired: dict[str, int] = {}
+        self.stats = ChaseStats()
+        self.names = _unique_names(self.dependencies)
+        self.has_egds = any(
+            isinstance(d, EGD) for d in self.dependencies
+        )
+        # Per-dependency precomputation.
+        self.body_relations: list[set[str]] = [
+            d.body_relations() for d in self.dependencies
+        ]
+        self.body_variables: list[tuple[Var, ...]] = [
+            tuple(sorted(d.body_variables(), key=lambda v: v.name))
+            for d in self.dependencies
+        ]
+        self.frontiers: list[tuple[Var, ...]] = []
+        self.full_head_shape: list[Optional[list]] = []
+        for dependency in self.dependencies:
+            if isinstance(dependency, TGD):
+                self.frontiers.append(
+                    tuple(sorted(dependency.frontier(), key=lambda v: v.name))
+                )
+                if dependency.is_full:
+                    # (relation, attr tuple, term tuple) per head atom,
+                    # for the projection-set membership test.
+                    shape = []
+                    for atom in dependency.head:
+                        attrs = tuple(name for name, _ in atom.args)
+                        terms = tuple(term for _, term in atom.args)
+                        shape.append((atom.relation, attrs, terms))
+                    self.full_head_shape.append(shape)
+                else:
+                    self.full_head_shape.append(None)
+            else:
+                self.frontiers.append(())
+                self.full_head_shape.append(None)
+        # Memo of frontier assignments whose head is known satisfied;
+        # cleared whenever an egd substitution rewrites rows in place.
+        self.satisfied: list[set] = [set() for _ in self.dependencies]
+        # null → {id(row): (relation, row)} occurrence index, maintained
+        # only when egds can merge nulls.
+        self.null_occurrences: dict[
+            LabeledNull, dict[int, tuple[str, Row]]
+        ] = {}
+        if self.has_egds:
+            for relation, rows in instance.relations.items():
+                for row in rows:
+                    self._record_nulls(relation, row)
+
+    # ------------------------------------------------------------------
+    def run(self) -> ChaseResult:
+        start = time.perf_counter()
+        instance = self.instance
+        hits0 = dict(instance.index_stats)
+        delta: Optional[dict[str, list[Row]]] = None  # None ⇒ round 0
+        while True:
+            self.stats.rounds += 1
+            inserted: dict[str, list[Row]] = {}
+            union_find = _UnionFind() if self.has_egds else None
+            merged_any = False
+            for index, dependency in enumerate(self.dependencies):
+                if delta is not None and not (
+                    self.body_relations[index] & delta.keys()
+                ):
+                    continue
+                triggers = list(self._triggers(index, dependency, delta))
+                self.stats.triggers_examined[self.names[index]] = (
+                    self.stats.triggers_examined.get(self.names[index], 0)
+                    + len(triggers)
+                )
+                if isinstance(dependency, TGD):
+                    self._fire_tgd(index, dependency, triggers, inserted)
+                else:
+                    if self._collect_egd(index, dependency, triggers,
+                                         union_find):
+                        merged_any = True
+            modified: list[tuple[str, Row]] = []
+            if merged_any:
+                modified = self._apply_merges(union_find)
+            next_delta: dict[str, list[Row]] = dict(inserted)
+            inserted_ids = {
+                id(row) for rows in inserted.values() for row in rows
+            }
+            for relation, row in modified:
+                if id(row) not in inserted_ids:
+                    next_delta.setdefault(relation, []).append(row)
+            delta_size = sum(len(rows) for rows in next_delta.values())
+            self.stats.delta_sizes.append(delta_size)
+            if not next_delta:
+                break
+            delta = next_delta
+        self.stats.wall_time = time.perf_counter() - start
+        self.stats.index_hits = instance.index_stats["hits"] - hits0["hits"]
+        self.stats.index_extends = (
+            instance.index_stats["extends"] - hits0["extends"]
+        )
+        self.stats.index_rebuilds = (
+            instance.index_stats["rebuilds"] - hits0["rebuilds"]
+        )
+        return ChaseResult(
+            instance=instance,
+            steps=self.steps,
+            fired=self.fired,
+            null_factory=self.factory,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # trigger enumeration
+    # ------------------------------------------------------------------
+    def _triggers(
+        self,
+        index: int,
+        dependency: Dependency,
+        delta: Optional[dict[str, list[Row]]],
+    ) -> Iterator[dict]:
+        body = dependency.body
+        if delta is None:
+            yield from iter_homomorphisms(body, self.instance)
+            return
+        variables = self.body_variables[index]
+        seen: set = set()
+        for position, atom in enumerate(body):
+            delta_rows = delta.get(atom.relation)
+            if not delta_rows:
+                continue
+            for assignment in iter_homomorphisms(
+                body, self.instance, pinned=(position, delta_rows)
+            ):
+                key = tuple(
+                    [hashable_key(assignment[v]) for v in variables]
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield assignment
+
+    # ------------------------------------------------------------------
+    # tgds
+    # ------------------------------------------------------------------
+    def _fire_tgd(
+        self,
+        index: int,
+        tgd: TGD,
+        triggers: list[dict],
+        inserted: dict[str, list[Row]],
+    ) -> None:
+        instance = self.instance
+        frontier = self.frontiers[index]
+        memo = self.satisfied[index]
+        name = self.names[index]
+        fired = 0
+        for assignment in triggers:
+            key = tuple([hashable_key(assignment[v]) for v in frontier])
+            if key in memo:
+                continue
+            if self._head_satisfied(index, tgd, assignment):
+                memo.add(key)
+                continue
+            if self.steps >= self.max_steps:
+                raise ChaseNonTermination(
+                    f"chase exceeded {self.max_steps} steps; dependency "
+                    "set is probably not weakly acyclic"
+                )
+            self.steps += 1
+            existential_values: dict[Var, LabeledNull] = {}
+            for atom in tgd.head:
+                row: Row = {}
+                for attr, term in atom.args:
+                    if isinstance(term, Const):
+                        row[attr] = term.value
+                    elif isinstance(term, Var):
+                        if term in assignment:
+                            row[attr] = assignment[term]
+                        else:
+                            null = existential_values.get(term)
+                            if null is None:
+                                null = self.factory.fresh(
+                                    hint=f"{tgd.name or 'tgd'}.{term.name}"
+                                )
+                                existential_values[term] = null
+                            row[attr] = null
+                    else:
+                        raise ChaseFailure(
+                            "cannot chase second-order tgds directly; "
+                            "ground their function terms first"
+                        )
+                stored = instance.insert(atom.relation, row)
+                inserted.setdefault(atom.relation, []).append(stored)
+                if self.has_egds:
+                    self._record_nulls(atom.relation, stored)
+            memo.add(key)
+            fired += 1
+        if fired:
+            self.fired[name] = self.fired.get(name, 0) + fired
+
+    def _head_satisfied(self, index: int, tgd: TGD, assignment: dict) -> bool:
+        shape = self.full_head_shape[index]
+        if shape is not None:
+            # Full tgd: the head instantiation is fully determined, so
+            # satisfaction is plain frozen-row membership per atom.
+            instance = self.instance
+            for relation, attrs, terms in shape:
+                values = tuple(
+                    [
+                        hashable_key(
+                            term.value
+                            if isinstance(term, Const)
+                            else assignment[term]
+                        )
+                        for term in terms
+                    ]
+                )
+                if not instance.projection_member(relation, attrs, values):
+                    return False
+            return True
+        partial = {
+            var: assignment[var]
+            for var in self.frontiers[index]
+            if var in assignment
+        }
+        return (
+            find_homomorphism(tgd.head, self.instance, partial=partial)
+            is not None
+        )
+
+    # ------------------------------------------------------------------
+    # egds
+    # ------------------------------------------------------------------
+    def _collect_egd(
+        self,
+        index: int,
+        egd: EGD,
+        triggers: list[dict],
+        union_find: _UnionFind,
+    ) -> bool:
+        name = self.names[index]
+        merged = 0
+        for assignment in triggers:
+            for equality in egd.equalities:
+                left = _value(equality.left, assignment)
+                right = _value(equality.right, assignment)
+                if left == right:
+                    continue
+                if not isinstance(left, LabeledNull) and not isinstance(
+                    right, LabeledNull
+                ):
+                    raise ChaseFailure(
+                        f"egd {egd.name or egd} equates distinct constants "
+                        f"{left!r} and {right!r}"
+                    )
+                if union_find.union(left, right, egd.name or str(egd)[:60]):
+                    if self.steps >= self.max_steps:
+                        raise ChaseNonTermination(
+                            f"chase exceeded {self.max_steps} steps; "
+                            "dependency set is probably not weakly acyclic"
+                        )
+                    self.steps += 1
+                    merged += 1
+        if merged:
+            self.fired[name] = self.fired.get(name, 0) + merged
+            self.stats.merges += merged
+            return True
+        return False
+
+    def _apply_merges(
+        self, union_find: _UnionFind
+    ) -> list[tuple[str, Row]]:
+        """One substitution pass over exactly the rows that mention a
+        merged null, via the occurrence index."""
+        mapping = union_find.substitution()
+        if not mapping:
+            return []
+        touched: dict[int, tuple[str, Row]] = {}
+        for null, replacement in mapping.items():
+            occurrences = self.null_occurrences.pop(null, None)
+            if not occurrences:
+                continue
+            for row_id, (relation, row) in occurrences.items():
+                for attr, value in row.items():
+                    if isinstance(value, LabeledNull) and value == null:
+                        row[attr] = replacement
+                touched[row_id] = (relation, row)
+                if isinstance(replacement, LabeledNull):
+                    self.null_occurrences.setdefault(replacement, {})[
+                        row_id
+                    ] = (relation, row)
+        # Rows were rewritten in place: the instance's persistent
+        # indexes and the satisfied-frontier memos are both stale.
+        self.instance.mark_dirty()
+        self.satisfied = [set() for _ in self.dependencies]
+        return list(touched.values())
+
+    def _record_nulls(self, relation: str, row: Row) -> None:
+        for value in row.values():
+            if isinstance(value, LabeledNull):
+                self.null_occurrences.setdefault(value, {})[id(row)] = (
+                    relation,
+                    row,
+                )
+
+
+def _value(term, assignment):
+    if isinstance(term, Const):
+        return term.value
+    return assignment[term]
+
+
+# ----------------------------------------------------------------------
+# reference (seed) engine
+# ----------------------------------------------------------------------
+def naive_chase(
+    instance: Instance,
+    dependencies: Sequence[Union[TGD, EGD]],
+    max_steps: int = 100_000,
+    null_factory: Optional[NullFactory] = None,
+    copy: bool = True,
+) -> ChaseResult:
+    """The original Gauss–Seidel chase, kept as the reference baseline:
+    every round re-enumerates all triggers of every dependency over the
+    full instance and runs a homomorphism search per trigger for the
+    activity test.  Used by equivalence tests and as the benchmark
+    baseline for the semi-naive engine."""
     working = instance.copy() if copy else instance
     factory = null_factory or _fresh_factory(working)
     steps = 0
     fired: dict[str, int] = {}
+    names = _unique_names(dependencies)
 
     changed = True
     while changed:
         changed = False
-        for dependency in dependencies:
+        for index, dependency in enumerate(dependencies):
             if isinstance(dependency, TGD):
-                applied = _apply_tgd(working, dependency, factory)
+                applied = _naive_apply_tgd(working, dependency, factory)
             else:
-                applied = _apply_egd(working, dependency)
+                applied = _naive_apply_egd(working, dependency)
             if applied:
                 changed = True
-                name = dependency.name or str(dependency)[:60]
+                name = names[index]
                 fired[name] = fired.get(name, 0) + applied
                 steps += applied
                 if steps > max_steps:
                     raise ChaseNonTermination(
-                        f"chase exceeded {max_steps} steps; dependency set is "
-                        "probably not weakly acyclic"
+                        f"chase exceeded {max_steps} steps; dependency set "
+                        "is probably not weakly acyclic"
                     )
-    return ChaseResult(instance=working, steps=steps, fired=fired, null_factory=factory)
+    return ChaseResult(
+        instance=working, steps=steps, fired=fired, null_factory=factory
+    )
 
 
-def _fresh_factory(instance: Instance) -> NullFactory:
-    existing = instance.nulls()
-    start = max((n.label for n in existing), default=-1) + 1
-    return NullFactory(start)
-
-
-def _apply_tgd(instance: Instance, tgd: TGD, factory: NullFactory) -> int:
+def _naive_apply_tgd(instance: Instance, tgd: TGD, factory: NullFactory) -> int:
     """Fire every active trigger of ``tgd`` once; returns firings."""
     applied = 0
     # Materialize triggers first: firing while iterating would re-trigger.
     triggers = list(iter_homomorphisms(tgd.body, instance))
+    frontier = tgd.frontier()
     for assignment in triggers:
-        if _head_satisfied(instance, tgd, assignment):
+        partial = {
+            var: value
+            for var, value in assignment.items()
+            if var in frontier
+        }
+        if find_homomorphism(tgd.head, instance, partial=partial) is not None:
             continue
         existential_values: dict[Var, LabeledNull] = {}
         for atom in tgd.head:
@@ -119,22 +620,10 @@ def _apply_tgd(instance: Instance, tgd: TGD, factory: NullFactory) -> int:
     return applied
 
 
-def _head_satisfied(instance: Instance, tgd: TGD, assignment: dict) -> bool:
-    """Standard-chase activity test: is there an extension of the body
-    assignment that already satisfies the head in the instance?"""
-    partial = {
-        var: value
-        for var, value in assignment.items()
-        if var in tgd.frontier()
-    }
-    return (
-        find_homomorphism(tgd.head, instance, partial=partial) is not None
-    )
-
-
-def _apply_egd(instance: Instance, egd: EGD) -> int:
-    """Fire egd triggers, merging values.  Constant–constant conflicts
-    raise :class:`ChaseFailure`."""
+def _naive_apply_egd(instance: Instance, egd: EGD) -> int:
+    """Fire egd triggers, merging values one at a time with a restart
+    after every merge.  Constant–constant conflicts raise
+    :class:`ChaseFailure`."""
     applied = 0
     while True:
         substitution: Optional[dict[LabeledNull, object]] = None
@@ -160,22 +649,13 @@ def _apply_egd(instance: Instance, egd: EGD) -> int:
                 break
         if not substitution:
             return applied
-        _substitute_in_place(instance, substitution)
+        for rows in instance.relations.values():
+            for row in rows:
+                for key, value in row.items():
+                    if isinstance(value, LabeledNull) and value in substitution:
+                        row[key] = substitution[value]
+        instance.mark_dirty()
         applied += 1
-
-
-def _value(term, assignment):
-    if isinstance(term, Const):
-        return term.value
-    return assignment[term]
-
-
-def _substitute_in_place(instance: Instance, mapping: dict) -> None:
-    for rows in instance.relations.values():
-        for row in rows:
-            for key, value in row.items():
-                if isinstance(value, LabeledNull) and value in mapping:
-                    row[key] = mapping[value]
 
 
 # ----------------------------------------------------------------------

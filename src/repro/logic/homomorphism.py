@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Optional, Sequence
 
-from repro.instances.database import Instance, Row, freeze_row
+from repro.instances.database import Instance, Row, freeze_row, hashable_key
 from repro.instances.labeled_null import LabeledNull
 from repro.logic.formulas import Atom, Equality
 from repro.logic.terms import Const, FuncTerm, Term, Var, apply_term
@@ -86,49 +86,24 @@ def _term_value(term: Term, assignment: Assignment) -> object:
     raise TypeError("conditions must be first-order")
 
 
-class _ValueIndex:
-    """Lazy per-(relation, attribute) hash index over an instance's
-    rows, so joins filter candidates instead of scanning (the standard
-    hash-join trick applied to the trigger search)."""
-
-    def __init__(self, instance: Instance):
-        self.instance = instance
-        self._indexes: dict[tuple[str, str], dict] = {}
-
-    def candidates(self, atom: Atom, assignment: Assignment) -> list[Row]:
-        """Rows possibly matching ``atom`` given current bindings: the
-        postings list of one bound attribute (or all rows if none is
-        bound)."""
-        bound_value = None
-        bound_attr = None
-        for name, term in atom.args:
-            if isinstance(term, Const):
-                bound_attr, bound_value = name, term.value
-                break
-            if isinstance(term, Var) and term in assignment:
-                bound_attr, bound_value = name, assignment[term]
-                break
-        if bound_attr is None:
-            return self.instance.rows(atom.relation)
-        key = (atom.relation, bound_attr)
-        index = self._indexes.get(key)
-        if index is None:
-            index = {}
-            for row in self.instance.rows(atom.relation):
-                if bound_attr in row:
-                    index.setdefault(_hashable(row[bound_attr]), []).append(row)
-            self._indexes[key] = index
-        return index.get(_hashable(bound_value), [])
+#: Backwards-compatible alias — key construction now lives on the
+#: instance layer and uses private sentinels instead of string tags.
+_hashable = hashable_key
 
 
-def _hashable(value):
-    if isinstance(value, LabeledNull):
-        return ("⊥", value.label)
-    try:
-        hash(value)
-    except TypeError:
-        return ("!", repr(value))
-    return value
+def _candidate_rows(
+    instance: Instance, atom: Atom, assignment: Assignment
+) -> Sequence[Row]:
+    """Rows possibly matching ``atom`` given current bindings: the
+    postings list of one bound attribute (or all rows if none is bound),
+    served from the instance's persistent per-(relation, attribute)
+    indexes — no longer rebuilt per ``iter_homomorphisms`` call."""
+    for name, term in atom.args:
+        if isinstance(term, Const):
+            return instance.index_lookup(atom.relation, name, term.value)
+        if isinstance(term, Var) and term in assignment:
+            return instance.index_lookup(atom.relation, name, assignment[term])
+    return instance.rows(atom.relation)
 
 
 def iter_homomorphisms(
@@ -136,23 +111,47 @@ def iter_homomorphisms(
     instance: Instance,
     conditions: Sequence[Equality] = (),
     partial: Optional[Assignment] = None,
+    *,
+    pinned: Optional[tuple[int, Sequence[Row]]] = None,
 ) -> Iterator[Assignment]:
     """Yield every assignment of the atoms' variables onto the instance.
 
     Atoms are matched most-constrained-first (fewest candidate rows);
-    within the backtracking, a lazily built value index narrows each
-    atom's candidates to rows agreeing on one already-bound attribute.
+    within the backtracking, the instance's persistent value indexes
+    narrow each atom's candidates to rows agreeing on one already-bound
+    attribute.
+
+    ``pinned=(i, rows)`` restricts atom ``i`` of ``atoms`` to the given
+    candidate rows and matches it first — the semi-naive chase uses this
+    to enumerate only triggers touching the latest delta.
     """
-    ordered = sorted(atoms, key=lambda a: len(instance.rows(a.relation)))
-    value_index = _ValueIndex(instance)
+    entries: list[tuple[Atom, Optional[Sequence[Row]]]] = [
+        (atom, None) for atom in atoms
+    ]
+    if pinned is not None:
+        pin_index, pin_rows = pinned
+        entries[pin_index] = (atoms[pin_index], pin_rows)
+    ordered = sorted(
+        entries,
+        key=lambda entry: (
+            (0, 0)
+            if entry[1] is not None
+            else (1, instance.cardinality(entry[0].relation))
+        ),
+    )
 
     def backtrack(index: int, assignment: Assignment) -> Iterator[Assignment]:
         if index == len(ordered):
             if _conditions_hold(conditions, assignment):
                 yield dict(assignment)
             return
-        atom = ordered[index]
-        for row in value_index.candidates(atom, assignment):
+        atom, forced = ordered[index]
+        candidates = (
+            forced
+            if forced is not None
+            else _candidate_rows(instance, atom, assignment)
+        )
+        for row in candidates:
             extended = _match_atom(atom, row, assignment)
             if extended is not None:
                 yield from backtrack(index + 1, extended)
@@ -236,27 +235,42 @@ def instance_homomorphism(
                 return None
         return extended
 
-    def backtrack(
-        index: int, mapping: dict[LabeledNull, object]
-    ) -> Optional[dict[LabeledNull, object]]:
-        if index == len(source_rows):
-            if forbid_identity:
-                identity = all(
-                    null == image for null, image in mapping.items()
-                )
-                if identity:
-                    return None
-            return mapping
-        relation, row = source_rows[index]
-        for candidate in target_sets.get(relation, []):
-            extended = try_map_row(row, candidate, mapping)
-            if extended is not None:
-                result = backtrack(index + 1, extended)
-                if result is not None:
-                    return result
-        return None
+    # Explicit-stack DFS: the search is one level deep per source row,
+    # so recursion would hit the interpreter limit on instances of a
+    # few thousand rows.
+    total = len(source_rows)
+    root = dict(fixed or {})
 
-    return backtrack(0, dict(fixed or {}))
+    def is_identity(mapping: dict[LabeledNull, object]) -> bool:
+        return all(null == image for null, image in mapping.items())
+
+    if total == 0:
+        return None if forbid_identity and is_identity(root) else root
+
+    mappings: list[Optional[dict[LabeledNull, object]]] = [None] * (total + 1)
+    mappings[0] = root
+    iterators = [iter(target_sets.get(source_rows[0][0], []))]
+    while iterators:
+        index = len(iterators) - 1
+        _, row = source_rows[index]
+        descended = False
+        for candidate in iterators[index]:
+            extended = try_map_row(row, candidate, mappings[index])
+            if extended is None:
+                continue
+            if index + 1 == total:
+                if forbid_identity and is_identity(extended):
+                    continue
+                return extended
+            mappings[index + 1] = extended
+            iterators.append(
+                iter(target_sets.get(source_rows[index + 1][0], []))
+            )
+            descended = True
+            break
+        if not descended:
+            iterators.pop()
+    return None
 
 
 def are_hom_equivalent(a: Instance, b: Instance) -> bool:

@@ -142,18 +142,18 @@ def roundtrips(
     target_instance = Instance()
     for relation in target_relations:
         if forward_result.rows(relation):
-            target_instance.relations[relation] = forward_result.rows(relation)
+            target_instance.relations[relation] = list(forward_result.rows(relation))
 
     backward_result = chase(target_instance, backward.tgds).instance
     recovered = Instance()
     for relation in source_relations:
         if backward_result.rows(relation):
-            recovered.relations[relation] = backward_result.rows(relation)
+            recovered.relations[relation] = list(backward_result.rows(relation))
 
     original = Instance()
     for relation in source_relations:
         if source_instance.rows(relation):
-            original.relations[relation] = source_instance.rows(relation)
+            original.relations[relation] = list(source_instance.rows(relation))
 
     return (
         instance_homomorphism(original, recovered) is not None

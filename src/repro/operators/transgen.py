@@ -36,7 +36,7 @@ from repro.algebra.evaluator import evaluate
 from repro.algebra.optimizer import optimize
 from repro.errors import RoundTripError, TransformationError
 from repro.instances.database import TYPE_FIELD, Instance
-from repro.logic.chase import chase
+from repro.logic.chase import ChaseStats, chase
 from repro.logic.core_computation import core_of
 from repro.mappings.mapping import EqualityConstraint, Mapping
 from repro.metamodel.elements import Entity
@@ -130,6 +130,9 @@ class ExchangeTransformation(Transformation):
         self.compute_core = compute_core
         self.enforce_target_keys = enforce_target_keys
         self.name = name
+        #: ChaseStats of the most recent :meth:`apply` (None for so-tgd
+        #: execution, which bypasses the chase).
+        self.last_chase_stats: Optional[ChaseStats] = None
 
     def _dependencies(self):
         dependencies = list(self.mapping.constraints)
@@ -155,16 +158,19 @@ class ExchangeTransformation(Transformation):
         return dependencies
 
     def apply(self, instance: Instance) -> Instance:
+        self.last_chase_stats = None
         if self.mapping.so_tgd is not None:
             from repro.logic.second_order import execute_so_tgd
 
             produced = execute_so_tgd(self.mapping.so_tgd, instance)
         else:
-            chased = chase(instance, self._dependencies()).instance
+            result = chase(instance, self._dependencies())
+            self.last_chase_stats = result.stats
+            chased = result.instance
             produced = Instance()
             for relation in self.mapping.target.entities:
                 if chased.rows(relation):
-                    produced.relations[relation] = chased.rows(relation)
+                    produced.relations[relation] = list(chased.rows(relation))
         if self.compute_core:
             produced = core_of(produced)
         produced.schema = self.mapping.target

@@ -21,7 +21,7 @@ provenance."  One module per service the paper enumerates:
 * :mod:`~repro.runtime.loader` — batch loading through the mapping.
 """
 
-from repro.runtime.executor import exchange, execute
+from repro.runtime.executor import exchange, exchange_with_stats, execute
 from repro.runtime.query_processor import QueryProcessor
 from repro.runtime.updates import UpdatePropagator, UpdateSet
 from repro.runtime.provenance import lineage, route, ProvenanceEntry
@@ -44,7 +44,7 @@ from repro.runtime.synchronization import (
 )
 
 __all__ = [
-    "exchange", "execute",
+    "exchange", "exchange_with_stats", "execute",
     "QueryProcessor",
     "UpdatePropagator", "UpdateSet",
     "lineage", "route", "ProvenanceEntry",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.instances.database import Instance
+from repro.logic.chase import ChaseStats
 from repro.mappings.mapping import Mapping
 from repro.operators.transgen import (
     ExchangeTransformation,
@@ -39,3 +40,17 @@ def exchange(
     if isinstance(transformation, TransformationPair):
         return transformation.query_view.apply(source)
     return transformation.apply(source)
+
+
+def exchange_with_stats(
+    mapping: Mapping, source: Instance, compute_core: bool = False
+) -> tuple[Instance, Optional[ChaseStats]]:
+    """:func:`exchange`, additionally returning the chase's
+    :class:`ChaseStats` (``None`` when no chase ran — equality mappings
+    and so-tgd execution)."""
+    transformation = transgen(mapping, compute_core=compute_core)
+    if isinstance(transformation, TransformationPair):
+        return transformation.query_view.apply(source), None
+    produced = transformation.apply(source)
+    stats = getattr(transformation, "last_chase_stats", None)
+    return produced, stats

@@ -139,7 +139,7 @@ class UpdatePropagator:
         relations = set(recovered.relations)
         visible = Instance(new_target.schema)
         for relation in relations:
-            visible.relations[relation] = new_target.rows(relation)
+            visible.relations[relation] = list(new_target.rows(relation))
         if not recovered.set_equal(visible):
             raise TransformationError(
                 "update is not representable through the mapping: "
