@@ -1,11 +1,37 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-chase bench
+.PHONY: test lint trace-smoke bench-smoke bench-chase bench bench-json
 
-# Tier-1: the whole unit/integration suite.
-test:
+# Tier-1: the whole unit/integration suite, after the static and
+# tracing smoke gates.
+test: lint trace-smoke
 	$(PYTHON) -m pytest -x -q
+
+# Static checks: ruff with the pinned config in pyproject.toml.
+# Skips gracefully when ruff is not installed (the CI image does not
+# bake it in); never a silent pass when it is present.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	elif command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipping (config pinned in pyproject.toml)"; \
+	fi
+
+# Run the Figure-5 evolution script under tracing and assert the
+# exported trace is non-empty and covers several operators.
+trace-smoke:
+	@$(PYTHON) -m repro trace examples/schema_evolution.py --quiet \
+		--out .trace-smoke.jsonl >/dev/null
+	@$(PYTHON) -c "import json,sys; \
+spans=[json.loads(l) for l in open('.trace-smoke.jsonl')]; \
+ops={s['name'] for s in spans if s['name'].startswith(('op.','engine.'))}; \
+assert len(spans) >= 10, f'only {len(spans)} spans'; \
+assert len(ops) >= 4, f'only {sorted(ops)}'; \
+print(f'trace-smoke: {len(spans)} spans, {len(ops)} operators ok')"
+	@rm -f .trace-smoke.jsonl
 
 # Fast perf sanity after tier-1: smallest size only, no JSON rewrite.
 bench-smoke: test
@@ -18,3 +44,10 @@ bench-chase:
 # The whole pytest-benchmark suite (slow).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Every benchmark's machine-readable BENCH_*.json via the harness.
+bench-json:
+	@for f in benchmarks/bench_*.py; do \
+		echo "== $$f"; \
+		$(PYTHON) $$f || exit 1; \
+	done

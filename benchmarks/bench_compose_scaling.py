@@ -74,3 +74,16 @@ def test_compose_report(benchmark):
         ["family", "k / n", "output constraints", "language"],
         rows,
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_compose.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("compose", [test_compose_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -169,3 +169,16 @@ def _try_inverse(mapping) -> bool:
         return True
     except InversionError:
         return False
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_evolution_operators.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("evolution_operators", [test_evolution_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

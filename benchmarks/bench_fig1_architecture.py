@@ -109,3 +109,16 @@ def test_architecture_summary(benchmark):
             ["message mapper", "nested flatten + exchange + nest"],
         ],
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_fig1_architecture.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("fig1_architecture", [test_tool_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,3 +79,16 @@ def test_figure2_report(benchmark):
         ["persons", "table rows", "entity rows", "verdict"],
         rows,
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_fig2_constraints.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("fig2_constraints", [test_figure2_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,3 +67,16 @@ def test_figure3_report(benchmark):
             ["roundtrips on paper data", "yes"],
         ],
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_fig3_transgen.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("fig3_transgen", [test_figure3_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -90,3 +90,16 @@ def test_figure4_report(benchmark):
         ["constraint", "source side", "target side"],
         rows,
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_fig4_correspondences.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("fig4_correspondences", [test_figure4_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

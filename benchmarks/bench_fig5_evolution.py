@@ -90,3 +90,16 @@ def test_figure5_report(benchmark):
              f"language={composed.language.value}"],
         ],
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_fig5_evolution.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("fig5_evolution", [test_figure5_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

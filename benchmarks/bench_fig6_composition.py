@@ -96,3 +96,16 @@ def test_figure6_report(benchmark):
             ["composed language", composed.language.value],
         ],
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_fig6_composition.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("fig6_composition", [test_figure6_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,3 +93,16 @@ def test_incremental_report(benchmark):
         ["noise", "elements", "decisions", "confirmed", "rejections"],
         rows,
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_incremental_match.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("incremental_match", [test_incremental_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

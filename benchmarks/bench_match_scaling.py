@@ -98,3 +98,16 @@ def test_match_quality_report(benchmark):
         ["noise", "matcher", "precision", "recall", "F1", "top-k hit"],
         rows,
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_match.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("match", [test_match_quality_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

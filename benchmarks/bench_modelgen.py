@@ -94,3 +94,16 @@ def test_metamodel_walk_report(benchmark):
         ["hop", "entities in", "entities out", "eliminated", "introduced"],
         rows,
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_modelgen.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("modelgen", [test_metamodel_walk_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

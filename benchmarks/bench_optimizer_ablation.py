@@ -96,3 +96,16 @@ def test_optimizer_report(benchmark):
          "raw eval", "optimized eval"],
         rows,
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_optimizer.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("optimizer", [test_optimizer_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

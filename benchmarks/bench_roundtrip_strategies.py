@@ -87,3 +87,16 @@ def test_strategy_report(benchmark):
          "query-view nodes", "roundtrips"],
         rows,
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_roundtrip.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("roundtrip", [test_strategy_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

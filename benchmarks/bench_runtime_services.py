@@ -208,3 +208,16 @@ def test_runtime_report(benchmark):
         ["base rows", "incremental", "recompute", "speedup"],
         rows,
     )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_runtime_services.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    return run_standalone("runtime_services", [test_runtime_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

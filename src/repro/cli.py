@@ -14,7 +14,11 @@ serializes (schemas, mappings, instances as JSON; DDL as SQL text):
   translation (prints derived schema + mapping);
 * ``exchange MAPPING.json DATA.json`` — run the mapping, print the
   target instance as JSON;
-* ``sql MAPPING.json`` — the generated query view(s) as SQL.
+* ``sql MAPPING.json`` — the generated query view(s) as SQL;
+* ``trace SCRIPT.py`` — run a Python script under engine tracing and
+  print the span tree (``--out`` exports JSONL);
+* ``metrics SCRIPT.py`` — run a script and print the collected engine
+  metrics (``--json`` for a machine-readable snapshot).
 """
 
 from __future__ import annotations
@@ -153,6 +157,57 @@ def cmd_sql(args) -> int:
     return 0
 
 
+def _run_script_observed(script: str, quiet: bool) -> None:
+    """Execute ``script`` as ``__main__`` with observability enabled."""
+    import contextlib
+    import io
+    import runpy
+
+    import repro.observability as obs
+
+    obs.reset()
+    obs.enable()
+    try:
+        if quiet:
+            with contextlib.redirect_stdout(io.StringIO()):
+                runpy.run_path(script, run_name="__main__")
+        else:
+            runpy.run_path(script, run_name="__main__")
+    finally:
+        obs.disable()
+
+
+def cmd_trace(args) -> int:
+    from repro.observability import registry, tracer
+
+    _run_script_observed(args.script, args.quiet)
+    if not tracer.roots:
+        print("(no spans recorded — does the script use the engine?)")
+        return 1
+    print(tracer.render(attributes=not args.no_attributes))
+    if args.out:
+        path = tracer.export_jsonl(args.out)
+        print(f"\n{tracer.span_count()} spans exported to {path}")
+    if args.metrics:
+        print()
+        print(registry.render())
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.observability import registry
+
+    _run_script_observed(args.script, args.quiet)
+    if args.json:
+        print(json.dumps(registry.snapshot(), indent=2, default=str))
+    else:
+        print(registry.render())
+    if args.out:
+        path = registry.export_json(args.out)
+        print(f"metrics written to {path}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -209,6 +264,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sql", help="print generated query-view SQL")
     p.add_argument("mapping")
     p.set_defaults(func=cmd_sql)
+
+    p = sub.add_parser("trace",
+                       help="run a script under tracing, print span tree")
+    p.add_argument("script", help="Python script executed as __main__")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the script's own stdout")
+    p.add_argument("--out", help="export spans as JSONL here")
+    p.add_argument("--metrics", action="store_true",
+                   help="also print the metrics registry")
+    p.add_argument("--no-attributes", action="store_true",
+                   help="omit span attributes from the tree")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("metrics",
+                       help="run a script, print collected engine metrics")
+    p.add_argument("script", help="Python script executed as __main__")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the script's own stdout")
+    p.add_argument("--json", action="store_true",
+                   help="print a JSON snapshot instead of the summary")
+    p.add_argument("--out", help="also write the JSON snapshot here")
+    p.set_defaults(func=cmd_metrics)
 
     return parser
 

@@ -19,6 +19,7 @@ from repro.mappings.correspondence import CorrespondenceSet
 from repro.mappings.interpretation import interpret_as_tgds, interpret_snowflake
 from repro.mappings.mapping import Mapping
 from repro.metamodel.schema import Schema
+from repro.observability.instrument import instrumented
 from repro.operators import compose as _compose_module
 from repro.operators.compose import compose as _compose
 from repro.operators.diff import SchemaSlice, diff as _diff, extract as _extract
@@ -50,6 +51,21 @@ from repro.runtime.query_processor import QueryProcessor
 from repro.runtime.updates import UpdatePropagator
 
 
+def _schema_attrs(schema: Schema, prefix: str = "schema") -> dict:
+    """Input-size attributes for a schema argument."""
+    return {
+        f"{prefix}.entities": len(schema.entities),
+        f"{prefix}.constraints": len(schema.constraints),
+    }
+
+
+def _mapping_attrs(mapping: Mapping, prefix: str = "mapping") -> dict:
+    return {
+        f"{prefix}.name": mapping.name,
+        f"{prefix}.constraints": mapping.constraint_count(),
+    }
+
+
 class ModelManagementEngine:
     """The generic schema-and-mapping manipulation engine.
 
@@ -65,6 +81,9 @@ class ModelManagementEngine:
     # ------------------------------------------------------------------
     # design-time operators (Sections 3, 4, 6)
     # ------------------------------------------------------------------
+    @instrumented("engine.match", attrs=lambda self, source, target,
+                  config=None: {**_schema_attrs(source, "source"),
+                                **_schema_attrs(target, "target")})
     def match(
         self,
         source: Schema,
@@ -74,6 +93,10 @@ class ModelManagementEngine:
         """Match: propose top-k correspondence candidates (§3.1.1)."""
         return _match(source, target, config)
 
+    @instrumented("engine.interpret", attrs=lambda self, correspondences,
+                  style="tgd", *a, **k: {
+                      "correspondences": len(correspondences),
+                      "style": style})
     def interpret(
         self,
         correspondences: CorrespondenceSet,
@@ -88,6 +111,10 @@ class ModelManagementEngine:
             return interpret_snowflake(correspondences, source_root, target_root)
         return interpret_as_tgds(correspondences)
 
+    @instrumented("engine.modelgen", attrs=lambda self, schema,
+                  target_metamodel, *a, **k: {
+                      **_schema_attrs(schema),
+                      "target.metamodel": target_metamodel})
     def modelgen(
         self,
         schema: Schema,
@@ -98,37 +125,56 @@ class ModelManagementEngine:
         mapping constraints (§3.2)."""
         return _modelgen(schema, target_metamodel, strategy)
 
+    @instrumented("engine.transgen", attrs=lambda self, mapping,
+                  compute_core=False: _mapping_attrs(mapping))
     def transgen(self, mapping: Mapping, compute_core: bool = False):
         """TransGen: compile constraints into executable
         transformations (§4)."""
         return _transgen(mapping, compute_core=compute_core)
 
+    @instrumented("engine.compose", attrs=lambda self, first, second,
+                  *a, **k: {**_mapping_attrs(first, "first"),
+                            **_mapping_attrs(second, "second")})
     def compose(self, first: Mapping, second: Mapping,
                 prefer_first_order: bool = True) -> Mapping:
         """Compose (§6.1)."""
         return _compose(first, second, prefer_first_order)
 
+    @instrumented("engine.invert",
+                  attrs=lambda self, mapping: _mapping_attrs(mapping))
     def invert(self, mapping: Mapping) -> Mapping:
         """Syntactic Invert (§6.2)."""
         return _invert(mapping)
 
+    @instrumented("engine.inverse", attrs=lambda self, mapping,
+                  samples=None: _mapping_attrs(mapping))
     def inverse(self, mapping: Mapping,
                 samples: Optional[Sequence[Instance]] = None) -> Mapping:
         """Exact inverse, when one exists (§6.4)."""
         return _inverse(mapping, samples)
 
+    @instrumented("engine.quasi_inverse",
+                  attrs=lambda self, mapping: _mapping_attrs(mapping))
     def quasi_inverse(self, mapping: Mapping) -> Mapping:
         """Quasi-inverse (§6.4)."""
         return _quasi_inverse(mapping)
 
+    @instrumented("engine.extract", attrs=lambda self, schema, mapping: {
+        **_schema_attrs(schema), **_mapping_attrs(mapping)})
     def extract(self, schema: Schema, mapping: Mapping) -> SchemaSlice:
         """Extract (§6.2)."""
         return _extract(schema, mapping)
 
+    @instrumented("engine.diff", attrs=lambda self, schema, mapping: {
+        **_schema_attrs(schema), **_mapping_attrs(mapping)})
     def diff(self, schema: Schema, mapping: Mapping) -> SchemaSlice:
         """Diff (§6.2)."""
         return _diff(schema, mapping)
 
+    @instrumented("engine.merge", attrs=lambda self, first, second,
+                  correspondences: {**_schema_attrs(first, "first"),
+                                    **_schema_attrs(second, "second"),
+                                    "correspondences": len(correspondences)})
     def merge(self, first: Schema, second: Schema,
               correspondences: CorrespondenceSet) -> MergeResult:
         """Merge (§6.3)."""
@@ -137,6 +183,9 @@ class ModelManagementEngine:
     # ------------------------------------------------------------------
     # runtime services (Section 5)
     # ------------------------------------------------------------------
+    @instrumented("engine.exchange", attrs=lambda self, mapping, source,
+                  compute_core=False: {**_mapping_attrs(mapping),
+                                       "source.rows": source.total_rows()})
     def exchange(self, mapping: Mapping, source: Instance,
                  compute_core: bool = False) -> Instance:
         """Data exchange: materialize the target."""
@@ -209,6 +258,9 @@ class ModelManagementEngine:
 
         return schema_violations(schema)
 
+    @instrumented("engine.evolve", attrs=lambda self, schema, changes,
+                  name=None: {**_schema_attrs(schema),
+                              "changes": len(changes)})
     def evolve(self, schema: Schema, changes, name: Optional[str] = None):
         """Apply a structured change script, deriving the evolved
         schema *and* the evolution mapping mapS-S′ (§6.1's first step,

@@ -21,6 +21,7 @@ from repro.instances.database import Instance
 from repro.mappings.correspondence import CorrespondenceSet
 from repro.mappings.mapping import Mapping
 from repro.metamodel.schema import Schema
+from repro.observability.instrument import instrumented
 from repro.operators.compose import compose
 from repro.operators.diff import SchemaSlice, diff, extract
 from repro.operators.merge import MergeResult, merge
@@ -42,6 +43,7 @@ class ScriptResult:
         return "\n".join(self.log)
 
 
+@instrumented("script.migrate")
 def migrate_script(
     map_v_s: Mapping,
     map_s_sprime: Mapping,
@@ -72,6 +74,7 @@ def migrate_script(
     return result
 
 
+@instrumented("script.evolve_view")
 def evolve_view_script(
     view_schema: Schema,
     map_v_s: Mapping,

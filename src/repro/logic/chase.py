@@ -49,6 +49,7 @@ from repro.instances.labeled_null import LabeledNull, NullFactory
 from repro.logic.dependencies import EGD, TGD, Dependency
 from repro.logic.homomorphism import find_homomorphism, iter_homomorphisms
 from repro.logic.terms import Const, Var
+from repro.observability.state import STATE as _OBS
 
 
 @dataclass
@@ -142,7 +143,40 @@ def chase(
     working = instance.copy() if copy else instance
     factory = null_factory or _fresh_factory(working)
     engine = _SemiNaiveChase(working, dependencies, factory, max_steps)
-    return engine.run()
+    if not _OBS.enabled:
+        return engine.run()
+    from repro.observability.tracing import tracer
+
+    with tracer.span(
+        "logic.chase",
+        dependencies=len(dependencies),
+        source_rows=working.total_rows(),
+    ) as span:
+        result = engine.run()
+        span.set_attributes(rounds=result.stats.rounds, steps=result.steps)
+        _publish_stats(result.stats, result.steps)
+    return result
+
+
+def _publish_stats(stats: "ChaseStats", steps: int) -> None:
+    """Re-report one run's :class:`ChaseStats` as registry metrics, so
+    chase telemetry aggregates across a whole script or benchmark."""
+    from repro.observability.metrics import COUNT_BUCKETS, registry
+
+    registry.counter("chase.runs").inc()
+    registry.counter("chase.rounds").inc(stats.rounds)
+    registry.counter("chase.steps").inc(steps)
+    registry.counter("chase.merges").inc(stats.merges)
+    registry.counter("chase.triggers_examined").inc(
+        sum(stats.triggers_examined.values())
+    )
+    registry.counter("chase.index.hits").inc(stats.index_hits)
+    registry.counter("chase.index.extends").inc(stats.index_extends)
+    registry.counter("chase.index.rebuilds").inc(stats.index_rebuilds)
+    delta_histogram = registry.histogram("chase.delta_size", COUNT_BUCKETS)
+    for size in stats.delta_sizes:
+        delta_histogram.observe(size)
+    registry.histogram("chase.wall_ms").observe(stats.wall_time * 1000.0)
 
 
 class _UnionFind:

@@ -29,6 +29,7 @@ from repro.mappings.correspondence import CorrespondenceSet
 from repro.mappings.mapping import EqualityConstraint, Mapping
 from repro.metamodel.constraints import InclusionDependency
 from repro.metamodel.schema import Schema
+from repro.observability.instrument import instrumented
 
 
 # ----------------------------------------------------------------------
@@ -77,6 +78,9 @@ def _path_expression(
     return expr
 
 
+@instrumented("op.interpret.snowflake", attrs=lambda correspondences, *a, **k: {
+    "correspondences": len(correspondences),
+})
 def interpret_snowflake(
     correspondences: CorrespondenceSet,
     source_root: Optional[str] = None,
@@ -171,6 +175,9 @@ def interpret_snowflake(
 # ----------------------------------------------------------------------
 # Clio-style tgd interpretation
 # ----------------------------------------------------------------------
+@instrumented("op.interpret.tgd", attrs=lambda correspondences: {
+    "correspondences": len(correspondences),
+})
 def interpret_as_tgds(correspondences: CorrespondenceSet) -> Mapping:
     """Interpret attribute correspondences as st-tgds, one per target
     entity (simplified Clio: source entities referenced by the target's

@@ -1,0 +1,84 @@
+"""Engine-wide tracing and metrics (dependency-free).
+
+The paper's runtime is a *services* layer — mapping debugging, data
+provenance, inspection of executable transformations (§5) — and every
+known complexity cliff (SO-tgd composition's exponential lower bound,
+quasi-inverse search) makes per-operator telemetry the prerequisite
+for perf work.  This package provides:
+
+* a hierarchical **span tracer** (:mod:`repro.observability.tracing`)
+  — context-manager API, thread-local active-span stack, wall/CPU time
+  via ``perf_counter``/``process_time``, structured attributes, JSONL
+  export, tree rendering;
+* a **metrics registry** (:mod:`repro.observability.metrics`) —
+  counters, gauges, fixed-bucket histograms with percentile summaries;
+* an :func:`instrumented` decorator wiring both through any callable.
+
+**Disabled by default.**  Every instrumented site guards on one shared
+flag; :func:`enable` flips it for a session, :func:`disable` restores
+the near-zero-overhead state.  ``repro trace <script>`` and
+``repro metrics <script>`` expose the collected data on the CLI;
+``benchmarks/harness.py`` routes benchmark runs through the registry.
+"""
+
+from __future__ import annotations
+
+from repro.observability.instrument import instrumented
+from repro.observability.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from repro.observability.state import STATE
+from repro.observability.tracing import Span, Tracer, current_span, tracer
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "STATE",
+    "Span",
+    "Tracer",
+    "current_span",
+    "disable",
+    "enable",
+    "instrumented",
+    "is_enabled",
+    "registry",
+    "reset",
+    "span",
+    "tracer",
+]
+
+
+def enable() -> None:
+    """Turn tracing + metric collection on, process-wide."""
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Return to the near-zero-overhead disabled state (recorded spans
+    and metrics are kept until :func:`reset`)."""
+    STATE.enabled = False
+
+
+def is_enabled() -> bool:
+    return STATE.enabled
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics."""
+    tracer.reset()
+    registry.reset()
+
+
+def span(name: str, **attributes: object):
+    """Module-level shorthand for ``tracer.span(...)``."""
+    return tracer.span(name, **attributes)

@@ -1,0 +1,239 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry (:data:`registry`) is a process-wide name → metric map.
+Recording sites in the engine guard every update with
+``STATE.enabled`` so a disabled registry costs one attribute check;
+the registry itself never guards, which keeps it usable for code (the
+benchmark harness, tests) that manages the switch explicitly.
+
+Histograms use *fixed* bucket bounds so percentile summaries need no
+stored samples: a percentile is located in its bucket by cumulative
+count and linearly interpolated inside it — the classical Prometheus
+estimation, exact at bucket boundaries and bounded by the bucket width
+in between.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+#: Default bounds, tuned for millisecond latencies (spans) but serving
+#: row/trigger counts acceptably; pass explicit bounds for counts.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
+    100.0, 500.0, 1_000.0, 5_000.0, 10_000.0,
+)
+
+#: Bounds for size-like observations (delta sizes, row counts).
+COUNT_BUCKETS: tuple[float, ...] = (
+    0, 1, 2, 5, 10, 25, 50, 100, 250, 500,
+    1_000, 2_500, 5_000, 10_000, 50_000, 100_000,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile summaries."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # last: +Inf
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimated q-th percentile (q in [0, 100]) by cumulative
+        bucket counts with linear interpolation inside the bucket."""
+        if not self.count:
+            return None
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else (
+                    self.min if self.min is not None else 0.0
+                )
+                upper = self.bounds[index] if index < len(self.bounds) \
+                    else (self.max if self.max is not None else lower)
+                lower = max(lower, self.min or lower)
+                upper = min(upper, self.max or upper)
+                if upper <= lower:
+                    return upper
+                fraction = (rank - cumulative) / bucket_count
+                return lower + fraction * (upper - lower)
+            cumulative += bucket_count
+        return self.max
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 6) if self.count else None,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def to_dict(self) -> dict:
+        return {"type": "histogram", **self.summary()}
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name → metric, with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = self._metrics[name] = factory()
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get_or_create(name, lambda: Counter(name))
+        if not isinstance(metric, Counter):
+            raise TypeError(f"{name!r} is a {type(metric).__name__}, "
+                            "not a Counter")
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get_or_create(name, lambda: Gauge(name))
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"{name!r} is a {type(metric).__name__}, "
+                            "not a Gauge")
+        return metric
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        metric = self._get_or_create(
+            name, lambda: Histogram(name, buckets or DEFAULT_BUCKETS)
+        )
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"{name!r} is a {type(metric).__name__}, "
+                            "not a Histogram")
+        return metric
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics = {}
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready {name: {type, ...values}} of every metric."""
+        return {
+            name: self._metrics[name].to_dict()
+            for name in sorted(self._metrics)
+        }
+
+    def export_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.snapshot(), indent=2,
+                                   default=str) + "\n")
+        return path
+
+    def render(self) -> str:
+        """Human-readable metric summaries, one line per metric."""
+        if not self._metrics:
+            return "(no metrics recorded)"
+        lines = [f"metrics: {len(self._metrics)} recorded"]
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                lines.append(f"  {name} = {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"  {name} = {metric.value}")
+            else:
+                s = metric.summary()
+
+                def fmt(v):
+                    return f"{v:.3f}" if isinstance(v, float) else str(v)
+
+                lines.append(
+                    f"  {name}: count={s['count']} mean={fmt(s['mean'])} "
+                    f"p50={fmt(s['p50'])} p90={fmt(s['p90'])} "
+                    f"p99={fmt(s['p99'])} max={fmt(s['max'])}"
+                )
+        return "\n".join(lines)
+
+
+#: Process-wide registry used by all engine instrumentation.
+registry = MetricsRegistry()

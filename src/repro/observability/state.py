@@ -1,0 +1,21 @@
+"""The single on/off switch shared by tracing and metrics.
+
+Kept in its own leaf module so that every instrumented call site in the
+engine can do a plain attribute check (``if STATE.enabled: ...``)
+without importing the tracer or the registry — the disabled-by-default
+contract is "one guard check, nothing else".
+"""
+
+from __future__ import annotations
+
+
+class _ObservabilityState:
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+#: Process-wide switch.  Flip through
+#: :func:`repro.observability.enable` / ``disable``, not directly.
+STATE = _ObservabilityState()

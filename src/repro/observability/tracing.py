@@ -1,0 +1,212 @@
+"""Hierarchical span tracer.
+
+A *span* is one timed region of engine work — an operator invocation, a
+runtime-service call, a chase run.  Spans nest: each thread keeps a
+stack of active spans, and a span started while another is active
+becomes its child, so one Figure-5 evolution script yields a single
+coherent tree (script → operator → chase).
+
+The tracer is a process-wide singleton (:data:`tracer`) guarded by
+:data:`repro.observability.state.STATE`: while disabled,
+:meth:`Tracer.span` is a no-op context manager that yields ``None`` and
+touches no shared state.
+
+Exports: :meth:`Tracer.render` prints the tree with per-span wall time
+and attributes; :meth:`Tracer.export_jsonl` writes one JSON object per
+span (see docs/OBSERVABILITY.md for the schema).  Finishing a span also
+feeds the metrics registry — a ``span.<name>.calls`` counter and a
+``span.<name>.wall_ms`` histogram — which is what makes operator
+latency summaries exportable without any extra wiring.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.observability.state import STATE
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    started_at: float                      # epoch seconds
+    attributes: dict[str, object] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    wall_ms: Optional[float] = None        # set when the span finishes
+    cpu_ms: Optional[float] = None
+    thread: str = ""
+    _wall0: float = field(default=0.0, repr=False)
+    _cpu0: float = field(default=0.0, repr=False)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes: object) -> None:
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "started_at": self.started_at,
+            "wall_ms": self.wall_ms,
+            "cpu_ms": self.cpu_ms,
+            "thread": self.thread,
+            "attributes": self.attributes,
+        }
+
+
+class Tracer:
+    """Thread-safe hierarchical tracer with a per-thread active stack."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.roots: list[Span] = []
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost active span of this thread (None when idle or
+        tracing is disabled)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    def start(self, name: str, **attributes: object) -> Span:
+        """Begin a span unconditionally (callers must have checked
+        ``STATE.enabled``; prefer :meth:`span`)."""
+        with self._lock:
+            span_id = f"s{next(self._ids):04d}"
+        parent = self.current()
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent else None,
+            started_at=time.time(),
+            attributes=dict(attributes),
+            thread=threading.current_thread().name,
+        )
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        self._stack().append(span)
+        span._wall0 = time.perf_counter()
+        span._cpu0 = time.process_time()
+        return span
+
+    def finish(self, span: Span) -> None:
+        span.wall_ms = (time.perf_counter() - span._wall0) * 1000.0
+        span.cpu_ms = (time.process_time() - span._cpu0) * 1000.0
+        stack = self._stack()
+        if span in stack:            # tolerate mismatched finish order
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        from repro.observability.metrics import registry
+
+        registry.counter(f"span.{span.name}.calls").inc()
+        registry.histogram(f"span.{span.name}.wall_ms").observe(span.wall_ms)
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Optional[Span]]:
+        """Context manager for one span; yields ``None`` (and does no
+        work at all) while tracing is disabled."""
+        if not STATE.enabled:
+            yield None
+            return
+        span = self.start(name, **attributes)
+        try:
+            yield span
+        finally:
+            self.finish(span)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        with self._lock:
+            self.roots = []
+            self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    def iter_spans(self) -> Iterator[Span]:
+        """All recorded spans, depth-first."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.iter_spans())
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: Union[str, Path]) -> Path:
+        """One JSON object per span, parents before children."""
+        path = Path(path)
+        lines = [
+            json.dumps(span.to_dict(), default=str)
+            for span in self.iter_spans()
+        ]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+    def render(self, attributes: bool = True) -> str:
+        """The span tree as indented text with per-span wall time."""
+        if not self.roots:
+            return "(no spans recorded)"
+        lines = [f"trace: {self.span_count()} spans, "
+                 f"{len(self.roots)} root(s)"]
+
+        def emit(span: Span, prefix: str, is_last: bool) -> None:
+            connector = "└─ " if is_last else "├─ "
+            wall = f"{span.wall_ms:.2f}ms" if span.wall_ms is not None \
+                else "(open)"
+            attrs = ""
+            if attributes and span.attributes:
+                rendered = " ".join(
+                    f"{k}={v}" for k, v in sorted(span.attributes.items())
+                )
+                attrs = f"  [{rendered}]"
+            lines.append(
+                f"{prefix}{connector}{span.name}  {wall}"
+                f"  ({span.span_id}){attrs}"
+            )
+            child_prefix = prefix + ("   " if is_last else "│  ")
+            for index, child in enumerate(span.children):
+                emit(child, child_prefix, index == len(span.children) - 1)
+
+        for index, root in enumerate(self.roots):
+            emit(root, "", index == len(self.roots) - 1)
+        return "\n".join(lines)
+
+
+#: Process-wide tracer used by all engine instrumentation.
+tracer = Tracer()
+
+
+def current_span() -> Optional[Span]:
+    """The innermost active span of the calling thread."""
+    return tracer.current()

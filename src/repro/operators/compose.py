@@ -44,8 +44,13 @@ from repro.mappings.mapping import (
     Mapping,
     MappingLanguage,
 )
+from repro.observability.instrument import instrumented
 
 
+@instrumented("op.compose", attrs=lambda map12, map23, *a, **k: {
+    "map12.constraints": map12.constraint_count(),
+    "map23.constraints": map23.constraint_count(),
+})
 def compose(
     map12: Mapping, map23: Mapping, prefer_first_order: bool = True
 ) -> Mapping:

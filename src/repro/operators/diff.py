@@ -33,6 +33,7 @@ from repro.metamodel.constraints import (
 )
 from repro.metamodel.elements import Attribute, Entity
 from repro.metamodel.schema import Schema
+from repro.observability.instrument import instrumented
 
 
 @dataclass
@@ -247,6 +248,10 @@ def _constraint_applies(constraint, sub: Schema) -> bool:
     return False
 
 
+@instrumented("op.extract", attrs=lambda schema, mapping: {
+    "schema.entities": len(schema.entities),
+    "mapping.constraints": mapping.constraint_count(),
+})
 def extract(schema: Schema, mapping: Mapping) -> SchemaSlice:
     """The sub-schema of ``schema`` populated through ``mapping``."""
     keep = participating_attributes(schema, mapping)
@@ -256,6 +261,10 @@ def extract(schema: Schema, mapping: Mapping) -> SchemaSlice:
     )
 
 
+@instrumented("op.diff", attrs=lambda schema, mapping: {
+    "schema.entities": len(schema.entities),
+    "mapping.constraints": mapping.constraint_count(),
+})
 def diff(schema: Schema, mapping: Mapping) -> SchemaSlice:
     """The complement: parts of ``schema`` the mapping does not cover.
 

@@ -44,6 +44,7 @@ from repro.metamodel.constraints import KeyConstraint
 from repro.metamodel.elements import Attribute, Entity
 from repro.metamodel.schema import Schema
 from repro.metamodel.types import DataType
+from repro.observability.instrument import instrumented
 
 
 @dataclass(frozen=True)
@@ -110,6 +111,10 @@ class EvolutionResult:
     notes: list[str] = field(default_factory=list)
 
 
+@instrumented("op.evolve", attrs=lambda schema, changes, name=None: {
+    "schema.entities": len(schema.entities),
+    "changes": len(changes),
+})
 def evolve(
     schema: Schema, changes: Sequence[Change], name: Optional[str] = None
 ) -> EvolutionResult:

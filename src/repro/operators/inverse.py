@@ -33,8 +33,12 @@ from repro.logic.chase import chase
 from repro.logic.dependencies import TGD
 from repro.logic.homomorphism import instance_homomorphism
 from repro.mappings.mapping import Mapping
+from repro.observability.instrument import instrumented
 
 
+@instrumented("op.invert", attrs=lambda mapping: {
+    "mapping.constraints": mapping.constraint_count(),
+})
 def invert(mapping: Mapping) -> Mapping:
     """The syntactic Invert: transpose the relation."""
     return mapping.invert()
@@ -54,6 +58,9 @@ def _lost_information(tgd: TGD) -> set:
     return (tgd.body_variables() - tgd.head_variables()) | tgd.existentials()
 
 
+@instrumented("op.inverse", attrs=lambda mapping, samples=None: {
+    "mapping.constraints": mapping.constraint_count(),
+})
 def inverse(
     mapping: Mapping, samples: Optional[Sequence[Instance]] = None
 ) -> Mapping:
@@ -91,6 +98,9 @@ def inverse(
     return candidate
 
 
+@instrumented("op.quasi_inverse", attrs=lambda mapping: {
+    "mapping.constraints": mapping.constraint_count(),
+})
 def quasi_inverse(mapping: Mapping) -> Mapping:
     """The always-constructible relaxation: reversed tgds whose lost
     variables come back existentially (as labeled nulls at runtime)."""

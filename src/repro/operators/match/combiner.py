@@ -22,6 +22,7 @@ from repro.operators.match.instance_based import InstanceBasedMatcher
 from repro.operators.match.lexical import LexicalMatcher
 from repro.operators.match.structural import SimilarityFlooding
 from repro.operators.match.thesaurus import ThesaurusMatcher
+from repro.observability.instrument import instrumented
 
 
 @dataclass
@@ -102,6 +103,10 @@ def ensemble_similarity(
     return combined.blend(rest)
 
 
+@instrumented("op.match", attrs=lambda source, target, config=None: {
+    "source.elements": len(source.all_element_paths()),
+    "target.elements": len(target.all_element_paths()),
+})
 def match(
     source: Schema,
     target: Schema,

@@ -39,6 +39,7 @@ from repro.metamodel.constraints import (
 from repro.metamodel.elements import Attribute, Entity
 from repro.metamodel.schema import Schema
 from repro.metamodel.types import common_supertype
+from repro.observability.instrument import instrumented
 
 
 @dataclass
@@ -59,6 +60,11 @@ class MergeResult:
         return "\n".join(lines)
 
 
+@instrumented("op.merge", attrs=lambda first, second, correspondences, *a, **k: {
+    "first.entities": len(first.entities),
+    "second.entities": len(second.entities),
+    "correspondences": len(correspondences),
+})
 def merge(
     first: Schema,
     second: Schema,

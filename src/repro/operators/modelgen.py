@@ -54,6 +54,7 @@ from repro.metamodel.constraints import (
 from repro.metamodel.elements import Attribute, Entity
 from repro.metamodel.schema import Schema
 from repro.metamodel.types import STRING
+from repro.observability.instrument import instrumented
 
 
 class InheritanceStrategy(enum.Enum):
@@ -79,6 +80,10 @@ class ModelGenResult:
     mapping: Mapping
 
 
+@instrumented("op.modelgen", attrs=lambda schema, target_metamodel, *a, **k: {
+    "schema.entities": len(schema.entities),
+    "target.metamodel": target_metamodel,
+})
 def modelgen(
     schema: Schema,
     target_metamodel: str,

@@ -15,6 +15,8 @@ from typing import Optional
 from repro.algebra.evaluator import evaluate
 from repro.instances.database import Instance, Row
 from repro.mappings.mapping import Mapping
+from repro.observability.instrument import instrumented
+from repro.observability.tracing import tracer
 from repro.operators.transgen import (
     ExchangeTransformation,
     TransformationPair,
@@ -31,10 +33,14 @@ class TraceStep:
     output_relation: str
     row_count: int
     sample: list[Row] = field(default_factory=list)
+    #: Id of the tracing span covering this step, when tracing was on.
+    span_id: Optional[str] = None
 
     def describe(self) -> str:
         preview = f", e.g. {self.sample[0]}" if self.sample else ""
-        return f"{self.label}: {self.output_relation} ← {self.row_count} rows{preview}"
+        span = f" [span {self.span_id}]" if self.span_id else ""
+        return (f"{self.label}: {self.output_relation} ← "
+                f"{self.row_count} rows{preview}{span}")
 
 
 class MappingDebugger:
@@ -45,20 +51,32 @@ class MappingDebugger:
         self.sample_size = sample_size
 
     # ------------------------------------------------------------------
+    @instrumented("debug.trace", attrs=lambda self, source: {
+        "mapping.name": self.mapping.name,
+        "mapping.constraints": self.mapping.constraint_count(),
+        "source.rows": source.total_rows()})
     def trace(self, source: Instance) -> list[TraceStep]:
         """Execute the mapping rule by rule, recording row counts and
-        samples — the single-stepping view."""
+        samples — the single-stepping view.
+
+        With tracing enabled, each step runs inside its own
+        ``debug.step`` span and records that span's id, so the textual
+        trace cross-references the exported span tree."""
         transformation = transgen(self.mapping)
         steps: list[TraceStep] = []
         if isinstance(transformation, TransformationPair):
             for relation, expr in transformation.query_view.rules:
-                rows = evaluate(expr, source, self.mapping.source)
+                with tracer.span("debug.step", rule=f"view:{relation}") as span:
+                    rows = evaluate(expr, source, self.mapping.source)
+                    if span is not None:
+                        span.set_attribute("rows", len(rows))
                 steps.append(
                     TraceStep(
                         label=f"view:{relation}",
                         output_relation=relation,
                         row_count=len(rows),
                         sample=rows[: self.sample_size],
+                        span_id=span.span_id if span is not None else None,
                     )
                 )
             return steps
@@ -68,34 +86,47 @@ class MappingDebugger:
 
         working = source.copy()
         for tgd in self.mapping.tgds:
-            before = working.total_rows()
-            result = chase(working, [tgd], copy=False)
-            added = working.total_rows() - before
+            label = f"tgd:{tgd.name or tgd}"
+            with tracer.span("debug.step", rule=label) as span:
+                before = working.total_rows()
+                result = chase(working, [tgd], copy=False)
+                added = working.total_rows() - before
+                if span is not None:
+                    span.set_attributes(rows=added, steps=result.steps)
             head_relation = next(iter(tgd.head)).relation if tgd.head else "?"
             rows = working.rows(head_relation)
             steps.append(
                 TraceStep(
-                    label=f"tgd:{tgd.name or tgd}",
+                    label=label,
                     output_relation=head_relation,
                     row_count=added,
                     sample=rows[: self.sample_size],
+                    span_id=span.span_id if span is not None else None,
                 )
             )
         return steps
 
     # ------------------------------------------------------------------
+    @instrumented("debug.explain_row", attrs=lambda self, target_row,
+                  relation, source: {"relation": relation,
+                                     "source.rows": source.total_rows()})
     def explain_row(
         self, target_row: Row, relation: str, source: Instance
     ) -> list[ProvenanceEntry]:
         """Why is this row in the target?  (why-provenance)"""
         return lineage(target_row, relation, source, self.mapping.tgds)
 
+    @instrumented("debug.explain_route", attrs=lambda self, target_row,
+                  relation, source: {"relation": relation,
+                                     "source.rows": source.total_rows()})
     def explain_route(
         self, target_row: Row, relation: str, source: Instance
     ) -> list[list[ProvenanceEntry]]:
         """Full derivation routes through intermediate relations."""
         return route(target_row, relation, source, self.mapping.tgds)
 
+    @instrumented("debug.explain_missing", attrs=lambda self, expected_row,
+                  relation, source: {"relation": relation})
     def explain_missing(
         self, expected_row: Row, relation: str, source: Instance
     ) -> list[str]:

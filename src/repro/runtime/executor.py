@@ -7,8 +7,9 @@ from typing import Optional
 from repro.instances.database import Instance
 from repro.logic.chase import ChaseStats
 from repro.mappings.mapping import Mapping
+from repro.observability.state import STATE as _OBS
+from repro.observability.tracing import tracer
 from repro.operators.transgen import (
-    ExchangeTransformation,
     Transformation,
     TransformationPair,
     transgen,
@@ -36,10 +37,8 @@ def exchange(
     For tgd mappings this computes a universal solution (optionally the
     core); for equality mappings it evaluates the generated query view.
     """
-    transformation = transgen(mapping, compute_core=compute_core)
-    if isinstance(transformation, TransformationPair):
-        return transformation.query_view.apply(source)
-    return transformation.apply(source)
+    produced, _ = exchange_with_stats(mapping, source, compute_core)
+    return produced
 
 
 def exchange_with_stats(
@@ -47,10 +46,21 @@ def exchange_with_stats(
 ) -> tuple[Instance, Optional[ChaseStats]]:
     """:func:`exchange`, additionally returning the chase's
     :class:`ChaseStats` (``None`` when no chase ran — equality mappings
-    and so-tgd execution)."""
-    transformation = transgen(mapping, compute_core=compute_core)
-    if isinstance(transformation, TransformationPair):
-        return transformation.query_view.apply(source), None
-    produced = transformation.apply(source)
-    stats = getattr(transformation, "last_chase_stats", None)
+    and so-tgd execution).  With observability enabled the same numbers
+    also land in the metrics registry (``chase.*``) via the chase."""
+    attributes = (
+        {
+            "mapping": mapping.name,
+            "mapping.constraints": mapping.constraint_count(),
+            "source.rows": source.total_rows(),
+        }
+        if _OBS.enabled
+        else {}
+    )
+    with tracer.span("runtime.exchange", **attributes) as span:
+        transformation = transgen(mapping, compute_core=compute_core)
+        produced = execute(transformation, source)
+        stats = getattr(transformation, "last_chase_stats", None)
+        if span is not None:
+            span.set_attribute("target.rows", produced.total_rows())
     return produced, stats

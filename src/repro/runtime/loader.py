@@ -21,6 +21,7 @@ from repro.errors import TransformationError
 from repro.instances.database import Instance, Row
 from repro.instances.validation import violations
 from repro.mappings.mapping import Mapping
+from repro.observability.instrument import instrumented
 from repro.operators.transgen import TransformationPair, transgen
 
 
@@ -56,6 +57,8 @@ class BatchLoader:
         self._target_rows = 0
 
     # ------------------------------------------------------------------
+    @instrumented("runtime.load.stage", attrs=lambda self, entity,
+                  rows, *a, **k: {"entity": entity, "rows": len(rows)})
     def stage(self, entity: str, rows: list[dict],
               typed: Optional[bool] = None) -> None:
         """Stage one batch of target-format rows.
@@ -77,6 +80,8 @@ class BatchLoader:
             self._target_rows += 1
         self._batches += 1
 
+    @instrumented("runtime.load.flush", attrs=lambda self,
+                  destination=None: {"mapping.name": self.mapping.name})
     def flush(self, destination: Optional[Instance] = None) -> tuple[Instance, LoadReport]:
         """Translate all staged data into source format in one pass and
         (optionally) append to an existing source instance; integrity

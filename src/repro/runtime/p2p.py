@@ -21,6 +21,7 @@ from repro.errors import MappingError
 from repro.instances.database import Instance
 from repro.mappings.mapping import Mapping
 from repro.metamodel.schema import Schema
+from repro.observability.instrument import instrumented
 from repro.operators.compose import compose
 from repro.runtime.executor import exchange
 
@@ -70,6 +71,9 @@ class PeerNetwork:
             f"no mapping chain from {source_peer!r} to {target_peer!r}"
         )
 
+    @instrumented("runtime.p2p.collapse", attrs=lambda self, source_peer,
+                  target_peer: {"source": source_peer,
+                                "target": target_peer})
     def collapse_chain(self, source_peer: str, target_peer: str) -> Mapping:
         """Compose the chain into one direct mapping (the design-time
         optimization the paper mentions)."""
@@ -82,6 +86,9 @@ class PeerNetwork:
         return collapsed
 
     # ------------------------------------------------------------------
+    @instrumented("runtime.p2p.propagate", attrs=lambda self, source_peer,
+                  target_peer: {"source": source_peer,
+                                "target": target_peer})
     def propagate(self, source_peer: str, target_peer: str) -> Instance:
         """Exchange the source peer's data hop by hop to the target."""
         peer = self.peers[source_peer]
@@ -92,6 +99,9 @@ class PeerNetwork:
             current = exchange(mapping, current)
         return current
 
+    @instrumented("runtime.p2p.propagate_collapsed",
+                  attrs=lambda self, source_peer, target_peer: {
+                      "source": source_peer, "target": target_peer})
     def propagate_collapsed(self, source_peer: str, target_peer: str) -> Instance:
         """Exchange once through the composed chain."""
         peer = self.peers[source_peer]

@@ -21,6 +21,7 @@ from repro.logic.dependencies import TGD
 from repro.logic.formulas import Atom
 from repro.logic.homomorphism import iter_homomorphisms
 from repro.logic.terms import Const, Var
+from repro.observability.instrument import instrumented
 
 
 @dataclass
@@ -60,6 +61,11 @@ def _head_matches(
     return extended
 
 
+@instrumented("provenance.lineage", attrs=lambda target_row, relation,
+              source_instance, dependencies: {
+                  "relation": relation,
+                  "dependencies": len(dependencies),
+                  "source.rows": source_instance.total_rows()})
 def lineage(
     target_row: Row,
     relation: str,
@@ -119,6 +125,11 @@ def _witness_rows(
     return witnesses
 
 
+@instrumented("provenance.route", attrs=lambda target_row, relation,
+              source_instance, dependencies, max_depth=10: {
+                  "relation": relation,
+                  "dependencies": len(dependencies),
+                  "source.rows": source_instance.total_rows()})
 def route(
     target_row: Row,
     relation: str,

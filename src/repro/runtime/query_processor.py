@@ -24,6 +24,7 @@ from repro.instances.database import Instance, Row
 from repro.logic.certain_answers import certain_answers
 from repro.logic.formulas import ConjunctiveQuery
 from repro.mappings.mapping import Mapping
+from repro.observability.instrument import instrumented
 from repro.operators.compose import unfold_scans
 from repro.operators.transgen import TransformationPair, transgen
 
@@ -76,6 +77,9 @@ class QueryProcessor:
         return self._universal
 
     # ------------------------------------------------------------------
+    @instrumented("runtime.query.algebra", attrs=lambda self, query: {
+        "mapping.name": self.mapping.name,
+        "source.rows": self.source.total_rows()})
     def answer_algebra(self, query: RelExpr) -> list[Row]:
         """Answer an algebra query phrased over the *target* schema.
 
@@ -99,12 +103,18 @@ class QueryProcessor:
             if not any(isinstance(v, LabeledNull) for v in row.values())
         ]
 
+    @instrumented("runtime.query.cq", attrs=lambda self, query,
+                  *a, **k: {"mapping.name": self.mapping.name,
+                            "source.rows": self.source.total_rows()})
     def answer_cq(
         self, query: Union[ConjunctiveQuery, Sequence[ConjunctiveQuery]]
     ) -> list[tuple]:
         """Certain answers of a conjunctive query over the target."""
         return certain_answers(query, self._universal_solution())
 
+    @instrumented("runtime.query.unfold",
+                  attrs=lambda self, query: {
+                      "mapping.name": self.mapping.name})
     def unfolded(self, query: RelExpr) -> RelExpr:
         """The source-side rewriting of a target query (for inspection,
         EXPLAIN-style)."""

@@ -16,6 +16,7 @@ from typing import Callable, Optional
 from repro.errors import ExpressivenessError, TransformationError
 from repro.instances.database import Instance, Row, freeze_row
 from repro.mappings.mapping import Mapping
+from repro.observability.instrument import instrumented
 from repro.operators.transgen import TransformationPair, transgen
 
 
@@ -118,6 +119,11 @@ class UpdatePropagator:
         assert isinstance(views, TransformationPair)
         self.views = views
 
+    @instrumented("runtime.update_propagate", attrs=lambda self,
+                  target_instance, update, source_instance=None: {
+                      "mapping.name": self.mapping.name,
+                      "update.size": update.size(),
+                      "target.rows": target_instance.total_rows()})
     def propagate(
         self,
         target_instance: Instance,

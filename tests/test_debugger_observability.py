@@ -1,0 +1,127 @@
+"""Satellite coverage: MappingDebugger and provenance routes through
+the instrumented engine facade — spans nest into one tree and the
+debugger's textual output cross-references span ids."""
+
+import pytest
+
+import repro.observability as obs
+from repro.core import ModelManagementEngine
+from repro.instances import Instance
+from repro.logic import parse_tgd
+from repro.mappings import Mapping
+from repro.metamodel import INT, SchemaBuilder
+from repro.observability import tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _two_hop_mapping():
+    source = (SchemaBuilder("S").entity("Base", key=["a"])
+              .attribute("a", INT).attribute("b", INT)
+              .entity("Mid", key=["m"]).attribute("m", INT)
+              .attribute("n", INT).build())
+    target = (SchemaBuilder("T").entity("Final", key=["f"])
+              .attribute("f", INT)
+              .entity("Mid", key=["m"]).attribute("m", INT)
+              .attribute("n", INT).build())
+    tgds = [
+        parse_tgd("Base(a=x, b=y) -> Mid(m=x, n=y)", name="step1"),
+        parse_tgd("Mid(m=x, n=y) -> Final(f=y)", name="step2"),
+    ]
+    db = Instance()
+    db.add("Base", a=1, b=10)
+    db.add("Base", a=2, b=20)
+    return Mapping(source, target, tgds, name="twohop"), db
+
+
+class TestDebuggerSpans:
+    def test_trace_steps_carry_span_ids(self):
+        mapping, db = _two_hop_mapping()
+        debugger = ModelManagementEngine().debugger(mapping)
+        obs.enable()
+        steps = debugger.trace(db)
+        assert len(steps) == 2
+        span_ids = {s.span_id for s in tracer.iter_spans()}
+        for step in steps:
+            assert step.span_id is not None
+            assert step.span_id in span_ids
+            assert f"[span {step.span_id}]" in step.describe()
+
+    def test_trace_spans_nest_under_debug_trace(self):
+        mapping, db = _two_hop_mapping()
+        debugger = ModelManagementEngine().debugger(mapping)
+        obs.enable()
+        debugger.trace(db)
+        (root,) = tracer.roots
+        assert root.name == "debug.trace"
+        assert root.attributes["mapping.name"] == "twohop"
+        child_names = [c.name for c in root.children]
+        assert child_names.count("debug.step") == 2
+        # each step chases one tgd — nested under its step span
+        step_children = [g.name for c in root.children
+                        for g in c.children]
+        assert "logic.chase" in step_children
+
+    def test_trace_without_tracing_has_no_span_ids(self):
+        mapping, db = _two_hop_mapping()
+        debugger = ModelManagementEngine().debugger(mapping)
+        steps = debugger.trace(db)
+        assert all(step.span_id is None for step in steps)
+        assert "[span" not in steps[0].describe()
+        assert tracer.span_count() == 0
+
+    def test_explain_route_produces_nested_provenance_spans(self):
+        mapping, db = _two_hop_mapping()
+        debugger = ModelManagementEngine().debugger(mapping)
+        obs.enable()
+        routes = debugger.explain_route({"f": 10}, "Final", db)
+        assert routes  # derivation found
+        (root,) = tracer.roots
+        assert root.name == "debug.explain_route"
+        assert root.attributes["relation"] == "Final"
+        names = [s.name for s in tracer.iter_spans()]
+        assert "provenance.route" in names
+        assert "provenance.lineage" in names
+        route_span = next(s for s in tracer.iter_spans()
+                          if s.name == "provenance.route")
+        assert route_span.parent_id == root.span_id
+
+    def test_explain_row_span(self):
+        mapping, db = _two_hop_mapping()
+        debugger = ModelManagementEngine().debugger(mapping)
+        obs.enable()
+        entries = debugger.explain_row({"m": 1, "n": 10}, "Mid", db)
+        assert entries
+        names = [s.name for s in tracer.iter_spans()]
+        assert names[0] == "debug.explain_row"
+        assert "provenance.lineage" in names
+
+    def test_explain_missing_span(self):
+        mapping, db = _two_hop_mapping()
+        debugger = ModelManagementEngine().debugger(mapping)
+        obs.enable()
+        reasons = debugger.explain_missing({"f": 999}, "Final", db)
+        assert reasons
+        assert tracer.roots[0].name == "debug.explain_missing"
+
+    def test_full_session_is_one_coherent_forest(self):
+        """A debugging session mixing exchange, trace and routes yields
+        spans for every service, all exported together."""
+        mapping, db = _two_hop_mapping()
+        engine = ModelManagementEngine()
+        debugger = engine.debugger(mapping)
+        obs.enable()
+        engine.exchange(mapping, db)
+        debugger.trace(db)
+        debugger.explain_route({"f": 10}, "Final", db)
+        names = {s.name for s in tracer.iter_spans()}
+        assert {"engine.exchange", "runtime.exchange", "logic.chase",
+                "debug.trace", "debug.step", "debug.explain_route",
+                "provenance.route"} <= names
