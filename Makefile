@@ -1,11 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint trace-smoke bench-smoke bench-chase bench bench-json
+.PHONY: test lint trace-smoke query-smoke bench-smoke bench-chase \
+	bench bench-query bench-json
 
-# Tier-1: the whole unit/integration suite, after the static and
-# tracing smoke gates.
-test: lint trace-smoke
+# Tier-1: the whole unit/integration suite, after the static, tracing
+# and query-engine smoke gates.
+test: lint trace-smoke query-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Static checks: ruff with the pinned config in pyproject.toml.
@@ -33,9 +34,20 @@ assert len(ops) >= 4, f'only {sorted(ops)}'; \
 print(f'trace-smoke: {len(spans)} spans, {len(ops)} operators ok')"
 	@rm -f .trace-smoke.jsonl
 
+# Differential smoke for the two query engines: runs the view-unfolding
+# workload at the smallest size, asserting compiled/interpreted row
+# parity and that a warm plan cache never recompiles.  No JSON rewrite.
+query-smoke:
+	$(PYTHON) benchmarks/bench_query_executor.py --smoke
+
 # Fast perf sanity after tier-1: smallest size only, no JSON rewrite.
 bench-smoke: test
 	$(PYTHON) benchmarks/bench_chase_scaling.py --smoke
+
+# Full query-executor shootout: rewrites BENCH_query.json at three
+# sizes and enforces the 3x compiled-vs-interpreted acceptance bar.
+bench-query:
+	$(PYTHON) benchmarks/bench_query_executor.py
 
 # Full chase trajectory: rewrites BENCH_chase.json at three sizes.
 bench-chase:

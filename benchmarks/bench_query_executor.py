@@ -1,0 +1,188 @@
+"""Query-executor shootout: compiled closure pipelines vs the
+reference tree-walking interpreter (ISSUE: "Compiling plan executor
+with plan cache for the mapping runtime").
+
+The workload is the paper's central runtime pattern — *view
+unfolding*: target queries over the Figure 2 object views rewritten to
+the SQL tables and executed directly.  Each plan runs on both engines
+at 250 → 4000 persons, with the compiled engine measured both *cold*
+(first call, plan compilation included) and *warm* (plan-cache hit).
+The report asserts the two engines agree row-for-row, that the warm
+path never recompiles, and that the compiled executor clears the 3×
+acceptance bar on the 4k-row unfolding.
+"""
+
+import time
+
+import pytest
+
+from repro.algebra import (
+    Col,
+    Scan,
+    Select,
+    clear_plan_cache,
+    eq,
+    evaluate,
+    optimize,
+    plan_cache_stats,
+    project_names,
+)
+from repro.instances import Instance
+from repro.operators.compose import unfold_scans
+from repro.operators.transgen import transgen
+from repro.workloads import paper
+
+from conftest import print_table
+
+SIZES = (250, 1000, 4000)
+ACCEPTANCE_SPEEDUP = 3.0
+
+
+def _scaled_sql(people: int) -> Instance:
+    """Figure 2 SQL-side data scaled to ``people`` persons."""
+    sql = Instance(paper.figure2_sql_schema())
+    for i in range(people):
+        kind = i % 3
+        if kind == 0:
+            sql.add("HR", Id=i, Name=f"P{i}")
+        elif kind == 1:
+            sql.add("HR", Id=i, Name=f"E{i}")
+            sql.add("Empl", Id=i, Dept=f"D{i % 5}")
+        else:
+            sql.add("Client", Id=i, Name=f"C{i}", Score=600 + i % 200,
+                    Addr=f"{i} Main St")
+    return sql
+
+
+def _unfolded_queries():
+    """Target queries rewritten against the source tables."""
+    views = transgen(paper.figure2_mapping())
+    definitions = dict(views.query_view.rules)
+    extent = unfold_scans(project_names(Scan("Person"), ["Id", "Name"]),
+                          definitions)
+    selective = optimize(unfold_scans(
+        Select(project_names(Scan("Person"), ["Id", "Name"]),
+               eq(Col("Id"), 7)),
+        definitions,
+    ))
+    return [("unfold-extent", extent), ("unfold-selective", selective)]
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best wall-clock milliseconds over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def _canon(rows):
+    return sorted(tuple(sorted(r.items())) for r in rows)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["interpreted", "compiled"])
+def test_unfolded_extent(benchmark, engine):
+    _, extent = _unfolded_queries()[0]
+    sql = _scaled_sql(1000)
+    evaluate(extent, sql, engine=engine)  # warm the plan cache
+    rows = benchmark(evaluate, extent, sql, engine=engine)
+    assert len(rows) == 1000
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled"])
+def test_unfolded_selective(benchmark, engine):
+    _, selective = _unfolded_queries()[1]
+    sql = _scaled_sql(1000)
+    evaluate(selective, sql, engine=engine)
+    rows = benchmark(evaluate, selective, sql, engine=engine)
+    assert len(rows) == 1
+
+
+# ----------------------------------------------------------------------
+# harness report -> BENCH_query.json
+# ----------------------------------------------------------------------
+def test_query_executor_report(benchmark):
+    from repro.observability import is_enabled, registry
+
+    queries = _unfolded_queries()
+    rows = []
+    acceptance = None
+    for people in SIZES:
+        sql = _scaled_sql(people)
+        for label, plan in queries:
+            interpreted_ms = _best_of(
+                lambda: evaluate(plan, sql, engine="interpreted")
+            )
+            clear_plan_cache()
+            compiles_before = (
+                registry.counter("span.query.compile.calls").value
+                if is_enabled() else None
+            )
+            cold_ms = _best_of(
+                lambda: evaluate(plan, sql, engine="compiled"), repeats=1
+            )
+            warm_ms = _best_of(
+                lambda: evaluate(plan, sql, engine="compiled")
+            )
+            if is_enabled():
+                compiled_count = (
+                    registry.counter("span.query.compile.calls").value
+                    - compiles_before
+                )
+                assert compiled_count == 1, (
+                    f"warm cache recompiled: {compiled_count} compilations"
+                )
+            stats = plan_cache_stats()
+            assert stats["hits"] >= 3, stats  # warm runs were cache hits
+            assert _canon(evaluate(plan, sql, engine="compiled")) == _canon(
+                evaluate(plan, sql, engine="interpreted")
+            ), f"engines disagree on {label} at {people}"
+            speedup = interpreted_ms / warm_ms if warm_ms else float("inf")
+            if label == "unfold-extent" and people == max(SIZES):
+                acceptance = speedup
+            rows.append([
+                people, label, f"{interpreted_ms:.2f} ms",
+                f"{cold_ms:.2f} ms", f"{warm_ms:.2f} ms",
+                f"{speedup:.1f}x",
+            ])
+    _, extent = queries[0]
+    sql = _scaled_sql(SIZES[0])
+    benchmark(evaluate, extent, sql, engine="compiled")
+    print_table(
+        "Query executor: view unfolding, compiled vs interpreted "
+        f"({SIZES[0]}-{SIZES[-1]} persons)",
+        ["persons", "query", "interpreted", "compiled cold",
+         "compiled warm", "speedup (warm)"],
+        rows,
+    )
+    if acceptance is not None and max(SIZES) >= 4000:
+        assert acceptance >= ACCEPTANCE_SPEEDUP, (
+            f"compiled/interpreted speedup {acceptance:.1f}x below the "
+            f"{ACCEPTANCE_SPEEDUP}x acceptance bar"
+        )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_query.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    import sys
+
+    from harness import run_standalone
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if "--smoke" in argv:
+        # CI sanity: smallest size only, parity asserts still run.
+        global SIZES
+        SIZES = (250,)
+    return run_standalone("query", [test_query_executor_report], argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

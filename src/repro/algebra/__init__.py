@@ -59,8 +59,24 @@ from repro.algebra.expressions import (
     Sort,
     project_names,
     eq_join,
+    ValueJoinEq,
 )
-from repro.algebra.evaluator import evaluate, EvalContext
+from repro.algebra.evaluator import (
+    ENGINES,
+    EvalContext,
+    evaluate,
+    evaluate_interpreted,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.algebra.compiler import CompiledPlan, compile_plan
+from repro.algebra.plan_cache import (
+    GLOBAL_PLAN_CACHE,
+    PlanCache,
+    cached_plan,
+    clear_plan_cache,
+    plan_cache_stats,
+)
 from repro.algebra.printer import to_text
 from repro.algebra.sql import to_sql
 from repro.algebra.optimizer import optimize
@@ -72,6 +88,10 @@ __all__ = [
     "conjunction",
     "RelExpr", "Scan", "EntityScan", "Values", "Select", "Project",
     "Extend", "Join", "UnionAll", "Difference", "Distinct", "Rename",
-    "Aggregate", "Sort", "project_names", "eq_join",
-    "evaluate", "EvalContext", "to_text", "to_sql", "optimize",
+    "Aggregate", "Sort", "project_names", "eq_join", "ValueJoinEq",
+    "evaluate", "evaluate_interpreted", "EvalContext", "ENGINES",
+    "get_default_engine", "set_default_engine",
+    "CompiledPlan", "compile_plan", "PlanCache", "GLOBAL_PLAN_CACHE",
+    "cached_plan", "clear_plan_cache", "plan_cache_stats",
+    "to_text", "to_sql", "optimize",
 ]

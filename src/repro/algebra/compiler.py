@@ -1,0 +1,1392 @@
+"""Compiling plan executor for the mapping runtime.
+
+The interpreter in :mod:`repro.algebra.evaluator` re-walks the
+expression tree for every operator and re-dispatches every scalar AST
+node for every row.  This module compiles a :class:`RelExpr` **once**
+into a pipeline of batch closures:
+
+* scalar predicates/projections are lowered to closures built a single
+  time per plan — no per-row ``isinstance``/``_OPS`` dispatch;
+* every operator is a list→list stage driven by comprehensions — no
+  per-row generator frames, no per-operator row re-copying;
+* joins with extractable equality pairs become hash joins (and
+  *semi-joins* when the right side provably contributes no columns),
+  Distinct/Difference/Aggregate are hash-based;
+* static column inference (:func:`_static_cols`) licenses tuple keys
+  for Distinct/Difference, precomputed merge/pad layouts for joins and
+  unions, and projection pushdown through unions;
+* projections of constants and column moves copy one precomputed
+  template dict per row; identity projections over dynamically-shaped
+  inputs pass exactly-shaped rows through untouched;
+* subtrees referenced from several parents — view unfolding splices
+  the same definition object in at every scan site — compile to one
+  stage memoized per execution (:func:`_shared_subtrees`);
+* row construction is batched at the plan boundary: scans *borrow* the
+  instance's stored row dicts, and a copy is made only where a row
+  escapes the pipeline un-rebuilt (the interpreter copies every scan
+  row up front).
+
+Compiled plans are immutable and reentrant: all per-run state lives in
+the locals of one :meth:`CompiledPlan.execute` call, so one plan can be
+cached (see :mod:`repro.algebra.plan_cache`) and executed against many
+instances, the compile-once/run-many shape of a serving stack.
+Semantics are bit-for-bit those of the interpreter — the differential
+suite in ``tests/test_query_compiler.py`` holds the two engines to
+identical row multisets.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Callable, Iterable, Optional
+
+from repro.algebra import expressions as E
+from repro.algebra import scalars as S
+from repro.errors import EvaluationError
+from repro.instances.database import Instance, Row, freeze_row, hashable_key
+from repro.instances.labeled_null import LabeledNull
+from repro.metamodel.schema import Schema
+from repro.observability.metrics import registry
+from repro.observability.state import STATE
+from repro.observability.tracing import tracer
+
+
+# ----------------------------------------------------------------------
+# shared execution helpers (the interpreter imports these too)
+# ----------------------------------------------------------------------
+def join_key_value(value):
+    """Join keys for null-*rejecting* equality (``_JoinEq``): ``None``
+    never matches; labeled nulls match by label."""
+    if value is None:
+        return None
+    if isinstance(value, LabeledNull):
+        return ("⊥", value.label)
+    return value
+
+
+def equality_pairs(predicate) -> Optional[list[tuple[str, str, bool]]]:
+    """``(left_col, right_col, null_tolerant)`` triples if ``predicate``
+    is a pure conjunction of ``_JoinEq``/``ValueJoinEq`` atoms — the
+    condition for the hash-join fast path.  ``TRUE`` yields ``[]``
+    (cross join); anything else yields ``None`` (nested loop)."""
+    if predicate is S.TRUE:
+        return []
+    if isinstance(predicate, E._JoinEq):
+        return [(predicate.left_col, predicate.right_col, False)]
+    if isinstance(predicate, E.ValueJoinEq):
+        return [(predicate.left_col, predicate.right_col, True)]
+    if isinstance(predicate, S.And):
+        pairs: list[tuple[str, str, bool]] = []
+        for operand in predicate.operands:
+            if isinstance(operand, E._JoinEq):
+                pairs.append((operand.left_col, operand.right_col, False))
+            elif isinstance(operand, E.ValueJoinEq):
+                pairs.append((operand.left_col, operand.right_col, True))
+            else:
+                return None
+        return pairs
+    return None
+
+
+class SortKey:
+    """Total order over heterogeneous values: nulls last, then by type
+    name, then by value (string fallback for incomparables)."""
+
+    __slots__ = ("rank", "type_name", "value")
+
+    def __init__(self, value):
+        if value is None or isinstance(value, LabeledNull):
+            self.rank = 1
+            self.type_name = ""
+            self.value = repr(value)
+        else:
+            self.rank = 0
+            self.type_name = type(value).__name__
+            self.value = value
+
+    def __lt__(self, other: "SortKey") -> bool:
+        if self.rank != other.rank:
+            return self.rank < other.rank
+        if self.type_name != other.type_name:
+            return self.type_name < other.type_name
+        try:
+            return self.value < other.value
+        except TypeError:
+            return str(self.value) < str(other.value)
+
+
+def merge_rows(l_row: Row, r_row: Row, right_prefix: Optional[str]) -> Row:
+    """Join output row: left wins on collisions unless a prefix exposes
+    the right side's copy."""
+    merged = dict(l_row)
+    for key, value in r_row.items():
+        if key in merged:
+            if right_prefix:
+                merged[f"{right_prefix}.{key}"] = value
+        else:
+            merged[key] = value
+    return merged
+
+
+# ----------------------------------------------------------------------
+# scalar lowering
+# ----------------------------------------------------------------------
+ScalarFn = Callable[[Row, object], object]
+
+
+def compile_scalar(scalar: S.Scalar) -> ScalarFn:
+    """Lower a scalar AST to one closure ``f(row, ctx) -> value``.
+
+    All dispatch happens here, once per plan; unknown scalar classes
+    fall back to their own bound ``eval`` (which has the same
+    signature), so user-defined predicates keep working.
+    """
+    if isinstance(scalar, S.Col):
+        name = scalar.name
+
+        def run_col(row, ctx):
+            try:
+                return row[name]
+            except KeyError:
+                raise EvaluationError(
+                    f"row has no column {name!r}: {sorted(row)}"
+                ) from None
+
+        return run_col
+
+    if isinstance(scalar, (S.Lit, S._Bool)):
+        value = scalar.value
+        return lambda row, ctx: value
+
+    if isinstance(scalar, S.Comparison):
+        return _compile_comparison(scalar)
+
+    if isinstance(scalar, S.And):
+        operands = tuple(compile_scalar(p) for p in scalar.operands)
+
+        def run_and(row, ctx):
+            for operand in operands:
+                if not operand(row, ctx):
+                    return False
+            return True
+
+        return run_and
+
+    if isinstance(scalar, S.Or):
+        operands = tuple(compile_scalar(p) for p in scalar.operands)
+
+        def run_or(row, ctx):
+            for operand in operands:
+                if operand(row, ctx):
+                    return True
+            return False
+
+        return run_or
+
+    if isinstance(scalar, S.Not):
+        operand = compile_scalar(scalar.operand)
+        return lambda row, ctx: not operand(row, ctx)
+
+    if isinstance(scalar, S.IsNull):
+        operand = compile_scalar(scalar.operand)
+        if scalar.negated:
+            return lambda row, ctx: not (
+                (v := operand(row, ctx)) is None or isinstance(v, LabeledNull)
+            )
+        return lambda row, ctx: (
+            (v := operand(row, ctx)) is None or isinstance(v, LabeledNull)
+        )
+
+    if isinstance(scalar, S.In):
+        operand = compile_scalar(scalar.operand)
+        values = scalar.values
+
+        def run_in(row, ctx):
+            value = operand(row, ctx)
+            if value is None:
+                return False
+            return value in values
+
+        return run_in
+
+    if isinstance(scalar, S.IsOf):
+        return _compile_is_of(scalar)
+
+    if isinstance(scalar, S.Arith):
+        op = S.Arith._OPS[scalar.op]
+        left = compile_scalar(scalar.left)
+        right = compile_scalar(scalar.right)
+
+        def run_arith(row, ctx):
+            lhs = left(row, ctx)
+            rhs = right(row, ctx)
+            if lhs is None or rhs is None or isinstance(
+                lhs, LabeledNull
+            ) or isinstance(rhs, LabeledNull):
+                return None
+            return op(lhs, rhs)
+
+        return run_arith
+
+    if isinstance(scalar, S.Func):
+        args = tuple(compile_scalar(a) for a in scalar.args)
+        fn = scalar.fn
+        if scalar.null_tolerant:
+            return lambda row, ctx: fn(*(a(row, ctx) for a in args))
+
+        def run_func(row, ctx):
+            values = [a(row, ctx) for a in args]
+            for value in values:
+                if value is None or isinstance(value, LabeledNull):
+                    return None
+            return fn(*values)
+
+        return run_func
+
+    if isinstance(scalar, S.Case):
+        whens = tuple(
+            (compile_scalar(p), compile_scalar(v)) for p, v in scalar.whens
+        )
+        default = compile_scalar(scalar.default)
+
+        def run_case(row, ctx):
+            for predicate, value in whens:
+                if predicate(row, ctx):
+                    return value(row, ctx)
+            return default(row, ctx)
+
+        return run_case
+
+    # Unknown scalar class (e.g. the CQ translation's guards, or user
+    # extensions): its own eval already has the (row, ctx) signature.
+    return scalar.eval
+
+
+def _compile_comparison(scalar: S.Comparison) -> ScalarFn:
+    left = compile_scalar(scalar.left)
+    right = compile_scalar(scalar.right)
+    op = scalar.op
+
+    if op == "=":
+
+        def run_eq(row, ctx):
+            lhs = left(row, ctx)
+            rhs = right(row, ctx)
+            if isinstance(lhs, LabeledNull) or isinstance(rhs, LabeledNull):
+                return lhs == rhs
+            if lhs is None or rhs is None:
+                return False
+            return bool(lhs == rhs)
+
+        return run_eq
+
+    if op == "!=":
+
+        def run_ne(row, ctx):
+            lhs = left(row, ctx)
+            rhs = right(row, ctx)
+            if isinstance(lhs, LabeledNull) or isinstance(rhs, LabeledNull):
+                return lhs != rhs
+            if lhs is None or rhs is None:
+                return False
+            return bool(lhs != rhs)
+
+        return run_ne
+
+    op_fn = S.Comparison._OPS[op]
+
+    def run_ordered(row, ctx):
+        lhs = left(row, ctx)
+        rhs = right(row, ctx)
+        if isinstance(lhs, LabeledNull) or isinstance(rhs, LabeledNull):
+            return False
+        if lhs is None or rhs is None:
+            return False
+        try:
+            return bool(op_fn(lhs, rhs))
+        except TypeError:
+            return False  # cross-type comparison is unknown
+
+    return run_ordered
+
+
+def _compile_is_of(scalar: S.IsOf) -> ScalarFn:
+    from repro.instances.database import TYPE_FIELD
+
+    entity = scalar.entity
+    only = scalar.only
+
+    def run_is_of(row, ctx):
+        actual = row.get(TYPE_FIELD)
+        if actual is None:
+            return False
+        if only or ctx is None or ctx.schema is None:
+            return actual == entity
+        schema = ctx.schema
+        if actual not in schema.entities or entity not in schema.entities:
+            return actual == entity
+        return schema.entity(str(actual)).is_subtype_of(schema.entity(entity))
+
+    return run_is_of
+
+
+# ----------------------------------------------------------------------
+# static column inference
+# ----------------------------------------------------------------------
+def _static_cols(expr: E.RelExpr) -> Optional[tuple[str, ...]]:
+    """The exact, ordered column tuple of *every* row ``expr`` produces,
+    when statically known — the license for tuple-keyed hashing,
+    semi-joins and precomputed union padding.  ``None`` when rows may
+    be heterogeneous (scans, entity scans, mixed-shape Values)."""
+    if isinstance(expr, E.Project):
+        return expr.output_names
+    if isinstance(expr, E.Aggregate):
+        return tuple(expr.group_by) + tuple(
+            name for name, _, _ in expr.aggregations
+        )
+    if isinstance(expr, (E.Select, E.Distinct, E.Sort)):
+        return _static_cols(expr.inputs()[0])
+    if isinstance(expr, E.Difference):
+        return _static_cols(expr.left)
+    if isinstance(expr, E.Extend):
+        cols = _static_cols(expr.input)
+        if cols is None:
+            return None
+        return cols if expr.name in cols else cols + (expr.name,)
+    if isinstance(expr, E.Rename):
+        cols = _static_cols(expr.input)
+        if cols is None:
+            return None
+        renamed = tuple(expr.mapping.get(c, c) for c in cols)
+        # A rename that collapses two columns makes the shape dynamic.
+        return renamed if len(set(renamed)) == len(renamed) else None
+    if isinstance(expr, E.UnionAll):
+        l_cols = _static_cols(expr.left)
+        r_cols = _static_cols(expr.right)
+        if l_cols is None or r_cols is None:
+            return None
+        return l_cols + tuple(c for c in r_cols if c not in l_cols)
+    if isinstance(expr, E.Values):
+        rows = expr.rows
+        if not rows:
+            return None
+        first = tuple(rows[0])
+        if all(tuple(r) == first for r in rows[1:]):
+            return first
+        return None
+    if isinstance(expr, E.Join):
+        if expr.kind == "left":
+            # An empty right side pads nothing, so the shape depends on
+            # the data — see the interpreter's `_pad_left` behavior.
+            return None
+        l_cols = _static_cols(expr.left)
+        r_cols = _static_cols(expr.right)
+        if l_cols is None or r_cols is None:
+            return None
+        out = list(l_cols)
+        for c in r_cols:
+            if c in l_cols:
+                if expr.right_prefix:
+                    out.append(f"{expr.right_prefix}.{c}")
+            else:
+                out.append(c)
+        return tuple(out) if len(set(out)) == len(out) else None
+    return None  # Scan / EntityScan / unknown nodes
+
+
+# ----------------------------------------------------------------------
+# relational lowering
+# ----------------------------------------------------------------------
+class _Run:
+    """Per-execution context a compiled pipeline threads through its
+    scalar closures (duck-compatible with the interpreter's
+    ``EvalContext``: exposes ``schema`` and ``instance``).  ``memo``
+    holds the per-execution results of common subexpressions the
+    compiler detected (see :func:`_shared_subtrees`)."""
+
+    __slots__ = ("instance", "schema", "memo")
+
+    def __init__(self, instance: Instance, schema: Optional[Schema]):
+        self.instance = instance
+        self.schema = schema
+        self.memo: dict = {}
+
+
+_EMPTY: tuple = ()
+
+#: Sentinel for "this row can never match" join keys (a null under a
+#: null-rejecting pair).  Never inserted into an index.
+_NOMATCH = object()
+
+#: (run(ctx) -> list of rows, rows_owned_by_pipeline)
+_Compiled = tuple[Callable[[_Run], list], bool]
+
+
+def _shared_subtrees(expr: E.RelExpr) -> dict[int, int]:
+    """``id(node) -> memo slot`` for every subtree referenced from more
+    than one parent.  View unfolding splices the *same* definition
+    object in at every scan site (see ``unfold_scans``), so identity is
+    exactly the sharing the plan's DAG structure records; compiling
+    each shared subtree to one memoized stage makes it run once per
+    execution instead of once per reference."""
+    counts: dict[int, int] = {}
+    nodes: dict[int, E.RelExpr] = {}
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        key = id(node)
+        seen = counts.get(key, 0)
+        counts[key] = seen + 1
+        if not seen:
+            nodes[key] = node
+            stack.extend(node.inputs())
+    return {
+        key: slot
+        for slot, key in enumerate(
+            key
+            for key, count in counts.items()
+            if count > 1
+            # Sharing a source stage saves nothing — it is already O(1).
+            and not isinstance(nodes[key], (E.Scan, E.EntityScan, E.Values))
+        )
+    }
+
+
+class _CSE:
+    """Compile-time state for common-subexpression elimination: the
+    shared-subtree slot map plus the stages already compiled for them
+    (so both referencing parents get the *same* memoizing closure)."""
+
+    __slots__ = ("shared", "compiled")
+
+    def __init__(self, shared: dict[int, int]):
+        self.shared = shared
+        self.compiled: dict[int, _Compiled] = {}
+
+
+#: Active CSE state during one ``CompiledPlan`` construction.  Plans
+#: are compiled eagerly and synchronously, so a plain module slot is
+#: safe as long as it is saved/restored re-entrantly (see
+#: ``CompiledPlan.__init__``).
+_cse_state: Optional[_CSE] = None
+
+
+def _compile(expr: E.RelExpr) -> _Compiled:
+    """Compile ``expr``, routing shared subtrees through a per-execution
+    memo so each runs once per :class:`_Run` regardless of how many
+    parents reference it."""
+    cse = _cse_state
+    if cse is None:
+        return _compile_node(expr)
+    slot = cse.shared.get(id(expr))
+    if slot is None:
+        return _compile_node(expr)
+    cached = cse.compiled.get(id(expr))
+    if cached is None:
+        run, _ = _compile_node(expr)
+
+        def run_shared(ctx, _run=run, _slot=slot):
+            memo = ctx.memo
+            rows = memo.get(_slot)
+            if rows is None:
+                rows = memo[_slot] = _run(ctx)
+            return rows
+
+        # Memoized rows are handed to several consumers, so none of
+        # them may mutate or sort them in place: report "borrowed".
+        cached = cse.compiled[id(expr)] = (run_shared, False)
+    return cached
+
+
+def _compile_node(expr: E.RelExpr) -> _Compiled:
+    if isinstance(expr, E.Scan):
+        relation = expr.relation
+
+        def run_scan(ctx):
+            return ctx.instance.relations.get(relation, _EMPTY)
+
+        return run_scan, False
+
+    if isinstance(expr, E.EntityScan):
+        entity = expr.entity
+        only = expr.only
+
+        def run_entity_scan(ctx):
+            if ctx.schema is None:
+                raise EvaluationError("EntityScan requires a schema")
+            return ctx.instance.objects_of(entity, strict=only, schema=ctx.schema)
+
+        return run_entity_scan, False
+
+    if isinstance(expr, E.Values):
+        rows = expr.rows
+        return (lambda ctx: rows), False
+
+    if isinstance(expr, E.Select):
+        inner, owned = _compile(expr.input)
+        predicate = compile_scalar(expr.predicate)
+
+        def run_select(ctx):
+            return [row for row in inner(ctx) if predicate(row, ctx)]
+
+        return run_select, owned
+
+    if isinstance(expr, E.Project):
+        return _compile_project(expr)
+
+    if isinstance(expr, E.Extend):
+        inner, owned = _compile(expr.input)
+        name = expr.name
+        scalar = compile_scalar(expr.scalar)
+        if owned:
+
+            def run_extend_inplace(ctx):
+                rows = inner(ctx)
+                for row in rows:
+                    row[name] = scalar(row, ctx)
+                return rows
+
+            return run_extend_inplace, True
+
+        def run_extend(ctx):
+            out = []
+            for row in inner(ctx):
+                extended = dict(row)
+                extended[name] = scalar(row, ctx)
+                out.append(extended)
+            return out
+
+        return run_extend, True
+
+    if isinstance(expr, E.Rename):
+        inner, _ = _compile(expr.input)
+        mapping = expr.mapping
+
+        def run_rename(ctx):
+            return [
+                {mapping.get(k, k): v for k, v in row.items()}
+                for row in inner(ctx)
+            ]
+
+        return run_rename, True
+
+    if isinstance(expr, E.Join):
+        return _compile_join(expr)
+
+    if isinstance(expr, E.UnionAll):
+        return _compile_union(expr)
+
+    if isinstance(expr, E.Difference):
+        return _compile_difference(expr)
+
+    if isinstance(expr, E.Distinct):
+        inner, owned = _compile(expr.input)
+        cols = _static_cols(expr.input)
+        if cols:
+            getter = itemgetter(*cols)
+
+            def run_distinct_fast(ctx):
+                rows = inner(ctx)
+                try:
+                    seen = set()
+                    add = seen.add
+                    out = []
+                    append = out.append
+                    for row in rows:
+                        key = getter(row)
+                        if key not in seen:
+                            add(key)
+                            append(row)
+                    return out
+                except TypeError:  # unhashable value → frozen-row path
+                    return _distinct_frozen(rows)
+
+            return run_distinct_fast, owned
+
+        def run_distinct(ctx):
+            return _distinct_frozen(inner(ctx))
+
+        return run_distinct, owned
+
+    if isinstance(expr, E.Aggregate):
+        return _compile_aggregate(expr)
+
+    if isinstance(expr, E.Sort):
+        inner, owned = _compile(expr.input)
+        keys = expr.keys
+
+        def run_sort(ctx):
+            rows = inner(ctx)
+            # Source stages hand back borrowed lists — never sort those
+            # in place.
+            rows = rows if owned else list(rows)
+            for key in reversed(keys):
+                descending = key.startswith("-")
+                column = key[1:] if descending else key
+                rows.sort(
+                    key=lambda r: SortKey(r.get(column)), reverse=descending
+                )
+            return rows
+
+        return run_sort, owned
+
+    raise EvaluationError(f"unknown expression node {type(expr).__name__}")
+
+
+def _distinct_frozen(rows) -> list:
+    seen: set[frozenset] = set()
+    out = []
+    for row in rows:
+        frozen = freeze_row(row)
+        if frozen not in seen:
+            seen.add(frozen)
+            out.append(row)
+    return out
+
+
+# ----------------------------------------------------------------------
+# projection
+# ----------------------------------------------------------------------
+def _compile_project(expr: E.Project) -> _Compiled:
+    pushed = _push_project_through_union(expr)
+    if pushed is not None:
+        return _compile(pushed)
+
+    inner, _ = _compile(expr.input)
+    in_cols = _static_cols(expr.input)
+
+    if all(isinstance(s, S.Col) for _, s in expr.outputs):
+        pairs = tuple((name, s.name) for name, s in expr.outputs)
+        if in_cols is not None:
+            missing = next(
+                (src for _, src in pairs if src not in in_cols), None
+            )
+            if missing is None:
+                # Every source column is statically present — no
+                # KeyError possible, drop the guard entirely.
+                def run_project_static(ctx):
+                    return [
+                        {name: row[src] for name, src in pairs}
+                        for row in inner(ctx)
+                    ]
+
+                return run_project_static, True
+
+            def run_project_missing(ctx):
+                rows = inner(ctx)
+                if not rows:
+                    return []
+                raise EvaluationError(
+                    f"row has no column {missing!r}: {sorted(in_cols)}"
+                )
+
+            return run_project_missing, True
+
+        names = tuple(name for name, _ in pairs)
+        if names == tuple(src for _, src in pairs):
+            # Identity projection over a dynamically-shaped input: a row
+            # whose key tuple already matches passes through untouched
+            # (a scan of an exactly-shaped table pays one tuple compare
+            # per row instead of a dict build); others are rebuilt.
+            # Passed-through rows may alias storage, hence "borrowed".
+            def run_project_identity(ctx):
+                rows = inner(ctx)
+                try:
+                    return [
+                        row
+                        if tuple(row) == names
+                        else {name: row[src] for name, src in pairs}
+                        for row in rows
+                    ]
+                except KeyError:
+                    _raise_missing_column(rows, pairs)
+                    raise
+
+            return run_project_identity, False
+
+        def run_project_cols(ctx):
+            rows = inner(ctx)
+            try:
+                return [
+                    {name: row[src] for name, src in pairs} for row in rows
+                ]
+            except KeyError:
+                _raise_missing_column(rows, pairs)
+                raise
+
+        return run_project_cols, True
+
+    if all(isinstance(s, (S.Col, S.Lit)) for _, s in expr.outputs):
+        # Constants and column moves only: start every output row as a
+        # copy of one precomputed template dict (constants filled in,
+        # output order fixed) and assign the column values — no scalar
+        # closure calls at all.
+        template = {
+            name: (scalar.value if isinstance(scalar, S.Lit) else None)
+            for name, scalar in expr.outputs
+        }
+        col_pairs = tuple(
+            (name, scalar.name)
+            for name, scalar in expr.outputs
+            if isinstance(scalar, S.Col)
+        )
+        if in_cols is not None:
+            missing = next(
+                (src for _, src in col_pairs if src not in in_cols), None
+            )
+            if missing is None:
+
+                def run_project_template(ctx):
+                    out = []
+                    append = out.append
+                    for row in inner(ctx):
+                        built = dict(template)
+                        for name, src in col_pairs:
+                            built[name] = row[src]
+                        append(built)
+                    return out
+
+                return run_project_template, True
+
+            def run_project_template_missing(ctx):
+                rows = inner(ctx)
+                if not rows:
+                    return []
+                raise EvaluationError(
+                    f"row has no column {missing!r}: {sorted(in_cols)}"
+                )
+
+            return run_project_template_missing, True
+
+        def run_project_template_guarded(ctx):
+            rows = inner(ctx)
+            try:
+                out = []
+                append = out.append
+                for row in rows:
+                    built = dict(template)
+                    for name, src in col_pairs:
+                        built[name] = row[src]
+                    append(built)
+                return out
+            except KeyError:
+                _raise_missing_column(rows, col_pairs)
+                raise
+
+        return run_project_template_guarded, True
+
+    outputs = tuple(
+        (name, compile_scalar(scalar)) for name, scalar in expr.outputs
+    )
+
+    def run_project(ctx):
+        return [
+            {name: fn(row, ctx) for name, fn in outputs}
+            for row in inner(ctx)
+        ]
+
+    return run_project, True
+
+
+def _raise_missing_column(rows, pairs) -> None:
+    """Turn a batched projection's ``KeyError`` into the interpreter's
+    ``EvaluationError`` by re-scanning for the offending column; returns
+    (for the caller's re-``raise``) if no row is actually missing one."""
+    for row in rows:
+        for _, src in pairs:
+            if src not in row:
+                raise EvaluationError(
+                    f"row has no column {src!r}: {sorted(row)}"
+                ) from None
+
+
+def _push_project_through_union(expr: E.Project) -> Optional[E.RelExpr]:
+    """Rewrite ``π[cols](A ∪ B ∪ …)`` into ``π[cols](A) ∪ π[cols](B) ∪
+    …`` when every branch's shape is statically known and carries every
+    projected column — the pad-and-rebuild work of the union vanishes
+    and the concatenation becomes O(1) per branch.
+
+    Only applied when no column is missing from any branch, so the
+    rewrite can never change which rows raise or how absent columns
+    pad."""
+    if not isinstance(expr.input, E.UnionAll):
+        return None
+    if not all(isinstance(s, S.Col) for _, s in expr.outputs):
+        return None
+    branches: list[E.RelExpr] = []
+
+    def flatten(node: E.RelExpr) -> None:
+        if isinstance(node, E.UnionAll):
+            flatten(node.left)
+            flatten(node.right)
+        else:
+            branches.append(node)
+
+    flatten(expr.input)
+    cols_per_branch = [_static_cols(b) for b in branches]
+    if any(cols is None for cols in cols_per_branch):
+        return None
+    for _, scalar in expr.outputs:
+        if any(scalar.name not in cols for cols in cols_per_branch):
+            return None
+    rebuilt: Optional[E.RelExpr] = None
+    for branch in branches:
+        projected = E.Project(branch, expr.outputs)
+        rebuilt = (
+            projected if rebuilt is None else E.UnionAll(rebuilt, projected)
+        )
+    return rebuilt
+
+
+# ----------------------------------------------------------------------
+# union / difference
+# ----------------------------------------------------------------------
+def _compile_union(expr: E.UnionAll) -> _Compiled:
+    left, l_owned = _compile(expr.left)
+    right, r_owned = _compile(expr.right)
+    l_cols = _static_cols(expr.left)
+    r_cols = _static_cols(expr.right)
+
+    if l_cols is not None and r_cols is not None:
+        if l_cols == r_cols:
+
+            def run_union_concat(ctx):
+                # splat, not +: source stages may hand back tuples
+                return [*left(ctx), *right(ctx)]
+
+            return run_union_concat, l_owned and r_owned
+
+        merged = l_cols + tuple(c for c in r_cols if c not in l_cols)
+        left_missing = tuple(c for c in merged if c not in l_cols)
+
+        def run_union_static(ctx):
+            left_rows = left(ctx)
+            right_rows = right(ctx)
+            # Column discovery is over actual rows (interpreter parity):
+            # an empty side contributes no columns, so the other side
+            # passes through unpadded.
+            if not right_rows:
+                return list(left_rows)
+            if not left_rows:
+                return list(right_rows)
+            out = []
+            append = out.append
+            if left_missing:
+                for row in left_rows:
+                    padded = dict(row)
+                    for c in left_missing:
+                        padded[c] = None
+                    append(padded)
+            else:
+                out = list(left_rows)
+                append = out.append
+            for row in right_rows:
+                append({c: row.get(c) for c in merged})
+            return out
+
+        # An empty side hands the other through unchanged, so ownership
+        # must be the conservative conjunction.
+        return run_union_static, l_owned and r_owned
+
+    def run_union(ctx):
+        left_rows = left(ctx)
+        right_rows = right(ctx)
+        columns: dict[str, None] = {}
+        for row in left_rows:
+            for key in row:
+                if key not in columns:
+                    columns[key] = None
+        for row in right_rows:
+            for key in row:
+                if key not in columns:
+                    columns[key] = None
+        out = [{c: row.get(c) for c in columns} for row in left_rows]
+        out.extend({c: row.get(c) for c in columns} for row in right_rows)
+        return out
+
+    return run_union, True
+
+
+def _compile_difference(expr: E.Difference) -> _Compiled:
+    left, owned = _compile(expr.left)
+    right, _ = _compile(expr.right)
+    l_cols = _static_cols(expr.left)
+    r_cols = _static_cols(expr.right)
+
+    if l_cols and r_cols and set(l_cols) == set(r_cols):
+        # Same column set on both sides: dict equality ⇔ value-tuple
+        # equality in a fixed column order.
+        getter = itemgetter(*l_cols)
+
+        def run_difference_fast(ctx):
+            left_rows = left(ctx)
+            right_rows = right(ctx)
+            try:
+                excluded = {getter(r) for r in right_rows}
+                seen = set()
+                add = seen.add
+                out = []
+                for row in left_rows:
+                    key = getter(row)
+                    if key not in excluded and key not in seen:
+                        add(key)
+                        out.append(row)
+                return out
+            except TypeError:  # unhashable value → frozen-row path
+                return _difference_frozen(left_rows, right_rows)
+
+        return run_difference_fast, owned
+
+    def run_difference(ctx):
+        return _difference_frozen(left(ctx), right(ctx))
+
+    return run_difference, owned
+
+
+def _difference_frozen(left_rows, right_rows) -> list:
+    excluded = {freeze_row(r) for r in right_rows}
+    seen: set[frozenset] = set()
+    out = []
+    for row in left_rows:
+        frozen = freeze_row(row)
+        if frozen not in excluded and frozen not in seen:
+            seen.add(frozen)
+            out.append(row)
+    return out
+
+
+# ----------------------------------------------------------------------
+# joins
+# ----------------------------------------------------------------------
+def _make_join_keyer(columns: tuple[str, ...], tolerant: tuple[bool, ...]):
+    """One closure ``row -> hashable key | _NOMATCH`` per join side.
+    ``_NOMATCH`` marks a null under a null-rejecting pair — the row can
+    never match and is skipped on both build and probe."""
+    if len(columns) == 1:
+        column = columns[0]
+        if tolerant[0]:
+            return lambda row: hashable_key(row.get(column))
+
+        def strict_single(row):
+            value = row.get(column)
+            if value is None:
+                return _NOMATCH
+            if isinstance(value, LabeledNull):
+                return ("⊥", value.label)
+            return value
+
+        return strict_single
+
+    keyers = tuple(hashable_key if t else join_key_value for t in tolerant)
+    strict_at = tuple(i for i, t in enumerate(tolerant) if not t)
+
+    def multi(row):
+        key = tuple(
+            keyer(row.get(c)) for keyer, c in zip(keyers, columns)
+        )
+        for i in strict_at:
+            if key[i] is None:
+                return _NOMATCH
+        return key
+
+    return multi
+
+
+def _compile_join(expr: E.Join) -> _Compiled:
+    left, l_owned = _compile(expr.left)
+    right, _ = _compile(expr.right)
+    kind = expr.kind
+    right_prefix = expr.right_prefix
+    pairs = equality_pairs(expr.predicate)
+    l_cols = _static_cols(expr.left)
+    r_cols = _static_cols(expr.right)
+
+    if pairs:
+        tolerant = tuple(t for _, _, t in pairs)
+        lkey = _make_join_keyer(tuple(lc for lc, _, _ in pairs), tolerant)
+        rkey = _make_join_keyer(tuple(rc for _, rc, _ in pairs), tolerant)
+        join_right_cols = {rc for _, rc, _ in pairs}
+
+        if (
+            kind == "inner"
+            and right_prefix is None
+            and l_cols is not None
+            and r_cols is not None
+            and set(r_cols) <= set(l_cols)
+            and set(r_cols) == join_right_cols
+            and isinstance(expr.right, (E.Distinct, E.Difference))
+        ):
+            # The right side contributes no columns (all collide, left
+            # wins) and is set-valued over exactly the join key, so
+            # every key matches at most one right row: the join is a
+            # pure *filter* on the left — no row construction at all.
+            if len(pairs) == 1 and not tolerant[0]:
+                lc, rc, _ = pairs[0]
+
+                def run_semi_join_single(ctx):
+                    # Build over raw values (the right shape guarantees
+                    # the column).  Only labeled nulls and tuples need
+                    # the canonical ("⊥", label) wrapping to hash like
+                    # the interpreter — detect them once over the
+                    # distinct keys and fall back to the keyers.
+                    keys = {r_row[rc] for r_row in right(ctx)}
+                    keys.discard(None)
+                    if any(
+                        isinstance(k, (LabeledNull, tuple)) for k in keys
+                    ):
+                        keys = {
+                            ("⊥", k.label)
+                            if isinstance(k, LabeledNull)
+                            else k
+                            for k in keys
+                        }
+                        return [
+                            row for row in left(ctx) if lkey(row) in keys
+                        ]
+                    return [
+                        row for row in left(ctx) if row.get(lc) in keys
+                    ]
+
+                return run_semi_join_single, l_owned
+
+            def run_semi_join(ctx):
+                keys = set()
+                add = keys.add
+                for r_row in right(ctx):
+                    key = rkey(r_row)
+                    if key is not _NOMATCH:
+                        add(key)
+                return [row for row in left(ctx) if lkey(row) in keys]
+
+            return run_semi_join, l_owned
+
+        if l_cols is not None and r_cols is not None:
+            l_set = set(l_cols)
+            # (output name, right source column) in right-column order —
+            # exactly what merge_rows would emit for these shapes.
+            actions = []
+            for c in r_cols:
+                if c in l_set:
+                    if right_prefix:
+                        actions.append((f"{right_prefix}.{c}", c))
+                else:
+                    actions.append((c, c))
+            actions = tuple(actions)
+            if right_prefix:
+                pad_names = tuple(f"{right_prefix}.{c}" for c in r_cols)
+            else:
+                pad_names = tuple(
+                    name for name, src in actions if name == src
+                )
+            is_left = kind == "left"
+
+            if len(pairs) == 1 and not tolerant[0]:
+                lc, rc, _ = pairs[0]
+
+                # Same loop as run_hash_join_static below, with the
+                # single null-rejecting keyer inlined — no per-row
+                # closure calls on either side.
+                def run_hash_join_static_single(ctx):
+                    right_rows = right(ctx)
+                    index: dict = {}
+                    setdefault = index.setdefault
+                    for r_row in right_rows:
+                        key = r_row.get(rc)
+                        if key is not None:
+                            if isinstance(key, LabeledNull):
+                                key = ("⊥", key.label)
+                            setdefault(key, []).append(r_row)
+                    get = index.get
+                    pad = pad_names if right_rows else _EMPTY
+                    out = []
+                    append = out.append
+                    for l_row in left(ctx):
+                        key = l_row.get(lc)
+                        if key is None:
+                            candidates = _EMPTY
+                        else:
+                            if isinstance(key, LabeledNull):
+                                key = ("⊥", key.label)
+                            candidates = get(key, _EMPTY)
+                        if candidates:
+                            for r_row in candidates:
+                                merged = dict(l_row)
+                                for name, src in actions:
+                                    merged[name] = r_row[src]
+                                append(merged)
+                        elif is_left:
+                            merged = dict(l_row)
+                            for name in pad:
+                                merged[name] = None
+                            append(merged)
+                    return out
+
+                return run_hash_join_static_single, True
+
+            def run_hash_join_static(ctx):
+                right_rows = right(ctx)
+                index: dict = {}
+                setdefault = index.setdefault
+                for r_row in right_rows:
+                    key = rkey(r_row)
+                    if key is not _NOMATCH:
+                        setdefault(key, []).append(r_row)
+                get = index.get
+                # Padding mirrors runtime column discovery: an empty
+                # right side pads nothing.
+                pad = pad_names if right_rows else _EMPTY
+                out = []
+                append = out.append
+                for l_row in left(ctx):
+                    candidates = get(lkey(l_row), _EMPTY)
+                    if candidates:
+                        for r_row in candidates:
+                            merged = dict(l_row)
+                            for name, src in actions:
+                                merged[name] = r_row[src]
+                            append(merged)
+                    elif is_left:
+                        merged = dict(l_row)
+                        for name in pad:
+                            merged[name] = None
+                        append(merged)
+                return out
+
+            return run_hash_join_static, True
+
+        def run_hash_join(ctx):
+            right_rows = right(ctx)
+            index: dict = {}
+            setdefault = index.setdefault
+            for r_row in right_rows:
+                key = rkey(r_row)
+                if key is not _NOMATCH:
+                    setdefault(key, []).append(r_row)
+            right_columns = _column_set(right_rows)
+            get = index.get
+            out = []
+            append = out.append
+            for l_row in left(ctx):
+                candidates = get(lkey(l_row), _EMPTY)
+                if candidates:
+                    for r_row in candidates:
+                        append(merge_rows(l_row, r_row, right_prefix))
+                elif kind == "left":
+                    append(_pad_left(l_row, right_columns, right_prefix))
+            return out
+
+        return run_hash_join, True
+
+    if pairs == []:  # TRUE predicate: cross join
+
+        def run_cross_join(ctx):
+            right_rows = right(ctx)
+            right_columns = _column_set(right_rows)
+            out = []
+            append = out.append
+            for l_row in left(ctx):
+                if right_rows:
+                    for r_row in right_rows:
+                        append(merge_rows(l_row, r_row, right_prefix))
+                elif kind == "left":
+                    append(_pad_left(l_row, right_columns, right_prefix))
+            return out
+
+        return run_cross_join, True
+
+    predicate = compile_scalar(expr.predicate)
+
+    def run_nested_join(ctx):
+        right_rows = right(ctx)
+        right_columns = _column_set(right_rows)
+        out = []
+        append = out.append
+        for l_row in left(ctx):
+            matched = False
+            for r_row in right_rows:
+                combined = dict(l_row)
+                for key, value in r_row.items():
+                    if key not in combined:
+                        combined[key] = value
+                for key, value in l_row.items():
+                    combined[f"$left.{key}"] = value
+                for key, value in r_row.items():
+                    combined[f"$right.{key}"] = value
+                if not predicate(combined, ctx):
+                    continue
+                matched = True
+                append(merge_rows(l_row, r_row, right_prefix))
+            if not matched and kind == "left":
+                append(_pad_left(l_row, right_columns, right_prefix))
+        return out
+
+    return run_nested_join, True
+
+
+def _column_set(rows) -> set[str]:
+    columns: set[str] = set()
+    for row in rows:
+        columns.update(row)
+    return columns
+
+
+def _pad_left(
+    l_row: Row, right_columns: set[str], right_prefix: Optional[str]
+) -> Row:
+    if right_prefix:
+        padding = {f"{right_prefix}.{c}": None for c in right_columns}
+    else:
+        padding = {c: None for c in right_columns if c not in l_row}
+    merged = dict(l_row)
+    merged.update(padding)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def _compile_aggregate(expr: E.Aggregate) -> _Compiled:
+    inner, _ = _compile(expr.input)
+    group_by = expr.group_by
+    aggregations = tuple(
+        (name, func, compile_scalar(scalar) if scalar is not None else None)
+        for name, func, scalar in expr.aggregations
+    )
+
+    def run_aggregate(ctx):
+        groups: dict[tuple, list[Row]] = {}
+        setdefault = groups.setdefault
+        for row in inner(ctx):
+            key = tuple(join_key_value(row.get(c)) for c in group_by)
+            setdefault(key, []).append(row)
+        if not groups and not group_by:
+            groups[()] = []
+        out = []
+        for members in groups.values():
+            result: Row = {}
+            for column in group_by:
+                result[column] = members[0].get(column) if members else None
+            for name, func, scalar in aggregations:
+                result[name] = _apply_aggregate(func, scalar, members, ctx)
+            out.append(result)
+        return out
+
+    return run_aggregate, True
+
+
+def _apply_aggregate(
+    func: str, scalar: Optional[ScalarFn], members: list[Row], ctx
+) -> object:
+    if func == "count" and scalar is None:
+        return len(members)
+    values = []
+    for row in members:
+        value = scalar(row, ctx) if scalar is not None else 1
+        if value is not None and not isinstance(value, LabeledNull):
+            values.append(value)
+    if func == "count":
+        return len(values)
+    if not values:
+        return None
+    if func == "sum":
+        return sum(values)
+    if func == "min":
+        return min(values)
+    if func == "max":
+        return max(values)
+    if func == "avg":
+        return sum(values) / len(values)
+    raise EvaluationError(f"unknown aggregate {func!r}")
+
+
+# ----------------------------------------------------------------------
+# compiled plans
+# ----------------------------------------------------------------------
+class CompiledPlan:
+    """An executable pipeline compiled from one :class:`RelExpr`.
+
+    Immutable and reentrant: every run's state lives in the locals of
+    that run's stage calls, so one plan serves arbitrarily many
+    concurrent executions over different instances.
+    """
+
+    __slots__ = ("expr", "fingerprint", "size", "_run", "_owned")
+
+    def __init__(self, expr: E.RelExpr, fingerprint: Optional[str] = None):
+        global _cse_state
+        self.expr = expr
+        self.fingerprint = fingerprint or expr.fingerprint()
+        self.size = expr.size()
+        shared = _shared_subtrees(expr)
+        if shared:
+            previous = _cse_state
+            _cse_state = _CSE(shared)
+            try:
+                self._run, self._owned = _compile(expr)
+            finally:
+                _cse_state = previous
+        else:
+            self._run, self._owned = _compile(expr)
+
+    def rows(
+        self, instance: Instance, schema: Optional[Schema] = None
+    ) -> Iterable[Row]:
+        """The plan's output rows, uncopied (borrowed rows may alias
+        instance storage — callers must not mutate them)."""
+        ctx = _Run(instance, schema if schema is not None else instance.schema)
+        return self._run(ctx)
+
+    def execute(
+        self, instance: Instance, schema: Optional[Schema] = None
+    ) -> list[Row]:
+        """Run against ``instance`` and return the result rows.
+
+        ``schema`` overrides the instance's bound schema for
+        ``EntityScan``/``IsOf``, exactly like the interpreter's
+        ``evaluate``.
+        """
+        if not STATE.enabled:
+            return self._materialize(instance, schema)
+        with tracer.span(
+            "query.execute",
+            engine="compiled",
+            plan=self.fingerprint[:12],
+            **{"plan.size": self.size},
+        ) as span:
+            rows = self._materialize(instance, schema)
+            if span is not None:
+                span.set_attribute("rows", len(rows))
+        registry.counter("query.execute.count").inc()
+        registry.histogram("query.execute.rows").observe(len(rows))
+        return rows
+
+    def _materialize(
+        self, instance: Instance, schema: Optional[Schema]
+    ) -> list[Row]:
+        ctx = _Run(instance, schema if schema is not None else instance.schema)
+        produced = self._run(ctx)
+        if self._owned:
+            return produced if isinstance(produced, list) else list(produced)
+        # Borrowed rows escape the pipeline here: copy once, at the
+        # boundary, instead of once per operator.
+        return [dict(row) for row in produced]
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledPlan {self.fingerprint[:12]} "
+            f"size={self.size}>"
+        )
+
+
+def compile_plan(
+    expr: E.RelExpr, fingerprint: Optional[str] = None
+) -> CompiledPlan:
+    """Compile ``expr`` into a :class:`CompiledPlan` (uncached — go
+    through :mod:`repro.algebra.plan_cache` for the memoized path)."""
+    if not STATE.enabled:
+        return CompiledPlan(expr, fingerprint)
+    with tracer.span("query.compile", **{"plan.size": expr.size()}) as span:
+        plan = CompiledPlan(expr, fingerprint)
+        if span is not None:
+            span.set_attribute("plan", plan.fingerprint[:12])
+    return plan

@@ -1,14 +1,25 @@
 """Evaluation of relational algebra expressions over instances.
 
 This is the query-execution half of the paper's "mapping runtime": the
-engine that actually runs generated transformations.  It is a
-straightforward iterator-free evaluator (materializes each operator's
-output), which is the right trade-off for a laptop-scale reproduction:
-simple, deterministic, easy to instrument for provenance.
+engine that actually runs generated transformations.  Two engines live
+behind :func:`evaluate`:
+
+* ``compiled`` (the default) — the closure-pipeline executor of
+  :mod:`repro.algebra.compiler`, memoized through the plan cache of
+  :mod:`repro.algebra.plan_cache`;
+* ``interpreted`` — the reference tree-walking interpreter in this
+  module: a straightforward evaluator that materializes each
+  operator's output.  Simple, deterministic, and the semantic oracle
+  the differential suite holds the compiler to.
+
+Select the engine per call (``evaluate(..., engine="interpreted")``),
+process-wide (:func:`set_default_engine`), or via the
+``REPRO_QUERY_ENGINE`` environment variable.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -32,6 +43,38 @@ from repro.errors import EvaluationError
 from repro.instances.database import Instance, Row, freeze_row
 from repro.instances.labeled_null import LabeledNull
 from repro.metamodel.schema import Schema
+from repro.observability.metrics import registry
+from repro.observability.state import STATE
+from repro.observability.tracing import tracer
+
+#: Engines selectable through ``evaluate(..., engine=...)``,
+#: :func:`set_default_engine`, or ``REPRO_QUERY_ENGINE``.
+ENGINES = ("compiled", "interpreted")
+
+_default_engine: Optional[str] = None
+
+
+def get_default_engine() -> str:
+    """The engine used when ``evaluate`` is called without one:
+    the :func:`set_default_engine` override if set, else
+    ``REPRO_QUERY_ENGINE`` if valid, else ``compiled``."""
+    if _default_engine is not None:
+        return _default_engine
+    env = os.environ.get("REPRO_QUERY_ENGINE", "").strip().lower()
+    if env in ENGINES:
+        return env
+    return "compiled"
+
+
+def set_default_engine(engine: Optional[str]) -> None:
+    """Process-wide engine override; ``None`` reverts to the
+    environment/default resolution."""
+    global _default_engine
+    if engine is not None and engine not in ENGINES:
+        raise ValueError(
+            f"unknown query engine {engine!r}; expected one of {ENGINES}"
+        )
+    _default_engine = engine
 
 
 @dataclass
@@ -46,14 +89,46 @@ def evaluate(
     expr: RelExpr,
     instance: Instance,
     schema: Optional[Schema] = None,
+    engine: Optional[str] = None,
 ) -> list[Row]:
     """Evaluate ``expr`` against ``instance`` and return its rows.
 
     ``schema`` supplies the is-a hierarchy for ``EntityScan`` and
-    ``IsOf``; it defaults to the instance's bound schema.
+    ``IsOf``; it defaults to the instance's bound schema.  ``engine``
+    picks ``compiled`` or ``interpreted`` (default per
+    :func:`get_default_engine`); both produce identical row multisets.
     """
+    resolved = engine if engine is not None else get_default_engine()
+    if resolved == "compiled":
+        from repro.algebra.plan_cache import cached_plan
+
+        return cached_plan(expr).execute(instance, schema)
+    if resolved != "interpreted":
+        raise EvaluationError(
+            f"unknown query engine {resolved!r}; expected one of {ENGINES}"
+        )
+    return evaluate_interpreted(expr, instance, schema)
+
+
+def evaluate_interpreted(
+    expr: RelExpr,
+    instance: Instance,
+    schema: Optional[Schema] = None,
+) -> list[Row]:
+    """The reference tree-walking interpreter (always available,
+    regardless of the default engine)."""
     ctx = EvalContext(schema=schema or instance.schema, instance=instance)
-    return _eval(expr, instance, ctx)
+    if not STATE.enabled:
+        return _eval(expr, instance, ctx)
+    with tracer.span(
+        "query.execute", engine="interpreted", **{"plan.size": expr.size()}
+    ) as span:
+        rows = _eval(expr, instance, ctx)
+        if span is not None:
+            span.set_attribute("rows", len(rows))
+    registry.counter("query.execute.count").inc()
+    registry.histogram("query.execute.rows").observe(len(rows))
+    return rows
 
 
 def _eval(expr: RelExpr, instance: Instance, ctx: EvalContext) -> list[Row]:
@@ -63,11 +138,14 @@ def _eval(expr: RelExpr, instance: Instance, ctx: EvalContext) -> list[Row]:
     if isinstance(expr, EntityScan):
         if ctx.schema is None:
             raise EvaluationError("EntityScan requires a schema")
-        working = instance
-        if working.schema is not ctx.schema:
-            working = instance.copy()
-            working.schema = ctx.schema
-        return [dict(row) for row in working.objects_of(expr.entity, strict=expr.only)]
+        # The schema override threads straight through objects_of —
+        # no instance.copy() just to rebind the schema.
+        return [
+            dict(row)
+            for row in instance.objects_of(
+                expr.entity, strict=expr.only, schema=ctx.schema
+            )
+        ]
 
     if isinstance(expr, Values):
         return [dict(row) for row in expr.rows]
@@ -240,11 +318,15 @@ def _merge(l_row: Row, r_row: Row, right_prefix: Optional[str]) -> Row:
 
 
 def _pad_union(left: list[Row], right: list[Row]) -> list[Row]:
-    columns: list[str] = []
-    for row in left + right:
+    # Insertion-ordered dict keeps first-seen column order with O(1)
+    # membership (the old list scan was O(rows·cols)).
+    columns: dict[str, None] = {}
+    for row in left:
         for key in row:
-            if key not in columns:
-                columns.append(key)
+            columns[key] = None
+    for row in right:
+        for key in row:
+            columns[key] = None
     out = []
     for row in left + right:
         out.append({c: row.get(c) for c in columns})
@@ -265,7 +347,9 @@ def _eval_aggregate(
     for key, members in groups.items():
         result: Row = {}
         for column, raw in zip(expr.group_by, key):
-            sample = members[0][column] if members else None
+            # .get: a group-by column may be absent from a row (padded
+            # unions); the group key already treats that as None.
+            sample = members[0].get(column) if members else None
             result[column] = sample
         for name, func, scalar in expr.aggregations:
             result[name] = _apply_aggregate(func, scalar, members, ctx)

@@ -9,6 +9,7 @@ discriminators and a case-projection constructing typed entities.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Optional, Sequence
 
 from repro.algebra.scalars import (
@@ -25,11 +26,65 @@ from repro.errors import EvaluationError
 from repro.instances.database import Row
 
 
+def _fingerprint_walk(obj, emit) -> None:
+    """Feed a canonical token stream for ``obj`` into ``emit``.
+
+    The stream is derived from the same ``_key()`` structure that
+    drives ``__eq__``/``__hash__``, so two expressions that compare
+    equal produce the same stream.  ``Func`` nodes contribute only
+    their declared name (matching ``Func.__eq__``): the cache contract
+    is that a function's name identifies its semantics.
+    """
+    if isinstance(obj, (RelExpr, Scalar)):
+        emit(f"({type(obj).__name__}".encode())
+        _fingerprint_walk(obj._key(), emit)
+        emit(b")")
+    elif isinstance(obj, (tuple, list)):
+        emit(b"[")
+        for part in obj:
+            _fingerprint_walk(part, emit)
+            emit(b",")
+        emit(b"]")
+    elif isinstance(obj, (set, frozenset)):
+        # Order-insensitive collections get a canonical order.
+        emit(b"{")
+        for token in sorted(_collect_tokens(part) for part in obj):
+            emit(token)
+            emit(b",")
+        emit(b"}")
+    elif isinstance(obj, dict):
+        emit(b"<")
+        for key in sorted(obj, key=repr):
+            emit(f"{key!r}:".encode())
+            _fingerprint_walk(obj[key], emit)
+            emit(b";")
+        emit(b">")
+    else:
+        emit(f"{type(obj).__name__}:{obj!r}|".encode())
+
+
+def _collect_tokens(obj) -> bytes:
+    chunks: list[bytes] = []
+    _fingerprint_walk(obj, chunks.append)
+    return b"".join(chunks)
+
+
 class RelExpr:
     """Base class of relational expressions."""
 
     def inputs(self) -> tuple["RelExpr", ...]:
         return ()
+
+    def fingerprint(self) -> str:
+        """A structural fingerprint of this expression tree.
+
+        Equal expressions (per ``__eq__``) have equal fingerprints; the
+        digest is the plan-cache key, so it must not depend on object
+        identity or construction order of unordered parts.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        _fingerprint_walk(self, hasher.update)
+        return hasher.hexdigest()
 
     def relations(self) -> set[str]:
         """Names of base relations/entities this expression reads —
@@ -336,6 +391,36 @@ class _JoinEq(Predicate):
         if lhs is None or rhs is None:
             return False
         return lhs == rhs
+
+    def columns(self) -> set[str]:
+        return {self.left_col, self.right_col}
+
+    def _key(self):
+        return (self.left_col, self.right_col)
+
+
+class ValueJoinEq(Predicate):
+    """Null-*tolerant* equality between a left-side and a right-side
+    column: plain Python equality, so ``None == None`` matches and
+    labeled nulls match by label.
+
+    This is the join semantics of variable binding in the homomorphism
+    search — the CQ-to-algebra translation joins atom plans with it so
+    the compiled path reproduces naive evaluation exactly.  Both
+    engines give it the hash-join fast path.
+    """
+
+    def __init__(self, left_col: str, right_col: str):
+        self.left_col = left_col
+        self.right_col = right_col
+
+    def eval(self, row: Row, ctx) -> bool:
+        left_key = f"$left.{self.left_col}"
+        right_key = f"$right.{self.right_col}"
+        lhs = row[left_key] if left_key in row else row.get(self.left_col)
+        rhs = row[right_key] if right_key in row else row.get(self.right_col)
+        # Binding equality mirrors homomorphism matching: reject on !=.
+        return not (lhs != rhs)
 
     def columns(self) -> set[str]:
         return {self.left_col, self.right_col}

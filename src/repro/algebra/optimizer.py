@@ -11,7 +11,11 @@ classical safe rewrites:
 * fuse adjacent projections;
 * drop identity projections and empty renames;
 * simplify predicates (TRUE/FALSE absorption);
-* eliminate union branches that are provably empty (σFALSE).
+* eliminate union branches that are provably empty (σFALSE);
+* recognize plain ``Comparison('=', Col, Col)`` conjuncts in join
+  predicates as equi-join pairs (``_JoinEq``) when the two columns
+  provably come from opposite sides, so hand-written joins take the
+  executor's hash-join path.
 
 Rewrites run to a fixpoint; each is semantics-preserving under the bag
 semantics of the evaluator.
@@ -125,6 +129,9 @@ def _rewrite(expr: E.RelExpr) -> E.RelExpr:
             return expr.input
         return E.Rename(expr.input, mapping)
 
+    if isinstance(expr, E.Join):
+        return _recognize_equi_join(expr)
+
     if isinstance(expr, E.UnionAll):
         if _is_empty(expr.left):
             return expr.right
@@ -174,6 +181,67 @@ def _rewrite_children(expr: E.RelExpr) -> E.RelExpr:
 
 def _is_empty(expr: E.RelExpr) -> bool:
     return isinstance(expr, E.Values) and not expr.rows
+
+
+def _recognize_equi_join(expr: E.Join) -> E.Join:
+    """Turn ``Comparison('=', Col(a), Col(b))`` conjuncts of a join
+    predicate into ``_JoinEq`` pairs when ``a`` and ``b`` provably read
+    from opposite sides of the join.
+
+    The join evaluator checks Comparisons against the *combined* row
+    (left wins on collisions), so the rewrite is only safe when the
+    sides are statically known and distinct: same-named columns, or two
+    columns from the same side, keep their Comparison semantics.
+    """
+    left_names = _output_names(expr.left)
+    right_names = _output_names(expr.right)
+    if left_names is None or right_names is None:
+        return expr
+    left_set, right_set = set(left_names), set(right_names)
+
+    def side_of(name: str):
+        # Mirrors combined-row lookup order: left wins.
+        if name in left_set:
+            return "left"
+        if name in right_set:
+            return "right"
+        return None
+
+    operands = (
+        list(expr.predicate.operands)
+        if isinstance(expr.predicate, S.And)
+        else [expr.predicate]
+    )
+    changed = False
+    rewritten = []
+    for operand in operands:
+        if (
+            isinstance(operand, S.Comparison)
+            and operand.op == "="
+            and isinstance(operand.left, S.Col)
+            and isinstance(operand.right, S.Col)
+            and operand.left.name != operand.right.name
+        ):
+            a, b = operand.left.name, operand.right.name
+            sides = (side_of(a), side_of(b))
+            if sides == ("left", "right"):
+                rewritten.append(E._JoinEq(a, b))
+                changed = True
+                continue
+            if sides == ("right", "left"):
+                rewritten.append(E._JoinEq(b, a))
+                changed = True
+                continue
+        rewritten.append(operand)
+    if not changed:
+        return expr
+    return E.Join(
+        expr.left,
+        expr.right,
+        S.conjunction(rewritten),
+        expr.kind,
+        expr.right_prefix,
+    )
 
 
 def _output_names(expr: E.RelExpr):

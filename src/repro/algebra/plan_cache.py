@@ -1,0 +1,125 @@
+"""LRU cache of compiled plans, keyed on structural fingerprints.
+
+The mapping runtime executes the same generated views over and over —
+every query against a mediated schema unfolds to the same algebra tree,
+every exchange re-runs the same TransGen script.  Compiling those trees
+once and memoizing the result turns the per-call cost into a dict
+lookup.  Keys are :meth:`RelExpr.fingerprint` digests (structural, so
+two independently-built but equal trees share one entry); a hit is
+collision-guarded by a structural ``==`` check against the cached
+plan's expression, so a digest collision degrades to a miss instead of
+returning the wrong plan.
+
+Cache behavior is observable through the PR-2 metrics registry:
+``query.plan_cache.hits`` / ``.misses`` / ``.evictions`` counters and a
+``query.plan_cache.size`` gauge, plus the ``query.compile`` span that
+:func:`repro.algebra.compiler.compile_plan` records on every actual
+compilation — a warm cache shows hits climbing while the compile span
+count stays flat.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.algebra.compiler import CompiledPlan, compile_plan
+from repro.algebra.expressions import RelExpr
+from repro.observability.metrics import registry
+from repro.observability.state import STATE
+
+DEFAULT_CAPACITY = 256
+
+
+class PlanCache:
+    """Thread-safe LRU cache mapping expression fingerprints to
+    :class:`CompiledPlan` objects."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._plans: "OrderedDict[str, CompiledPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, expr: RelExpr) -> CompiledPlan:
+        """The compiled plan for ``expr``, compiling on miss."""
+        fingerprint = expr.fingerprint()
+        with self._lock:
+            cached = self._plans.get(fingerprint)
+            if cached is not None and cached.expr == expr:
+                self._plans.move_to_end(fingerprint)
+                self.hits += 1
+                if STATE.enabled:
+                    registry.counter("query.plan_cache.hits").inc()
+                return cached
+        # Compile outside the lock: compilation is pure and the worst
+        # case of a race is one redundant compile.
+        plan = compile_plan(expr, fingerprint)
+        with self._lock:
+            self.misses += 1
+            self._plans[fingerprint] = plan
+            self._plans.move_to_end(fingerprint)
+            evicted = 0
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+            if STATE.enabled:
+                registry.counter("query.plan_cache.misses").inc()
+                if evicted:
+                    registry.counter("query.plan_cache.evictions").inc(evicted)
+                registry.gauge("query.plan_cache.size").set(len(self._plans))
+        return plan
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, expr: RelExpr) -> bool:
+        with self._lock:
+            cached = self._plans.get(expr.fingerprint())
+        return cached is not None and cached.expr == expr
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the statistics (the cache
+        holds no references into instances, so invalidation is only
+        needed when function *semantics* behind a ``Func`` name change)."""
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            if STATE.enabled:
+                registry.gauge("query.plan_cache.size").set(0)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+#: Process-wide cache used by the default compiled engine.
+GLOBAL_PLAN_CACHE = PlanCache()
+
+
+def cached_plan(expr: RelExpr) -> CompiledPlan:
+    """Fetch ``expr``'s plan from the process-wide cache."""
+    return GLOBAL_PLAN_CACHE.get(expr)
+
+
+def clear_plan_cache() -> None:
+    GLOBAL_PLAN_CACHE.clear()
+
+
+def plan_cache_stats() -> dict[str, int]:
+    return GLOBAL_PLAN_CACHE.stats()

@@ -191,11 +191,18 @@ class ModelManagementEngine:
         """Data exchange: materialize the target."""
         return _exchange(mapping, source, compute_core)
 
-    def query_processor(self, mapping: Mapping, source: Instance) -> QueryProcessor:
-        return QueryProcessor(mapping, source)
+    def query_processor(
+        self,
+        mapping: Mapping,
+        source: Instance,
+        engine: Optional[str] = None,
+    ) -> QueryProcessor:
+        return QueryProcessor(mapping, source, engine=engine)
 
-    def update_propagator(self, mapping: Mapping) -> UpdatePropagator:
-        return UpdatePropagator(mapping)
+    def update_propagator(
+        self, mapping: Mapping, engine: Optional[str] = None
+    ) -> UpdatePropagator:
+        return UpdatePropagator(mapping, engine=engine)
 
     def debugger(self, mapping: Mapping) -> MappingDebugger:
         return MappingDebugger(mapping)

@@ -234,15 +234,24 @@ class Instance:
         elsewhere; mutate only through the instance's own methods."""
         return RowsView(self.relations.get(relation, _NO_ROWS))
 
-    def objects_of(self, entity_name: str, strict: bool = False) -> list[Row]:
+    def objects_of(
+        self,
+        entity_name: str,
+        strict: bool = False,
+        schema: Optional[Schema] = None,
+    ) -> list[Row]:
         """Rows whose ``$type`` is (a subtype of) ``entity_name``.
 
         ``strict=True`` restricts to exactly ``entity_name`` (the
-        ``IS OF ONLY`` test of Entity SQL).
+        ``IS OF ONLY`` test of Entity SQL).  ``schema`` overrides the
+        instance's bound schema for the is-a lookup — query evaluation
+        threads its context schema through here rather than copying the
+        whole instance just to rebind it.
         """
-        if self.schema is None:
+        schema = schema if schema is not None else self.schema
+        if schema is None:
             raise SchemaError("objects_of requires a schema-bound instance")
-        entity = self.schema.entity(entity_name)
+        entity = schema.entity(entity_name)
         extent = self.rows(entity.root().name)
         if strict:
             return [r for r in extent if r.get(TYPE_FIELD) == entity_name]

@@ -5,23 +5,45 @@ the output of the query for every target database that satisfies the
 constraints" (paper, Section 4).  For (unions of) conjunctive queries,
 this is *naive evaluation*: run the query on a universal solution and
 discard answers that contain labeled nulls.
+
+Two execution paths share these semantics.  The reference path
+enumerates homomorphisms directly; the ``compiled`` engine translates
+the CQ to relational algebra (:mod:`repro.logic.cq_compile`) and runs
+it through the plan-cached closure executor, falling back to the
+reference search for queries the translation declines.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
+from repro.algebra.evaluator import evaluate, get_default_engine
 from repro.instances.database import Instance
 from repro.instances.labeled_null import LabeledNull
+from repro.logic.cq_compile import answers_from_rows, translate_cq
 from repro.logic.formulas import ConjunctiveQuery
 from repro.logic.homomorphism import iter_homomorphisms
 
 
 def naive_evaluate(
-    query: ConjunctiveQuery, instance: Instance
+    query: ConjunctiveQuery,
+    instance: Instance,
+    engine: Optional[str] = None,
 ) -> list[tuple]:
     """All answer tuples of ``query`` over ``instance`` (nulls allowed
-    to bind variables; answers may contain nulls)."""
+    to bind variables; answers may contain nulls).
+
+    ``engine="compiled"`` (or the process default) runs the algebra
+    translation through the plan cache; ``engine="interpreted"`` forces
+    the reference homomorphism enumeration.  Answer *sets* are
+    identical; ordering may differ between the paths.
+    """
+    resolved = engine if engine is not None else get_default_engine()
+    if resolved == "compiled":
+        plan = translate_cq(query)
+        if plan is not None:
+            rows = evaluate(plan, instance, engine="compiled")
+            return answers_from_rows(query, rows)
     answers: list[tuple] = []
     seen: set[tuple] = set()
     for assignment in iter_homomorphisms(query.body, instance, query.conditions):
@@ -39,6 +61,7 @@ def naive_evaluate(
 def certain_answers(
     query: Union[ConjunctiveQuery, Sequence[ConjunctiveQuery]],
     universal_solution: Instance,
+    engine: Optional[str] = None,
 ) -> list[tuple]:
     """Certain answers of a CQ (or union of CQs) given a universal
     solution: naive evaluation minus answers containing labeled nulls."""
@@ -46,7 +69,7 @@ def certain_answers(
     results: list[tuple] = []
     seen: set[tuple] = set()
     for q in queries:
-        for answer in naive_evaluate(q, universal_solution):
+        for answer in naive_evaluate(q, universal_solution, engine=engine):
             if any(isinstance(v, LabeledNull) for v in answer):
                 continue
             if answer not in seen:

@@ -47,11 +47,18 @@ from repro.metamodel.schema import Schema
 # transformations
 # ----------------------------------------------------------------------
 class Transformation:
-    """An executable function from instances of one schema to another."""
+    """An executable function from instances of one schema to another.
+
+    ``engine`` selects the query-execution engine for transformations
+    that evaluate algebra (see :func:`repro.algebra.evaluate`);
+    chase-based transformations accept and ignore it.
+    """
 
     name: str = "transformation"
 
-    def apply(self, instance: Instance) -> Instance:
+    def apply(
+        self, instance: Instance, engine: Optional[str] = None
+    ) -> Instance:
         raise NotImplementedError
 
     def __call__(self, instance: Instance) -> Instance:
@@ -68,16 +75,22 @@ class AlgebraTransformation(Transformation):
         input_schema: Optional[Schema] = None,
         output_schema: Optional[Schema] = None,
         name: str = "view",
+        engine: Optional[str] = None,
     ):
         self.rules = list(rules)
         self.input_schema = input_schema
         self.output_schema = output_schema
         self.name = name
+        #: Default engine for :meth:`apply` (None → process default).
+        self.engine = engine
 
-    def apply(self, instance: Instance) -> Instance:
+    def apply(
+        self, instance: Instance, engine: Optional[str] = None
+    ) -> Instance:
+        engine = engine if engine is not None else self.engine
         result = Instance(self.output_schema)
         for relation, expr in self.rules:
-            rows = evaluate(expr, instance, self.input_schema)
+            rows = evaluate(expr, instance, self.input_schema, engine=engine)
             result.relations.setdefault(relation, [])
             result.insert_all(relation, self._normalize(rows))
         deduplicated = result.deduplicated()
@@ -157,7 +170,11 @@ class ExchangeTransformation(Transformation):
                     )
         return dependencies
 
-    def apply(self, instance: Instance) -> Instance:
+    def apply(
+        self, instance: Instance, engine: Optional[str] = None
+    ) -> Instance:
+        # ``engine`` is accepted for interface uniformity; the chase and
+        # so-tgd execution do not run relational algebra.
         self.last_chase_stats = None
         if self.mapping.so_tgd is not None:
             from repro.logic.second_order import execute_so_tgd

@@ -46,9 +46,16 @@ class TraceStep:
 class MappingDebugger:
     """Stepwise inspection of a mapping's execution."""
 
-    def __init__(self, mapping: Mapping, sample_size: int = 3):
+    def __init__(
+        self,
+        mapping: Mapping,
+        sample_size: int = 3,
+        engine: Optional[str] = None,
+    ):
         self.mapping = mapping
         self.sample_size = sample_size
+        #: Algebra engine traced rules run on (None → process default).
+        self.engine = engine
 
     # ------------------------------------------------------------------
     @instrumented("debug.trace", attrs=lambda self, source: {
@@ -67,7 +74,9 @@ class MappingDebugger:
         if isinstance(transformation, TransformationPair):
             for relation, expr in transformation.query_view.rules:
                 with tracer.span("debug.step", rule=f"view:{relation}") as span:
-                    rows = evaluate(expr, source, self.mapping.source)
+                    rows = evaluate(
+                        expr, source, self.mapping.source, engine=self.engine
+                    )
                     if span is not None:
                         span.set_attribute("rows", len(rows))
                 steps.append(

@@ -16,33 +16,43 @@ from repro.operators.transgen import (
 )
 
 
-def execute(transformation, instance: Instance) -> Instance:
+def execute(
+    transformation, instance: Instance, engine: Optional[str] = None
+) -> Instance:
     """Run any transformation produced by TransGen.
 
     For a :class:`TransformationPair`, the *query view* is executed —
-    the direction that materializes the entity/target side.
+    the direction that materializes the entity/target side.  ``engine``
+    selects the algebra execution engine (compiled/interpreted; None →
+    process default).
     """
     if isinstance(transformation, TransformationPair):
-        return transformation.query_view.apply(instance)
+        return transformation.query_view.apply(instance, engine=engine)
     if isinstance(transformation, Transformation):
-        return transformation.apply(instance)
+        return transformation.apply(instance, engine=engine)
     raise TypeError(f"not a transformation: {transformation!r}")
 
 
 def exchange(
-    mapping: Mapping, source: Instance, compute_core: bool = False
+    mapping: Mapping,
+    source: Instance,
+    compute_core: bool = False,
+    engine: Optional[str] = None,
 ) -> Instance:
     """One-call data exchange: TransGen + execute.
 
     For tgd mappings this computes a universal solution (optionally the
     core); for equality mappings it evaluates the generated query view.
     """
-    produced, _ = exchange_with_stats(mapping, source, compute_core)
+    produced, _ = exchange_with_stats(mapping, source, compute_core, engine)
     return produced
 
 
 def exchange_with_stats(
-    mapping: Mapping, source: Instance, compute_core: bool = False
+    mapping: Mapping,
+    source: Instance,
+    compute_core: bool = False,
+    engine: Optional[str] = None,
 ) -> tuple[Instance, Optional[ChaseStats]]:
     """:func:`exchange`, additionally returning the chase's
     :class:`ChaseStats` (``None`` when no chase ran — equality mappings
@@ -59,7 +69,7 @@ def exchange_with_stats(
     )
     with tracer.span("runtime.exchange", **attributes) as span:
         transformation = transgen(mapping, compute_core=compute_core)
-        produced = execute(transformation, source)
+        produced = execute(transformation, source, engine=engine)
         stats = getattr(transformation, "last_chase_stats", None)
         if span is not None:
             span.set_attribute("target.rows", produced.total_rows())

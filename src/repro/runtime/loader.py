@@ -42,7 +42,12 @@ class LoadReport:
 class BatchLoader:
     """Accumulates target-format data and loads it source-side."""
 
-    def __init__(self, mapping: Mapping, validate: bool = True):
+    def __init__(
+        self,
+        mapping: Mapping,
+        validate: bool = True,
+        engine: Optional[str] = None,
+    ):
         views = transgen(mapping)
         if not isinstance(views, TransformationPair):
             raise TransformationError(
@@ -52,6 +57,7 @@ class BatchLoader:
         self.mapping = mapping
         self.views = views
         self.validate = validate
+        self.engine = engine
         self._staging = Instance(mapping.target)
         self._batches = 0
         self._target_rows = 0
@@ -86,7 +92,7 @@ class BatchLoader:
         """Translate all staged data into source format in one pass and
         (optionally) append to an existing source instance; integrity
         is validated once, at the end."""
-        loaded = self.views.update_view.apply(self._staging)
+        loaded = self.views.update_view.apply(self._staging, engine=self.engine)
         if destination is not None:
             loaded = destination.union(loaded).deduplicated()
             loaded.schema = self.mapping.source

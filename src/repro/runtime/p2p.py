@@ -34,11 +34,15 @@ class Peer:
 
 
 class PeerNetwork:
-    """Peers connected by mappings, queried through chains."""
+    """Peers connected by mappings, queried through chains.
 
-    def __init__(self):
+    ``engine`` selects the algebra execution engine for every exchange
+    in the network (None → process default)."""
+
+    def __init__(self, engine: Optional[str] = None):
         self.peers: dict[str, Peer] = {}
         self.mappings: dict[tuple[str, str], Mapping] = {}
+        self.engine = engine
 
     def add_peer(self, name: str, schema: Schema,
                  data: Optional[Instance] = None) -> Peer:
@@ -96,7 +100,7 @@ class PeerNetwork:
             raise MappingError(f"peer {source_peer!r} holds no data")
         current = peer.data
         for mapping in self.find_chain(source_peer, target_peer):
-            current = exchange(mapping, current)
+            current = exchange(mapping, current, engine=self.engine)
         return current
 
     @instrumented("runtime.p2p.propagate_collapsed",
@@ -107,4 +111,8 @@ class PeerNetwork:
         peer = self.peers[source_peer]
         if peer.data is None:
             raise MappingError(f"peer {source_peer!r} holds no data")
-        return exchange(self.collapse_chain(source_peer, target_peer), peer.data)
+        return exchange(
+            self.collapse_chain(source_peer, target_peer),
+            peer.data,
+            engine=self.engine,
+        )

@@ -30,11 +30,24 @@ from repro.operators.transgen import TransformationPair, transgen
 
 
 class QueryProcessor:
-    """Query answering over one mapping, source database attached."""
+    """Query answering over one mapping, source database attached.
 
-    def __init__(self, mapping: Mapping, source: Instance):
+    ``engine`` picks the algebra execution engine for every query this
+    processor answers (``compiled``/``interpreted``; None → process
+    default, see :func:`repro.algebra.evaluate`).  Unfolded views are
+    structurally stable, so the compiled engine's plan cache makes
+    repeated queries through one processor compile-once/run-many.
+    """
+
+    def __init__(
+        self,
+        mapping: Mapping,
+        source: Instance,
+        engine: Optional[str] = None,
+    ):
         self.mapping = mapping
         self.source = source
+        self.engine = engine
         self._views: Optional[dict[str, RelExpr]] = None
         self._universal: Optional[Instance] = None
 
@@ -73,7 +86,9 @@ class QueryProcessor:
         if self._universal is None:
             from repro.runtime.executor import exchange
 
-            self._universal = exchange(self.mapping, self.source)
+            self._universal = exchange(
+                self.mapping, self.source, engine=self.engine
+            )
         return self._universal
 
     # ------------------------------------------------------------------
@@ -92,9 +107,13 @@ class QueryProcessor:
             unfolded = optimize(
                 unfold_scans(localized, self._view_definitions())
             )
-            return evaluate(unfolded, self.source, self.mapping.source)
+            return evaluate(
+                unfolded, self.source, self.mapping.source, engine=self.engine
+            )
         universal = self._universal_solution()
-        rows = evaluate(query, universal, self.mapping.target)
+        rows = evaluate(
+            query, universal, self.mapping.target, engine=self.engine
+        )
         from repro.instances.labeled_null import LabeledNull
 
         return [
@@ -110,7 +129,9 @@ class QueryProcessor:
         self, query: Union[ConjunctiveQuery, Sequence[ConjunctiveQuery]]
     ) -> list[tuple]:
         """Certain answers of a conjunctive query over the target."""
-        return certain_answers(query, self._universal_solution())
+        return certain_answers(
+            query, self._universal_solution(), engine=self.engine
+        )
 
     @instrumented("runtime.query.unfold",
                   attrs=lambda self, query: {

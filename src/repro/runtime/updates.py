@@ -108,7 +108,7 @@ class UpdatePropagator:
     usable mapping language.
     """
 
-    def __init__(self, mapping: Mapping):
+    def __init__(self, mapping: Mapping, engine: Optional[str] = None):
         if not mapping.equalities:
             raise ExpressivenessError(
                 "update propagation needs a bidirectional equality mapping; "
@@ -118,6 +118,7 @@ class UpdatePropagator:
         views = transgen(mapping)
         assert isinstance(views, TransformationPair)
         self.views = views
+        self.engine = engine
 
     @instrumented("runtime.update_propagate", attrs=lambda self,
                   target_instance, update, source_instance=None: {
@@ -138,10 +139,10 @@ class UpdatePropagator:
         it), before any state is touched.
         """
         new_target = apply_update(target_instance, update)
-        new_source = self.views.update_view.apply(new_target)
+        new_source = self.views.update_view.apply(new_target, engine=self.engine)
         # Validate representability: query view must reproduce the
         # updated target (roundtrip of the *new* state).
-        recovered = self.views.query_view.apply(new_source)
+        recovered = self.views.query_view.apply(new_source, engine=self.engine)
         relations = set(recovered.relations)
         visible = Instance(new_target.schema)
         for relation in relations:
@@ -152,6 +153,8 @@ class UpdatePropagator:
                 "query(update(T′)) ≠ T′"
             )
         if source_instance is None:
-            source_instance = self.views.update_view.apply(target_instance)
+            source_instance = self.views.update_view.apply(
+                target_instance, engine=self.engine
+            )
         source_update = instance_delta(source_instance, new_source)
         return source_update, new_source, new_target

@@ -31,6 +31,7 @@ class EtlStep:
     cleaner: Optional[Cleaner] = None
     deduplicate: bool = True
     name: str = ""
+    engine: Optional[str] = None
 
     def run(self, data: Instance) -> tuple[Instance, dict]:
         cleaned = data
@@ -44,7 +45,7 @@ class EtlStep:
                         dropped += 1
                     else:
                         cleaned.insert(relation, kept)
-        result = exchange(self.mapping, cleaned)
+        result = exchange(self.mapping, cleaned, engine=self.engine)
         if self.deduplicate:
             result = result.deduplicated()
         stats = {
@@ -59,8 +60,10 @@ class EtlStep:
 class EtlPipeline:
     """Compose steps source → staging → ... → warehouse."""
 
-    def __init__(self, name: str = "etl"):
+    def __init__(self, name: str = "etl", engine: Optional[str] = None):
         self.name = name
+        #: Algebra engine every step's exchange runs on (None → default).
+        self.engine = engine
         self.steps: list[EtlStep] = []
 
     def add_step(
@@ -72,7 +75,7 @@ class EtlPipeline:
     ) -> "EtlPipeline":
         self.steps.append(
             EtlStep(mapping=mapping, cleaner=cleaner,
-                    deduplicate=deduplicate, name=name)
+                    deduplicate=deduplicate, name=name, engine=self.engine)
         )
         return self
 

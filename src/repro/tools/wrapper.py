@@ -33,16 +33,22 @@ from repro.runtime.updates import UpdatePropagator, UpdateSet
 class GeneratedWrapper:
     """An object-oriented facade over a relational database."""
 
-    def __init__(self, mapping: Mapping, database: Instance):
+    def __init__(
+        self,
+        mapping: Mapping,
+        database: Instance,
+        engine: Optional[str] = None,
+    ):
         self.mapping = mapping
         self.database = database
+        self.engine = engine
         views = transgen(mapping)
         if not isinstance(views, TransformationPair):
             raise ModelManagementError(
                 "wrapper generation needs a bidirectional mapping"
             )
         self.views = views
-        self.propagator = UpdatePropagator(mapping)
+        self.propagator = UpdatePropagator(mapping, engine=engine)
         self.errors = ErrorTranslator(mapping)
         self._objects: Optional[Instance] = None
 
@@ -53,7 +59,9 @@ class GeneratedWrapper:
 
     def _materialized(self) -> Instance:
         if self._objects is None:
-            self._objects = self.views.query_view.apply(self.database)
+            self._objects = self.views.query_view.apply(
+                self.database, engine=self.engine
+            )
             self._objects.schema = self.object_schema
         return self._objects
 

@@ -1,0 +1,655 @@
+"""Differential tests: the compiled closure executor against the
+reference interpreter, plus plan-cache / engine-flag behavior.
+
+The compiler (:mod:`repro.algebra.compiler`) must be observationally
+identical to the tree-walking interpreter on every operator, including
+the awkward corners: labeled-null join keys, left-join padding,
+empty-group aggregates, null-tolerant ``ValueJoinEq`` joins, and
+heterogeneous unions.  Random plans over synthetic-style relations
+exercise operator compositions no hand-written case would."""
+
+import random
+
+import pytest
+
+from repro.algebra import (
+    Aggregate,
+    And,
+    Arith,
+    Case,
+    Col,
+    Comparison,
+    Difference,
+    Distinct,
+    EntityScan,
+    Extend,
+    GLOBAL_PLAN_CACHE,
+    IsNull,
+    Join,
+    Lit,
+    Or,
+    PlanCache,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Sort,
+    UnionAll,
+    ValueJoinEq,
+    Values,
+    clear_plan_cache,
+    compile_plan,
+    eq,
+    eq_join,
+    evaluate,
+    evaluate_interpreted,
+    get_default_engine,
+    plan_cache_stats,
+    set_default_engine,
+)
+from repro.algebra.optimizer import optimize
+from repro.errors import EvaluationError
+from repro.instances import Instance, LabeledNull
+from repro.logic.certain_answers import certain_answers, naive_evaluate
+from repro.logic.formulas import Atom, ConjunctiveQuery, Equality
+from repro.logic.terms import Const, Var
+from repro.observability import disable, enable, registry, reset
+from tests.test_metamodel_schema import person_hierarchy
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def canon(rows):
+    """Order-insensitive canonical form of a row multiset."""
+    return sorted(
+        tuple(sorted((k, repr(v)) for k, v in row.items())) for row in rows
+    )
+
+
+def assert_engines_agree(expr, instance, schema=None):
+    compiled = evaluate(expr, instance, schema, engine="compiled")
+    interpreted = evaluate(expr, instance, schema, engine="interpreted")
+    assert canon(compiled) == canon(interpreted)
+    return compiled
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+    set_default_engine(None)
+
+
+# ----------------------------------------------------------------------
+# random plan generation (differential property testing)
+# ----------------------------------------------------------------------
+RELATIONS = ("R0", "R1", "R2")
+
+
+def _columns(name):
+    return [f"{name}_k", f"{name}_a", f"{name}_s"]
+
+
+def _int_value(rng):
+    roll = rng.random()
+    if roll < 0.15:
+        return None
+    if roll < 0.30:
+        return LabeledNull(rng.randint(0, 4))
+    return rng.randint(0, 5)
+
+
+def _random_instance(rng):
+    instance = Instance()
+    for name in RELATIONS:
+        key_col, attr_col, str_col = _columns(name)
+        for _ in range(rng.randint(3, 10)):
+            instance.insert(
+                name,
+                {
+                    key_col: _int_value(rng),
+                    attr_col: _int_value(rng),
+                    str_col: rng.choice(["x", "y", "z", None]),
+                },
+            )
+    return instance
+
+
+def _random_predicate(rng, int_cols, cols):
+    def leaf():
+        roll = rng.random()
+        if roll < 0.25 and cols:
+            return IsNull(Col(rng.choice(cols)))
+        op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
+        column = rng.choice(int_cols or cols)
+        return Comparison(op, Col(column), Lit(rng.randint(0, 5)))
+
+    roll = rng.random()
+    if roll < 0.2:
+        return And(leaf(), leaf())
+    if roll < 0.4:
+        return Or(leaf(), leaf())
+    return leaf()
+
+
+def _random_plan(rng, depth):
+    """Returns (expr, ordered column list, int-valued column subset)."""
+    if depth <= 0 or rng.random() < 0.2:
+        name = rng.choice(RELATIONS)
+        cols = _columns(name)
+        return Scan(name), cols, cols[:2]
+
+    op = rng.choice(
+        ["select", "project", "extend", "rename", "distinct",
+         "union", "difference", "join", "value_join", "aggregate", "sort"]
+    )
+    expr, cols, int_cols = _random_plan(rng, depth - 1)
+
+    if op == "select":
+        return Select(expr, _random_predicate(rng, int_cols, cols)), cols, int_cols
+    if op == "project":
+        kept = rng.sample(cols, rng.randint(1, len(cols)))
+        if rng.random() < 0.5 or not int_cols:
+            outputs = [(c, Col(c)) for c in kept]
+            return Project(expr, outputs), kept, [c for c in kept if c in int_cols]
+        # computed projection — exercises the scalar-closure path
+        source = rng.choice(int_cols)
+        computed = f"computed{depth}"
+        outputs = [(c, Col(c)) for c in kept if c not in (source, computed)]
+        outputs.append((computed, Arith("+", Col(source), Lit(1))))
+        names = [n for n, _ in outputs]
+        return Project(expr, outputs), names, [computed] + [
+            c for c in names if c in int_cols
+        ]
+    if op == "extend":
+        name = f"x{depth}"
+        if rng.random() < 0.5 and int_cols:
+            scalar = Arith("*", Col(rng.choice(int_cols)), Lit(2))
+        else:
+            scalar = Case(
+                [(Comparison(">", Col(rng.choice(int_cols or cols)), Lit(2)),
+                  Lit("big"))],
+                Lit("small"),
+            )
+        return Extend(expr, name, scalar), cols + [name], int_cols
+    if op == "rename":
+        victim = rng.choice(cols)
+        renamed = f"{victim}_r"
+        mapping = {victim: renamed}
+        new_cols = [renamed if c == victim else c for c in cols]
+        new_ints = [renamed if c == victim else c for c in int_cols]
+        return Rename(expr, mapping), new_cols, new_ints
+    if op == "distinct":
+        return Distinct(expr), cols, int_cols
+    if op == "union":
+        other, other_cols, other_ints = _random_plan(rng, depth - 1)
+        merged = cols + [c for c in other_cols if c not in cols]
+        ints = int_cols + [c for c in other_ints if c not in int_cols]
+        return UnionAll(expr, other), merged, ints
+    if op == "difference":
+        other, _, _ = _random_plan(rng, depth - 1)
+        return Difference(expr, other), cols, int_cols
+    if op in ("join", "value_join"):
+        name = rng.choice(RELATIONS)
+        suffix = f"_j{depth}"
+        mapping = {c: c + suffix for c in _columns(name)}
+        right = Rename(Scan(name), mapping)
+        right_cols = [c + suffix for c in _columns(name)]
+        left_key = rng.choice(int_cols or cols)
+        right_key = right_cols[rng.randint(0, 1)]
+        kind = rng.choice(["inner", "left"])
+        if op == "join":
+            joined = eq_join(expr, right, [(left_key, right_key)], kind=kind)
+        else:
+            joined = Join(
+                expr, right, ValueJoinEq(left_key, right_key), kind=kind
+            )
+        overlap = [c for c in right_cols if c in cols]
+        assert not overlap
+        return joined, cols + right_cols, int_cols + right_cols[:2]
+    if op == "aggregate":
+        group = rng.sample(cols, rng.randint(0, min(2, len(cols))))
+        aggregations = [("cnt", "count", None)]
+        if int_cols:
+            aggregations.append(("sm", "sum", Col(rng.choice(int_cols))))
+            aggregations.append(("mn", "min", Col(rng.choice(int_cols))))
+        out_cols = list(group) + [n for n, _, _ in aggregations]
+        ints = [c for c in group if c in int_cols] + ["cnt", "sm", "mn"][
+            : len(aggregations)
+        ]
+        return Aggregate(expr, group, aggregations), out_cols, ints
+    # sort
+    keys = [
+        rng.choice(["", "-"]) + c
+        for c in rng.sample(int_cols or cols, 1)
+    ]
+    return Sort(expr, keys), cols, int_cols
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_differential_random_plans(seed):
+    rng = random.Random(seed)
+    instance = _random_instance(rng)
+    expr, _, _ = _random_plan(rng, rng.randint(1, 4))
+    assert_engines_agree(expr, instance)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_differential_optimized_random_plans(seed):
+    """The optimizer's output (including recognized equi-joins) stays
+    equivalent under both engines."""
+    rng = random.Random(1000 + seed)
+    instance = _random_instance(rng)
+    expr, _, _ = _random_plan(rng, rng.randint(1, 3))
+    baseline = canon(evaluate_interpreted(expr, instance))
+    optimized = optimize(expr)
+    assert canon(evaluate(optimized, instance, engine="compiled")) == baseline
+    assert canon(evaluate(optimized, instance, engine="interpreted")) == baseline
+
+
+# ----------------------------------------------------------------------
+# targeted corners
+# ----------------------------------------------------------------------
+def test_labeled_null_join_keys():
+    """_JoinEq matches labeled nulls by label and never matches None."""
+    instance = Instance()
+    n1, n2 = LabeledNull(1), LabeledNull(2)
+    instance.insert_all(
+        "L", [{"a": n1}, {"a": n2}, {"a": None}, {"a": 7}]
+    )
+    instance.insert_all(
+        "R", [{"b": LabeledNull(1)}, {"b": None}, {"b": 7}]
+    )
+    expr = eq_join(Scan("L"), Scan("R"), [("a", "b")])
+    rows = assert_engines_agree(expr, instance)
+    assert canon(rows) == canon([{"a": n1, "b": n1}, {"a": 7, "b": 7}])
+
+
+def test_value_join_eq_none_matches_none():
+    """ValueJoinEq is the homomorphism-binding equality: None == None."""
+    instance = Instance()
+    instance.insert_all("L", [{"a": None}, {"a": 1}, {"a": LabeledNull(3)}])
+    instance.insert_all("R", [{"b": None}, {"b": 2}, {"b": LabeledNull(3)}])
+    expr = Join(Scan("L"), Scan("R"), ValueJoinEq("a", "b"))
+    rows = assert_engines_agree(expr, instance)
+    assert canon(rows) == canon(
+        [{"a": None, "b": None},
+         {"a": LabeledNull(3), "b": LabeledNull(3)}]
+    )
+
+
+def test_left_join_padding():
+    instance = Instance()
+    instance.insert_all("L", [{"a": 1}, {"a": 2}, {"a": None}])
+    instance.insert_all("R", [{"b": 1, "c": "hit"}])
+    expr = eq_join(Scan("L"), Scan("R"), [("a", "b")], kind="left")
+    rows = assert_engines_agree(expr, instance)
+    assert canon(rows) == canon(
+        [{"a": 1, "b": 1, "c": "hit"},
+         {"a": 2, "b": None, "c": None},
+         {"a": None, "b": None, "c": None}]
+    )
+
+
+def test_left_join_empty_right_pads_all():
+    instance = Instance()
+    instance.insert_all("L", [{"a": 1}])
+    expr = Join(Scan("L"), Scan("R"), eq(Col("a"), Lit(1)), kind="left")
+    rows = assert_engines_agree(expr, instance)
+    assert rows == [{"a": 1}]
+
+
+def test_empty_input_aggregate():
+    expr = Aggregate(Scan("Nothing"), [], [("cnt", "count", None),
+                                           ("sm", "sum", Col("v"))])
+    rows = assert_engines_agree(expr, Instance())
+    assert rows == [{"cnt": 0, "sm": None}]
+
+
+def test_aggregate_missing_group_column_regression():
+    """Rows lacking the group-by column group under None instead of
+    raising KeyError (the ``members[0][column]`` crash)."""
+    expr = Aggregate(
+        Values([{"g": 1, "v": 10}, {"v": 20}, {"g": 1, "v": 5}]),
+        ["g"],
+        [("cnt", "count", None), ("sm", "sum", Col("v"))],
+    )
+    rows = assert_engines_agree(expr, Instance())
+    assert canon(rows) == canon(
+        [{"g": 1, "cnt": 2, "sm": 15}, {"g": None, "cnt": 1, "sm": 20}]
+    )
+
+
+def test_aggregate_labeled_null_groups():
+    instance = Instance()
+    instance.insert_all(
+        "T",
+        [{"g": LabeledNull(1), "v": 1},
+         {"g": LabeledNull(1), "v": 2},
+         {"g": LabeledNull(2), "v": 4},
+         {"g": None, "v": 8}],
+    )
+    expr = Aggregate(Scan("T"), ["g"], [("sm", "sum", Col("v"))])
+    rows = assert_engines_agree(expr, instance)
+    assert sorted(r["sm"] for r in rows) == [3, 4, 8]
+
+
+def test_pad_union_column_order():
+    """Padded unions expose left columns first, then new right columns,
+    in first-seen order — on both engines."""
+    expr = UnionAll(
+        Values([{"a": 1, "b": 2}]),
+        Values([{"c": 3, "a": 4}]),
+    )
+    for engine in ("compiled", "interpreted"):
+        rows = evaluate(expr, Instance(), engine=engine)
+        assert [list(r) for r in rows] == [["a", "b", "c"], ["a", "b", "c"]]
+    assert_engines_agree(expr, Instance())
+
+
+def test_entity_scan_schema_override():
+    schema = person_hierarchy()
+    instance = Instance()
+    instance.insert("Person", {"$type": "Employee", "Id": 1, "Name": "a",
+                               "Dept": "d"})
+    instance.insert("Person", {"$type": "Person", "Id": 2, "Name": "b"})
+    expr = EntityScan("Employee")
+    compiled = evaluate(expr, instance, schema, engine="compiled")
+    interpreted = evaluate(expr, instance, schema, engine="interpreted")
+    assert canon(compiled) == canon(interpreted)
+    assert [r["Id"] for r in compiled] == [1]
+
+
+def test_results_do_not_alias_stored_rows():
+    """Scans borrow stored dicts internally, but plan output must be
+    fresh copies — mutating a result row never corrupts the instance."""
+    instance = Instance()
+    instance.insert("T", {"a": 1})
+    for expr in (Scan("T"), Select(Scan("T"), eq(Col("a"), Lit(1)))):
+        rows = evaluate(expr, instance, engine="compiled")
+        rows[0]["a"] = 999
+        assert instance.rows("T")[0]["a"] == 1
+
+
+def test_extend_does_not_mutate_stored_rows():
+    instance = Instance()
+    instance.insert("T", {"a": 1})
+    rows = evaluate(Extend(Scan("T"), "b", Lit(2)), instance,
+                    engine="compiled")
+    assert rows == [{"a": 1, "b": 2}]
+    assert instance.rows("T") == [{"a": 1}]
+
+
+def test_compiled_missing_column_raises_evaluation_error():
+    instance = Instance()
+    instance.insert("T", {"a": 1})
+    expr = Project(Scan("T"), [("missing", Col("missing"))])
+    with pytest.raises(EvaluationError):
+        evaluate(expr, instance, engine="compiled")
+    with pytest.raises(EvaluationError):
+        evaluate(expr, instance, engine="interpreted")
+
+
+# ----------------------------------------------------------------------
+# plan cache
+# ----------------------------------------------------------------------
+def test_fingerprint_structural_equality():
+    a = Select(Scan("T"), eq(Col("a"), Lit(1)))
+    b = Select(Scan("T"), eq(Col("a"), Lit(1)))
+    c = Select(Scan("T"), eq(Col("a"), Lit(2)))
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+    assert a.fingerprint() != Scan("T").fingerprint()
+
+
+def test_warm_cache_skips_compilation():
+    """The second evaluation of a structurally equal plan must be a
+    cache hit: no new ``query.compile`` span is recorded."""
+    instance = Instance()
+    instance.insert("T", {"a": 1})
+    first = Select(Scan("T"), eq(Col("a"), Lit(1)))
+    second = Select(Scan("T"), eq(Col("a"), Lit(1)))  # equal, distinct object
+    reset()
+    enable()
+    try:
+        evaluate(first, instance, engine="compiled")
+        evaluate(second, instance, engine="compiled")
+        assert registry.counter("span.query.compile.calls").value == 1
+        assert registry.counter("span.query.execute.calls").value == 2
+        assert registry.counter("query.plan_cache.hits").value == 1
+        assert registry.counter("query.plan_cache.misses").value == 1
+    finally:
+        disable()
+        reset()
+
+
+def test_global_cache_stats():
+    instance = Instance()
+    instance.insert("T", {"a": 1})
+    expr = Scan("T")
+    evaluate(expr, instance, engine="compiled")
+    evaluate(expr, instance, engine="compiled")
+    stats = plan_cache_stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["size"] == 1
+    assert expr in GLOBAL_PLAN_CACHE
+
+
+def test_plan_cache_lru_eviction():
+    cache = PlanCache(capacity=2)
+    exprs = [Scan("A"), Scan("B"), Scan("C")]
+    for expr in exprs:
+        cache.get(expr)
+    assert len(cache) == 2
+    assert cache.stats()["evictions"] == 1
+    assert exprs[0] not in cache  # least recently used fell out
+    assert exprs[2] in cache
+    # touching B keeps it warm; inserting A evicts C
+    cache.get(exprs[1])
+    cache.get(exprs[0])
+    assert exprs[1] in cache and exprs[0] in cache
+    assert exprs[2] not in cache
+
+
+def test_compile_plan_direct_execution():
+    instance = Instance()
+    instance.insert_all("T", [{"a": 1}, {"a": 2}])
+    plan = compile_plan(Select(Scan("T"), Comparison(">", Col("a"), Lit(1))))
+    assert plan.execute(instance) == [{"a": 2}]
+    assert plan.size >= 2
+    assert len(plan.fingerprint) == 32  # blake2b-16 hex
+
+
+# ----------------------------------------------------------------------
+# engine selection
+# ----------------------------------------------------------------------
+def test_default_engine_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_QUERY_ENGINE", raising=False)
+    set_default_engine(None)
+    assert get_default_engine() == "compiled"
+    monkeypatch.setenv("REPRO_QUERY_ENGINE", "interpreted")
+    assert get_default_engine() == "interpreted"
+    monkeypatch.setenv("REPRO_QUERY_ENGINE", "bogus")
+    assert get_default_engine() == "compiled"  # invalid env ignored
+    set_default_engine("interpreted")
+    monkeypatch.delenv("REPRO_QUERY_ENGINE")
+    assert get_default_engine() == "interpreted"
+    set_default_engine(None)
+    assert get_default_engine() == "compiled"
+
+
+def test_set_default_engine_rejects_unknown():
+    with pytest.raises(ValueError):
+        set_default_engine("vectorized")
+
+
+def test_interpreted_default_bypasses_plan_cache():
+    instance = Instance()
+    instance.insert("T", {"a": 1})
+    set_default_engine("interpreted")
+    before = plan_cache_stats()
+    assert evaluate(Scan("T"), instance) == [{"a": 1}]
+    after = plan_cache_stats()
+    assert (after["hits"], after["misses"]) == (before["hits"],
+                                               before["misses"])
+
+
+def test_evaluate_rejects_unknown_engine():
+    with pytest.raises(EvaluationError):
+        evaluate(Scan("T"), Instance(), engine="bogus")
+
+
+# ----------------------------------------------------------------------
+# optimizer equi-join recognition
+# ----------------------------------------------------------------------
+def test_optimizer_recognizes_comparison_equi_join():
+    from repro.algebra.expressions import _JoinEq
+
+    left = Project(Scan("L"), [("a", Col("a"))])
+    right = Project(Scan("R"), [("b", Col("b"))])
+    expr = Join(left, right, Comparison("=", Col("a"), Col("b")))
+    rewritten = optimize(expr)
+    assert isinstance(rewritten, Join)
+    assert isinstance(rewritten.predicate, _JoinEq)
+    assert (rewritten.predicate.left_col, rewritten.predicate.right_col) == (
+        "a", "b",
+    )
+
+    instance = Instance()
+    instance.insert_all("L", [{"a": 1}, {"a": 2}, {"a": None}])
+    instance.insert_all("R", [{"b": 2}, {"b": 3}, {"b": None}])
+    assert canon(evaluate(rewritten, instance, engine="compiled")) == canon(
+        evaluate(expr, instance, engine="interpreted")
+    )
+
+
+def test_optimizer_flips_reversed_equi_join():
+    from repro.algebra.expressions import _JoinEq
+
+    left = Project(Scan("L"), [("a", Col("a"))])
+    right = Project(Scan("R"), [("b", Col("b"))])
+    expr = Join(left, right, Comparison("=", Col("b"), Col("a")))
+    rewritten = optimize(expr)
+    assert isinstance(rewritten.predicate, _JoinEq)
+    assert (rewritten.predicate.left_col, rewritten.predicate.right_col) == (
+        "a", "b",
+    )
+
+
+def test_optimizer_leaves_same_named_columns_alone():
+    from repro.algebra.expressions import _JoinEq
+
+    left = Project(Scan("L"), [("a", Col("a"))])
+    right = Project(Scan("R"), [("a", Col("a"))])
+    expr = Join(left, right, Comparison("=", Col("a"), Col("a")))
+    rewritten = optimize(expr)
+    assert not isinstance(rewritten.predicate, _JoinEq)
+
+
+# ----------------------------------------------------------------------
+# CQ translation parity
+# ----------------------------------------------------------------------
+def _answer_set(answers):
+    return {
+        tuple(("⊥", v.label) if isinstance(v, LabeledNull) else ("c", v)
+              for v in answer)
+        for answer in answers
+    }
+
+
+def _cq_instance():
+    instance = Instance()
+    instance.insert_all(
+        "Emp",
+        [{"eid": 1, "dept": "a"},
+         {"eid": 2, "dept": "b"},
+         {"eid": 3, "dept": LabeledNull(9)},
+         {"eid": 4, "dept": None}],
+    )
+    instance.insert_all(
+        "Dept",
+        [{"dname": "a", "mgr": 1},
+         {"dname": LabeledNull(9), "mgr": 2},
+         {"dname": None, "mgr": 3}],
+    )
+    return instance
+
+
+def test_cq_join_parity_with_nulls():
+    x, d, m = Var("x"), Var("d"), Var("m")
+    query = ConjunctiveQuery(
+        head=(x, m),
+        body=(Atom.of("Emp", eid=x, dept=d), Atom.of("Dept", dname=d, mgr=m)),
+    )
+    instance = _cq_instance()
+    compiled = naive_evaluate(query, instance, engine="compiled")
+    reference = naive_evaluate(query, instance, engine="interpreted")
+    assert _answer_set(compiled) == _answer_set(reference)
+    # the None dept binds too: homomorphism equality is value equality
+    assert (("c", 4), ("c", 3)) in _answer_set(compiled)
+
+
+def test_cq_condition_and_constant_parity():
+    x, d = Var("x"), Var("d")
+    query = ConjunctiveQuery(
+        head=(x,),
+        body=(Atom.of("Emp", eid=x, dept=d),),
+        conditions=(Equality(d, Const("a")),),
+    )
+    instance = _cq_instance()
+    compiled = naive_evaluate(query, instance, engine="compiled")
+    reference = naive_evaluate(query, instance, engine="interpreted")
+    assert _answer_set(compiled) == _answer_set(reference) == {(("c", 1),)}
+
+
+def test_cq_repeated_variable_parity():
+    x = Var("x")
+    query = ConjunctiveQuery(
+        head=(x,),
+        body=(Atom.of("Same", a=x, b=x),),
+    )
+    instance = Instance()
+    instance.insert_all(
+        "Same",
+        [{"a": 1, "b": 1}, {"a": 1, "b": 2},
+         {"a": LabeledNull(5), "b": LabeledNull(5)},
+         {"a": None, "b": None}],
+    )
+    compiled = naive_evaluate(query, instance, engine="compiled")
+    reference = naive_evaluate(query, instance, engine="interpreted")
+    assert _answer_set(compiled) == _answer_set(reference)
+
+
+def test_certain_answers_drop_nulls_both_engines():
+    x, d = Var("x"), Var("d")
+    query = ConjunctiveQuery(
+        head=(x, d), body=(Atom.of("Emp", eid=x, dept=d),)
+    )
+    instance = _cq_instance()
+    compiled = set(certain_answers(query, instance, engine="compiled"))
+    reference = set(certain_answers(query, instance, engine="interpreted"))
+    assert compiled == reference
+    assert (3, LabeledNull(9)) not in compiled
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_cq_random_parity(seed):
+    """Random two-atom CQs with a shared variable agree across paths."""
+    rng = random.Random(seed)
+    instance = Instance()
+    for name, cols in (("P", ("u", "v")), ("Q", ("v", "w"))):
+        for _ in range(rng.randint(2, 8)):
+            instance.insert(
+                name, {c: _int_value(rng) for c in cols}
+            )
+    u, v, w = Var("u"), Var("v"), Var("w")
+    query = ConjunctiveQuery(
+        head=(u, w),
+        body=(Atom.of("P", u=u, v=v), Atom.of("Q", v=v, w=w)),
+    )
+    compiled = naive_evaluate(query, instance, engine="compiled")
+    reference = naive_evaluate(query, instance, engine="interpreted")
+    assert _answer_set(compiled) == _answer_set(reference)
