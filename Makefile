@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint trace-smoke query-smoke bench-smoke bench-chase \
-	bench bench-query bench-json
+.PHONY: test lint trace-smoke query-smoke updates-smoke bench-smoke \
+	bench-chase bench bench-query bench-updates bench-json
 
-# Tier-1: the whole unit/integration suite, after the static, tracing
-# and query-engine smoke gates.
-test: lint trace-smoke query-smoke
+# Tier-1: the whole unit/integration suite, after the static, tracing,
+# query-engine and incremental-maintenance smoke gates.
+test: lint trace-smoke query-smoke updates-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Static checks: ruff with the pinned config in pyproject.toml.
@@ -40,6 +40,12 @@ print(f'trace-smoke: {len(spans)} spans, {len(ops)} operators ok')"
 query-smoke:
 	$(PYTHON) benchmarks/bench_query_executor.py --smoke
 
+# Parity gate for incremental maintenance: smallest size only, every
+# batch equivalence-checked against a full re-exchange (tgd and egd
+# lanes).  No JSON rewrite.
+updates-smoke:
+	$(PYTHON) benchmarks/bench_incremental_exchange.py --smoke
+
 # Fast perf sanity after tier-1: smallest size only, no JSON rewrite.
 bench-smoke: test
 	$(PYTHON) benchmarks/bench_chase_scaling.py --smoke
@@ -53,7 +59,14 @@ bench-query:
 bench-chase:
 	$(PYTHON) benchmarks/bench_chase_scaling.py
 
-# The whole pytest-benchmark suite (slow).
+# Incremental maintenance vs full re-exchange: rewrites
+# BENCH_updates.json at three sizes plus the egd merge/rollback lane,
+# enforcing the 5x acceptance bar at 4k rows.
+bench-updates:
+	$(PYTHON) benchmarks/bench_incremental_exchange.py
+
+# The whole pytest-benchmark suite (slow), incremental maintenance
+# included via benchmarks/bench_incremental_exchange.py.
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 

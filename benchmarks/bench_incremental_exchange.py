@@ -1,0 +1,308 @@
+"""E10 — §5: incremental materialized exchange vs full re-exchange.
+
+The paper's runtime services all re-execute mappings when data
+changes; :class:`~repro.runtime.incremental.MaterializedExchange`
+maintains the chased target under :class:`UpdateSet` batches instead
+— delta chase for inserts, counting/DRed over-delete-and-rederive for
+deletes.  Expected shape: maintenance cost tracks the batch size
+(constant down the column) while full re-exchange tracks the instance
+size, so the speedup widens with scale.  Every measured batch is
+equivalence-checked against a fresh full exchange (``set_equal`` up
+to null renaming), including delete-heavy batches and an egd series
+that exercises merge rollback.
+
+Acceptance: ≥ 5x for single-batch maintenance vs full re-exchange at
+the 4k-row scale.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.instances import Instance
+from repro.logic import parse_tgd
+from repro.mappings import Mapping
+from repro.metamodel import INT, STRING, SchemaBuilder
+from repro.operators.transgen import ExchangeTransformation
+from repro.runtime import (
+    MaterializedExchange,
+    UpdateSet,
+    set_equal_modulo_nulls,
+)
+from repro.runtime.updates import apply_update
+
+from conftest import print_table
+
+SIZES = (250, 1000, 4000)
+BATCH = 16
+BATCHES = 4
+ACCEPTANCE_SPEEDUP = 5.0
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+def _tgd_mapping(tag: str) -> Mapping:
+    source = (
+        SchemaBuilder(f"S{tag}")
+        .entity("Ord").attribute("oid", INT).attribute("cust", INT)
+        .attribute("amount", INT)
+        .entity("Cust").attribute("cid", INT).attribute("name", STRING)
+        .build()
+    )
+    target = (
+        SchemaBuilder(f"T{tag}")
+        .entity("Sale").attribute("oid", INT).attribute("name", STRING)
+        .entity("Client").attribute("cid", INT).attribute("name", STRING)
+        .attribute("tier", INT, nullable=True)
+        .entity("Audit").attribute("oid", INT)
+        .build()
+    )
+    return Mapping(source, target, [
+        parse_tgd("Ord(oid=o, cust=c, amount=a) & Cust(cid=c, name=n) "
+                  "-> Sale(oid=o, name=n)"),
+        parse_tgd("Cust(cid=c, name=n) -> Client(cid=c, name=n, tier=t)"),
+        parse_tgd("Sale(oid=o, name=n) -> Audit(oid=o)"),
+    ])
+
+
+def _tgd_source(rows: int) -> Instance:
+    db = Instance()
+    customers = max(4, rows // 4)
+    for i in range(customers):
+        db.insert("Cust", {"cid": i, "name": f"c{i % 97}"})
+    for i in range(rows):
+        db.insert("Ord", {"oid": i, "cust": i % customers, "amount": i})
+    return db
+
+
+def _tgd_batch(rng: random.Random, current: Instance,
+               next_id: int) -> UpdateSet:
+    """A mixed batch: half inserts (joining orders + fresh customers),
+    half deletes of existing rows (exercising the DRed cascade)."""
+    update = UpdateSet()
+    half = BATCH // 2
+    for k in range(half):
+        if k % 3 == 2:
+            update.insert("Cust", cid=next_id + k, name=f"c{k}")
+        else:
+            existing = current.rows("Cust")
+            cid = rng.choice(existing)["cid"] if existing else next_id + k
+            update.insert("Ord", oid=next_id + k, cust=cid,
+                          amount=rng.randint(0, 999))
+    orders = current.rows("Ord")
+    for row in rng.sample(orders, min(half, len(orders))):
+        update.deletes.setdefault("Ord", []).append(dict(row))
+    return update
+
+
+def _egd_mapping(tag: str) -> Mapping:
+    source = (
+        SchemaBuilder(f"Se{tag}")
+        .entity("A").attribute("eid", INT)
+        .entity("B").attribute("eid", INT).attribute("office", STRING)
+        .build()
+    )
+    target = (
+        SchemaBuilder(f"Te{tag}")
+        .entity("Assign", key=("eid",))
+        .attribute("eid", INT).attribute("office", STRING, nullable=True)
+        .entity("Room").attribute("office", STRING)
+        .build()
+    )
+    return Mapping(source, target, [
+        parse_tgd("A(eid=e) -> Assign(eid=e, office=o)"),
+        parse_tgd("B(eid=e, office=f) -> Assign(eid=e, office=f)"),
+        parse_tgd("Assign(eid=e, office=f) -> Room(office=f)"),
+    ])
+
+
+def _egd_source(rows: int) -> Instance:
+    db = Instance()
+    for i in range(rows):
+        db.insert("A", {"eid": i})
+        if i % 2 == 0:
+            db.insert("B", {"eid": i, "office": f"off{i % 5}"})
+    return db
+
+
+def _egd_batch(rng: random.Random, current: Instance,
+               next_id: int) -> UpdateSet:
+    """Inserts that trigger key merges plus deletes that orphan them
+    (exercising the union-find rollback path)."""
+    update = UpdateSet()
+    for k in range(BATCH // 2):
+        eid = rng.randint(0, next_id + k)
+        if k % 2 == 0:
+            update.insert("A", eid=eid)
+        else:
+            update.insert("B", eid=eid, office=f"off{eid % 5}")
+    for relation in ("B", "A"):
+        rows = current.rows(relation)
+        for row in rng.sample(rows, min(BATCH // 4, len(rows))):
+            update.deletes.setdefault(relation, []).append(dict(row))
+    return update
+
+
+# ----------------------------------------------------------------------
+# measured series (shared by the report and the pytest benchmarks)
+# ----------------------------------------------------------------------
+def _series(size: int, make_mapping, make_source, make_batch,
+            enforce_target_keys: bool = False):
+    """Run BATCHES maintenance rounds at one scale; return median
+    per-batch maintenance and full re-exchange times plus the
+    exchange's counters.  Asserts equivalence after every batch."""
+    mapping = make_mapping(f"{size}")
+    base = make_source(size)
+    materialized = MaterializedExchange(
+        mapping, base, enforce_target_keys=enforce_target_keys
+    )
+    current = base
+    rng = random.Random(size)
+    maintain_s: list[float] = []
+    full_s: list[float] = []
+    for batch_no in range(BATCHES):
+        update = make_batch(rng, current, 10 ** 6 + batch_no * BATCH)
+        start = time.perf_counter()
+        materialized.apply(update)
+        maintain_s.append(time.perf_counter() - start)
+        current = apply_update(current, update)
+        full_exchange = ExchangeTransformation(
+            mapping, enforce_target_keys=enforce_target_keys
+        )
+        start = time.perf_counter()
+        full = full_exchange.apply(current)
+        full_s.append(time.perf_counter() - start)
+        assert set_equal_modulo_nulls(materialized.target_instance(),
+                                      full), (
+            f"maintenance diverged from full re-exchange at size {size}, "
+            f"batch {batch_no}"
+        )
+        assert materialized.source_instance().set_equal(current)
+    maintain_s.sort()
+    full_s.sort()
+    median_maintain = maintain_s[len(maintain_s) // 2]
+    median_full = full_s[len(full_s) // 2]
+    return median_maintain, median_full, materialized.stats
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (make bench)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("size", [250])
+def test_maintenance_batch(benchmark, size):
+    mapping = _tgd_mapping(f"m{size}")
+    materialized = MaterializedExchange(mapping, _tgd_source(size))
+    rng = random.Random(7)
+    counter = iter(range(10 ** 6))
+
+    def one_batch():
+        start = 2 * 10 ** 6 + next(counter) * BATCH
+        update = _tgd_batch(
+            rng, materialized.source_instance(copy=False), start
+        )
+        return materialized.apply(update)
+
+    benchmark(one_batch)
+    assert materialized.stats["applies"] >= 1
+
+
+@pytest.mark.parametrize("size", [250])
+def test_full_reexchange_batch(benchmark, size):
+    mapping = _tgd_mapping(f"f{size}")
+    current = _tgd_source(size)
+    rng = random.Random(7)
+    counter = iter(range(10 ** 6))
+
+    def one_batch():
+        start = 2 * 10 ** 6 + next(counter) * BATCH
+        update = _tgd_batch(rng, current, start)
+        return ExchangeTransformation(mapping).apply(
+            apply_update(current, update)
+        )
+
+    result = benchmark(one_batch)
+    assert result.total_rows() > 0
+
+
+def test_egd_series_equivalent():
+    """Merge/rollback lane stays equivalent to full re-exchange."""
+    _series(120, _egd_mapping, _egd_source, _egd_batch,
+            enforce_target_keys=True)
+
+
+# ----------------------------------------------------------------------
+# harness report -> BENCH_updates.json
+# ----------------------------------------------------------------------
+def test_incremental_exchange_report(benchmark):
+    rows = []
+    acceptance = None
+    for size in SIZES:
+        maintain, full, stats = _series(
+            size, _tgd_mapping, _tgd_source, _tgd_batch
+        )
+        speedup = full / maintain if maintain else float("inf")
+        rows.append([
+            size, BATCH, f"{maintain * 1000:.2f} ms",
+            f"{full * 1000:.2f} ms", f"{speedup:.1f}x",
+            stats["overdeleted"], stats["rederived"],
+            stats["reused_rows"],
+        ])
+        if size == max(SIZES):
+            acceptance = speedup
+    egd_size = 120
+    maintain, full, stats = _series(
+        egd_size, _egd_mapping, _egd_source, _egd_batch,
+        enforce_target_keys=True,
+    )
+    rows.append([
+        f"{egd_size} (egd)", BATCH, f"{maintain * 1000:.2f} ms",
+        f"{full * 1000:.2f} ms",
+        f"{full / maintain if maintain else float('inf'):.1f}x",
+        stats["overdeleted"], stats["rederived"], stats["reused_rows"],
+    ])
+    # One timed op for the harness: a single maintenance batch at the
+    # smallest scale.
+    mapping = _tgd_mapping("rep")
+    materialized = MaterializedExchange(mapping, _tgd_source(SIZES[0]))
+    rng = random.Random(3)
+    update = _tgd_batch(
+        rng, materialized.source_instance(copy=False), 3 * 10 ** 6
+    )
+    benchmark(materialized.apply, update)
+    print_table(
+        "E10: incremental maintenance vs full re-exchange per "
+        f"{BATCH}-row mixed batch (equivalence-checked every batch)",
+        ["source rows", "batch", "maintain", "re-exchange", "speedup",
+         "overdeleted", "rederived", "reused rows"],
+        rows,
+    )
+    if acceptance is not None and max(SIZES) >= 4000:
+        assert acceptance >= ACCEPTANCE_SPEEDUP, (
+            f"maintenance speedup {acceptance:.1f}x below the "
+            f"{ACCEPTANCE_SPEEDUP}x acceptance bar at {max(SIZES)} rows"
+        )
+
+
+# ----------------------------------------------------------------------
+# standalone run -> BENCH_updates.json (see benchmarks/harness.py)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    import sys
+
+    from harness import run_standalone
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if "--smoke" in argv:
+        # CI parity gate: smallest size only, equivalence asserts and
+        # the egd lane still run; no JSON rewrite.
+        global SIZES
+        SIZES = (250,)
+    return run_standalone("updates", [test_incremental_exchange_report],
+                          argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

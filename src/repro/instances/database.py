@@ -56,6 +56,16 @@ _NULL_TAG = _IndexTag("labeled-null")
 _OPAQUE_TAG = _IndexTag("unhashable")
 
 
+def null_key_label(key: object) -> Optional[int]:
+    """The label behind a ``hashable_key(LabeledNull(l))`` image, or
+    ``None`` for every other kind of key.  Lets provenance bookkeeping
+    (the incremental runtime) recognise null-valued key components
+    without re-deriving them from row values."""
+    if isinstance(key, tuple) and len(key) == 2 and key[0] is _NULL_TAG:
+        return key[1]  # type: ignore[return-value]
+    return None
+
+
 def hashable_key(value: object) -> object:
     """A hashable stand-in for an arbitrary row value.
 
@@ -126,8 +136,11 @@ class _AttrIndex:
 
 
 class _ProjectionSet:
-    """Membership set of one relation's rows projected onto an
-    attribute tuple (rows lacking any of the attributes are skipped)."""
+    """Membership index of one relation's rows projected onto an
+    attribute tuple (rows lacking any of the attributes are skipped).
+    ``members`` maps each projected tuple to its multiplicity so that
+    :meth:`Instance.remove_rows` can retract one row without losing
+    membership for surviving duplicates."""
 
     __slots__ = ("source", "seen", "epoch", "members")
 
@@ -135,7 +148,7 @@ class _ProjectionSet:
         self.source = source
         self.seen = 0
         self.epoch = epoch
-        self.members: set[tuple] = set()
+        self.members: dict[tuple, int] = {}
 
 
 class Instance:
@@ -156,7 +169,7 @@ class Instance:
         self._attr_indexes: dict[tuple[str, str], _AttrIndex] = {}
         self._projection_sets: dict[tuple[str, tuple[str, ...]], _ProjectionSet] = {}
         self._dirty_epoch = 0
-        self.index_stats = {"hits": 0, "extends": 0, "rebuilds": 0}
+        self.index_stats = {"hits": 0, "extends": 0, "rebuilds": 0, "removes": 0}
 
     # ------------------------------------------------------------------
     # population
@@ -219,6 +232,80 @@ class Instance:
             self.relations.pop(relation, None)
         if removed:
             self.mark_dirty()
+        return removed
+
+    def remove_rows(self, relation: str, rows: Iterable[Row]) -> list[Row]:
+        """Remove specific stored rows (matched by *identity*) while
+        updating the persistent indexes **incrementally** instead of
+        invalidating them.
+
+        This is the deletion counterpart of the append-detection in
+        :meth:`index_lookup` / :meth:`projection_member`: postings lists
+        drop the dead rows, projection multiplicities are decremented,
+        and each index's ``seen`` watermark is shifted by the number of
+        dead rows it had already absorbed — so a delete batch costs work
+        proportional to the batch, not to the relation.  The relation's
+        backing list keeps its identity (mutated in place), which is
+        what lets current index entries stay valid.
+        """
+        backing = self.relations.get(relation)
+        if backing is None:
+            return []
+        dead = {id(row) for row in rows}
+        if not dead:
+            return []
+        positions = {id(row): index for index, row in enumerate(backing)}
+        removed = [row for row in backing if id(row) in dead]
+        if not removed:
+            return []
+        backing[:] = [row for row in backing if id(row) not in dead]
+        epoch = self._dirty_epoch
+        for (indexed_relation, attribute), entry in self._attr_indexes.items():
+            if (
+                indexed_relation != relation
+                or entry.source is not backing
+                or entry.epoch != epoch
+            ):
+                continue
+            absorbed = 0
+            for row in removed:
+                if positions[id(row)] >= entry.seen:
+                    continue  # never indexed: nothing to retract
+                absorbed += 1
+                if attribute not in row:
+                    continue
+                key = hashable_key(row[attribute])
+                posting = entry.postings.get(key)
+                if posting is not None:
+                    posting[:] = [r for r in posting if r is not row]
+                    if not posting:
+                        del entry.postings[key]
+            entry.seen -= absorbed
+        for (indexed_relation, attributes), entry in self._projection_sets.items():
+            if (
+                indexed_relation != relation
+                or entry.source is not backing
+                or entry.epoch != epoch
+            ):
+                continue
+            absorbed = 0
+            for row in removed:
+                if positions[id(row)] >= entry.seen:
+                    continue
+                absorbed += 1
+                try:
+                    projected = tuple(
+                        [hashable_key(row[a]) for a in attributes]
+                    )
+                except KeyError:
+                    continue
+                count = entry.members.get(projected, 0) - 1
+                if count > 0:
+                    entry.members[projected] = count
+                else:
+                    entry.members.pop(projected, None)
+            entry.seen -= absorbed
+        self.index_stats["removes"] += len(removed)
         return removed
 
     def clear(self, relation: str) -> None:
@@ -353,11 +440,10 @@ class Instance:
         members = entry.members
         for row in rows[entry.seen:]:
             try:
-                members.add(
-                    tuple([hashable_key(row[a]) for a in attributes])
-                )
+                projected = tuple([hashable_key(row[a]) for a in attributes])
             except KeyError:
                 continue  # row lacks one of the attributes: no match
+            members[projected] = members.get(projected, 0) + 1
         entry.seen = len(rows)
         return values in entry.members
 

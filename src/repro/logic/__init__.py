@@ -36,6 +36,7 @@ from repro.logic.homomorphism import (
 from repro.logic.chase import (
     chase,
     naive_chase,
+    ChaseRecorder,
     ChaseResult,
     ChaseStats,
     is_weakly_acyclic,
@@ -52,7 +53,8 @@ __all__ = [
     "SecondOrderTGD", "Implication", "skolemize", "deskolemize",
     "find_homomorphism", "find_all_homomorphisms", "instance_homomorphism",
     "are_hom_equivalent",
-    "chase", "naive_chase", "ChaseResult", "ChaseStats", "is_weakly_acyclic",
+    "chase", "naive_chase", "ChaseRecorder", "ChaseResult", "ChaseStats",
+    "is_weakly_acyclic",
     "core_of",
     "certain_answers", "naive_evaluate",
     "is_contained_in", "are_equivalent",

@@ -92,6 +92,45 @@ class ChaseStats:
         return "\n".join(lines)
 
 
+class ChaseRecorder:
+    """Optional provenance hooks for one chase run.
+
+    The incremental runtime (:mod:`repro.runtime.incremental`) passes a
+    recorder to capture *which trigger derived which rows* while the
+    chase runs, so deletions can later be propagated by counting/DRed
+    instead of re-chasing.  All hooks default to no-ops; the engine
+    calls them only when a recorder is supplied, so plain chases pay
+    nothing.
+    """
+
+    def on_tgd_fire(
+        self,
+        dep_index: int,
+        tgd: "TGD",
+        frontier_key: tuple,
+        frontier_items: list,
+        rows: list[tuple[str, Row]],
+    ) -> None:
+        """One tgd firing: the frontier key identifying the trigger,
+        the (var, value) frontier bindings, and the stored head rows."""
+
+    def on_egd_union(
+        self,
+        dep_index: int,
+        egd: "EGD",
+        body_key: tuple,
+        left: object,
+        right: object,
+    ) -> None:
+        """One applied egd equality (union of two distinct classes)."""
+
+    def on_substitution(
+        self, positions: list[tuple[str, Row, str, "LabeledNull", object]]
+    ) -> None:
+        """One in-place merge pass: every rewritten position as
+        ``(relation, row, attr, old_null, replacement)``."""
+
+
 @dataclass
 class ChaseResult:
     """Outcome of a chase run."""
@@ -132,8 +171,17 @@ def chase(
     max_steps: int = 100_000,
     null_factory: Optional[NullFactory] = None,
     copy: bool = True,
+    recorder: Optional[ChaseRecorder] = None,
+    initial_delta: Optional[dict[str, list[Row]]] = None,
 ) -> ChaseResult:
     """Chase ``instance`` with ``dependencies`` (semi-naive engine).
+
+    ``recorder`` receives provenance callbacks per firing/merge (see
+    :class:`ChaseRecorder`).  ``initial_delta`` replaces round 0's full
+    trigger enumeration with delta-pinned enumeration over the given
+    rows — callers use it when the instance is already chase-consistent
+    except for freshly appended rows, so only triggers touching those
+    rows can be active.
 
     Raises :class:`ChaseFailure` if an egd equates distinct constants
     (no solution exists) and :class:`ChaseNonTermination` as soon as a
@@ -142,7 +190,8 @@ def chase(
     """
     working = instance.copy() if copy else instance
     factory = null_factory or _fresh_factory(working)
-    engine = _SemiNaiveChase(working, dependencies, factory, max_steps)
+    engine = _SemiNaiveChase(working, dependencies, factory, max_steps,
+                             recorder=recorder, initial_delta=initial_delta)
     if not _OBS.enabled:
         return engine.run()
     from repro.observability.tracing import tracer
@@ -258,11 +307,15 @@ class _SemiNaiveChase:
         dependencies: Sequence[Union[TGD, EGD]],
         factory: NullFactory,
         max_steps: int,
+        recorder: Optional[ChaseRecorder] = None,
+        initial_delta: Optional[dict[str, list[Row]]] = None,
     ) -> None:
         self.instance = instance
         self.dependencies = list(dependencies)
         self.factory = factory
         self.max_steps = max_steps
+        self.recorder = recorder
+        self.initial_delta = initial_delta
         self.steps = 0
         self.fired: dict[str, int] = {}
         self.stats = ChaseStats()
@@ -317,7 +370,9 @@ class _SemiNaiveChase:
         start = time.perf_counter()
         instance = self.instance
         hits0 = dict(instance.index_stats)
-        delta: Optional[dict[str, list[Row]]] = None  # None ⇒ round 0
+        # None ⇒ full round-0 enumeration; a caller-supplied initial
+        # delta restricts round 0 to triggers touching its rows.
+        delta: Optional[dict[str, list[Row]]] = self.initial_delta
         while True:
             self.stats.rounds += 1
             inserted: dict[str, list[Row]] = {}
@@ -429,6 +484,7 @@ class _SemiNaiveChase:
                 )
             self.steps += 1
             existential_values: dict[Var, LabeledNull] = {}
+            head_rows: list[tuple[str, Row]] = []
             for atom in tgd.head:
                 row: Row = {}
                 for attr, term in atom.args:
@@ -452,8 +508,15 @@ class _SemiNaiveChase:
                         )
                 stored = instance.insert(atom.relation, row)
                 inserted.setdefault(atom.relation, []).append(stored)
+                head_rows.append((atom.relation, stored))
                 if self.has_egds:
                     self._record_nulls(atom.relation, stored)
+            if self.recorder is not None:
+                self.recorder.on_tgd_fire(
+                    index, tgd, key,
+                    [(v, assignment[v]) for v in frontier],
+                    head_rows,
+                )
             memo.add(key)
             fired += 1
         if fired:
@@ -500,6 +563,7 @@ class _SemiNaiveChase:
         union_find: _UnionFind,
     ) -> bool:
         name = self.names[index]
+        variables = self.body_variables[index]
         merged = 0
         for assignment in triggers:
             for equality in egd.equalities:
@@ -522,6 +586,15 @@ class _SemiNaiveChase:
                         )
                     self.steps += 1
                     merged += 1
+                    if self.recorder is not None:
+                        self.recorder.on_egd_union(
+                            index, egd,
+                            tuple(
+                                hashable_key(assignment[v])
+                                for v in variables
+                            ),
+                            left, right,
+                        )
         if merged:
             self.fired[name] = self.fired.get(name, 0) + merged
             self.stats.merges += merged
@@ -537,6 +610,7 @@ class _SemiNaiveChase:
         if not mapping:
             return []
         touched: dict[int, tuple[str, Row]] = {}
+        positions: list[tuple[str, Row, str, LabeledNull, object]] = []
         for null, replacement in mapping.items():
             occurrences = self.null_occurrences.pop(null, None)
             if not occurrences:
@@ -545,11 +619,17 @@ class _SemiNaiveChase:
                 for attr, value in row.items():
                     if isinstance(value, LabeledNull) and value == null:
                         row[attr] = replacement
+                        if self.recorder is not None:
+                            positions.append(
+                                (relation, row, attr, null, replacement)
+                            )
                 touched[row_id] = (relation, row)
                 if isinstance(replacement, LabeledNull):
                     self.null_occurrences.setdefault(replacement, {})[
                         row_id
                     ] = (relation, row)
+        if self.recorder is not None and positions:
+            self.recorder.on_substitution(positions)
         # Rows were rewritten in place: the instance's persistent
         # indexes and the satisfied-frontier memos are both stale.
         self.instance.mark_dirty()

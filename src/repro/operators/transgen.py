@@ -98,6 +98,49 @@ class AlgebraTransformation(Transformation):
             deduplicated.relations.setdefault(relation, [])
         return deduplicated
 
+    def output_relations_touched_by(self, touched: set) -> set:
+        """Output relations owning at least one rule that scans a
+        relation in ``touched``."""
+        hit = set()
+        for relation, expr in self.rules:
+            if scan_relations(expr, self.input_schema) & touched:
+                hit.add(relation)
+        return hit
+
+    def apply_delta(
+        self,
+        instance: Instance,
+        previous_output: Instance,
+        touched: set,
+        engine: Optional[str] = None,
+    ) -> Instance:
+        """Like :meth:`apply`, but re-evaluates only the output
+        relations whose rules scan a relation in ``touched``; every
+        other output relation is carried over from ``previous_output``
+        unchanged.  Sound because each rule's output is a function of
+        exactly the relations it scans."""
+        engine = engine if engine is not None else self.engine
+        recompute = self.output_relations_touched_by(touched)
+        partial = Instance(self.output_schema)
+        for relation, expr in self.rules:
+            if relation not in recompute:
+                continue
+            rows = evaluate(expr, instance, self.input_schema, engine=engine)
+            partial.relations.setdefault(relation, [])
+            partial.insert_all(relation, self._normalize(rows))
+        partial = partial.deduplicated()
+        result = Instance(self.output_schema)
+        for relation, _ in self.rules:
+            if relation in result.relations:
+                continue
+            if relation in recompute:
+                result.relations[relation] = list(partial.rows(relation))
+            else:
+                result.relations[relation] = [
+                    dict(row) for row in previous_output.rows(relation)
+                ]
+        return result
+
     def _normalize(self, rows: list) -> list:
         """Typed extent rows (union branches pad each other's columns
         with nulls) are restricted to their ``$type``'s declared
@@ -125,6 +168,53 @@ class AlgebraTransformation(Transformation):
         return "\n".join(lines)
 
 
+def scan_relations(expr: E.RelExpr, schema: Optional[Schema] = None) -> set:
+    """The base relations an algebra expression reads: ``Scan``
+    relations plus the root extents of ``EntityScan`` s (resolved
+    through ``schema`` when it knows the entity)."""
+    found: set = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, E.Scan):
+            found.add(node.relation)
+        elif isinstance(node, E.EntityScan):
+            if schema is not None and node.entity in schema.entities:
+                found.add(schema.entity(node.entity).root().name)
+            else:
+                found.add(node.entity)
+        stack.extend(node.inputs())
+    return found
+
+
+def exchange_dependencies(
+    mapping: Mapping, enforce_target_keys: bool = False
+) -> list:
+    """The chase dependency set of a tgd mapping's data exchange: the
+    mapping's constraints plus, when ``enforce_target_keys``, the
+    target's primary-key constraints as egds (the Section 4 interplay
+    of mappings with target constraints).  Shared by
+    :class:`ExchangeTransformation` and the incremental runtime
+    (:mod:`repro.runtime.incremental`), which must chase with the
+    *same* dependency list to keep provenance indexes aligned."""
+    dependencies = list(mapping.constraints)
+    if enforce_target_keys:
+        from repro.logic.dependencies import key_egd
+        from repro.metamodel.constraints import KeyConstraint
+
+        for constraint in mapping.target.constraints:
+            if isinstance(constraint, KeyConstraint) and constraint.is_primary:
+                entity = mapping.target.entity(constraint.entity)
+                dependencies.append(
+                    key_egd(
+                        constraint.entity,
+                        list(constraint.attributes),
+                        list(entity.all_attribute_names()),
+                    )
+                )
+    return dependencies
+
+
 class ExchangeTransformation(Transformation):
     """Chase-based data exchange for (SO-)tgd mappings: computes a
     universal solution over the target relations.
@@ -148,27 +238,7 @@ class ExchangeTransformation(Transformation):
         self.last_chase_stats: Optional[ChaseStats] = None
 
     def _dependencies(self):
-        dependencies = list(self.mapping.constraints)
-        if self.enforce_target_keys:
-            # Target key constraints join the chase as egds, so invented
-            # nulls merge (or a ChaseFailure reports unsatisfiability) —
-            # the §4 interplay of mappings with target constraints.
-            from repro.logic.dependencies import key_egd
-            from repro.metamodel.constraints import KeyConstraint
-
-            for constraint in self.mapping.target.constraints:
-                if isinstance(constraint, KeyConstraint) and (
-                    constraint.is_primary
-                ):
-                    entity = self.mapping.target.entity(constraint.entity)
-                    dependencies.append(
-                        key_egd(
-                            constraint.entity,
-                            list(constraint.attributes),
-                            list(entity.all_attribute_names()),
-                        )
-                    )
-        return dependencies
+        return exchange_dependencies(self.mapping, self.enforce_target_keys)
 
     def apply(
         self, instance: Instance, engine: Optional[str] = None

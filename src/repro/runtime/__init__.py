@@ -15,6 +15,9 @@ provenance."  One module per service the paper enumerates:
 * :mod:`~repro.runtime.errors` — error translation S → T;
 * :mod:`~repro.runtime.notifications` — materialized-target
   maintenance with incremental deltas and subscriber notification;
+* :mod:`~repro.runtime.incremental` — materialized exchange with
+  delta-driven maintenance (counting/DRed deletes, delta-chase
+  inserts, egd-merge rollback);
 * :mod:`~repro.runtime.access_control` — access checks and pushdown;
 * :mod:`~repro.runtime.integrity` — cross-schema constraint checking;
 * :mod:`~repro.runtime.p2p` — peer-to-peer mapping chains;
@@ -28,6 +31,10 @@ from repro.runtime.provenance import lineage, route, ProvenanceEntry
 from repro.runtime.debugging import MappingDebugger
 from repro.runtime.errors import ErrorTranslator, TranslatedError
 from repro.runtime.notifications import MaterializedTarget, Delta
+from repro.runtime.incremental import (
+    MaterializedExchange,
+    set_equal_modulo_nulls,
+)
 from repro.runtime.access_control import AccessController, Permission
 from repro.runtime.integrity import (
     check_constraint_propagation,
@@ -51,6 +58,7 @@ __all__ = [
     "MappingDebugger",
     "ErrorTranslator", "TranslatedError",
     "MaterializedTarget", "Delta",
+    "MaterializedExchange", "set_equal_modulo_nulls",
     "AccessController", "Permission",
     "check_constraint_propagation", "inexpressible_constraints",
     "PeerNetwork",

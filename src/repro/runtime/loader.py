@@ -9,7 +9,12 @@ by S's loader."
 :class:`BatchLoader` accepts target-format rows in batches, translates
 each batch through the mapping's update view, defers integrity
 validation to the end of the load (the batch-loading idiom), and
-reports a load summary.
+reports a load summary.  A load can also append *through a
+materialized exchange* (``flush(materialized=...)``): the translated
+batch is forwarded as an :class:`~repro.runtime.updates.UpdateSet` so
+a downstream :class:`~repro.runtime.incremental.MaterializedExchange`
+maintains its chased target incrementally instead of re-exchanging
+the grown source.
 """
 
 from __future__ import annotations
@@ -18,11 +23,13 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import TransformationError
-from repro.instances.database import Instance, Row
+from repro.instances.database import Instance, Row, freeze_row
 from repro.instances.validation import violations
 from repro.mappings.mapping import Mapping
 from repro.observability.instrument import instrumented
 from repro.operators.transgen import TransformationPair, transgen
+from repro.runtime.incremental import MaterializedExchange
+from repro.runtime.updates import UpdateSet
 
 
 @dataclass
@@ -87,13 +94,44 @@ class BatchLoader:
         self._batches += 1
 
     @instrumented("runtime.load.flush", attrs=lambda self,
-                  destination=None: {"mapping.name": self.mapping.name})
-    def flush(self, destination: Optional[Instance] = None) -> tuple[Instance, LoadReport]:
+                  destination=None, materialized=None: {
+                      "mapping.name": self.mapping.name})
+    def flush(
+        self,
+        destination: Optional[Instance] = None,
+        materialized: Optional[MaterializedExchange] = None,
+    ) -> tuple[Instance, LoadReport]:
         """Translate all staged data into source format in one pass and
         (optionally) append to an existing source instance; integrity
-        is validated once, at the end."""
+        is validated once, at the end.
+
+        With ``materialized``, the translated batch is appended to the
+        materialized exchange's source as an insert-only
+        :class:`UpdateSet` — only rows not already present are
+        forwarded (matching the plain path's deduplication) — so its
+        chased target is maintained incrementally.  The returned
+        instance is the exchange's grown source state.
+        """
         loaded = self.views.update_view.apply(self._staging, engine=self.engine)
-        if destination is not None:
+        if materialized is not None:
+            update = UpdateSet()
+            current = materialized.source_instance(copy=False)
+            for relation, rows in loaded.relations.items():
+                present = {
+                    freeze_row(r) for r in current.rows(relation)
+                }
+                for row in rows:
+                    frozen = freeze_row(row)
+                    if frozen in present:
+                        continue
+                    present.add(frozen)
+                    update.inserts.setdefault(relation, []).append(
+                        dict(row)
+                    )
+            if not update.is_empty:
+                materialized.apply(update)
+            loaded = materialized.source_instance()
+        elif destination is not None:
             loaded = destination.union(loaded).deduplicated()
             loaded.schema = self.mapping.source
         problems: list[str] = []

@@ -6,11 +6,17 @@ actions to data in T.  For update actions, this is the problem of
 maintaining materialized views."
 
 :class:`MaterializedTarget` keeps a target instance materialized over a
-source, maintains it on source changes — **incrementally** for insert-
-only deltas under tgd mappings (semi-naive delta chase), falling back
-to full recomputation otherwise — and notifies subscribers with the
-target-side delta.  The incremental-vs-recompute gap is measured in
-``benchmarks/bench_runtime_services.py`` (experiment E5).
+source, maintains it on source changes, and notifies subscribers with
+the target-side delta.  For tgd mappings the maintenance is fully
+incremental — inserts *and* deletes — through
+:class:`~repro.runtime.incremental.MaterializedExchange` (delta chase
+for inserts, counting/DRed over-delete-and-rederive for deletes).
+Equality-only and so-tgd mappings, plus any maintenance round that
+trips the egd-rollback safety check, fall back to full recomputation;
+the delta's ``recomputed`` flag reports which path ran.  The
+incremental-vs-recompute gap is measured in
+``benchmarks/bench_runtime_services.py`` (experiment E5) and
+``benchmarks/bench_incremental_exchange.py``.
 """
 
 from __future__ import annotations
@@ -18,11 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.instances.database import Instance, Row, freeze_row
-from repro.logic.chase import chase
-from repro.logic.homomorphism import find_homomorphism
+from repro.instances.database import Instance, Row
 from repro.mappings.mapping import Mapping
 from repro.runtime.executor import exchange
+from repro.runtime.incremental import MaterializedExchange
 from repro.runtime.updates import UpdateSet, apply_update, instance_delta
 
 
@@ -48,12 +53,25 @@ Subscriber = Callable[[Delta], None]
 
 
 class MaterializedTarget:
-    """A target instance kept consistent with a changing source."""
+    """A target instance kept consistent with a changing source.
 
-    def __init__(self, mapping: Mapping, source: Instance):
+    ``source`` and ``target`` are live views of the maintained state;
+    treat them as read-only — mutate through :meth:`on_source_change`.
+    ``incremental=False`` forces full recomputation on every change
+    (the baseline lane in experiment E5).
+    """
+
+    def __init__(self, mapping: Mapping, source: Instance,
+                 incremental: bool = True):
         self.mapping = mapping
-        self.source = source.copy()
-        self.target = exchange(mapping, self.source)
+        self._exchange: Optional[MaterializedExchange] = None
+        if incremental and mapping.so_tgd is None and mapping.tgds:
+            self._exchange = MaterializedExchange(mapping, source)
+            self.source = self._exchange.source_instance(copy=False)
+            self.target = self._exchange.target_instance(copy=False)
+        else:
+            self.source = source.copy()
+            self.target = exchange(mapping, self.source)
         self._subscribers: list[Subscriber] = []
         self.maintenance_stats = {"incremental": 0, "recomputed": 0}
 
@@ -63,13 +81,21 @@ class MaterializedTarget:
     # ------------------------------------------------------------------
     def on_source_change(self, update: UpdateSet) -> Delta:
         """Apply a source-side update and maintain the target."""
-        new_source = apply_update(self.source, update)
-        if self._insert_only(update) and self.mapping.tgds and (
-            self.mapping.so_tgd is None
-        ):
-            delta = self._incremental_insert(update, new_source)
-            self.maintenance_stats["incremental"] += 1
+        if self._exchange is not None:
+            fallbacks = self._exchange.stats["full_reexchange"]
+            change = self._exchange.apply(update)
+            recomputed = (
+                self._exchange.stats["full_reexchange"] > fallbacks
+            )
+            delta = Delta(
+                inserted=change.inserts,
+                deleted=change.deletes,
+                recomputed=recomputed,
+            )
+            self.source = self._exchange.source_instance(copy=False)
+            self.target = self._exchange.target_instance(copy=False)
         else:
+            new_source = apply_update(self.source, update)
             new_target = exchange(self.mapping, new_source)
             change = instance_delta(self.target, new_target)
             delta = Delta(
@@ -78,106 +104,10 @@ class MaterializedTarget:
                 recomputed=True,
             )
             self.target = new_target
-            self.maintenance_stats["recomputed"] += 1
-        self.source = new_source
+            self.source = new_source
+        key = "recomputed" if delta.recomputed else "incremental"
+        self.maintenance_stats[key] += 1
         if not delta.is_empty:
             for subscriber in self._subscribers:
                 subscriber(delta)
         return delta
-
-    @staticmethod
-    def _insert_only(update: UpdateSet) -> bool:
-        return not update.deletes
-
-    def _incremental_insert(
-        self, update: UpdateSet, new_source: Instance
-    ) -> Delta:
-        """Semi-naive maintenance for insert-only source deltas: only
-        dependency triggers that touch at least one new row can add
-        target rows, so chase over (old ∪ new) but skip triggers fully
-        inside the old data by seeding from the delta rows."""
-        inserted: dict[str, list[Row]] = {}
-        existing = {
-            relation: {freeze_row(r) for r in rows}
-            for relation, rows in self.target.relations.items()
-        }
-        from repro.logic.homomorphism import iter_homomorphisms
-        from repro.logic.terms import Const, Var
-        from repro.instances.labeled_null import NullFactory
-
-        factory = NullFactory(
-            max((n.label for n in self.target.nulls()), default=-1) + 1
-        )
-        combined = new_source.copy()
-        # Make target rows visible for head-satisfaction tests.
-        for relation, rows in self.target.relations.items():
-            combined.relations.setdefault(relation, []).extend(
-                dict(r) for r in rows
-            )
-        delta_rows = {
-            relation: [freeze_row(r) for r in rows]
-            for relation, rows in update.inserts.items()
-        }
-        for tgd in self.mapping.tgds:
-            relevant = any(
-                atom.relation in delta_rows for atom in tgd.body
-            )
-            if not relevant:
-                continue
-            for assignment in iter_homomorphisms(tgd.body, combined):
-                if not self._touches_delta(tgd, assignment, combined,
-                                           delta_rows):
-                    continue
-                partial = {
-                    var: value
-                    for var, value in assignment.items()
-                    if var in tgd.frontier()
-                }
-                if find_homomorphism(tgd.head, combined, partial=partial):
-                    continue
-                invented: dict[Var, object] = {}
-                for atom in tgd.head:
-                    row: Row = {}
-                    for name, term in atom.args:
-                        if isinstance(term, Const):
-                            row[name] = term.value
-                        elif term in assignment:
-                            row[name] = assignment[term]
-                        else:
-                            if term not in invented:
-                                invented[term] = factory.fresh(
-                                    hint=f"maint.{term.name}"
-                                )
-                            row[name] = invented[term]
-                    frozen = freeze_row(row)
-                    if frozen not in existing.setdefault(atom.relation, set()):
-                        existing[atom.relation].add(frozen)
-                        inserted.setdefault(atom.relation, []).append(row)
-                        self.target.insert(atom.relation, row)
-                        combined.insert(atom.relation, row)
-        return Delta(inserted=inserted)
-
-    @staticmethod
-    def _touches_delta(tgd, assignment, combined, delta_rows) -> bool:
-        """Does this trigger use at least one newly inserted row?"""
-        for atom in tgd.body:
-            if atom.relation not in delta_rows:
-                continue
-            from repro.logic.terms import Const
-
-            image = {}
-            usable = True
-            for name, term in atom.args:
-                if isinstance(term, Const):
-                    image[name] = term.value
-                elif term in assignment:
-                    image[name] = assignment[term]
-                else:
-                    usable = False
-            if not usable:
-                continue
-            for frozen in delta_rows[atom.relation]:
-                row = dict(frozen)
-                if all(row.get(k) == v for k, v in image.items()):
-                    return True
-        return False

@@ -9,7 +9,13 @@ propagating it through the chain."
 :class:`PeerNetwork` supports both execution styles the paper
 describes: *propagation* (exchange hop by hop along the chain) and
 *collapsed* (compose the chain's mappings into one and exchange once)
-— and the benchmark compares them.
+— and the benchmark compares them.  For tgd chains the network can
+also *materialize* a chain (:meth:`~PeerNetwork.materialize_chain`)
+and then push :class:`~repro.runtime.updates.UpdateSet` s hop-to-hop
+(:meth:`~PeerNetwork.propagate_update`): each hop maintains its
+materialized target incrementally and emits the target-side delta as
+the next hop's input, so steady-state cost tracks the delta, not the
+chain's data volume.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ from repro.metamodel.schema import Schema
 from repro.observability.instrument import instrumented
 from repro.operators.compose import compose
 from repro.runtime.executor import exchange
+from repro.runtime.incremental import MaterializedExchange
+from repro.runtime.updates import UpdateSet, apply_update_in_place
 
 
 @dataclass
@@ -43,6 +51,11 @@ class PeerNetwork:
         self.peers: dict[str, Peer] = {}
         self.mappings: dict[tuple[str, str], Mapping] = {}
         self.engine = engine
+        # (source, target) → materialized hops, built lazily by
+        # materialize_chain and maintained by propagate_update.
+        self._materialized: dict[
+            tuple[str, str], list[MaterializedExchange]
+        ] = {}
 
     def add_peer(self, name: str, schema: Schema,
                  data: Optional[Instance] = None) -> Peer:
@@ -102,6 +115,61 @@ class PeerNetwork:
         for mapping in self.find_chain(source_peer, target_peer):
             current = exchange(mapping, current, engine=self.engine)
         return current
+
+    @instrumented("runtime.p2p.materialize_chain",
+                  attrs=lambda self, source_peer, target_peer: {
+                      "source": source_peer, "target": target_peer})
+    def materialize_chain(
+        self, source_peer: str, target_peer: str
+    ) -> list[MaterializedExchange]:
+        """Materialize every hop of the chain (tgd mappings only): hop
+        *i*'s chased target feeds hop *i+1* as its source.  The chain
+        is cached; :meth:`propagate_update` maintains it in place."""
+        key = (source_peer, target_peer)
+        cached = self._materialized.get(key)
+        if cached is not None:
+            return cached
+        peer = self.peers[source_peer]
+        if peer.data is None:
+            raise MappingError(f"peer {source_peer!r} holds no data")
+        hops: list[MaterializedExchange] = []
+        current = peer.data
+        for mapping in self.find_chain(source_peer, target_peer):
+            hop = MaterializedExchange(mapping, current)
+            hops.append(hop)
+            current = hop.target_instance(copy=False)
+        self._materialized[key] = hops
+        return hops
+
+    @instrumented("runtime.p2p.propagate_update",
+                  attrs=lambda self, source_peer, target_peer, update: {
+                      "source": source_peer, "target": target_peer,
+                      "update.size": update.size()})
+    def propagate_update(self, source_peer: str, target_peer: str,
+                         update: UpdateSet) -> UpdateSet:
+        """Push a source-peer update along the materialized chain:
+        each hop applies the incoming delta to its materialized state
+        and the resulting target-side delta becomes the next hop's
+        input.  Returns the final (target-peer) delta.  The source
+        peer's own data is updated in place; read the target peer's
+        maintained state via :meth:`materialized_target`."""
+        hops = self.materialize_chain(source_peer, target_peer)
+        peer = self.peers[source_peer]
+        if peer.data is not None:
+            apply_update_in_place(peer.data, update)
+        delta = update
+        for hop in hops:
+            if delta.is_empty:
+                break
+            delta = hop.apply(delta)
+        return delta
+
+    def materialized_target(self, source_peer: str,
+                            target_peer: str) -> Instance:
+        """The maintained target-peer instance of a materialized
+        chain (a copy; the chain keeps the live state)."""
+        hops = self.materialize_chain(source_peer, target_peer)
+        return hops[-1].target_instance()
 
     @instrumented("runtime.p2p.propagate_collapsed",
                   attrs=lambda self, source_peer, target_peer: {

@@ -24,8 +24,13 @@ from repro.algebra import scalars as S
 from repro.errors import ExpressivenessError, MappingError
 from repro.instances.database import TYPE_FIELD, Instance, Row, freeze_row
 from repro.mappings.mapping import Mapping
+from repro.observability.instrument import instrumented
 from repro.operators.transgen import TransformationPair, transgen
-from repro.runtime.updates import UpdateSet, instance_delta
+from repro.runtime.updates import (
+    UpdateSet,
+    apply_update_in_place,
+    instance_delta,
+)
 
 
 @dataclass
@@ -75,6 +80,12 @@ class Synchronizer:
         self.primary = primary
         self.replica = replica
         self.rules: list[ReplicationRule] = []
+        # Populated by synchronize(): (primary objects, desired target
+        # state, update-view output) of the last full pass — the basis
+        # for forward_update's incremental rounds.
+        self._last_primary_objects: Optional[Instance] = None
+        self._last_uncovered: Optional[list[tuple[str, Row]]] = None
+        self._last_replica_source: Optional[Instance] = None
 
     def add_rule(
         self,
@@ -84,6 +95,10 @@ class Synchronizer:
     ) -> ReplicationRule:
         rule = ReplicationRule(entity, condition, name)
         self.rules.append(rule)
+        # Rule coverage changed: the cached uncovered set is stale.
+        self._last_primary_objects = None
+        self._last_uncovered = None
+        self._last_replica_source = None
         return rule
 
     # ------------------------------------------------------------------
@@ -99,20 +114,79 @@ class Synchronizer:
         primary_objects = self.primary.objects()
         replica_objects = self.replica.objects()
 
-        desired = Instance(self.replica.mapping.target)
+        uncovered: list[tuple[str, Row]] = []
         for relation, rows in replica_objects.relations.items():
             for row in rows:
                 if not self._covered(relation, row):
-                    desired.insert(relation, row)
-        for rule in self.rules:
-            for row in self._matching(primary_objects, rule):
-                desired.insert(_relation_of(primary_objects, rule.entity),
-                               row)
-        desired = desired.deduplicated()
+                    uncovered.append((relation, row))
+        desired = self._desired_state(primary_objects, uncovered)
 
         new_replica_source = self.replica.views.update_view.apply(desired)
         delta = instance_delta(self.replica.source, new_replica_source)
         self.replica.source.relations = new_replica_source.relations
+        self._last_primary_objects = primary_objects
+        self._last_uncovered = uncovered
+        self._last_replica_source = new_replica_source
+        return delta
+
+    def _desired_state(
+        self,
+        primary_objects: Instance,
+        uncovered: list[tuple[str, Row]],
+    ) -> Instance:
+        """Rule-covered objects from the primary merged over the
+        replica's uncovered (locally owned) objects."""
+        desired = Instance(self.replica.mapping.target)
+        for relation, row in uncovered:
+            desired.insert(relation, row)
+        for rule in self.rules:
+            for row in self._matching(primary_objects, rule):
+                desired.insert(_relation_of(primary_objects, rule.entity),
+                               row)
+        return desired.deduplicated()
+
+    @instrumented("runtime.sync.forward_update", attrs=lambda self,
+                  update: {"update.size": update.size()})
+    def forward_update(self, update: UpdateSet) -> UpdateSet:
+        """Apply a *primary-source-side* update and forward its effect
+        to the replica incrementally; return the replica-source delta.
+
+        Instead of re-running both views over full instances, the
+        primary's query view and the replica's update view are
+        re-evaluated only for the rules whose scanned relations the
+        update touched (``apply_delta``), and the replica diff is
+        restricted to the output relations those rules own — so cost
+        tracks the update's footprint, not the database size.  The
+        first call (or the first after :meth:`add_rule`) falls back to
+        a full :meth:`synchronize`.
+        """
+        apply_update_in_place(self.primary.source, update)
+        if (
+            self._last_primary_objects is None
+            or self._last_uncovered is None
+            or self._last_replica_source is None
+        ):
+            return self.synchronize()
+        touched = _touched_relations(update, self.primary.mapping.source)
+        query_view = self.primary.views.query_view
+        primary_objects = query_view.apply_delta(
+            self.primary.source, self._last_primary_objects, touched
+        )
+        primary_objects.schema = self.primary.mapping.target
+        changed = query_view.output_relations_touched_by(touched)
+        desired = self._desired_state(primary_objects,
+                                      self._last_uncovered)
+        update_view = self.replica.views.update_view
+        new_replica_source = update_view.apply_delta(
+            desired, self._last_replica_source, changed
+        )
+        diff_scope = update_view.output_relations_touched_by(changed)
+        delta = instance_delta(
+            self.replica.source, new_replica_source, relations=diff_scope
+        )
+        self.replica.source.relations = new_replica_source.relations
+        self._last_primary_objects = primary_objects
+        self._last_replica_source = new_replica_source
         return delta
 
     def _covered(self, relation: str, row: Row) -> bool:
@@ -152,6 +226,23 @@ class Synchronizer:
             if not wanted <= have:
                 return False
         return True
+
+
+def _touched_relations(update: UpdateSet, schema) -> set[str]:
+    """Relations of ``schema`` named by the update batch ("$typed"
+    inserts resolve to their entity's root extent)."""
+    touched: set[str] = set()
+    for relation, rows in list(update.inserts.items()) + list(
+        update.deletes.items()
+    ):
+        if relation != "$typed":
+            touched.add(relation)
+            continue
+        for row in rows:
+            entity = str(row.get("$type", ""))
+            if schema is not None and entity in schema.entities:
+                touched.add(schema.entity(entity).root().name)
+    return touched
 
 
 def _relation_of(instance: Instance, entity: str) -> str:

@@ -319,7 +319,7 @@ class TestNotifications:
         assert materialized.target.cardinality("BigOrders") == 2
         assert materialized.maintenance_stats["incremental"] == 1
 
-    def test_delete_falls_back_to_recompute(self):
+    def test_delete_maintained_incrementally(self):
         mapping = self._mapping()
         db = Instance()
         db.add("Ord", oid=1, cust=10)
@@ -328,8 +328,22 @@ class TestNotifications:
         delta = materialized.on_source_change(
             UpdateSet().delete("Ord", oid=1)
         )
-        assert delta.recomputed
+        assert not delta.recomputed
+        assert delta.deleted["BigOrders"] == [{"oid": 1, "cust": 10}]
         assert materialized.target.cardinality("BigOrders") == 1
+        assert materialized.maintenance_stats["incremental"] == 1
+
+    def test_forced_recompute_lane(self):
+        mapping = self._mapping()
+        db = Instance()
+        db.add("Ord", oid=1, cust=10)
+        materialized = MaterializedTarget(mapping, db, incremental=False)
+        delta = materialized.on_source_change(
+            UpdateSet().insert("Ord", oid=2, cust=20)
+        )
+        assert delta.recomputed
+        assert materialized.target.cardinality("BigOrders") == 2
+        assert materialized.maintenance_stats["recomputed"] == 1
 
     def test_incremental_matches_recompute(self):
         """Incremental maintenance must agree with full recomputation."""
