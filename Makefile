@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test lint trace-smoke query-smoke updates-smoke bench-smoke \
-	bench-chase bench bench-query bench-updates bench-json
+	bench-chase bench bench-query bench-updates bench-json \
+	bench-check bench-check-smoke
 
 # Tier-1: the whole unit/integration suite, after the static, tracing,
 # query-engine and incremental-maintenance smoke gates.
@@ -69,6 +70,17 @@ bench-updates:
 # included via benchmarks/bench_incremental_exchange.py.
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Regression watchdog: re-run the query/updates/observability suites
+# into a temp dir and diff against the committed BENCH_*.json
+# baselines (generous step-change thresholds; exit 1 on regression).
+bench-check:
+	$(PYTHON) benchmarks/regression.py check
+
+# Fast watchdog variant for CI: smallest size only, report-only (the
+# committed baselines were recorded on different hardware).
+bench-check-smoke:
+	$(PYTHON) benchmarks/regression.py check --smoke --report-only
 
 # Every benchmark's machine-readable BENCH_*.json via the harness.
 bench-json:

@@ -207,8 +207,12 @@ def main(argv=None) -> int:
         Path(out).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {out}")
 
-    if chase_entry["disabled_overhead_percent"] >= 5.0:
-        print("ERROR: disabled overhead exceeds the 5% contract")
+    # The 5% contract is judged on the full 400-row measurement; the
+    # 100-row smoke run is noise-dominated (a ~7ms denominator), so it
+    # gets the same relaxed bound the pytest check uses.
+    limit = 15.0 if args.smoke else 5.0
+    if chase_entry["disabled_overhead_percent"] >= limit:
+        print(f"ERROR: disabled overhead exceeds the {limit:g}% contract")
         return 1
     return 0
 

@@ -165,6 +165,43 @@ def test_query_executor_report(benchmark):
             f"compiled/interpreted speedup {acceptance:.1f}x below the "
             f"{ACCEPTANCE_SPEEDUP}x acceptance bar"
         )
+    _check_explain_analyze()
+
+
+def _check_explain_analyze() -> None:
+    """EXPLAIN ANALYZE acceptance: on the view-unfolding extent query
+    at the largest size the per-node profile reports the result rows
+    at the root and a total that agrees (within tolerance) with the
+    measured ``query.execute`` span."""
+    from repro.algebra import explain_analyze
+    from repro.observability import is_enabled, tracer
+
+    _, extent = _unfolded_queries()[0]
+    people = max(SIZES)
+    sql = _scaled_sql(people)
+    result = explain_analyze(extent, sql)
+    profile = result.profile
+    assert profile.result_rows == len(result.rows) == people
+    assert profile.rows_out(profile.root_id) == people
+    # charge-once self times telescope exactly to the root inclusive
+    assert abs(sum(profile.self_time_ms())
+               - profile.time_ms(profile.root_id)) < 1e-6
+    if is_enabled():
+        execute_spans = [
+            s for s in tracer.iter_spans()
+            if s.name == "query.execute" and s.wall_ms is not None
+        ]
+        assert execute_spans, "explain_analyze emitted no query.execute span"
+        wall = execute_spans[-1].wall_ms
+        assert profile.total_ms <= wall + 0.1, (
+            f"profile total {profile.total_ms:.3f}ms exceeds the "
+            f"query.execute span {wall:.3f}ms"
+        )
+        if people >= 1000:
+            assert profile.total_ms >= wall * 0.5, (
+                f"profile total {profile.total_ms:.3f}ms covers under half "
+                f"of the query.execute span {wall:.3f}ms"
+            )
 
 
 # ----------------------------------------------------------------------

@@ -69,7 +69,18 @@ from repro.algebra.evaluator import (
     get_default_engine,
     set_default_engine,
 )
-from repro.algebra.compiler import CompiledPlan, compile_plan
+from repro.algebra.compiler import (
+    CompiledPlan,
+    PlanNode,
+    PlanProfile,
+    compile_plan,
+)
+from repro.algebra.explain import (
+    ExplainAnalyzeResult,
+    ExplainResult,
+    explain,
+    explain_analyze,
+)
 from repro.algebra.plan_cache import (
     GLOBAL_PLAN_CACHE,
     PlanCache,
@@ -77,7 +88,7 @@ from repro.algebra.plan_cache import (
     clear_plan_cache,
     plan_cache_stats,
 )
-from repro.algebra.printer import to_text
+from repro.algebra.printer import node_label, render_plan, to_text
 from repro.algebra.sql import to_sql
 from repro.algebra.optimizer import optimize
 
@@ -93,5 +104,7 @@ __all__ = [
     "get_default_engine", "set_default_engine",
     "CompiledPlan", "compile_plan", "PlanCache", "GLOBAL_PLAN_CACHE",
     "cached_plan", "clear_plan_cache", "plan_cache_stats",
-    "to_text", "to_sql", "optimize",
+    "PlanNode", "PlanProfile",
+    "explain", "explain_analyze", "ExplainResult", "ExplainAnalyzeResult",
+    "to_text", "to_sql", "node_label", "render_plan", "optimize",
 ]

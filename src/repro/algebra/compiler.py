@@ -37,7 +37,9 @@ identical row multisets.
 
 from __future__ import annotations
 
+import threading
 from operator import itemgetter
+from time import perf_counter
 from typing import Callable, Iterable, Optional
 
 from repro.algebra import expressions as E
@@ -402,14 +404,23 @@ class _Run:
     scalar closures (duck-compatible with the interpreter's
     ``EvalContext``: exposes ``schema`` and ``instance``).  ``memo``
     holds the per-execution results of common subexpressions the
-    compiler detected (see :func:`_shared_subtrees`)."""
+    compiler detected (see :func:`_shared_subtrees`); ``profile`` is
+    the per-node ``[calls, rows, seconds]`` accumulator of a profiled
+    execution (None on the raw pipeline, which carries no per-node
+    instrumentation at all)."""
 
-    __slots__ = ("instance", "schema", "memo")
+    __slots__ = ("instance", "schema", "memo", "profile")
 
-    def __init__(self, instance: Instance, schema: Optional[Schema]):
+    def __init__(
+        self,
+        instance: Instance,
+        schema: Optional[Schema],
+        profile: Optional[list] = None,
+    ):
         self.instance = instance
         self.schema = schema
         self.memo: dict = {}
+        self.profile = profile
 
 
 _EMPTY: tuple = ()
@@ -465,16 +476,158 @@ class _CSE:
 
 
 #: Active CSE state during one ``CompiledPlan`` construction.  Plans
-#: are compiled eagerly and synchronously, so a plain module slot is
+#: are compiled under :data:`_COMPILE_LOCK`, so a plain module slot is
 #: safe as long as it is saved/restored re-entrantly (see
 #: ``CompiledPlan.__init__``).
 _cse_state: Optional[_CSE] = None
 
 
+class PlanNode:
+    """Static metadata for one compiled plan node (EXPLAIN's unit).
+
+    ``strategy`` is the name of the batch closure the compiler chose —
+    ``hash_join_static_single``, ``project_template``, ``semi_join`` —
+    so the annotated plan tree shows *which* fast path each operator
+    took.  ``children`` holds node ids in input order; a CSE-shared
+    subtree keeps one node referenced from every parent
+    (``shared=True``)."""
+
+    __slots__ = ("node_id", "label", "strategy", "children", "shared")
+
+    def __init__(self, node_id: int, label: str, strategy: str,
+                 children: list[int], shared: bool):
+        self.node_id = node_id
+        self.label = label
+        self.strategy = strategy
+        self.children = tuple(children)
+        self.shared = shared
+
+    def to_dict(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "label": self.label,
+            "strategy": self.strategy,
+            "children": list(self.children),
+            "shared": self.shared,
+        }
+
+
+class _PlanRegistry:
+    """Per-compilation collector of :class:`PlanNode` metadata.
+
+    Registration happens post-order (a node registers after its inputs
+    compiled), so the stack of pending child-id lists reconstructs the
+    *compiled* tree — including optimizer rewrites like projection
+    pushdown, whose synthesized nodes appear under the original node.
+    With ``wrap=True`` every stage closure is additionally wrapped in
+    a per-node ``[calls, rows, seconds]`` recorder (the EXPLAIN
+    ANALYZE pipeline); with ``wrap=False`` collection is compile-time
+    metadata only and execution is untouched."""
+
+    __slots__ = ("wrap", "nodes", "shared_ids", "stack")
+
+    def __init__(self, wrap: bool):
+        self.wrap = wrap
+        self.nodes: list[PlanNode] = []
+        self.shared_ids: dict[int, int] = {}   # id(expr) -> node_id
+        self.stack: list[list[int]] = [[]]
+
+    def enter(self) -> None:
+        self.stack.append([])
+
+    def exit_register(self, expr: E.RelExpr, strategy: str,
+                      shared: bool) -> int:
+        from repro.algebra.printer import node_label
+
+        children = self.stack.pop()
+        node_id = len(self.nodes)
+        self.nodes.append(
+            PlanNode(node_id, node_label(expr),
+                     strategy.removeprefix("run_"), children, shared)
+        )
+        if shared:
+            self.shared_ids[id(expr)] = node_id
+        self.stack[-1].append(node_id)
+        return node_id
+
+    def exit_reference(self, expr: E.RelExpr) -> None:
+        """A second parent of a CSE-shared subtree: attach the existing
+        node id instead of creating a new node."""
+        self.stack.pop()
+        self.stack[-1].append(self.shared_ids[id(expr)])
+
+    def root_id(self) -> int:
+        return self.stack[0][0]
+
+    def wrap_stage(self, run, node_id: int):
+        if not self.wrap:
+            return run
+
+        def run_profiled(ctx, _run=run, _nid=node_id):
+            start = perf_counter()
+            rows = _run(ctx)
+            seconds = perf_counter() - start
+            record = ctx.profile[_nid]
+            record[0] += 1
+            record[1] += len(rows)
+            record[2] += seconds
+            return rows
+
+        return run_profiled
+
+
+#: Active node registry during one compilation (guarded, like
+#: :data:`_cse_state`, by :data:`_COMPILE_LOCK`).
+_plan_registry: Optional[_PlanRegistry] = None
+
+#: Compilation is rare (the plan cache memoizes it) but may be reached
+#: from several threads at once; the module-level CSE/registry slots
+#: make it a critical section.
+_COMPILE_LOCK = threading.RLock()
+
+
 def _compile(expr: E.RelExpr) -> _Compiled:
     """Compile ``expr``, routing shared subtrees through a per-execution
     memo so each runs once per :class:`_Run` regardless of how many
-    parents reference it."""
+    parents reference it, and recording per-node metadata (plus the
+    profiling wrappers of the EXPLAIN ANALYZE pipeline) in the active
+    :class:`_PlanRegistry`."""
+    plan_registry = _plan_registry
+    if plan_registry is None:
+        return _compile_unregistered(expr)
+    plan_registry.enter()
+    cse = _cse_state
+    slot = cse.shared.get(id(expr)) if cse is not None else None
+    if slot is None:
+        run, owned = _compile_node(expr)
+        node_id = plan_registry.exit_register(expr, run.__name__, False)
+        return plan_registry.wrap_stage(run, node_id), owned
+    cached = cse.compiled.get(id(expr))
+    if cached is not None:
+        plan_registry.exit_reference(expr)
+        return cached
+    run, _ = _compile_node(expr)
+    node_id = plan_registry.exit_register(expr, run.__name__, True)
+
+    def run_shared(ctx, _run=run, _slot=slot):
+        memo = ctx.memo
+        rows = memo.get(_slot)
+        if rows is None:
+            rows = memo[_slot] = _run(ctx)
+        return rows
+
+    # The profiling wrapper goes *outside* the memo, so a shared node's
+    # ``calls`` counts every reference and ``calls - 1`` of them are
+    # memo hits (near-zero recorded time).  Memoized rows are handed to
+    # several consumers, so none may mutate them in place: "borrowed".
+    cached = cse.compiled[id(expr)] = (
+        plan_registry.wrap_stage(run_shared, node_id), False
+    )
+    return cached
+
+
+def _compile_unregistered(expr: E.RelExpr) -> _Compiled:
+    """The pre-registry compile path (kept for direct callers)."""
     cse = _cse_state
     if cse is None:
         return _compile_node(expr)
@@ -492,8 +645,6 @@ def _compile(expr: E.RelExpr) -> _Compiled:
                 rows = memo[_slot] = _run(ctx)
             return rows
 
-        # Memoized rows are handed to several consumers, so none of
-        # them may mutate or sort them in place: report "borrowed".
         cached = cse.compiled[id(expr)] = (run_shared, False)
     return cached
 
@@ -1302,31 +1453,133 @@ def _apply_aggregate(
 # ----------------------------------------------------------------------
 # compiled plans
 # ----------------------------------------------------------------------
+class PlanProfile:
+    """Per-node runtime statistics from one profiled execution.
+
+    ``counters[node_id]`` is ``[calls, rows_out, seconds]`` (inclusive
+    of the node's inputs — the wrapper times the whole stage call).
+    ``self_time_ms`` converts to exclusive time with a *charge-once*
+    rule: each node's inclusive time is subtracted from the first
+    parent edge that reaches it, so the self times telescope exactly to
+    the root's inclusive time even when CSE shares a subtree between
+    parents."""
+
+    __slots__ = ("nodes", "root_id", "counters", "fingerprint", "result_rows")
+
+    def __init__(self, nodes: list[PlanNode], root_id: int,
+                 counters: list[list], fingerprint: str, result_rows: int):
+        self.nodes = nodes
+        self.root_id = root_id
+        self.counters = counters
+        self.fingerprint = fingerprint
+        self.result_rows = result_rows
+
+    def calls(self, node_id: int) -> int:
+        return self.counters[node_id][0]
+
+    def rows_out(self, node_id: int) -> int:
+        return self.counters[node_id][1]
+
+    def time_ms(self, node_id: int) -> float:
+        return self.counters[node_id][2] * 1000.0
+
+    def memo_hits(self, node_id: int) -> int:
+        """CSE-memo hits: a shared node's wrapper counts every parent
+        reference, but only the first reference computes rows."""
+        node = self.nodes[node_id]
+        if not node.shared:
+            return 0
+        return max(0, self.counters[node_id][0] - 1)
+
+    @property
+    def total_ms(self) -> float:
+        return self.counters[self.root_id][2] * 1000.0
+
+    def self_time_ms(self) -> list[float]:
+        """Exclusive per-node time (charge-once; sums to ``total_ms``)."""
+        out = [record[2] for record in self.counters]
+        charged: set[int] = set()
+        for node in self.nodes:
+            for child in node.children:
+                if child not in charged:
+                    charged.add(child)
+                    out[node.node_id] -= self.counters[child][2]
+        return [seconds * 1000.0 for seconds in out]
+
+    def to_dict(self) -> dict:
+        self_ms = self.self_time_ms()
+        return {
+            "fingerprint": self.fingerprint,
+            "root_id": self.root_id,
+            "result_rows": self.result_rows,
+            "total_ms": self.total_ms,
+            "nodes": [
+                {
+                    **node.to_dict(),
+                    "calls": self.calls(node.node_id),
+                    "rows_out": self.rows_out(node.node_id),
+                    "time_ms": self.time_ms(node.node_id),
+                    "self_time_ms": self_ms[node.node_id],
+                    "memo_hits": self.memo_hits(node.node_id),
+                }
+                for node in self.nodes
+            ],
+        }
+
+
 class CompiledPlan:
     """An executable pipeline compiled from one :class:`RelExpr`.
 
     Immutable and reentrant: every run's state lives in the locals of
     that run's stage calls, so one plan serves arbitrarily many
-    concurrent executions over different instances.
+    concurrent executions over different instances.  (The two mutable
+    slots — the lazily compiled profiled pipeline and ``last_profile``
+    — are single-assignment caches; racing writers store equivalent
+    values.)
     """
 
-    __slots__ = ("expr", "fingerprint", "size", "_run", "_owned")
+    __slots__ = (
+        "expr", "fingerprint", "size", "_run", "_owned",
+        "nodes", "root_id", "_profiled_run", "_profiled_owned",
+        "last_profile",
+    )
 
     def __init__(self, expr: E.RelExpr, fingerprint: Optional[str] = None):
-        global _cse_state
         self.expr = expr
         self.fingerprint = fingerprint or expr.fingerprint()
         self.size = expr.size()
-        shared = _shared_subtrees(expr)
-        if shared:
-            previous = _cse_state
-            _cse_state = _CSE(shared)
+        self._profiled_run = None
+        self._profiled_owned = True
+        self.last_profile: Optional[PlanProfile] = None
+        run, owned, registry_ = self._compile_with(wrap=False)
+        self._run, self._owned = run, owned
+        self.nodes = registry_.nodes
+        self.root_id = registry_.root_id()
+
+    def _compile_with(self, wrap: bool):
+        """One full compilation pass under the module compile lock
+        (the CSE and registry slots are module-global)."""
+        global _cse_state, _plan_registry
+        with _COMPILE_LOCK:
+            prev_cse, prev_reg = _cse_state, _plan_registry
+            shared = _shared_subtrees(self.expr)
+            _cse_state = _CSE(shared) if shared else None
+            reg = _PlanRegistry(wrap)
+            _plan_registry = reg
             try:
-                self._run, self._owned = _compile(expr)
+                run, owned = _compile(self.expr)
             finally:
-                _cse_state = previous
-        else:
-            self._run, self._owned = _compile(expr)
+                _cse_state, _plan_registry = prev_cse, prev_reg
+        return run, owned, reg
+
+    def _ensure_profiled(self):
+        """Compile the EXPLAIN ANALYZE pipeline on first use.  The raw
+        pipeline stays wrapper-free, so the disabled path pays nothing
+        per node."""
+        if self._profiled_run is None:
+            run, owned, _ = self._compile_with(wrap=True)
+            self._profiled_run, self._profiled_owned = run, owned
+        return self._profiled_run, self._profiled_owned
 
     def rows(
         self, instance: Instance, schema: Optional[Schema] = None
@@ -1347,25 +1600,59 @@ class CompiledPlan:
         """
         if not STATE.enabled:
             return self._materialize(instance, schema)
-        with tracer.span(
-            "query.execute",
-            engine="compiled",
-            plan=self.fingerprint[:12],
-            **{"plan.size": self.size},
-        ) as span:
-            rows = self._materialize(instance, schema)
-            if span is not None:
-                span.set_attribute("rows", len(rows))
-        registry.counter("query.execute.count").inc()
-        registry.histogram("query.execute.rows").observe(len(rows))
+        rows, self.last_profile = self.execute_profiled(instance, schema)
         return rows
 
+    def execute_profiled(
+        self, instance: Instance, schema: Optional[Schema] = None
+    ) -> tuple[list[Row], PlanProfile]:
+        """EXPLAIN ANALYZE: run the profiled pipeline and return
+        ``(rows, profile)``.
+
+        Works regardless of ``STATE.enabled``; when enabled it also
+        emits the usual ``query.execute`` span and metrics, so the
+        profile's root time nests inside (and sums to, minus wrapper
+        epsilon) the measured span."""
+        run, owned = self._ensure_profiled()
+        counters = [[0, 0, 0.0] for _ in self.nodes]
+        if not STATE.enabled:
+            rows = self._materialize(instance, schema, run, owned, counters)
+        else:
+            with tracer.span(
+                "query.execute",
+                engine="compiled",
+                plan=self.fingerprint[:12],
+                **{"plan.size": self.size},
+            ) as span:
+                rows = self._materialize(
+                    instance, schema, run, owned, counters
+                )
+                if span is not None:
+                    span.set_attribute("rows", len(rows))
+            registry.counter("query.execute.count").inc()
+            registry.histogram("query.execute.rows").observe(len(rows))
+        profile = PlanProfile(
+            self.nodes, self.root_id, counters, self.fingerprint, len(rows)
+        )
+        return rows, profile
+
     def _materialize(
-        self, instance: Instance, schema: Optional[Schema]
+        self,
+        instance: Instance,
+        schema: Optional[Schema],
+        run=None,
+        owned: Optional[bool] = None,
+        counters: Optional[list] = None,
     ) -> list[Row]:
-        ctx = _Run(instance, schema if schema is not None else instance.schema)
-        produced = self._run(ctx)
-        if self._owned:
+        if run is None:
+            run, owned = self._run, self._owned
+        ctx = _Run(
+            instance,
+            schema if schema is not None else instance.schema,
+            counters,
+        )
+        produced = run(ctx)
+        if owned:
             return produced if isinstance(produced, list) else list(produced)
         # Borrowed rows escape the pipeline here: copy once, at the
         # boundary, instead of once per operator.

@@ -1,0 +1,112 @@
+"""EXPLAIN / EXPLAIN ANALYZE for the compiled query executor.
+
+``explain`` compiles (through the plan cache, exactly like
+``evaluate``) and renders the annotated plan tree — which strategy
+each node lowered to, where CSE shares a subtree.  ``explain_analyze``
+additionally runs the plan through the profiled pipeline and annotates
+every node with calls, output rows, inclusive and exclusive
+(charge-once) wall time, and CSE-memo hits.
+
+The profiled pipeline is a *second* compilation of the same plan whose
+stage closures are wrapped in per-node counters; the raw pipeline used
+by ``evaluate`` under ``STATE.enabled == False`` is untouched, which is
+how the observability layer keeps its zero-per-node-overhead contract
+(see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algebra import expressions as E
+from repro.algebra.compiler import CompiledPlan, PlanProfile
+from repro.algebra.plan_cache import GLOBAL_PLAN_CACHE
+from repro.algebra.printer import render_plan, to_text
+from repro.instances.database import Instance, Row
+from repro.metamodel.schema import Schema
+
+
+@dataclass
+class ExplainResult:
+    """A compiled plan plus its rendering context."""
+
+    expr: E.RelExpr
+    plan: CompiledPlan
+    cache_hit: bool
+
+    def render(self) -> str:
+        header = (
+            f"plan {self.plan.fingerprint[:12]}"
+            f"  size={self.plan.size}"
+            f"  nodes={len(self.plan.nodes)}"
+            f"  cache={'hit' if self.cache_hit else 'miss'}"
+        )
+        tree = render_plan(self.plan.nodes, self.plan.root_id)
+        return f"{header}\n{tree}"
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.plan.fingerprint,
+            "size": self.plan.size,
+            "cache_hit": self.cache_hit,
+            "expression": to_text(self.expr),
+            "root_id": self.plan.root_id,
+            "nodes": [node.to_dict() for node in self.plan.nodes],
+        }
+
+
+@dataclass
+class ExplainAnalyzeResult(ExplainResult):
+    """An executed plan: the rows it produced and its per-node
+    :class:`PlanProfile`."""
+
+    profile: PlanProfile = None  # always set by explain_analyze
+    rows: list[Row] = None
+
+    def render(self) -> str:
+        header = (
+            f"plan {self.plan.fingerprint[:12]}"
+            f"  size={self.plan.size}"
+            f"  nodes={len(self.plan.nodes)}"
+            f"  cache={'hit' if self.cache_hit else 'miss'}"
+            f"  rows={self.profile.result_rows}"
+            f"  total={self.profile.total_ms:.2f}ms"
+        )
+        tree = render_plan(
+            self.plan.nodes, self.plan.root_id, profile=self.profile
+        )
+        return f"{header}\n{tree}"
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["profile"] = self.profile.to_dict()
+        del data["nodes"]  # superseded by the annotated profile nodes
+        return data
+
+
+def explain(expr: E.RelExpr) -> ExplainResult:
+    """Compile ``expr`` (via the process-wide plan cache, like
+    ``evaluate``) and return its annotated plan."""
+    cache_hit = expr in GLOBAL_PLAN_CACHE
+    plan = GLOBAL_PLAN_CACHE.get(expr)
+    return ExplainResult(expr=expr, plan=plan, cache_hit=cache_hit)
+
+
+def explain_analyze(
+    expr: E.RelExpr,
+    instance: Instance,
+    schema: Optional[Schema] = None,
+) -> ExplainAnalyzeResult:
+    """Compile, execute against ``instance``, and return the plan
+    annotated with per-node runtime statistics.
+
+    Profiling works whether or not observability is enabled; when it
+    is enabled the run also emits the usual ``query.execute`` span, so
+    the profile's total nests inside that span's wall time."""
+    cache_hit = expr in GLOBAL_PLAN_CACHE
+    plan = GLOBAL_PLAN_CACHE.get(expr)
+    rows, profile = plan.execute_profiled(instance, schema)
+    return ExplainAnalyzeResult(
+        expr=expr, plan=plan, cache_hit=cache_hit, profile=profile, rows=rows
+    )

@@ -106,3 +106,101 @@ def to_text(expr: E.RelExpr) -> str:
     if isinstance(expr, E.Sort):
         return f"τ[{', '.join(expr.keys)}]({to_text(expr.input)})"
     return f"<{type(expr).__name__}>"
+
+
+def node_label(expr: E.RelExpr, max_width: int = 48) -> str:
+    """A one-line label for a single plan node (no recursion into
+    inputs) — the operator head of :func:`to_text`, truncated.  Used
+    by the compiler's plan registry and the EXPLAIN renderings."""
+    if isinstance(expr, E.Scan):
+        label = f"Scan({expr.relation})"
+    elif isinstance(expr, E.EntityScan):
+        only = ", only" if expr.only else ""
+        label = f"EntityScan({expr.entity}{only})"
+    elif isinstance(expr, E.Values):
+        label = f"Values[{len(expr.rows)}]"
+    elif isinstance(expr, E.Select):
+        label = f"σ[{scalar_text(expr.predicate)}]"
+    elif isinstance(expr, E.Project):
+        cols = ", ".join(
+            name if isinstance(s, S.Col) and s.name == name
+            else f"{name}:={scalar_text(s)}"
+            for name, s in expr.outputs
+        )
+        label = f"π[{cols}]"
+    elif isinstance(expr, E.Extend):
+        label = f"ε[{expr.name}:={scalar_text(expr.scalar)}]"
+    elif isinstance(expr, E.Join):
+        symbol = "⟕" if expr.kind == "left" else "⋈"
+        label = f"{symbol}[{scalar_text(expr.predicate)}]"
+    elif isinstance(expr, E.UnionAll):
+        label = "∪"
+    elif isinstance(expr, E.Difference):
+        label = "−"
+    elif isinstance(expr, E.Distinct):
+        label = "δ"
+    elif isinstance(expr, E.Rename):
+        pairs = ", ".join(f"{o}→{n}" for o, n in sorted(expr.mapping.items()))
+        label = f"ρ[{pairs}]"
+    elif isinstance(expr, E.Aggregate):
+        groups = ", ".join(expr.group_by)
+        aggs = ", ".join(
+            f"{name}:={func}({scalar_text(s) if s is not None else '*'})"
+            for name, func, s in expr.aggregations
+        )
+        label = f"γ[{groups}; {aggs}]"
+    elif isinstance(expr, E.Sort):
+        label = f"τ[{', '.join(expr.keys)}]"
+    else:
+        label = f"<{type(expr).__name__}>"
+    if len(label) > max_width:
+        label = label[: max_width - 1] + "…"
+    return label
+
+
+def render_plan(nodes, root_id: int, profile=None) -> str:
+    """Render a compiled plan's node tree (EXPLAIN), optionally
+    annotated with a :class:`~repro.algebra.compiler.PlanProfile`
+    (EXPLAIN ANALYZE).
+
+    ``nodes`` is any sequence of objects with ``node_id`` / ``label`` /
+    ``strategy`` / ``children`` / ``shared`` attributes — duck-typed so
+    this module never imports the compiler (the compiler imports us).
+    Shared (CSE) subtrees are expanded once; later references render as
+    ``↻ see #n``."""
+    self_ms = profile.self_time_ms() if profile is not None else None
+    lines: list[str] = []
+    expanded: set[int] = set()
+
+    def emit(node_id: int, prefix: str, tail: str) -> None:
+        node = nodes[node_id]
+        connector = prefix + tail
+        if node_id in expanded:
+            lines.append(f"{connector}↻ see #{node_id} [{node.label}]")
+            return
+        expanded.add(node_id)
+        mark = " ⊛" if node.shared else ""
+        head = f"{connector}#{node_id} {node.label}  ({node.strategy}){mark}"
+        if profile is not None:
+            head += (
+                f"  rows={profile.rows_out(node_id)}"
+                f" calls={profile.calls(node_id)}"
+                f" time={profile.time_ms(node_id):.2f}ms"
+                f" self={self_ms[node_id]:.2f}ms"
+            )
+            hits = profile.memo_hits(node_id)
+            if hits:
+                head += f" memo_hits={hits}"
+        lines.append(head)
+        if tail == "":
+            child_prefix = prefix
+        elif tail == "└─ ":
+            child_prefix = prefix + "   "
+        else:
+            child_prefix = prefix + "│  "
+        for position, child in enumerate(node.children):
+            last = position == len(node.children) - 1
+            emit(child, child_prefix, "└─ " if last else "├─ ")
+
+    emit(root_id, "", "")
+    return "\n".join(lines)

@@ -15,10 +15,16 @@ serializes (schemas, mappings, instances as JSON; DDL as SQL text):
 * ``exchange MAPPING.json DATA.json`` — run the mapping, print the
   target instance as JSON;
 * ``sql MAPPING.json`` — the generated query view(s) as SQL;
+* ``explain MAPPING.json RELATION [--data DATA.json --analyze]`` —
+  the annotated compiled plan for a target-relation query; with
+  ``--analyze`` the plan runs and every node reports rows/calls/time;
 * ``trace SCRIPT.py`` — run a Python script under engine tracing and
   print the span tree (``--out`` exports JSONL);
 * ``metrics SCRIPT.py`` — run a script and print the collected engine
-  metrics (``--json`` for a machine-readable snapshot).
+  metrics (``--json`` for a machine-readable snapshot);
+* ``bench diff`` — compare freshly emitted ``BENCH_*.json`` against
+  committed baselines (the regression watchdog's diff engine; see
+  ``benchmarks/regression.py`` for the re-run-and-diff ``check`` mode).
 """
 
 from __future__ import annotations
@@ -177,6 +183,36 @@ def _run_script_observed(script: str, quiet: bool) -> None:
         obs.disable()
 
 
+def cmd_explain(args) -> int:
+    from repro.instances.database import Instance
+    from repro.instances.serialization import instance_from_dict
+    from repro.runtime.query_processor import QueryProcessor
+
+    mapping = _load_mapping(args.mapping)
+    if args.data:
+        source = instance_from_dict(_load_json(args.data), mapping.source)
+    else:
+        if args.analyze:
+            print("error: --analyze needs --data DATA.json", file=sys.stderr)
+            return 2
+        source = Instance(schema=mapping.source)
+    processor = QueryProcessor(mapping, source)
+
+    from repro.algebra.expressions import Scan
+
+    query = Scan(args.relation)
+    if args.analyze:
+        result = processor.explain_analyze(query)
+    else:
+        result = processor.explain(query)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, default=str))
+    else:
+        print(f"-- target query: {args.relation}")
+        print(result.render())
+    return 0
+
+
 def cmd_trace(args) -> int:
     from repro.observability import registry, tracer
 
@@ -185,13 +221,52 @@ def cmd_trace(args) -> int:
         print("(no spans recorded — does the script use the engine?)")
         return 1
     print(tracer.render(attributes=not args.no_attributes))
+    if args.rollup:
+        from repro.observability.profile import (
+            render_critical_path,
+            render_rollup,
+        )
+
+        print("\nself-time rollup:")
+        print(render_rollup())
+        print()
+        print(render_critical_path())
     if args.out:
         path = tracer.export_jsonl(args.out)
         print(f"\n{tracer.span_count()} spans exported to {path}")
+    if args.chrome:
+        from repro.observability.profile import export_chrome_trace
+
+        path = export_chrome_trace(args.chrome)
+        print(f"Chrome trace written to {path} "
+              "(load in Perfetto / chrome://tracing)")
     if args.metrics:
         print()
         print(registry.render())
     return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.observability.benchdiff import diff_dirs, diff_files
+
+    if args.action != "diff":
+        print(f"unknown bench action {args.action!r}", file=sys.stderr)
+        return 2
+    if args.baseline and args.fresh:
+        reports = [diff_files(args.baseline, args.fresh)]
+    elif args.fresh_dir:
+        reports = diff_dirs(args.baseline_dir, args.fresh_dir)
+    else:
+        print("error: pass --baseline FILE --fresh FILE, or --fresh-dir DIR",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render(verbose=args.verbose))
+    regressions = sum(len(r.regressions) for r in reports)
+    return 1 if regressions else 0
 
 
 def cmd_metrics(args) -> int:
@@ -265,17 +340,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("mapping")
     p.set_defaults(func=cmd_sql)
 
+    p = sub.add_parser(
+        "explain",
+        help="annotated compiled plan for a target-relation query "
+        "(EXPLAIN; --analyze executes and adds per-node stats)",
+    )
+    p.add_argument("mapping")
+    p.add_argument("relation", help="target relation/entity to query")
+    p.add_argument("--data", help="source instance JSON "
+                   "(required with --analyze)")
+    p.add_argument("--analyze", action="store_true",
+                   help="run the plan and annotate per-node rows/time")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable plan/profile instead of the tree")
+    p.set_defaults(func=cmd_explain)
+
     p = sub.add_parser("trace",
                        help="run a script under tracing, print span tree")
     p.add_argument("script", help="Python script executed as __main__")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the script's own stdout")
     p.add_argument("--out", help="export spans as JSONL here")
+    p.add_argument("--chrome",
+                   help="export a Chrome/Perfetto trace JSON here")
+    p.add_argument("--rollup", action="store_true",
+                   help="print self-time rollup and critical path")
     p.add_argument("--metrics", action="store_true",
                    help="also print the metrics registry")
     p.add_argument("--no-attributes", action="store_true",
                    help="omit span attributes from the tree")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark utilities: `bench diff` compares emitted "
+        "BENCH_*.json against committed baselines",
+    )
+    p.add_argument("action", choices=["diff"])
+    p.add_argument("--baseline", help="one baseline BENCH json")
+    p.add_argument("--fresh", help="one freshly emitted BENCH json")
+    p.add_argument("--fresh-dir", help="directory of fresh BENCH_*.json")
+    p.add_argument("--baseline-dir", default=".",
+                   help="committed baselines (default: cwd)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also list unchanged metrics")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("metrics",
                        help="run a script, print collected engine metrics")

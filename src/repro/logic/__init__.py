@@ -36,6 +36,7 @@ from repro.logic.homomorphism import (
 from repro.logic.chase import (
     chase,
     naive_chase,
+    ChaseProfile,
     ChaseRecorder,
     ChaseResult,
     ChaseStats,
@@ -53,7 +54,8 @@ __all__ = [
     "SecondOrderTGD", "Implication", "skolemize", "deskolemize",
     "find_homomorphism", "find_all_homomorphisms", "instance_homomorphism",
     "are_hom_equivalent",
-    "chase", "naive_chase", "ChaseRecorder", "ChaseResult", "ChaseStats",
+    "chase", "naive_chase", "ChaseProfile", "ChaseRecorder",
+    "ChaseResult", "ChaseStats",
     "is_weakly_acyclic",
     "core_of",
     "certain_answers", "naive_evaluate",

@@ -66,7 +66,11 @@ class ChaseStats:
       instance's persistent indexes behaved: a *hit* reused an index
       as-is, an *extend* appended only new rows, a *rebuild* scanned the
       relation from scratch;
-    * ``wall_time`` — seconds spent inside the engine.
+    * ``wall_time`` — seconds spent inside the engine;
+    * ``dep_wall`` / ``dep_kind`` / ``dep_fired`` — per-dependency
+      wall seconds, kind (``tgd`` / ``tgd∃`` / ``egd``), and firing
+      (tgd) or applied-equality (egd) counts, keyed like
+      ``triggers_examined`` — the raw material of :class:`ChaseProfile`.
     """
 
     rounds: int = 0
@@ -77,6 +81,9 @@ class ChaseStats:
     index_extends: int = 0
     index_rebuilds: int = 0
     wall_time: float = 0.0
+    dep_wall: dict[str, float] = field(default_factory=dict)
+    dep_kind: dict[str, str] = field(default_factory=dict)
+    dep_fired: dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
         lines = [
@@ -90,6 +97,102 @@ class ChaseStats:
         for name, count in sorted(self.triggers_examined.items()):
             lines.append(f"  triggers[{name}]: {count}")
         return "\n".join(lines)
+
+    def profile(self) -> "ChaseProfile":
+        """The per-dependency EXPLAIN ANALYZE view of this run."""
+        return ChaseProfile.from_stats(self)
+
+
+@dataclass
+class ChaseProfile:
+    """Per-dependency cost attribution for one chase run — the chase's
+    analogue of the query executor's plan profile.
+
+    One entry per dependency (by its ``fired``-dict display name):
+    triggers enumerated, firings (tgd) or applied equalities (egd),
+    suppressed triggers (enumerated but already satisfied — the
+    semi-naive engine's redundancy), and wall milliseconds spent in
+    that dependency's enumerate/fire cycle.  Entries sort by wall time
+    so the most expensive dependency tops the rendering.
+    """
+
+    @dataclass
+    class Entry:
+        name: str
+        kind: str
+        examined: int
+        fired: int
+        wall_ms: float
+
+        @property
+        def suppressed(self) -> int:
+            return max(0, self.examined - self.fired)
+
+        def to_dict(self) -> dict:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "triggers_examined": self.examined,
+                "fired": self.fired,
+                "suppressed": self.suppressed,
+                "wall_ms": self.wall_ms,
+            }
+
+    entries: list["ChaseProfile.Entry"]
+    rounds: int
+    merges: int
+    total_wall_ms: float
+
+    @classmethod
+    def from_stats(cls, stats: "ChaseStats") -> "ChaseProfile":
+        names = set(stats.dep_wall) | set(stats.triggers_examined)
+        entries = [
+            cls.Entry(
+                name=name,
+                kind=stats.dep_kind.get(name, "?"),
+                examined=stats.triggers_examined.get(name, 0),
+                fired=stats.dep_fired.get(name, 0),
+                wall_ms=stats.dep_wall.get(name, 0.0) * 1000.0,
+            )
+            for name in names
+        ]
+        entries.sort(key=lambda e: (-e.wall_ms, e.name))
+        return cls(
+            entries=entries,
+            rounds=stats.rounds,
+            merges=stats.merges,
+            total_wall_ms=stats.wall_time * 1000.0,
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"chase: {self.rounds} round(s), {self.merges} merge(s), "
+            f"{self.total_wall_ms:.2f}ms"
+        ]
+        width = max(
+            (len(e.name) for e in self.entries), default=0
+        )
+        width = max(width, len("dependency"))
+        header = (
+            f"  {'dependency'.ljust(width)}  kind  examined  fired  "
+            f"suppressed   wall"
+        )
+        lines.append(header)
+        for e in self.entries:
+            lines.append(
+                f"  {e.name.ljust(width)}  {e.kind:<4}  "
+                f"{e.examined:>8}  {e.fired:>5}  {e.suppressed:>10}  "
+                f"{e.wall_ms:>5.2f}ms"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "merges": self.merges,
+            "total_wall_ms": self.total_wall_ms,
+            "dependencies": [e.to_dict() for e in self.entries],
+        }
 
 
 class ChaseRecorder:
@@ -144,6 +247,11 @@ class ChaseResult:
     @property
     def nulls_created(self) -> int:
         return len(self.instance.nulls())
+
+    def profile(self) -> Optional["ChaseProfile"]:
+        """Per-dependency cost attribution (None when run without
+        stats, e.g. from :func:`naive_chase`)."""
+        return self.stats.profile() if self.stats is not None else None
 
 
 def _fresh_factory(instance: Instance) -> NullFactory:
@@ -331,6 +439,13 @@ class _SemiNaiveChase:
             tuple(sorted(d.body_variables(), key=lambda v: v.name))
             for d in self.dependencies
         ]
+        for name, dependency in zip(self.names, self.dependencies):
+            if isinstance(dependency, EGD):
+                self.stats.dep_kind[name] = "egd"
+            elif dependency.is_full:
+                self.stats.dep_kind[name] = "tgd"
+            else:
+                self.stats.dep_kind[name] = "tgd∃"
         self.frontiers: list[tuple[Var, ...]] = []
         self.full_head_shape: list[Optional[list]] = []
         for dependency in self.dependencies:
@@ -383,9 +498,11 @@ class _SemiNaiveChase:
                     self.body_relations[index] & delta.keys()
                 ):
                     continue
+                name = self.names[index]
+                dep_start = time.perf_counter()
                 triggers = list(self._triggers(index, dependency, delta))
-                self.stats.triggers_examined[self.names[index]] = (
-                    self.stats.triggers_examined.get(self.names[index], 0)
+                self.stats.triggers_examined[name] = (
+                    self.stats.triggers_examined.get(name, 0)
                     + len(triggers)
                 )
                 if isinstance(dependency, TGD):
@@ -394,6 +511,10 @@ class _SemiNaiveChase:
                     if self._collect_egd(index, dependency, triggers,
                                          union_find):
                         merged_any = True
+                self.stats.dep_wall[name] = (
+                    self.stats.dep_wall.get(name, 0.0)
+                    + (time.perf_counter() - dep_start)
+                )
             modified: list[tuple[str, Row]] = []
             if merged_any:
                 modified = self._apply_merges(union_find)
@@ -410,6 +531,7 @@ class _SemiNaiveChase:
                 break
             delta = next_delta
         self.stats.wall_time = time.perf_counter() - start
+        self.stats.dep_fired = dict(self.fired)
         self.stats.index_hits = instance.index_stats["hits"] - hits0["hits"]
         self.stats.index_extends = (
             instance.index_stats["extends"] - hits0["extends"]

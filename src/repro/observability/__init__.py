@@ -33,6 +33,16 @@ from repro.observability.metrics import (
     MetricsRegistry,
     registry,
 )
+from repro.observability.profile import (
+    RollupEntry,
+    chrome_trace_events,
+    critical_path,
+    export_chrome_trace,
+    render_critical_path,
+    render_rollup,
+    rollup,
+    span_self_ms,
+)
 from repro.observability.state import STATE
 from repro.observability.tracing import Span, Tracer, current_span, tracer
 
@@ -43,17 +53,25 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RollupEntry",
     "STATE",
     "Span",
     "Tracer",
+    "chrome_trace_events",
+    "critical_path",
     "current_span",
     "disable",
     "enable",
+    "export_chrome_trace",
     "instrumented",
     "is_enabled",
     "registry",
+    "render_critical_path",
+    "render_rollup",
     "reset",
+    "rollup",
     "span",
+    "span_self_ms",
     "tracer",
 ]
 

@@ -98,39 +98,73 @@ class Histogram:
 
     def percentile(self, q: float) -> Optional[float]:
         """Estimated q-th percentile (q in [0, 100]) by cumulative
-        bucket counts with linear interpolation inside the bucket."""
-        if not self.count:
+        bucket counts with linear interpolation inside the bucket.
+
+        Edge semantics are exact rather than interpolated: ``None`` on
+        an empty histogram, the observed ``min`` for ``q=0``, the
+        observed ``max`` for ``q=100`` (``q`` outside [0, 100] is
+        clamped), and the single observed value when all observations
+        are equal — including overflow-bucket observations beyond the
+        last bound, which interpolate between the last bound and
+        ``max`` instead of against an unbounded bucket."""
+        return self._estimate(
+            self.bounds, list(self.bucket_counts), self.min, self.max, q
+        )
+
+    @staticmethod
+    def _estimate(
+        bounds: Sequence[float],
+        bucket_counts: Sequence[int],
+        minimum: Optional[float],
+        maximum: Optional[float],
+        q: float,
+    ) -> Optional[float]:
+        count = sum(bucket_counts)
+        if not count or minimum is None or maximum is None:
             return None
-        rank = q / 100.0 * self.count
+        if minimum == maximum:
+            return minimum          # one observation / one distinct value
+        if q <= 0:
+            return minimum
+        if q >= 100:
+            return maximum
+        rank = q / 100.0 * count
         cumulative = 0
-        for index, bucket_count in enumerate(self.bucket_counts):
+        for index, bucket_count in enumerate(bucket_counts):
             if not bucket_count:
                 continue
             if cumulative + bucket_count >= rank:
-                lower = self.bounds[index - 1] if index > 0 else (
-                    self.min if self.min is not None else 0.0
-                )
-                upper = self.bounds[index] if index < len(self.bounds) \
-                    else (self.max if self.max is not None else lower)
-                lower = max(lower, self.min or lower)
-                upper = min(upper, self.max or upper)
+                lower = bounds[index - 1] if index > 0 else minimum
+                upper = bounds[index] if index < len(bounds) else maximum
+                lower = max(lower, minimum)
+                upper = min(upper, maximum)
                 if upper <= lower:
-                    return upper
+                    return upper    # zero-width after clamping
                 fraction = (rank - cumulative) / bucket_count
                 return lower + fraction * (upper - lower)
             cumulative += bucket_count
-        return self.max
+        return maximum
 
     def summary(self) -> dict:
+        # Copy-on-read: one consistent snapshot of the bucket counts
+        # serves all three percentiles, and the count is derived from
+        # that same copy, so a concurrent observe() can neither raise
+        # nor tear the summary (it is at worst one observation stale).
+        bucket_counts = list(self.bucket_counts)
+        minimum, maximum, total = self.min, self.max, self.total
+        count = sum(bucket_counts)
         return {
-            "count": self.count,
-            "sum": round(self.total, 6),
-            "min": self.min,
-            "max": self.max,
-            "mean": round(self.mean, 6) if self.count else None,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
+            "count": count,
+            "sum": round(total, 6),
+            "min": minimum,
+            "max": maximum,
+            "mean": round(total / count, 6) if count else None,
+            "p50": self._estimate(self.bounds, bucket_counts,
+                                  minimum, maximum, 50),
+            "p90": self._estimate(self.bounds, bucket_counts,
+                                  minimum, maximum, 90),
+            "p99": self._estimate(self.bounds, bucket_counts,
+                                  minimum, maximum, 99),
         }
 
     def to_dict(self) -> dict:
@@ -188,21 +222,30 @@ class MetricsRegistry:
         return len(self._metrics)
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        return sorted(self._view())
 
     def reset(self) -> None:
         with self._lock:
             self._metrics = {}
 
+    def _view(self) -> dict[str, Metric]:
+        """Copy-on-read: a stable map for iteration while writer
+        threads may still be registering metrics (a live dict would
+        raise ``RuntimeError: dictionary changed size``)."""
+        with self._lock:
+            return dict(self._metrics)
+
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, dict]:
-        """JSON-ready {name: {type, ...values}} of every metric."""
-        return {
-            name: self._metrics[name].to_dict()
-            for name in sorted(self._metrics)
-        }
+        """JSON-ready {name: {type, ...values}} of every metric.
+
+        Safe to call while other threads record: the name map is
+        copied under the lock and each histogram summary reads one
+        consistent copy of its bucket counts."""
+        view = self._view()
+        return {name: view[name].to_dict() for name in sorted(view)}
 
     def export_json(self, path: Union[str, Path]) -> Path:
         path = Path(path)
@@ -212,11 +255,12 @@ class MetricsRegistry:
 
     def render(self) -> str:
         """Human-readable metric summaries, one line per metric."""
-        if not self._metrics:
+        view = self._view()
+        if not view:
             return "(no metrics recorded)"
-        lines = [f"metrics: {len(self._metrics)} recorded"]
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        lines = [f"metrics: {len(view)} recorded"]
+        for name in sorted(view):
+            metric = view[name]
             if isinstance(metric, Counter):
                 lines.append(f"  {name} = {metric.value}")
             elif isinstance(metric, Gauge):

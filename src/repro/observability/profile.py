@@ -1,0 +1,220 @@
+"""Span-tree post-processing: critical path, self-time rollups, and
+Chrome-trace-event export.
+
+The tracer records inclusive wall time per span.  This module turns a
+finished trace into the three views perf work actually needs:
+
+* :func:`critical_path` — the most expensive root-to-leaf chain, i.e.
+  where an optimization could shorten the end-to-end run;
+* :func:`rollup` — per-span-name aggregation of calls, inclusive time,
+  and *self* time (inclusive minus direct children — the time spent in
+  the span's own code), sorted so the hottest name tops the list;
+* :func:`export_chrome_trace` — the whole tree as Chrome trace-event
+  JSON (``"X"`` complete events grouped by recording thread), loadable
+  in Perfetto / ``chrome://tracing`` for a zoomable timeline.
+
+Everything here reads the finished span tree only — no engine state,
+no enable/disable interaction — so it works on a live tracer or on
+spans rebuilt from a JSONL export.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.observability.tracing import Span, tracer
+
+
+def _roots(spans: Optional[Sequence[Span]]) -> list[Span]:
+    if spans is None:
+        return list(tracer.roots)
+    return list(spans)
+
+
+def _walk(roots: Iterable[Span]) -> Iterable[Span]:
+    stack = list(reversed(list(roots)))
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(reversed(span.children))
+
+
+def span_self_ms(span: Span) -> float:
+    """Inclusive wall time minus the direct children's inclusive time
+    (clamped at zero — clock granularity can make children appear to
+    overrun their parent by microseconds)."""
+    if span.wall_ms is None:
+        return 0.0
+    children = sum(c.wall_ms or 0.0 for c in span.children)
+    return max(0.0, span.wall_ms - children)
+
+
+def critical_path(roots: Optional[Sequence[Span]] = None) -> list[Span]:
+    """The most expensive root-to-leaf chain of the trace: start from
+    the costliest root, then repeatedly descend into the costliest
+    child.  Empty when nothing was recorded."""
+    candidates = [r for r in _roots(roots) if r.wall_ms is not None]
+    if not candidates:
+        return []
+    span = max(candidates, key=lambda s: s.wall_ms)
+    path = [span]
+    while span.children:
+        finished = [c for c in span.children if c.wall_ms is not None]
+        if not finished:
+            break
+        span = max(finished, key=lambda s: s.wall_ms)
+        path.append(span)
+    return path
+
+
+def render_critical_path(roots: Optional[Sequence[Span]] = None) -> str:
+    path = critical_path(roots)
+    if not path:
+        return "(no finished spans)"
+    total = path[0].wall_ms or 0.0
+    lines = [f"critical path: {len(path)} span(s), {total:.2f}ms total"]
+    for depth, span in enumerate(path):
+        share = (span.wall_ms / total * 100.0) if total else 0.0
+        lines.append(
+            f"{'  ' * depth}→ {span.name}  {span.wall_ms:.2f}ms"
+            f"  ({share:.0f}% of root, self {span_self_ms(span):.2f}ms)"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class RollupEntry:
+    """Aggregate cost of one span name across the trace."""
+
+    name: str
+    calls: int
+    total_ms: float       # sum of inclusive wall times
+    self_ms: float        # sum of (inclusive − direct children)
+    max_ms: float         # worst single call, inclusive
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_ms": self.total_ms,
+            "self_ms": self.self_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+def rollup(roots: Optional[Sequence[Span]] = None) -> list[RollupEntry]:
+    """Per-name aggregation over every finished span, sorted by self
+    time (descending) — the profile view: who actually burned the
+    wall clock, with child time attributed to the child."""
+    by_name: dict[str, RollupEntry] = {}
+    for span in _walk(_roots(roots)):
+        if span.wall_ms is None:
+            continue
+        entry = by_name.get(span.name)
+        if entry is None:
+            entry = by_name[span.name] = RollupEntry(span.name, 0, 0.0, 0.0,
+                                                     0.0)
+        entry.calls += 1
+        entry.total_ms += span.wall_ms
+        entry.self_ms += span_self_ms(span)
+        entry.max_ms = max(entry.max_ms, span.wall_ms)
+    return sorted(
+        by_name.values(), key=lambda e: (-e.self_ms, -e.total_ms, e.name)
+    )
+
+
+def render_rollup(roots: Optional[Sequence[Span]] = None) -> str:
+    entries = rollup(roots)
+    if not entries:
+        return "(no finished spans)"
+    width = max(len(e.name) for e in entries)
+    width = max(width, len("span"))
+    lines = [
+        f"  {'span'.ljust(width)}  calls   self(ms)  total(ms)    max(ms)"
+    ]
+    for e in entries:
+        lines.append(
+            f"  {e.name.ljust(width)}  {e.calls:>5}  {e.self_ms:>9.2f}"
+            f"  {e.total_ms:>9.2f}  {e.max_ms:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def chrome_trace_events(
+    roots: Optional[Sequence[Span]] = None,
+    pid: int = 1,
+    process_name: str = "repro-engine",
+) -> list[dict]:
+    """The trace as Chrome trace-event objects: one ``"X"`` (complete)
+    event per finished span plus ``"M"`` metadata naming the process
+    and each recording thread.  Timestamps are microseconds relative to
+    the earliest span, so the timeline starts at zero."""
+    spans = [s for s in _walk(_roots(roots)) if s.wall_ms is not None]
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    if not spans:
+        return events
+    epoch0 = min(s.started_at for s in spans)
+    tids: dict[str, int] = {}
+    for span in spans:
+        thread = span.thread or "MainThread"
+        tid = tids.get(thread)
+        if tid is None:
+            tid = tids[thread] = len(tids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": (span.started_at - epoch0) * 1_000_000.0,
+                "dur": span.wall_ms * 1000.0,
+                "args": {
+                    "span_id": span.span_id,
+                    **{k: _jsonable(v) for k, v in span.attributes.items()},
+                },
+            }
+        )
+    return events
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def export_chrome_trace(
+    path: Union[str, Path],
+    roots: Optional[Sequence[Span]] = None,
+) -> Path:
+    """Write the trace as a Perfetto-loadable Chrome trace JSON file."""
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(roots),
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(payload, indent=1))
+    return path

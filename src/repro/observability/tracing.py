@@ -150,12 +150,18 @@ class Tracer:
         self._local = threading.local()
 
     def iter_spans(self) -> Iterator[Span]:
-        """All recorded spans, depth-first."""
-        stack = list(reversed(self.roots))
+        """All recorded spans, depth-first.
+
+        Copy-on-read: the root list and each child list are copied
+        before traversal, so exporting or rendering while another
+        thread is still recording spans never raises ``list changed
+        size during iteration`` (late spans may simply be absent)."""
+        with self._lock:
+            stack = list(reversed(self.roots))
         while stack:
             span = stack.pop()
             yield span
-            stack.extend(reversed(span.children))
+            stack.extend(reversed(list(span.children)))
 
     def span_count(self) -> int:
         return sum(1 for _ in self.iter_spans())
@@ -174,11 +180,15 @@ class Tracer:
         return path
 
     def render(self, attributes: bool = True) -> str:
-        """The span tree as indented text with per-span wall time."""
-        if not self.roots:
+        """The span tree as indented text with per-span wall time.
+        Copy-on-read like :meth:`iter_spans` — safe against concurrent
+        recording."""
+        with self._lock:
+            roots = list(self.roots)
+        if not roots:
             return "(no spans recorded)"
         lines = [f"trace: {self.span_count()} spans, "
-                 f"{len(self.roots)} root(s)"]
+                 f"{len(roots)} root(s)"]
 
         def emit(span: Span, prefix: str, is_last: bool) -> None:
             connector = "└─ " if is_last else "├─ "
@@ -195,11 +205,12 @@ class Tracer:
                 f"  ({span.span_id}){attrs}"
             )
             child_prefix = prefix + ("   " if is_last else "│  ")
-            for index, child in enumerate(span.children):
-                emit(child, child_prefix, index == len(span.children) - 1)
+            children = list(span.children)
+            for index, child in enumerate(children):
+                emit(child, child_prefix, index == len(children) - 1)
 
-        for index, root in enumerate(self.roots):
-            emit(root, "", index == len(self.roots) - 1)
+        for index, root in enumerate(roots):
+            emit(root, "", index == len(roots) - 1)
         return "\n".join(lines)
 
 

@@ -142,6 +142,33 @@ class QueryProcessor:
         localized = _localize_type_predicates(query, self.mapping.target)
         return optimize(unfold_scans(localized, self._view_definitions()))
 
+    def explain(self, query: RelExpr):
+        """EXPLAIN: the compiled plan this processor would run for a
+        target query — the unfolded source-side plan for equality
+        mappings, the query over the universal solution otherwise."""
+        from repro.algebra.explain import explain
+
+        if self.mapping.equalities:
+            return explain(self.unfolded(query))
+        return explain(query)
+
+    def explain_analyze(self, query: RelExpr):
+        """EXPLAIN ANALYZE: compile *and run* the plan, annotating
+        every node with calls / output rows / wall time (see
+        :func:`repro.algebra.explain.explain_analyze`).  tgd mappings
+        profile the query over the materialized universal solution
+        (null-dropping happens after the profiled plan, as in
+        :meth:`answer_algebra`)."""
+        from repro.algebra.explain import explain_analyze
+
+        if self.mapping.equalities:
+            return explain_analyze(
+                self.unfolded(query), self.source, self.mapping.source
+            )
+        return explain_analyze(
+            query, self._universal_solution(), self.mapping.target
+        )
+
 
 def _concrete_members(entity) -> set[str]:
     return {

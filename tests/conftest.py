@@ -1,0 +1,23 @@
+"""Shared test fixtures.
+
+Observability state (the span tracer, the metrics registry, and the
+process-wide enabled flag) is a process singleton, so a test that
+enables tracing and fails mid-way would otherwise leak spans and
+metrics into every later test's assertions.  The autouse fixture below
+restores the disabled, empty state around *every* test.
+"""
+
+import pytest
+
+import repro.observability as obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Guarantee each test starts and ends with observability disabled
+    and empty, so span/metric assertions cannot leak across tests."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

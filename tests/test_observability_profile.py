@@ -1,0 +1,251 @@
+"""Profile exports (rollup, critical path, Chrome trace), histogram
+percentile edge cases, and thread-safety of registry/tracer reads.
+
+The Chrome round-trip test is the satellite contract: exported events
+must be well-formed ``"X"`` complete events with non-negative
+monotonically-ordered timestamps and stable pid/tid grouping, or
+Perfetto silently drops them.  The writer-thread tests pin the
+copy-on-read guarantees: snapshotting while another thread records
+must never raise and never tear a histogram summary.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro.observability as obs
+from repro.observability import (
+    chrome_trace_events,
+    critical_path,
+    export_chrome_trace,
+    registry,
+    render_critical_path,
+    render_rollup,
+    rollup,
+    span_self_ms,
+    tracer,
+)
+from repro.observability.metrics import COUNT_BUCKETS, Histogram
+from repro.observability.tracing import Span
+
+
+def record_tree():
+    """outer(≈) ─ inner×2, plus a second root — via the real tracer."""
+    obs.enable()
+    with tracer.span("outer", workload="test"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner"):
+            pass
+    with tracer.span("solo"):
+        pass
+    obs.disable()
+    return list(tracer.roots)
+
+
+class TestRollupAndCriticalPath:
+    def test_rollup_aggregates_per_name(self):
+        record_tree()
+        entries = {e.name: e for e in rollup()}
+        assert entries["inner"].calls == 2
+        assert entries["outer"].calls == 1
+        # inclusive outer covers the inners; self excludes them
+        outer = entries["outer"]
+        assert outer.self_ms <= outer.total_ms
+        assert outer.max_ms == pytest.approx(outer.total_ms)
+
+    def test_self_time_clamped_non_negative(self):
+        span = Span("p", "s1", None, 0.0, wall_ms=1.0)
+        child = Span("c", "s2", "s1", 0.0, wall_ms=5.0)  # clock skew
+        span.children.append(child)
+        assert span_self_ms(span) == 0.0
+        assert span_self_ms(child) == 5.0
+
+    def test_critical_path_descends_costliest_children(self):
+        record_tree()
+        path = critical_path()
+        assert [s.name for s in path] == ["outer", "inner"]
+        text = render_critical_path()
+        assert "critical path" in text and "outer" in text
+
+    def test_empty_trace_renders_placeholder(self):
+        assert rollup() == []
+        assert critical_path() == []
+        assert "no finished spans" in render_rollup()
+        assert "no finished spans" in render_critical_path()
+
+
+class TestChromeTraceRoundTrip:
+    def test_events_well_formed(self, tmp_path):
+        record_tree()
+        out = tmp_path / "trace.json"
+        export_chrome_trace(out)
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["ph"] for e in events} == {"M", "X"}
+        # one X event per recorded span
+        assert len(complete) == tracer.span_count() == 4
+        # process metadata plus one thread_name per recording thread
+        names = {e["name"] for e in meta}
+        assert names == {"process_name", "thread_name"}
+        for event in complete:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 1
+            assert isinstance(event["args"]["span_id"], str)
+        # attributes survive as JSON-able args
+        outer = next(e for e in complete if e["name"] == "outer")
+        assert outer["args"]["workload"] == "test"
+
+    def test_timestamps_relative_and_ordered(self):
+        record_tree()
+        complete = [e for e in chrome_trace_events() if e["ph"] == "X"]
+        # earliest span anchors the timeline at zero
+        assert min(e["ts"] for e in complete) == 0.0
+        # spans are walked parents-first, so per-tid timestamps ascend
+        by_tid = {}
+        for event in complete:
+            by_tid.setdefault(event["tid"], []).append(event["ts"])
+        for timestamps in by_tid.values():
+            assert timestamps == sorted(timestamps)
+
+    def test_tid_groups_by_recording_thread(self):
+        obs.enable()
+        with tracer.span("main-side"):
+            pass
+        def work():
+            span = tracer.start("worker-side")
+            tracer.finish(span)
+        worker = threading.Thread(target=work, name="worker-1")
+        worker.start()
+        worker.join()
+        obs.disable()
+        events = chrome_trace_events()
+        threads = {
+            e["args"]["name"]: e["tid"]
+            for e in events if e["name"] == "thread_name"
+        }
+        assert "worker-1" in threads
+        complete = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert complete["worker-side"]["tid"] == threads["worker-1"]
+        assert complete["main-side"]["tid"] != threads["worker-1"]
+
+    def test_empty_trace_exports_metadata_only(self, tmp_path):
+        out = export_chrome_trace(tmp_path / "empty.json")
+        payload = json.loads(out.read_text())
+        assert [e["ph"] for e in payload["traceEvents"]] == ["M"]
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.percentile(50) is None
+        assert h.summary()["p50"] is None
+        assert h.summary()["count"] == 0
+
+    def test_single_observation_every_quantile(self):
+        h = Histogram("h")
+        h.observe(7.5)
+        for q in (0, 1, 50, 99, 100):
+            assert h.percentile(q) == 7.5
+
+    def test_single_observation_of_zero(self):
+        # min == 0.0 is falsy — must still be returned, not skipped
+        h = Histogram("h", buckets=COUNT_BUCKETS)
+        h.observe(0.0)
+        assert h.percentile(0) == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_q0_and_q100_are_exact_extremes(self):
+        h = Histogram("h")
+        for v in (0.3, 2.0, 47.0, 820.0):
+            h.observe(v)
+        assert h.percentile(0) == 0.3
+        assert h.percentile(-5) == 0.3      # clamped
+        assert h.percentile(100) == 820.0
+        assert h.percentile(250) == 820.0   # clamped
+
+    def test_overflow_bucket_interpolates_to_max(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        h.observe(5_000.0)   # beyond the last bound
+        h.observe(9_000.0)
+        p99 = h.percentile(99)
+        assert p99 is not None
+        assert 10.0 < p99 <= 9_000.0
+
+    def test_interpolation_stays_within_observed_range(self):
+        h = Histogram("h")
+        for v in (0.02, 0.4, 3.0, 80.0, 700.0):
+            h.observe(v)
+        for q in (10, 25, 50, 75, 90, 99):
+            p = h.percentile(q)
+            assert 0.02 <= p <= 700.0
+        # percentiles are monotone in q
+        values = [h.percentile(q) for q in (1, 25, 50, 75, 99)]
+        assert values == sorted(values)
+
+
+class TestConcurrentReads:
+    def test_snapshot_while_writer_thread_records(self):
+        """Regression: snapshot()/render()/names() while another thread
+        creates metrics and observes must neither raise ('dictionary
+        changed size during iteration') nor tear a histogram summary."""
+        errors = []
+
+        def writer():
+            for i in range(20_000):
+                registry.counter(f"w.count.{i % 50}").inc()
+                registry.histogram("w.lat").observe(float(i % 100))
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            while thread.is_alive():
+                try:
+                    snap = registry.snapshot()
+                    registry.render()
+                    registry.names()
+                    lat = snap.get("w.lat")
+                    if lat and lat["count"]:
+                        # a consistent summary: percentiles exist and
+                        # are ordered whenever the count is non-zero
+                        assert lat["p50"] is not None
+                        assert lat["p50"] <= lat["p90"] <= lat["p99"]
+                        assert lat["min"] <= lat["p50"]
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    break
+        finally:
+            thread.join()
+        assert errors == []
+
+    def test_trace_render_while_writer_thread_records(self):
+        obs.enable()
+        errors = []
+
+        def writer():
+            for _ in range(500):
+                with tracer.span("w.outer"):
+                    with tracer.span("w.inner"):
+                        pass
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            while thread.is_alive():
+                try:
+                    tracer.render(attributes=False)
+                    sum(1 for _ in tracer.iter_spans())
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    break
+        finally:
+            thread.join()
+            obs.disable()
+        # the export still works on the finished trace
+        assert chrome_trace_events()
+        assert errors == []
