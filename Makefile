@@ -35,9 +35,11 @@ assert len(ops) >= 4, f'only {sorted(ops)}'; \
 print(f'trace-smoke: {len(spans)} spans, {len(ops)} operators ok')"
 	@rm -f .trace-smoke.jsonl
 
-# Differential smoke for the two query engines: runs the view-unfolding
-# workload at the smallest size, asserting compiled/interpreted row
-# parity and that a warm plan cache never recompiles.  No JSON rewrite.
+# Differential smoke for the three query engines: runs the
+# view-unfolding workload at the smallest size, asserting
+# vectorized/compiled/interpreted row parity and that warm plan caches
+# never recompile.  No JSON rewrite.  CI pins
+# REPRO_QUERY_ENGINE=vectorized on this gate (see ci.yml).
 query-smoke:
 	$(PYTHON) benchmarks/bench_query_executor.py --smoke
 
@@ -52,7 +54,16 @@ bench-smoke: test
 	$(PYTHON) benchmarks/bench_chase_scaling.py --smoke
 
 # Full query-executor shootout: rewrites BENCH_query.json at three
-# sizes and enforces the 3x compiled-vs-interpreted acceptance bar.
+# sizes (interpreted / compiled row / vectorized lanes, cold and warm)
+# and enforces the acceptance bars at 4k rows: 3x compiled vs
+# interpreted, 10x vectorized vs interpreted, 2x vectorized vs
+# compiled.
+#
+# Re-baselining workflow after a legitimate perf change:
+#   1. make bench-query            # rewrite BENCH_query.json in place
+#   2. $(PYTHON) -m repro bench diff --fresh-dir .
+#      (or `make bench-check`)     # confirm the new baseline diffs
+#                                  # clean before committing it
 bench-query:
 	$(PYTHON) benchmarks/bench_query_executor.py
 

@@ -83,11 +83,15 @@ from repro.algebra.explain import (
 )
 from repro.algebra.plan_cache import (
     GLOBAL_PLAN_CACHE,
+    GLOBAL_VECTOR_PLAN_CACHE,
     PlanCache,
     cached_plan,
+    cached_vector_plan,
     clear_plan_cache,
     plan_cache_stats,
+    vector_plan_cache_stats,
 )
+from repro.algebra.vectorized import VectorizedPlan, compile_vector_plan
 from repro.algebra.printer import node_label, render_plan, to_text
 from repro.algebra.sql import to_sql
 from repro.algebra.optimizer import optimize
@@ -104,6 +108,8 @@ __all__ = [
     "get_default_engine", "set_default_engine",
     "CompiledPlan", "compile_plan", "PlanCache", "GLOBAL_PLAN_CACHE",
     "cached_plan", "clear_plan_cache", "plan_cache_stats",
+    "VectorizedPlan", "compile_vector_plan", "GLOBAL_VECTOR_PLAN_CACHE",
+    "cached_vector_plan", "vector_plan_cache_stats",
     "PlanNode", "PlanProfile",
     "explain", "explain_analyze", "ExplainResult", "ExplainAnalyzeResult",
     "to_text", "to_sql", "node_label", "render_plan", "optimize",

@@ -135,14 +135,37 @@ def merge_rows(l_row: Row, r_row: Row, right_prefix: Optional[str]) -> Row:
 # ----------------------------------------------------------------------
 ScalarFn = Callable[[Row, object], object]
 
+#: Per-compilation memo of lowered scalars, keyed on scalar *identity*
+#: (CSE-shared subtrees splice the same predicate objects under several
+#: parents — without the memo each reference recompiles the closure
+#: tree).  Values keep a strong reference to the scalar so an id cannot
+#: be reused mid-pass.  Active only under :data:`_COMPILE_LOCK` (set by
+#: ``CompiledPlan._compile_with`` and the vectorized plan's compile
+#: pass); ``None`` outside a pass, where direct callers get the
+#: unmemoized behavior.
+_scalar_memo: Optional[dict[int, tuple[S.Scalar, ScalarFn]]] = None
+
 
 def compile_scalar(scalar: S.Scalar) -> ScalarFn:
     """Lower a scalar AST to one closure ``f(row, ctx) -> value``.
 
     All dispatch happens here, once per plan; unknown scalar classes
     fall back to their own bound ``eval`` (which has the same
-    signature), so user-defined predicates keep working.
+    signature), so user-defined predicates keep working.  During a plan
+    compilation pass, results are memoized per scalar identity.
     """
+    memo = _scalar_memo
+    if memo is None:
+        return _compile_scalar(scalar)
+    hit = memo.get(id(scalar))
+    if hit is not None:
+        return hit[1]
+    fn = _compile_scalar(scalar)
+    memo[id(scalar)] = (scalar, fn)
+    return fn
+
+
+def _compile_scalar(scalar: S.Scalar) -> ScalarFn:
     if isinstance(scalar, S.Col):
         name = scalar.name
 
@@ -1559,17 +1582,20 @@ class CompiledPlan:
     def _compile_with(self, wrap: bool):
         """One full compilation pass under the module compile lock
         (the CSE and registry slots are module-global)."""
-        global _cse_state, _plan_registry
+        global _cse_state, _plan_registry, _scalar_memo
         with _COMPILE_LOCK:
             prev_cse, prev_reg = _cse_state, _plan_registry
+            prev_memo = _scalar_memo
             shared = _shared_subtrees(self.expr)
             _cse_state = _CSE(shared) if shared else None
             reg = _PlanRegistry(wrap)
             _plan_registry = reg
+            _scalar_memo = {}
             try:
                 run, owned = _compile(self.expr)
             finally:
                 _cse_state, _plan_registry = prev_cse, prev_reg
+                _scalar_memo = prev_memo
         return run, owned, reg
 
     def _ensure_profiled(self):

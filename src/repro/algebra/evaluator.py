@@ -1,16 +1,21 @@
 """Evaluation of relational algebra expressions over instances.
 
 This is the query-execution half of the paper's "mapping runtime": the
-engine that actually runs generated transformations.  Two engines live
-behind :func:`evaluate`:
+engine that actually runs generated transformations.  Three engines
+live behind :func:`evaluate`:
 
-* ``compiled`` (the default) — the closure-pipeline executor of
+* ``vectorized`` (the default) — the columnar executor of
+  :mod:`repro.algebra.vectorized`: stages operate on
+  :class:`~repro.instances.columnar.ColumnBatch` operands (masks,
+  column permutations, column-slice hash joins), memoized through its
+  own plan cache;
+* ``compiled`` — the row closure-pipeline executor of
   :mod:`repro.algebra.compiler`, memoized through the plan cache of
   :mod:`repro.algebra.plan_cache`;
 * ``interpreted`` — the reference tree-walking interpreter in this
   module: a straightforward evaluator that materializes each
   operator's output.  Simple, deterministic, and the semantic oracle
-  the differential suite holds the compiler to.
+  the differential suite holds both compiling engines to.
 
 Select the engine per call (``evaluate(..., engine="interpreted")``),
 process-wide (:func:`set_default_engine`), or via the
@@ -49,7 +54,7 @@ from repro.observability.tracing import tracer
 
 #: Engines selectable through ``evaluate(..., engine=...)``,
 #: :func:`set_default_engine`, or ``REPRO_QUERY_ENGINE``.
-ENGINES = ("compiled", "interpreted")
+ENGINES = ("vectorized", "compiled", "interpreted")
 
 _default_engine: Optional[str] = None
 
@@ -57,13 +62,13 @@ _default_engine: Optional[str] = None
 def get_default_engine() -> str:
     """The engine used when ``evaluate`` is called without one:
     the :func:`set_default_engine` override if set, else
-    ``REPRO_QUERY_ENGINE`` if valid, else ``compiled``."""
+    ``REPRO_QUERY_ENGINE`` if valid, else ``vectorized``."""
     if _default_engine is not None:
         return _default_engine
     env = os.environ.get("REPRO_QUERY_ENGINE", "").strip().lower()
     if env in ENGINES:
         return env
-    return "compiled"
+    return "vectorized"
 
 
 def set_default_engine(engine: Optional[str]) -> None:
@@ -95,10 +100,14 @@ def evaluate(
 
     ``schema`` supplies the is-a hierarchy for ``EntityScan`` and
     ``IsOf``; it defaults to the instance's bound schema.  ``engine``
-    picks ``compiled`` or ``interpreted`` (default per
-    :func:`get_default_engine`); both produce identical row multisets.
+    picks ``vectorized``, ``compiled``, or ``interpreted`` (default per
+    :func:`get_default_engine`); all produce identical row multisets.
     """
     resolved = engine if engine is not None else get_default_engine()
+    if resolved == "vectorized":
+        from repro.algebra.plan_cache import cached_vector_plan
+
+        return cached_vector_plan(expr).execute(instance, schema)
     if resolved == "compiled":
         from repro.algebra.plan_cache import cached_plan
 

@@ -1,4 +1,4 @@
-"""EXPLAIN / EXPLAIN ANALYZE for the compiled query executor.
+"""EXPLAIN / EXPLAIN ANALYZE for the compiling query executors.
 
 ``explain`` compiles (through the plan cache, exactly like
 ``evaluate``) and renders the annotated plan tree — which strategy
@@ -6,6 +6,14 @@ each node lowered to, where CSE shares a subtree.  ``explain_analyze``
 additionally runs the plan through the profiled pipeline and annotates
 every node with calls, output rows, inclusive and exclusive
 (charge-once) wall time, and CSE-memo hits.
+
+Both work for the row engine (``engine="compiled"``) and the columnar
+engine (``engine="vectorized"``, strategies named ``vec_*``); the
+default follows :func:`repro.algebra.evaluator.get_default_engine`.
+The two lowerings register node-for-node identical tree shapes, and
+profiled row counts agree exactly — only strategy names and timings
+differ.  ``engine="interpreted"`` has no plan to show and falls back
+to the row compiler's view of the query.
 
 The profiled pipeline is a *second* compilation of the same plan whose
 stage closures are wrapped in per-node counters; the raw pipeline used
@@ -21,10 +29,27 @@ from typing import Optional
 
 from repro.algebra import expressions as E
 from repro.algebra.compiler import CompiledPlan, PlanProfile
-from repro.algebra.plan_cache import GLOBAL_PLAN_CACHE
+from repro.algebra.plan_cache import (
+    GLOBAL_PLAN_CACHE,
+    GLOBAL_VECTOR_PLAN_CACHE,
+)
 from repro.algebra.printer import render_plan, to_text
 from repro.instances.database import Instance, Row
 from repro.metamodel.schema import Schema
+
+
+def _cache_for(engine: Optional[str]):
+    """The plan cache whose entries ``explain`` should show for
+    ``engine`` (None → the process default engine)."""
+    if engine is None:
+        from repro.algebra.evaluator import get_default_engine
+
+        engine = get_default_engine()
+    if engine == "vectorized":
+        return GLOBAL_VECTOR_PLAN_CACHE
+    # "compiled" — and "interpreted", which has no plan of its own:
+    # show the row compiler's lowering of the query.
+    return GLOBAL_PLAN_CACHE
 
 
 @dataclass
@@ -85,11 +110,14 @@ class ExplainAnalyzeResult(ExplainResult):
         return data
 
 
-def explain(expr: E.RelExpr) -> ExplainResult:
+def explain(
+    expr: E.RelExpr, engine: Optional[str] = None
+) -> ExplainResult:
     """Compile ``expr`` (via the process-wide plan cache, like
     ``evaluate``) and return its annotated plan."""
-    cache_hit = expr in GLOBAL_PLAN_CACHE
-    plan = GLOBAL_PLAN_CACHE.get(expr)
+    cache = _cache_for(engine)
+    cache_hit = expr in cache
+    plan = cache.get(expr)
     return ExplainResult(expr=expr, plan=plan, cache_hit=cache_hit)
 
 
@@ -97,6 +125,7 @@ def explain_analyze(
     expr: E.RelExpr,
     instance: Instance,
     schema: Optional[Schema] = None,
+    engine: Optional[str] = None,
 ) -> ExplainAnalyzeResult:
     """Compile, execute against ``instance``, and return the plan
     annotated with per-node runtime statistics.
@@ -104,8 +133,9 @@ def explain_analyze(
     Profiling works whether or not observability is enabled; when it
     is enabled the run also emits the usual ``query.execute`` span, so
     the profile's total nests inside that span's wall time."""
-    cache_hit = expr in GLOBAL_PLAN_CACHE
-    plan = GLOBAL_PLAN_CACHE.get(expr)
+    cache = _cache_for(engine)
+    cache_hit = expr in cache
+    plan = cache.get(expr)
     rows, profile = plan.execute_profiled(instance, schema)
     return ExplainAnalyzeResult(
         expr=expr, plan=plan, cache_hit=cache_hit, profile=profile, rows=rows

@@ -34,12 +34,21 @@ DEFAULT_CAPACITY = 256
 
 class PlanCache:
     """Thread-safe LRU cache mapping expression fingerprints to
-    :class:`CompiledPlan` objects."""
+    executable plans.
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    ``compile_fn`` decides what a cache entry *is*: the default builds
+    row-pipeline :class:`CompiledPlan` objects; the vectorized engine's
+    cache (:data:`GLOBAL_VECTOR_PLAN_CACHE`) builds
+    :class:`~repro.algebra.vectorized.VectorizedPlan` objects through
+    the same LRU/metrics machinery.  Both plan kinds share the
+    ``expr``/``fingerprint`` attribute surface the cache relies on.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, compile_fn=None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self._compile = compile_fn if compile_fn is not None else compile_plan
         self._plans: "OrderedDict[str, CompiledPlan]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -59,7 +68,7 @@ class PlanCache:
                 return cached
         # Compile outside the lock: compilation is pure and the worst
         # case of a race is one redundant compile.
-        plan = compile_plan(expr, fingerprint)
+        plan = self._compile(expr, fingerprint)
         with self._lock:
             self.misses += 1
             self._plans[fingerprint] = plan
@@ -108,18 +117,40 @@ class PlanCache:
             }
 
 
-#: Process-wide cache used by the default compiled engine.
+def _compile_vector(expr: RelExpr, fingerprint: str):
+    from repro.algebra.vectorized import compile_vector_plan
+
+    return compile_vector_plan(expr, fingerprint)
+
+
+#: Process-wide cache used by the compiled (row-pipeline) engine.
 GLOBAL_PLAN_CACHE = PlanCache()
+
+#: Process-wide cache used by the vectorized (columnar) engine.  A
+#: separate cache because the two engines lower the same expression to
+#: different executables; both report through the same
+#: ``query.plan_cache.*`` metric names.
+GLOBAL_VECTOR_PLAN_CACHE = PlanCache(compile_fn=_compile_vector)
 
 
 def cached_plan(expr: RelExpr) -> CompiledPlan:
-    """Fetch ``expr``'s plan from the process-wide cache."""
+    """Fetch ``expr``'s row-engine plan from the process-wide cache."""
     return GLOBAL_PLAN_CACHE.get(expr)
+
+
+def cached_vector_plan(expr: RelExpr):
+    """Fetch ``expr``'s vectorized plan from the process-wide cache."""
+    return GLOBAL_VECTOR_PLAN_CACHE.get(expr)
 
 
 def clear_plan_cache() -> None:
     GLOBAL_PLAN_CACHE.clear()
+    GLOBAL_VECTOR_PLAN_CACHE.clear()
 
 
 def plan_cache_stats() -> dict[str, int]:
     return GLOBAL_PLAN_CACHE.stats()
+
+
+def vector_plan_cache_stats() -> dict[str, int]:
+    return GLOBAL_VECTOR_PLAN_CACHE.stats()

@@ -1,0 +1,1275 @@
+"""Vectorized (columnar) plan executor.
+
+The row compiler (:mod:`repro.algebra.compiler`) already removed
+per-row interpretation overhead, but every stage still builds and
+copies Python dicts row by row.  This module lowers the same
+:class:`~repro.algebra.expressions.RelExpr` trees onto
+:class:`~repro.instances.columnar.ColumnBatch` operands instead:
+
+* **selection** evaluates vectorizable predicates as boolean masks over
+  whole columns and compresses once;
+* **projection** of columns/constants is a column *permutation* —
+  O(columns) per stage, sharing the input's (immutable) value lists;
+* **hash joins** build and probe over column slices, then gather output
+  columns through index lists (one C-level list comprehension per
+  column instead of one dict build per row);
+* **distinct / difference** encode rows as tuples via ``zip(*columns)``
+  and dedup through sets;
+* **union** aligns layouts once per batch pair and concatenates value
+  lists.
+
+Semantics are bit-for-bit those of the interpreter and the row
+compiler — the differential suite in ``tests/test_query_compiler.py``
+holds all three engines to identical results, labeled nulls included.
+Where a scalar expression or a runtime batch shape falls outside the
+vectorizer's reach (heterogeneous rows, exotic predicates, nested-loop
+joins), the stage falls back to the row algorithm *per stage*: it
+materializes rows, runs the exact row-engine code, and re-encodes —
+never approximating the row semantics.
+
+Structure mirrors :class:`~repro.algebra.compiler.CompiledPlan`: the
+same CSE detection (:func:`~repro.algebra.compiler._shared_subtrees`),
+the same projection-through-union pushdown, and the same
+:class:`~repro.algebra.compiler._PlanRegistry` node bookkeeping — so
+EXPLAIN / EXPLAIN ANALYZE trees have node-for-node the same shape and
+per-node row counts as the row engine's, only with ``vec_*`` strategy
+names.  Batches flowing between stages are immutable by convention;
+fresh row dicts are built exactly once, at the plan boundary
+(:meth:`VectorizedPlan.execute`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.algebra import compiler as C
+from repro.algebra import expressions as E
+from repro.algebra import scalars as S
+from repro.algebra.compiler import (
+    PlanProfile,
+    SortKey,
+    _Run,
+    compile_scalar,
+    equality_pairs,
+    join_key_value,
+)
+from repro.errors import EvaluationError
+from repro.instances.columnar import Column, ColumnBatch
+from repro.instances.database import (
+    TYPE_FIELD,
+    Instance,
+    Row,
+    hashable_key,
+)
+from repro.instances.labeled_null import LabeledNull
+from repro.metamodel.schema import Schema
+from repro.observability.metrics import registry
+from repro.observability.state import STATE
+from repro.observability.tracing import tracer
+
+_NOMATCH = C._NOMATCH
+_EMPTY = ()
+
+VStage = Callable[[_Run], ColumnBatch]
+
+
+class _Lower:
+    """Per-compilation state: the CSE slot map, the stages already
+    built for shared subtrees, and the plan-node registry."""
+
+    __slots__ = ("shared", "compiled", "registry")
+
+    def __init__(self, shared: dict[int, int], registry: "C._PlanRegistry"):
+        self.shared = shared
+        self.compiled: dict[int, VStage] = {}
+        self.registry = registry
+
+
+# ----------------------------------------------------------------------
+# column access helpers
+# ----------------------------------------------------------------------
+def _plain_values(batch: ColumnBatch, name: str) -> Optional[list]:
+    """The column's values with absent cells surfaced as ``None`` (the
+    ``row.get(name)`` view); ``None`` when the column does not exist at
+    all (callers substitute an all-``None`` column)."""
+    col = batch.cols.get(name)
+    if col is None:
+        return None
+    if col.present is None:
+        return col.values
+    return [v if p else None for v, p in zip(col.values, col.present)]
+
+
+def _full_values(batch: ColumnBatch, name: str) -> Optional[list]:
+    """The column's values when every row carries the column, else
+    ``None`` (the caller must fall back to row semantics, which may
+    raise per row)."""
+    col = batch.cols.get(name)
+    if col is None or col.present is not None:
+        return None
+    return col.values
+
+
+def _raise_missing(batch: ColumnBatch, srcs: tuple[str, ...]) -> None:
+    """Interpreter-parity missing-column error: report the first row
+    (in order) missing any of ``srcs`` (first such column in ``srcs``
+    order), exactly like the row engines do."""
+    for i in range(batch.nrows):
+        row = batch.row_at(i)
+        for src in srcs:
+            if src not in row:
+                raise EvaluationError(
+                    f"row has no column {src!r}: {sorted(row)}"
+                ) from None
+    raise AssertionError("no missing column found")  # pragma: no cover
+
+
+def _tuple_keys(batch: ColumnBatch, order: tuple[str, ...]) -> list[tuple]:
+    """Tuple encoding of fully-present rows in ``order`` — dict
+    equality ⇔ tuple equality when both sides share one column set."""
+    if not order:
+        return [()] * batch.nrows
+    return list(zip(*(batch.cols[c].values for c in order)))
+
+
+def _from_rows(rows: list[Row]) -> ColumnBatch:
+    return ColumnBatch.from_rows(rows)
+
+
+# ----------------------------------------------------------------------
+# vectorized scalar predicates
+# ----------------------------------------------------------------------
+#: (mask_fn(batch, ctx) -> list[bool], names that must be fully present)
+_VecPred = tuple[Callable[[ColumnBatch, object], list], frozenset]
+
+
+def _pair_fn(op: str):
+    """Per-cell comparison with the engines' SQL null semantics."""
+    if op == "=":
+
+        def pair_eq(lhs, rhs):
+            if isinstance(lhs, LabeledNull) or isinstance(rhs, LabeledNull):
+                return lhs == rhs
+            if lhs is None or rhs is None:
+                return False
+            return bool(lhs == rhs)
+
+        return pair_eq
+    if op == "!=":
+
+        def pair_ne(lhs, rhs):
+            if isinstance(lhs, LabeledNull) or isinstance(rhs, LabeledNull):
+                return lhs != rhs
+            if lhs is None or rhs is None:
+                return False
+            return bool(lhs != rhs)
+
+        return pair_ne
+    op_fn = S.Comparison._OPS[op]
+
+    def pair_ordered(lhs, rhs):
+        if isinstance(lhs, LabeledNull) or isinstance(rhs, LabeledNull):
+            return False
+        if lhs is None or rhs is None:
+            return False
+        try:
+            return bool(op_fn(lhs, rhs))
+        except TypeError:
+            return False  # cross-type comparison is unknown
+
+    return pair_ordered
+
+
+def _clean(col: Column) -> bool:
+    """No SQL nulls and no labeled nulls (both views cached on the
+    column, so this is O(1) after the first call)."""
+    return not col.labels() and not any(col.null_mask())
+
+
+def _lit_mask_fn(op: str, name: str, lit, flipped: bool):
+    """A mask evaluator for ``col <op> lit`` that runs the comparison
+    as one plain comprehension — no per-cell closure call — whenever
+    that is provably equivalent to the engines' null semantics, else
+    falls back to the per-cell pairing at runtime.  Returns ``None``
+    when no fast lane exists for this op/literal."""
+    if lit is None or isinstance(lit, LabeledNull):
+        return None  # null literals need the pairing rules everywhere
+    pair = _pair_fn(op)
+
+    if op == "=":
+        # `v == lit` matches pair_eq for every v: None == lit is False,
+        # LabeledNull.__eq__(concrete) is False.
+        def run_mask_eq(b, ctx):
+            return [v == lit for v in b.cols[name].values]
+
+        return run_mask_eq
+
+    if op == "!=":
+        # Diverges only on SQL NULL cells (pair says False, != says
+        # True), so it is licensed per batch by the cached null mask.
+        def run_mask_ne(b, ctx):
+            col = b.cols[name]
+            values = col.values
+            if not any(col.null_mask()):
+                return [v != lit for v in values]
+            if flipped:
+                return [pair(lit, v) for v in values]
+            return [pair(v, lit) for v in values]
+
+        return run_mask_ne
+
+    op_fn = S.Comparison._OPS[op]
+
+    def run_mask_ordered(b, ctx):
+        col = b.cols[name]
+        values = col.values
+        if _clean(col):
+            try:
+                if flipped:
+                    return [op_fn(lit, v) for v in values]
+                return [op_fn(v, lit) for v in values]
+            except TypeError:
+                pass  # cross-type cell → per-cell unknown-as-False
+        if flipped:
+            return [pair(lit, v) for v in values]
+        return [pair(v, lit) for v in values]
+
+    return run_mask_ordered
+
+
+def _vector_predicate(scalar) -> Optional[_VecPred]:
+    """A columnar mask evaluator for ``scalar``, or ``None`` when the
+    scalar is outside the vectorizer's dialect.  Only licensed when
+    every referenced column is fully present (``needs``) — that rules
+    out both missing-column raises and short-circuit visibility
+    differences in ``And``/``Or``."""
+    if isinstance(scalar, S._Bool):
+        value = bool(scalar.value)
+        return (lambda b, ctx: [value] * b.nrows), frozenset()
+
+    if isinstance(scalar, S.Comparison):
+        left, right = scalar.left, scalar.right
+        pair = _pair_fn(scalar.op)
+        if isinstance(left, S.Col) and isinstance(right, S.Lit):
+            name, lit = left.name, right.value
+            fast = _lit_mask_fn(scalar.op, name, lit, flipped=False)
+            if fast is not None:
+                return fast, frozenset((name,))
+            return (
+                lambda b, ctx: [pair(v, lit) for v in b.cols[name].values]
+            ), frozenset((name,))
+        if isinstance(left, S.Lit) and isinstance(right, S.Col):
+            lit, name = left.value, right.name
+            fast = _lit_mask_fn(scalar.op, name, lit, flipped=True)
+            if fast is not None:
+                return fast, frozenset((name,))
+            return (
+                lambda b, ctx: [pair(lit, v) for v in b.cols[name].values]
+            ), frozenset((name,))
+        if isinstance(left, S.Col) and isinstance(right, S.Col):
+            ln, rn = left.name, right.name
+            return (
+                lambda b, ctx: [
+                    pair(lv, rv)
+                    for lv, rv in zip(b.cols[ln].values, b.cols[rn].values)
+                ]
+            ), frozenset((ln, rn))
+        if isinstance(left, S.Lit) and isinstance(right, S.Lit):
+            value = pair(left.value, right.value)
+            return (lambda b, ctx: [value] * b.nrows), frozenset()
+        return None
+
+    if isinstance(scalar, (S.And, S.Or)):
+        parts = [_vector_predicate(p) for p in scalar.operands]
+        if any(p is None for p in parts):
+            return None
+        fns = tuple(fn for fn, _ in parts)
+        needs = frozenset().union(*(n for _, n in parts))
+        if isinstance(scalar, S.And):
+
+            def run_and(b, ctx):
+                mask = fns[0](b, ctx)
+                for fn in fns[1:]:
+                    other = fn(b, ctx)
+                    mask = [x and y for x, y in zip(mask, other)]
+                return mask
+
+            return run_and, needs
+
+        def run_or(b, ctx):
+            mask = fns[0](b, ctx)
+            for fn in fns[1:]:
+                other = fn(b, ctx)
+                mask = [x or y for x, y in zip(mask, other)]
+            return mask
+
+        return run_or, needs
+
+    if isinstance(scalar, S.Not):
+        part = _vector_predicate(scalar.operand)
+        if part is None:
+            return None
+        fn, needs = part
+        return (lambda b, ctx: [not x for x in fn(b, ctx)]), needs
+
+    if isinstance(scalar, S.IsNull) and isinstance(scalar.operand, S.Col):
+        name = scalar.operand.name
+        if scalar.negated:
+            return (
+                lambda b, ctx: [
+                    not (v is None or isinstance(v, LabeledNull))
+                    for v in b.cols[name].values
+                ]
+            ), frozenset((name,))
+        return (
+            lambda b, ctx: [
+                v is None or isinstance(v, LabeledNull)
+                for v in b.cols[name].values
+            ]
+        ), frozenset((name,))
+
+    if isinstance(scalar, S.In) and isinstance(scalar.operand, S.Col):
+        name = scalar.operand.name
+        values = scalar.values
+        return (
+            lambda b, ctx: [
+                False if v is None else v in values
+                for v in b.cols[name].values
+            ]
+        ), frozenset((name,))
+
+    if isinstance(scalar, S.IsOf):
+        cell = compile_scalar(scalar)  # run_is_of consults row.get
+
+        def run_is_of_mask(b, ctx):
+            vals = _plain_values(b, TYPE_FIELD)
+            if vals is None:
+                row: Row = {}
+                value = cell(row, ctx)
+                return [value] * b.nrows
+            return [cell({TYPE_FIELD: v}, ctx) for v in vals]
+
+        return run_is_of_mask, frozenset()
+
+    return None
+
+
+# ----------------------------------------------------------------------
+# lowering
+# ----------------------------------------------------------------------
+def _lower(expr: E.RelExpr, st: _Lower) -> VStage:
+    """Lower ``expr``, sharing CSE subtrees through the per-execution
+    memo and registering plan-node metadata — the vectorized mirror of
+    the row compiler's ``_compile``."""
+    reg = st.registry
+    reg.enter()
+    slot = st.shared.get(id(expr))
+    if slot is None:
+        run = _lower_node(expr, st)
+        node_id = reg.exit_register(expr, run.__name__, False)
+        return reg.wrap_stage(run, node_id)
+    cached = st.compiled.get(id(expr))
+    if cached is not None:
+        reg.exit_reference(expr)
+        return cached
+    run = _lower_node(expr, st)
+    node_id = reg.exit_register(expr, run.__name__, True)
+
+    def run_shared(ctx, _run=run, _slot=slot):
+        memo = ctx.memo
+        batch = memo.get(_slot)
+        if batch is None:
+            batch = memo[_slot] = _run(ctx)
+        return batch
+
+    cached = st.compiled[id(expr)] = reg.wrap_stage(run_shared, node_id)
+    return cached
+
+
+def _lower_node(expr: E.RelExpr, st: _Lower) -> VStage:
+    if isinstance(expr, E.Scan):
+        relation = expr.relation
+
+        def run_vec_scan(ctx):
+            return ctx.instance.column_batch(relation)
+
+        return run_vec_scan
+
+    if isinstance(expr, E.EntityScan):
+        return _lower_entity_scan(expr)
+
+    if isinstance(expr, E.Values):
+        batch = ColumnBatch.from_rows([dict(r) for r in expr.rows])
+
+        def run_vec_values(ctx):
+            return batch
+
+        return run_vec_values
+
+    if isinstance(expr, E.Select):
+        return _lower_select(expr, st)
+
+    if isinstance(expr, E.Project):
+        return _lower_project(expr, st)
+
+    if isinstance(expr, E.Extend):
+        return _lower_extend(expr, st)
+
+    if isinstance(expr, E.Rename):
+        inner = _lower(expr.input, st)
+        mapping = expr.mapping
+
+        def run_vec_rename(ctx):
+            batch = inner(ctx)
+            new_names = tuple(mapping.get(c, c) for c in batch.names)
+            if len(set(new_names)) == len(new_names):
+                cols = {
+                    new: batch.cols[old]
+                    for new, old in zip(new_names, batch.names)
+                }
+                return ColumnBatch(new_names, cols, batch.nrows)
+            # Colliding rename: later key wins per row — row semantics.
+            return _from_rows([
+                {mapping.get(k, k): v for k, v in row.items()}
+                for row in batch.to_rows()
+            ])
+
+        return run_vec_rename
+
+    if isinstance(expr, E.Join):
+        return _lower_join(expr, st)
+
+    if isinstance(expr, E.UnionAll):
+        return _lower_union(expr, st)
+
+    if isinstance(expr, E.Difference):
+        return _lower_difference(expr, st)
+
+    if isinstance(expr, E.Distinct):
+        inner = _lower(expr.input, st)
+
+        def run_vec_distinct(ctx):
+            batch = inner(ctx)
+            if batch.full:
+                names = batch.names
+                try:
+                    if len(names) == 1:
+                        # Single column: row equality is value equality
+                        # (labeled nulls hash/eq by label either way),
+                        # and dict.fromkeys keeps first occurrences in
+                        # first-seen order — the output column itself.
+                        name = names[0]
+                        values = batch.cols[name].values
+                        ordered = list(dict.fromkeys(values))
+                        if len(ordered) == len(values):
+                            return batch
+                        return ColumnBatch(
+                            names, {name: Column(ordered)}, len(ordered)
+                        )
+                    keys = _tuple_keys(batch, names)
+                    n = batch.nrows
+                    # Reversed insertion: the surviving position per key
+                    # is its first occurrence (last assignment wins).
+                    first = {
+                        key: i
+                        for i, key in zip(
+                            range(n - 1, -1, -1), reversed(keys)
+                        )
+                    }
+                    if len(first) == n:
+                        return batch
+                    return batch.take(sorted(first.values()))
+                except TypeError:
+                    pass  # unhashable value → frozen-row path
+            return _from_rows(C._distinct_frozen(batch.to_rows()))
+
+        return run_vec_distinct
+
+    if isinstance(expr, E.Aggregate):
+        return _lower_aggregate(expr, st)
+
+    if isinstance(expr, E.Sort):
+        inner = _lower(expr.input, st)
+        keys = expr.keys
+
+        def run_vec_sort(ctx):
+            batch = inner(ctx)
+            indices = list(range(batch.nrows))
+            for key in reversed(keys):
+                descending = key.startswith("-")
+                column = key[1:] if descending else key
+                vals = _plain_values(batch, column)
+                if vals is None:
+                    continue  # all keys equal → stable sort is identity
+                indices.sort(
+                    key=lambda i: SortKey(vals[i]), reverse=descending
+                )
+            return batch.take(indices)
+
+        return run_vec_sort
+
+    raise EvaluationError(f"unknown expression node {type(expr).__name__}")
+
+
+def _lower_entity_scan(expr: E.EntityScan) -> VStage:
+    entity_name = expr.entity
+    only = expr.only
+
+    def run_vec_entity_scan(ctx):
+        schema = ctx.schema
+        if schema is None:
+            raise EvaluationError("EntityScan requires a schema")
+        entity = schema.entity(entity_name)
+        root = entity.root().name
+        batch = ctx.instance.column_batch(root)
+        values = _plain_values(batch, TYPE_FIELD)
+        col = batch.cols.get(TYPE_FIELD)
+        absent = None if col is None or col.present is None else col.present
+        if only:
+            if values is None:
+                mask = [False] * batch.nrows
+            else:
+                mask = [v == entity_name for v in values]
+        else:
+            members = {entity.name} | {d.name for d in entity.descendants()}
+            if values is None:
+                mask = [root in members] * batch.nrows
+            elif absent is None:
+                mask = [v in members for v in values]
+            else:
+                # An absent $type defaults to the root entity; a
+                # present None does not (row.get(k, default) parity).
+                mask = [
+                    (v if p else root) in members
+                    for v, p in zip(values, absent)
+                ]
+        return batch.compress(mask)
+
+    return run_vec_entity_scan
+
+
+def _lower_select(expr: E.Select, st: _Lower) -> VStage:
+    inner = _lower(expr.input, st)
+    predicate = compile_scalar(expr.predicate)
+    vec = _vector_predicate(expr.predicate)
+
+    if vec is None:
+
+        def run_vec_select_rows(ctx):
+            batch = inner(ctx)
+            if not batch.nrows:
+                return batch
+            mask = [predicate(row, ctx) for row in batch.to_rows()]
+            return batch.compress(mask)
+
+        return run_vec_select_rows
+
+    mask_fn, needs = vec
+
+    def run_vec_select(ctx):
+        batch = inner(ctx)
+        if not batch.nrows:
+            return batch
+        cols = batch.cols
+        for name in needs:
+            col = cols.get(name)
+            if col is None or col.present is not None:
+                # A referenced column is missing from some row: use the
+                # row path (exact raise/short-circuit semantics).
+                mask = [predicate(row, ctx) for row in batch.to_rows()]
+                return batch.compress(mask)
+        return batch.compress(mask_fn(batch, ctx))
+
+    return run_vec_select
+
+
+def _lower_project(expr: E.Project, st: _Lower) -> VStage:
+    pushed = C._push_project_through_union(expr)
+    if pushed is not None:
+        return _lower(pushed, st)
+
+    inner = _lower(expr.input, st)
+    outputs = expr.outputs
+    out_names = expr.output_names
+
+    if all(isinstance(s, (S.Col, S.Lit)) for _, s in outputs):
+        col_pairs = tuple(
+            (name, s.name) for name, s in outputs if isinstance(s, S.Col)
+        )
+        const_items = tuple(
+            (name, s.value) for name, s in outputs if isinstance(s, S.Lit)
+        )
+        srcs = tuple(src for _, src in col_pairs)
+
+        def run_vec_project(ctx):
+            batch = inner(ctx)
+            cols = batch.cols
+            nrows = batch.nrows
+            out_cols = {}
+            for name, src in col_pairs:
+                col = cols.get(src)
+                if col is None or col.present is not None:
+                    if not nrows:
+                        return ColumnBatch.empty(out_names)
+                    _raise_missing(batch, srcs)
+                out_cols[name] = col
+            for name, value in const_items:
+                out_cols[name] = Column([value] * nrows)
+            return ColumnBatch(out_names, out_cols, nrows)
+
+        return run_vec_project
+
+    compiled = tuple(
+        (name, compile_scalar(scalar)) for name, scalar in outputs
+    )
+
+    def run_vec_project_rows(ctx):
+        batch = inner(ctx)
+        built = [
+            {name: fn(row, ctx) for name, fn in compiled}
+            for row in batch.to_rows()
+        ]
+        return ColumnBatch.from_homogeneous_rows(built, out_names)
+
+    return run_vec_project_rows
+
+
+def _lower_extend(expr: E.Extend, st: _Lower) -> VStage:
+    inner = _lower(expr.input, st)
+    name = expr.name
+    scalar = expr.scalar
+    cell = compile_scalar(scalar)
+
+    def fallback(batch, ctx):
+        rows = batch.to_rows()
+        for row in rows:
+            row[name] = cell(row, ctx)
+        return _from_rows(rows)
+
+    if isinstance(scalar, S.Lit):
+        value = scalar.value
+
+        def run_vec_extend_const(ctx):
+            batch = inner(ctx)
+            col = batch.cols.get(name)
+            if col is not None and col.present is not None:
+                # Partially present target: per-row key order differs
+                # between rows — only the row path reproduces it.
+                return fallback(batch, ctx)
+            return _with_column(batch, name, Column([value] * batch.nrows))
+
+        return run_vec_extend_const
+
+    if isinstance(scalar, S.Col):
+        src = scalar.name
+
+        def run_vec_extend_col(ctx):
+            batch = inner(ctx)
+            col = batch.cols.get(name)
+            if col is not None and col.present is not None:
+                return fallback(batch, ctx)
+            values = _full_values(batch, src)
+            if values is None:
+                return fallback(batch, ctx)  # raises row-style if absent
+            return _with_column(batch, name, Column(values))
+
+        return run_vec_extend_col
+
+    def run_vec_extend_rows(ctx):
+        return fallback(inner(ctx), ctx)
+
+    return run_vec_extend_rows
+
+
+def _with_column(batch: ColumnBatch, name: str, col: Column) -> ColumnBatch:
+    cols = dict(batch.cols)
+    names = batch.names if name in cols else batch.names + (name,)
+    cols[name] = col
+    return ColumnBatch(names, cols, batch.nrows)
+
+
+# ----------------------------------------------------------------------
+# joins
+# ----------------------------------------------------------------------
+def _batch_keys(
+    batch: ColumnBatch,
+    columns: tuple[str, ...],
+    tolerant: tuple[bool, ...],
+) -> list:
+    """Per-row join keys over column slices (``_NOMATCH`` marks a null
+    under a null-rejecting pair) — the columnar image of the row
+    engine's ``_make_join_keyer``."""
+    n = batch.nrows
+    if len(columns) == 1:
+        col = batch.cols.get(columns[0])
+        if tolerant[0]:
+            values = _plain_values(batch, columns[0])
+            if values is None:
+                return [None] * n
+            return [hashable_key(v) for v in values]
+        if col is None:
+            return [_NOMATCH] * n
+        if (
+            col.present is None
+            and not col.labels()
+            and not any(col.null_mask())
+        ):
+            # No nulls, no labeled nulls: the values ARE the keys.
+            # Both derived views are cached on the Column, so keying a
+            # scanned column is free from the second query on.
+            return col.values
+        values = _plain_values(batch, columns[0])
+        out = []
+        append = out.append
+        for v in values:
+            if v is None:
+                append(_NOMATCH)
+            elif isinstance(v, LabeledNull):
+                append(("⊥", v.label))
+            else:
+                append(v)
+        return out
+    per_col = []
+    for c in columns:
+        values = _plain_values(batch, c)
+        per_col.append(values if values is not None else [None] * n)
+    keyers = tuple(hashable_key if t else join_key_value for t in tolerant)
+    strict_at = tuple(i for i, t in enumerate(tolerant) if not t)
+    out = []
+    append = out.append
+    for cells in zip(*per_col):
+        key = tuple(k(v) for k, v in zip(keyers, cells))
+        nomatch = False
+        for i in strict_at:
+            if key[i] is None:
+                nomatch = True
+                break
+        append(_NOMATCH if nomatch else key)
+    return out
+
+
+def _lower_join(expr: E.Join, st: _Lower) -> VStage:
+    left = _lower(expr.left, st)
+    right = _lower(expr.right, st)
+    kind = expr.kind
+    right_prefix = expr.right_prefix
+    pairs = equality_pairs(expr.predicate)
+
+    if pairs:
+        tolerant = tuple(t for _, _, t in pairs)
+        l_cols = tuple(lc for lc, _, _ in pairs)
+        r_cols = tuple(rc for _, rc, _ in pairs)
+        lkey_row = C._make_join_keyer(l_cols, tolerant)
+        rkey_row = C._make_join_keyer(r_cols, tolerant)
+        join_right_cols = set(r_cols)
+        semi_licensed = (
+            kind == "inner"
+            and right_prefix is None
+            and isinstance(expr.right, (E.Distinct, E.Difference))
+        )
+        is_left = kind == "left"
+
+        def rows_fallback(lb, rb):
+            """Exact run_hash_join over materialized rows."""
+            right_rows = rb.to_rows()
+            index: dict = {}
+            setdefault = index.setdefault
+            for r_row in right_rows:
+                key = rkey_row(r_row)
+                if key is not _NOMATCH:
+                    setdefault(key, []).append(r_row)
+            right_columns = C._column_set(right_rows)
+            get = index.get
+            out = []
+            append = out.append
+            for l_row in lb.to_rows():
+                candidates = get(lkey_row(l_row), ())
+                if candidates:
+                    for r_row in candidates:
+                        append(C.merge_rows(l_row, r_row, right_prefix))
+                elif is_left:
+                    append(C._pad_left(l_row, right_columns, right_prefix))
+            return _from_rows(out)
+
+        def run_vec_hash_join(ctx):
+            lb = left(ctx)
+            rb = right(ctx)
+            if not (lb.full and rb.full) or (is_left and right_prefix):
+                # Heterogeneous rows — or prefixed left-join padding,
+                # which prefixes *all* right columns while matches keep
+                # non-colliding ones unprefixed: row semantics only.
+                return rows_fallback(lb, rb)
+            if (
+                semi_licensed
+                and set(rb.names) == join_right_cols
+                and join_right_cols <= set(lb.names)
+            ):
+                # Right side contributes no columns and holds at most
+                # one row per key: the join is a pure filter.
+                rkeys = _batch_keys(rb, r_cols, tolerant)
+                keys = {k for k in rkeys if k is not _NOMATCH}
+                lkeys = _batch_keys(lb, l_cols, tolerant)
+                return lb.compress([k in keys for k in lkeys])
+            rkeys = _batch_keys(rb, r_cols, tolerant)
+            lkeys = _batch_keys(lb, l_cols, tolerant)
+            padded = False
+            li: Optional[list] = None  # None ⇒ identity gather
+            pos = {
+                key: j
+                for j, key in enumerate(rkeys)
+                if key is not _NOMATCH
+            }
+            if len(pos) == len(rkeys):
+                # Unique build keys, no null-rejected rows (the common
+                # FK→PK shape): each left row resolves to at most one
+                # gather position — no candidate lists.
+                get1 = pos.get
+                ji = [get1(key, -1) for key in lkeys]
+                if is_left:
+                    ri = ji  # every left row survives, in order
+                    padded = -1 in ji
+                elif -1 in ji:
+                    li = [i for i, j in enumerate(ji) if j >= 0]
+                    ri = [ji[i] for i in li]
+                else:
+                    ri = ji  # every left row matched exactly once
+            else:
+                index: dict = {}
+                setdefault = index.setdefault
+                for j, key in enumerate(rkeys):
+                    if key is not _NOMATCH:
+                        setdefault(key, []).append(j)
+                get = index.get
+                if not is_left:
+                    # Two comprehension passes beat one interpreted loop.
+                    li = [
+                        i
+                        for i, key in enumerate(lkeys)
+                        for _ in get(key, _EMPTY)
+                    ]
+                    ri = [j for key in lkeys for j in get(key, _EMPTY)]
+                else:
+                    li = []
+                    ri = []
+                    li_append = li.append
+                    ri_append = ri.append
+                    for i, key in enumerate(lkeys):
+                        candidates = get(key)
+                        if candidates:
+                            li.extend([i] * len(candidates))
+                            ri.extend(candidates)
+                        else:
+                            li_append(i)
+                            ri_append(-1)
+                            padded = True
+            l_names = lb.names
+            l_set = set(l_names)
+            actions = []
+            if rb.nrows:
+                for c in rb.names:
+                    if c in l_set:
+                        if right_prefix:
+                            actions.append((f"{right_prefix}.{c}", c))
+                    else:
+                        actions.append((c, c))
+            out_cols = {}
+            if li is None:
+                # Identity gather: share the left columns unchanged
+                # (batches are immutable by convention).
+                for name in l_names:
+                    out_cols[name] = lb.cols[name]
+                nout = lb.nrows
+            else:
+                for name in l_names:
+                    values = lb.cols[name].values
+                    out_cols[name] = Column([values[i] for i in li])
+                nout = len(li)
+            for name, src in actions:
+                values = rb.cols[src].values
+                if padded:
+                    out_cols[name] = Column(
+                        [values[j] if j >= 0 else None for j in ri]
+                    )
+                else:
+                    out_cols[name] = Column([values[j] for j in ri])
+            names = l_names + tuple(name for name, _ in actions)
+            return ColumnBatch(names, out_cols, nout)
+
+        return run_vec_hash_join
+
+    if pairs == []:  # TRUE predicate: cross join
+
+        def run_vec_cross_join(ctx):
+            lb = left(ctx)
+            rb = right(ctx)
+            right_rows = rb.to_rows()
+            right_columns = C._column_set(right_rows)
+            out = []
+            append = out.append
+            for l_row in lb.to_rows():
+                if right_rows:
+                    for r_row in right_rows:
+                        append(C.merge_rows(l_row, r_row, right_prefix))
+                elif kind == "left":
+                    append(C._pad_left(l_row, right_columns, right_prefix))
+            return _from_rows(out)
+
+        return run_vec_cross_join
+
+    predicate = compile_scalar(expr.predicate)
+
+    def run_vec_nested_join(ctx):
+        lb = left(ctx)
+        rb = right(ctx)
+        right_rows = rb.to_rows()
+        right_columns = C._column_set(right_rows)
+        out = []
+        append = out.append
+        for l_row in lb.to_rows():
+            matched = False
+            for r_row in right_rows:
+                combined = dict(l_row)
+                for key, value in r_row.items():
+                    if key not in combined:
+                        combined[key] = value
+                for key, value in l_row.items():
+                    combined[f"$left.{key}"] = value
+                for key, value in r_row.items():
+                    combined[f"$right.{key}"] = value
+                if not predicate(combined, ctx):
+                    continue
+                matched = True
+                append(C.merge_rows(l_row, r_row, right_prefix))
+            if not matched and kind == "left":
+                append(C._pad_left(l_row, right_columns, right_prefix))
+        return _from_rows(out)
+
+    return run_vec_nested_join
+
+
+# ----------------------------------------------------------------------
+# union / difference
+# ----------------------------------------------------------------------
+def _lower_union(expr: E.UnionAll, st: _Lower) -> VStage:
+    left = _lower(expr.left, st)
+    right = _lower(expr.right, st)
+
+    def run_vec_union(ctx):
+        lb = left(ctx)
+        rb = right(ctx)
+        # Column discovery over actual data (interpreter parity): an
+        # empty side contributes no columns, so the other side passes
+        # through with only its own padding.
+        if not rb.nrows:
+            if lb.full:
+                return lb
+            sides = [lb]
+        elif not lb.nrows:
+            if rb.full:
+                return rb
+            sides = [rb]
+        else:
+            sides = [lb, rb]
+        observed: dict[str, None] = {}
+        for side in sides:
+            for name in side.names:
+                if name not in observed:
+                    col = side.cols[name]
+                    if col.present is None or any(col.present):
+                        observed[name] = None
+        nrows = sum(side.nrows for side in sides)
+        out_cols = {}
+        for name in observed:
+            parts = [
+                part
+                if (part := _plain_values(side, name)) is not None
+                else [None] * side.nrows
+                for side in sides
+            ]
+            if len(parts) == 1:
+                out_cols[name] = Column(parts[0])
+            else:
+                out_cols[name] = Column(parts[0] + parts[1])
+        return ColumnBatch(tuple(observed), out_cols, nrows)
+
+    return run_vec_union
+
+
+def _lower_difference(expr: E.Difference, st: _Lower) -> VStage:
+    left = _lower(expr.left, st)
+    right = _lower(expr.right, st)
+
+    def run_vec_difference(ctx):
+        lb = left(ctx)
+        rb = right(ctx)
+        if lb.full and rb.full and set(lb.names) == set(rb.names):
+            order = lb.names
+            try:
+                if len(order) == 1:
+                    excluded = set(rb.cols[order[0]].values)
+                    keys = lb.cols[order[0]].values
+                else:
+                    excluded = set(_tuple_keys(rb, order))
+                    keys = _tuple_keys(lb, order)
+                n = lb.nrows
+                # First-occurrence position per key (reversed insertion,
+                # last assignment wins), minus the excluded keys —
+                # difference dedups its left side like the row engine.
+                first = {
+                    key: i
+                    for i, key in zip(range(n - 1, -1, -1), reversed(keys))
+                }
+                indices = sorted(
+                    i for key, i in first.items() if key not in excluded
+                )
+                if len(indices) == n:
+                    return lb
+                return lb.take(indices)
+            except TypeError:
+                pass  # unhashable value → frozen-row path
+        return _from_rows(
+            C._difference_frozen(lb.to_rows(), rb.to_rows())
+        )
+
+    return run_vec_difference
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def _agg_reduce(func: str, values: list) -> object:
+    filtered = [
+        v
+        for v in values
+        if v is not None and not isinstance(v, LabeledNull)
+    ]
+    if func == "count":
+        return len(filtered)
+    if not filtered:
+        return None
+    if func == "sum":
+        return sum(filtered)
+    if func == "min":
+        return min(filtered)
+    if func == "max":
+        return max(filtered)
+    if func == "avg":
+        return sum(filtered) / len(filtered)
+    raise EvaluationError(f"unknown aggregate {func!r}")
+
+
+def _lower_aggregate(expr: E.Aggregate, st: _Lower) -> VStage:
+    inner = _lower(expr.input, st)
+    group_by = tuple(expr.group_by)
+    aggregations = expr.aggregations
+    compiled = tuple(
+        (name, func, compile_scalar(scalar) if scalar is not None else None)
+        for name, func, scalar in aggregations
+    )
+    out_names = group_by + tuple(name for name, _, _ in aggregations)
+    columnar_ok = all(
+        scalar is None or isinstance(scalar, S.Col)
+        for _, _, scalar in aggregations
+    )
+    agg_srcs = tuple(
+        (name, func, scalar.name if scalar is not None else None)
+        for name, func, scalar in aggregations
+    )
+
+    def rows_fallback(batch, ctx):
+        groups: dict[tuple, list[Row]] = {}
+        setdefault = groups.setdefault
+        for row in batch.to_rows():
+            key = tuple(join_key_value(row.get(c)) for c in group_by)
+            setdefault(key, []).append(row)
+        if not groups and not group_by:
+            groups[()] = []
+        out = []
+        for members in groups.values():
+            result: Row = {}
+            for column in group_by:
+                result[column] = members[0].get(column) if members else None
+            for name, func, cell in compiled:
+                result[name] = C._apply_aggregate(func, cell, members, ctx)
+            out.append(result)
+        return ColumnBatch.from_homogeneous_rows(out, out_names)
+
+    def run_vec_aggregate(ctx):
+        batch = inner(ctx)
+        if not columnar_ok:
+            return rows_fallback(batch, ctx)
+        agg_values = {}
+        for _, _, src in agg_srcs:
+            if src is None or src in agg_values:
+                continue
+            values = _full_values(batch, src)
+            if values is None:
+                # Col over a missing/partial column raises per row —
+                # keep the exact row semantics.
+                return rows_fallback(batch, ctx)
+            agg_values[src] = values
+        n = batch.nrows
+        group_values = [
+            part if (part := _plain_values(batch, c)) is not None
+            else [None] * n
+            for c in group_by
+        ]
+        groups: dict[tuple, list[int]] = {}
+        setdefault = groups.setdefault
+        if group_by:
+            mapped = [
+                [join_key_value(v) for v in values]
+                for values in group_values
+            ]
+            for i, key in enumerate(zip(*mapped)):
+                setdefault(key, []).append(i)
+        else:
+            groups[()] = list(range(n))
+        if not groups and not group_by:
+            groups[()] = []
+        out_cols: dict[str, list] = {name: [] for name in out_names}
+        for idxs in groups.values():
+            for c, values in zip(group_by, group_values):
+                out_cols[c].append(values[idxs[0]] if idxs else None)
+            for name, func, src in agg_srcs:
+                if src is None:
+                    if func == "count":
+                        out_cols[name].append(len(idxs))
+                    else:
+                        out_cols[name].append(
+                            _agg_reduce(func, [1] * len(idxs))
+                        )
+                else:
+                    values = agg_values[src]
+                    out_cols[name].append(
+                        _agg_reduce(func, [values[i] for i in idxs])
+                    )
+        return ColumnBatch(
+            out_names,
+            {name: Column(values) for name, values in out_cols.items()},
+            len(groups),
+        )
+
+    return run_vec_aggregate
+
+
+# ----------------------------------------------------------------------
+# vectorized plans
+# ----------------------------------------------------------------------
+class VectorizedPlan:
+    """An executable columnar pipeline compiled from one
+    :class:`RelExpr` — the vectorized sibling of
+    :class:`~repro.algebra.compiler.CompiledPlan`, sharing its plan
+    cacheability contract: immutable, reentrant, per-run state in the
+    locals of one :meth:`execute` call."""
+
+    __slots__ = (
+        "expr", "fingerprint", "size", "_run",
+        "nodes", "root_id", "_profiled_run", "last_profile",
+    )
+
+    def __init__(self, expr: E.RelExpr, fingerprint: Optional[str] = None):
+        self.expr = expr
+        self.fingerprint = fingerprint or expr.fingerprint()
+        self.size = expr.size()
+        self._profiled_run = None
+        self.last_profile: Optional[PlanProfile] = None
+        run, reg = self._compile_with(wrap=False)
+        self._run = run
+        self.nodes = reg.nodes
+        self.root_id = reg.root_id()
+
+    def _compile_with(self, wrap: bool):
+        """One lowering pass.  Shares the row compiler's scalar-closure
+        memo slot (hence the compile lock), so CSE-shared predicates
+        lower once per pass here too."""
+        with C._COMPILE_LOCK:
+            prev_memo = C._scalar_memo
+            C._scalar_memo = {}
+            try:
+                shared = C._shared_subtrees(self.expr)
+                st = _Lower(shared, C._PlanRegistry(wrap))
+                run = _lower(self.expr, st)
+            finally:
+                C._scalar_memo = prev_memo
+        return run, st.registry
+
+    def _ensure_profiled(self):
+        if self._profiled_run is None:
+            run, _ = self._compile_with(wrap=True)
+            self._profiled_run = run
+        return self._profiled_run
+
+    def batch(
+        self, instance: Instance, schema: Optional[Schema] = None
+    ) -> ColumnBatch:
+        """The plan's output batch (shared storage — treat as
+        immutable; :meth:`execute` is the row-materializing API)."""
+        ctx = _Run(instance, schema if schema is not None else instance.schema)
+        return self._run(ctx)
+
+    def execute(
+        self, instance: Instance, schema: Optional[Schema] = None
+    ) -> list[Row]:
+        """Run against ``instance`` and return fresh result rows."""
+        if not STATE.enabled:
+            ctx = _Run(
+                instance, schema if schema is not None else instance.schema
+            )
+            return self._run(ctx).to_rows()
+        rows, self.last_profile = self.execute_profiled(instance, schema)
+        return rows
+
+    def execute_profiled(
+        self, instance: Instance, schema: Optional[Schema] = None
+    ) -> tuple[list[Row], PlanProfile]:
+        """EXPLAIN ANALYZE: run the profiled pipeline and return
+        ``(rows, profile)`` — per-node calls/rows/seconds, exactly as
+        the row engine reports them."""
+        run = self._ensure_profiled()
+        counters = [[0, 0, 0.0] for _ in self.nodes]
+        ctx = _Run(
+            instance,
+            schema if schema is not None else instance.schema,
+            counters,
+        )
+        if not STATE.enabled:
+            rows = run(ctx).to_rows()
+        else:
+            with tracer.span(
+                "query.execute",
+                engine="vectorized",
+                plan=self.fingerprint[:12],
+                **{"plan.size": self.size},
+            ) as span:
+                rows = run(ctx).to_rows()
+                if span is not None:
+                    span.set_attribute("rows", len(rows))
+            registry.counter("query.execute.count").inc()
+            registry.histogram("query.execute.rows").observe(len(rows))
+        profile = PlanProfile(
+            self.nodes, self.root_id, counters, self.fingerprint, len(rows)
+        )
+        return rows, profile
+
+    def __repr__(self) -> str:
+        return (
+            f"<VectorizedPlan {self.fingerprint[:12]} "
+            f"size={self.size}>"
+        )
+
+
+def compile_vector_plan(
+    expr: E.RelExpr, fingerprint: Optional[str] = None
+) -> VectorizedPlan:
+    """Compile ``expr`` into a :class:`VectorizedPlan` (uncached — go
+    through :mod:`repro.algebra.plan_cache` for the memoized path)."""
+    if not STATE.enabled:
+        return VectorizedPlan(expr, fingerprint)
+    with tracer.span(
+        "query.compile", engine="vectorized", **{"plan.size": expr.size()}
+    ) as span:
+        plan = VectorizedPlan(expr, fingerprint)
+        if span is not None:
+            span.set_attribute("plan", plan.fingerprint[:12])
+    return plan

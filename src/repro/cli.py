@@ -196,7 +196,7 @@ def cmd_explain(args) -> int:
             print("error: --analyze needs --data DATA.json", file=sys.stderr)
             return 2
         source = Instance(schema=mapping.source)
-    processor = QueryProcessor(mapping, source)
+    processor = QueryProcessor(mapping, source, engine=args.engine)
 
     from repro.algebra.expressions import Scan
 
@@ -351,6 +351,10 @@ def build_parser() -> argparse.ArgumentParser:
                    "(required with --analyze)")
     p.add_argument("--analyze", action="store_true",
                    help="run the plan and annotate per-node rows/time")
+    p.add_argument("--engine", choices=["vectorized", "compiled"],
+                   default=None,
+                   help="which compiling engine's plan to show "
+                   "(default: the process default engine)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable plan/profile instead of the tree")
     p.set_defaults(func=cmd_explain)

@@ -8,6 +8,7 @@ be validated against a schema's types and integrity constraints.
 """
 
 from repro.instances.labeled_null import LabeledNull, NullFactory, is_null
+from repro.instances.columnar import Column, ColumnBatch
 from repro.instances.database import Instance, Row, freeze_row
 from repro.instances.validation import validate_instance, violations
 from repro.instances.generator import InstanceGenerator
@@ -22,6 +23,8 @@ __all__ = [
     "LabeledNull",
     "NullFactory",
     "is_null",
+    "Column",
+    "ColumnBatch",
     "Instance",
     "Row",
     "freeze_row",

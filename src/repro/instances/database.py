@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import SchemaError
+from repro.instances.columnar import ColumnBatch
 from repro.instances.labeled_null import LabeledNull
 from repro.metamodel.schema import Schema
 
@@ -83,6 +84,9 @@ def hashable_key(value: object) -> object:
 
 
 _NO_ROWS: list = []  # shared empty backing list for views of absent relations
+
+#: Shared empty batch for absent relations (immutable by convention).
+_EMPTY_BATCH = ColumnBatch((), {}, 0)
 
 
 class RowsView(Sequence):
@@ -151,6 +155,21 @@ class _ProjectionSet:
         self.members: dict[tuple, int] = {}
 
 
+class _BatchEntry:
+    """Cached columnar image of one relation (see
+    :meth:`Instance.column_batch`), validated exactly like
+    :class:`_AttrIndex`: backing-list identity + dirty epoch + a
+    ``seen`` watermark that lets appends extend the batch in place."""
+
+    __slots__ = ("source", "seen", "epoch", "batch")
+
+    def __init__(self, source: list, epoch: int):
+        self.source = source
+        self.seen = 0
+        self.epoch = epoch
+        self.batch = ColumnBatch((), {}, 0)
+
+
 class Instance:
     """A database state: named relations of rows.
 
@@ -168,6 +187,7 @@ class Instance:
         # declared in-place mutations trigger a rebuild.
         self._attr_indexes: dict[tuple[str, str], _AttrIndex] = {}
         self._projection_sets: dict[tuple[str, tuple[str, ...]], _ProjectionSet] = {}
+        self._batches: dict[str, _BatchEntry] = {}
         self._dirty_epoch = 0
         self.index_stats = {"hits": 0, "extends": 0, "rebuilds": 0, "removes": 0}
 
@@ -305,6 +325,9 @@ class Instance:
                 else:
                     entry.members.pop(projected, None)
             entry.seen -= absorbed
+        # Batches are positional (unlike the id-keyed indexes above), so
+        # a removal cannot be absorbed incrementally: drop the cache.
+        self._batches.pop(relation, None)
         self.index_stats["removes"] += len(removed)
         return removed
 
@@ -369,6 +392,42 @@ class Instance:
         relation-list replacement are detected without it.
         """
         self._dirty_epoch += 1
+
+    def column_batch(self, relation: str) -> ColumnBatch:
+        """The columnar image of ``relation``'s rows (see
+        :mod:`repro.instances.columnar`), cached and incrementally
+        extended under the persistent-index maintenance contract:
+        appends are absorbed in place, while list replacement,
+        :meth:`delete`, :meth:`remove_rows` and :meth:`mark_dirty`
+        trigger a rebuild on next access.
+
+        The returned batch is shared — callers must treat it as
+        immutable (the vectorized executor copies at its output
+        boundary, never in place)."""
+        rows = self.relations.get(relation)
+        if rows is None:
+            return _EMPTY_BATCH
+        entry = self._batches.get(relation)
+        if (
+            entry is None
+            or entry.source is not rows
+            or entry.epoch != self._dirty_epoch
+            or entry.seen > len(rows)
+        ):
+            entry = _BatchEntry(rows, self._dirty_epoch)
+            self._batches[relation] = entry
+            self.index_stats["rebuilds"] += 1
+        elif entry.seen < len(rows):
+            self.index_stats["extends"] += 1
+        else:
+            self.index_stats["hits"] += 1
+            return entry.batch
+        if entry.seen == 0:
+            entry.batch = ColumnBatch.from_rows(rows)
+        else:
+            entry.batch._extend_from_rows(rows[entry.seen:])
+        entry.seen = len(rows)
+        return entry.batch
 
     def _attr_entry(self, relation: str, attribute: str) -> Optional[_AttrIndex]:
         rows = self.relations.get(relation)

@@ -33,16 +33,17 @@ def naive_evaluate(
     """All answer tuples of ``query`` over ``instance`` (nulls allowed
     to bind variables; answers may contain nulls).
 
-    ``engine="compiled"`` (or the process default) runs the algebra
-    translation through the plan cache; ``engine="interpreted"`` forces
-    the reference homomorphism enumeration.  Answer *sets* are
-    identical; ordering may differ between the paths.
+    ``engine="vectorized"``/``"compiled"`` (or the process default)
+    runs the algebra translation through that engine's plan cache;
+    ``engine="interpreted"`` forces the reference homomorphism
+    enumeration.  Answer *sets* are identical; ordering may differ
+    between the paths.
     """
     resolved = engine if engine is not None else get_default_engine()
-    if resolved == "compiled":
+    if resolved in ("vectorized", "compiled"):
         plan = translate_cq(query)
         if plan is not None:
-            rows = evaluate(plan, instance, engine="compiled")
+            rows = evaluate(plan, instance, engine=resolved)
             return answers_from_rows(query, rows)
     answers: list[tuple] = []
     seen: set[tuple] = set()

@@ -149,8 +149,8 @@ class QueryProcessor:
         from repro.algebra.explain import explain
 
         if self.mapping.equalities:
-            return explain(self.unfolded(query))
-        return explain(query)
+            return explain(self.unfolded(query), engine=self.engine)
+        return explain(query, engine=self.engine)
 
     def explain_analyze(self, query: RelExpr):
         """EXPLAIN ANALYZE: compile *and run* the plan, annotating
@@ -163,10 +163,12 @@ class QueryProcessor:
 
         if self.mapping.equalities:
             return explain_analyze(
-                self.unfolded(query), self.source, self.mapping.source
+                self.unfolded(query), self.source, self.mapping.source,
+                engine=self.engine,
             )
         return explain_analyze(
-            query, self._universal_solution(), self.mapping.target
+            query, self._universal_solution(), self.mapping.target,
+            engine=self.engine,
         )
 
 

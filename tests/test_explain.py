@@ -65,7 +65,7 @@ def shared_plan():
 class TestExplain:
     def test_explain_renders_every_node(self):
         _, expr = shared_plan()
-        result = explain(expr)
+        result = explain(expr, engine="compiled")
         text = result.render()
         assert "cache=miss" in text
         assert "∪" in text and "π" in text and "σ" in text
@@ -74,7 +74,21 @@ class TestExplain:
         assert text.count("⊛") == 1
         assert "↻ see #" in text
         # second explain hits the plan cache
-        assert explain(expr).cache_hit
+        assert explain(expr, engine="compiled").cache_hit
+
+    def test_explain_vectorized_same_tree_shape(self):
+        _, expr = shared_plan()
+        row = explain(expr, engine="compiled")
+        vec = explain(expr, engine="vectorized")
+        text = vec.render()
+        assert "(vec_union)" in text and "(vec_scan)" in text
+        assert text.count("⊛") == 1 and "↻ see #" in text
+        # node-for-node identical shape, only strategy names differ
+        assert len(row.plan.nodes) == len(vec.plan.nodes)
+        for a, b in zip(row.plan.nodes, vec.plan.nodes):
+            assert (a.node_id, a.children, a.shared) == (
+                b.node_id, b.children, b.shared
+            )
 
     def test_to_dict_round_trips_node_tree(self):
         _, expr = shared_plan()

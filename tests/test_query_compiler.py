@@ -68,9 +68,13 @@ def canon(rows):
 
 
 def assert_engines_agree(expr, instance, schema=None):
+    """Three-way oracle: row-compiled and vectorized against the
+    reference interpreter."""
     compiled = evaluate(expr, instance, schema, engine="compiled")
     interpreted = evaluate(expr, instance, schema, engine="interpreted")
+    vectorized = evaluate(expr, instance, schema, engine="vectorized")
     assert canon(compiled) == canon(interpreted)
+    assert canon(vectorized) == canon(interpreted)
     return compiled
 
 
@@ -228,6 +232,26 @@ def _random_plan(rng, depth):
     return Sort(expr, keys), cols, int_cols
 
 
+def _random_ragged_instance(rng):
+    """Rows that randomly omit keys: partial columns in the batch image
+    (presence masks, vectorized row-closure fallbacks)."""
+    instance = _random_instance(rng)
+    for name in RELATIONS:
+        key_col, attr_col, str_col = _columns(name)
+        for _ in range(rng.randint(1, 5)):
+            row = {}
+            if rng.random() < 0.7:
+                row[key_col] = _int_value(rng)
+            if rng.random() < 0.5:
+                row[attr_col] = _int_value(rng)
+            if rng.random() < 0.3:
+                row[str_col] = rng.choice(["x", "y", None])
+            instance.insert(name, row)
+    if rng.random() < 0.3:
+        instance.clear("R2")  # an empty relation in the mix
+    return instance
+
+
 @pytest.mark.parametrize("seed", range(60))
 def test_differential_random_plans(seed):
     rng = random.Random(seed)
@@ -236,16 +260,39 @@ def test_differential_random_plans(seed):
     assert_engines_agree(expr, instance)
 
 
+@pytest.mark.parametrize("seed", range(40))
+def test_differential_random_plans_heterogeneous(seed):
+    """Ragged rows force the columnar presence machinery (and, where an
+    operator declines a partial batch, the row-closure fallback) — all
+    three engines must still agree.  A random plan may legitimately
+    project a column some ragged row lacks; then every engine must
+    raise the same ``EvaluationError``."""
+    rng = random.Random(5000 + seed)
+    instance = _random_ragged_instance(rng)
+    expr, _, _ = _random_plan(rng, rng.randint(1, 4))
+
+    def outcome(engine):
+        try:
+            return canon(evaluate(expr, instance, engine=engine))
+        except EvaluationError as exc:
+            return ("error", str(exc))
+
+    interpreted = outcome("interpreted")
+    assert outcome("compiled") == interpreted
+    assert outcome("vectorized") == interpreted
+
+
 @pytest.mark.parametrize("seed", range(20))
 def test_differential_optimized_random_plans(seed):
     """The optimizer's output (including recognized equi-joins) stays
-    equivalent under both engines."""
+    equivalent under all engines."""
     rng = random.Random(1000 + seed)
     instance = _random_instance(rng)
     expr, _, _ = _random_plan(rng, rng.randint(1, 3))
     baseline = canon(evaluate_interpreted(expr, instance))
     optimized = optimize(expr)
     assert canon(evaluate(optimized, instance, engine="compiled")) == baseline
+    assert canon(evaluate(optimized, instance, engine="vectorized")) == baseline
     assert canon(evaluate(optimized, instance, engine="interpreted")) == baseline
 
 
@@ -469,21 +516,23 @@ def test_compile_plan_direct_execution():
 def test_default_engine_resolution(monkeypatch):
     monkeypatch.delenv("REPRO_QUERY_ENGINE", raising=False)
     set_default_engine(None)
-    assert get_default_engine() == "compiled"
+    assert get_default_engine() == "vectorized"
     monkeypatch.setenv("REPRO_QUERY_ENGINE", "interpreted")
     assert get_default_engine() == "interpreted"
+    monkeypatch.setenv("REPRO_QUERY_ENGINE", "compiled")
+    assert get_default_engine() == "compiled"
     monkeypatch.setenv("REPRO_QUERY_ENGINE", "bogus")
-    assert get_default_engine() == "compiled"  # invalid env ignored
+    assert get_default_engine() == "vectorized"  # invalid env ignored
     set_default_engine("interpreted")
     monkeypatch.delenv("REPRO_QUERY_ENGINE")
     assert get_default_engine() == "interpreted"
     set_default_engine(None)
-    assert get_default_engine() == "compiled"
+    assert get_default_engine() == "vectorized"
 
 
 def test_set_default_engine_rejects_unknown():
     with pytest.raises(ValueError):
-        set_default_engine("vectorized")
+        set_default_engine("columnar")
 
 
 def test_interpreted_default_bypasses_plan_cache():
