@@ -256,6 +256,18 @@ def _check_explain_analyze() -> None:
         assert vec.profile.calls(vec_node.node_id) == profile.calls(
             row_node.node_id
         )
+    # estimate↔actual telemetry: every node carries a cardinality
+    # estimate, all three engine views of the tree agree
+    # estimate-for-estimate, and the render pairs est= with div=×.
+    interp = explain_analyze(extent, sql, engine="interpreted")
+    for view in (result, vec, interp):
+        assert view.estimates is not None
+        assert all(est is not None for est in view.estimates)
+        assert view.worst is not None
+        text = view.render()
+        assert "est=" in text and "div=×" in text
+        assert "worst divergence:" in text
+    assert vec.estimates == result.estimates == interp.estimates
     if is_enabled():
         execute_spans = [
             s for s in tracer.iter_spans()

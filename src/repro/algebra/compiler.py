@@ -513,17 +513,28 @@ class PlanNode:
     so the annotated plan tree shows *which* fast path each operator
     took.  ``children`` holds node ids in input order; a CSE-shared
     subtree keeps one node referenced from every parent
-    (``shared=True``)."""
+    (``shared=True``).
 
-    __slots__ = ("node_id", "label", "strategy", "children", "shared")
+    ``expr`` is the (possibly optimizer-synthesized) algebra subtree
+    this node lowered from — the cardinality estimator's anchor (see
+    :mod:`repro.algebra.estimate`).  ``est_rows`` caches the most
+    recent estimate annotated onto the node; a plan is instance-
+    independent, so the estimate is refreshed per
+    explain/execute-under-observability, not fixed at compile time."""
+
+    __slots__ = ("node_id", "label", "strategy", "children", "shared",
+                 "expr", "est_rows")
 
     def __init__(self, node_id: int, label: str, strategy: str,
-                 children: list[int], shared: bool):
+                 children: list[int], shared: bool,
+                 expr: Optional[E.RelExpr] = None):
         self.node_id = node_id
         self.label = label
         self.strategy = strategy
         self.children = tuple(children)
         self.shared = shared
+        self.expr = expr
+        self.est_rows: Optional[float] = None
 
     def to_dict(self) -> dict:
         return {
@@ -532,6 +543,7 @@ class PlanNode:
             "strategy": self.strategy,
             "children": list(self.children),
             "shared": self.shared,
+            "est_rows": self.est_rows,
         }
 
 
@@ -566,7 +578,8 @@ class _PlanRegistry:
         node_id = len(self.nodes)
         self.nodes.append(
             PlanNode(node_id, node_label(expr),
-                     strategy.removeprefix("run_"), children, shared)
+                     strategy.removeprefix("run_"), children, shared,
+                     expr=expr)
         )
         if shared:
             self.shared_ids[id(expr)] = node_id

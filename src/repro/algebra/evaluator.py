@@ -105,18 +105,78 @@ def evaluate(
     """
     resolved = engine if engine is not None else get_default_engine()
     if resolved == "vectorized":
-        from repro.algebra.plan_cache import cached_vector_plan
+        from repro.algebra.plan_cache import (
+            GLOBAL_VECTOR_PLAN_CACHE,
+            cached_vector_plan,
+        )
 
-        return cached_vector_plan(expr).execute(instance, schema)
+        if not STATE.enabled:
+            return cached_vector_plan(expr).execute(instance, schema)
+        return _evaluate_observed(
+            expr, instance, schema, GLOBAL_VECTOR_PLAN_CACHE, resolved
+        )
     if resolved == "compiled":
-        from repro.algebra.plan_cache import cached_plan
+        from repro.algebra.plan_cache import GLOBAL_PLAN_CACHE, cached_plan
 
-        return cached_plan(expr).execute(instance, schema)
+        if not STATE.enabled:
+            return cached_plan(expr).execute(instance, schema)
+        return _evaluate_observed(
+            expr, instance, schema, GLOBAL_PLAN_CACHE, resolved
+        )
     if resolved != "interpreted":
         raise EvaluationError(
             f"unknown query engine {resolved!r}; expected one of {ENGINES}"
         )
     return evaluate_interpreted(expr, instance, schema)
+
+
+def _evaluate_observed(
+    expr: RelExpr,
+    instance: Instance,
+    schema: Optional[Schema],
+    cache,
+    engine: str,
+) -> list[Row]:
+    """The compiling engines' execution path under ``STATE.enabled``:
+    identical result, plus a query-log entry carrying the plan
+    fingerprint, cache hit/miss, wall time, output rows, and the worst
+    estimate↔actual divergent node.
+
+    The estimator runs *after* execution (outside the recorded wall
+    time) and its failures never fail the query — they land in the
+    ``query.estimate.errors`` counter."""
+    import time
+
+    from repro.observability.querylog import QUERY_LOG
+
+    plan, cache_hit = cache.lookup(expr)
+    start = time.perf_counter()
+    rows = plan.execute(instance, schema)
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    worst = None
+    try:
+        from repro.algebra.estimate import annotate_plan, worst_divergent
+
+        annotate_plan(plan, instance, schema)
+        profile = plan.last_profile
+        if profile is not None:
+            worst = worst_divergent(plan.nodes, profile)
+    except Exception:
+        registry.counter("query.estimate.errors").inc()
+    entry = QUERY_LOG.record(
+        fingerprint=plan.fingerprint,
+        engine=engine,
+        cache_hit=cache_hit,
+        wall_ms=wall_ms,
+        rows_out=len(rows),
+        worst=worst,
+    )
+    registry.counter("query.log.entries").inc()
+    if entry.slow:
+        registry.counter("query.log.slow").inc()
+    if worst is not None and worst["flagged"]:
+        registry.counter("query.estimate.divergent").inc()
+    return rows
 
 
 def evaluate_interpreted(
@@ -129,14 +189,34 @@ def evaluate_interpreted(
     ctx = EvalContext(schema=schema or instance.schema, instance=instance)
     if not STATE.enabled:
         return _eval(expr, instance, ctx)
+    import time
+
+    from repro.observability.querylog import QUERY_LOG
+
+    start = time.perf_counter()
     with tracer.span(
         "query.execute", engine="interpreted", **{"plan.size": expr.size()}
     ) as span:
         rows = _eval(expr, instance, ctx)
         if span is not None:
             span.set_attribute("rows", len(rows))
+    wall_ms = (time.perf_counter() - start) * 1000.0
     registry.counter("query.execute.count").inc()
     registry.histogram("query.execute.rows").observe(len(rows))
+    # The interpreter has no plan cache (or per-node plan), but its
+    # executions still land in the query log under the same structural
+    # fingerprint the compiling engines would use.
+    entry = QUERY_LOG.record(
+        fingerprint=expr.fingerprint(),
+        engine="interpreted",
+        cache_hit=False,
+        wall_ms=wall_ms,
+        rows_out=len(rows),
+        worst=None,
+    )
+    registry.counter("query.log.entries").inc()
+    if entry.slow:
+        registry.counter("query.log.slow").inc()
     return rows
 
 

@@ -7,6 +7,16 @@ additionally runs the plan through the profiled pipeline and annotates
 every node with calls, output rows, inclusive and exclusive
 (charge-once) wall time, and CSE-memo hits.
 
+Both accept an optional ``instance``: with one in hand the plan's
+nodes are annotated with ``est_rows`` from the cardinality estimator
+(:mod:`repro.algebra.estimate` over the per-relation statistics
+service), so plain EXPLAIN shows estimates and EXPLAIN ANALYZE shows
+estimate vs. actual with per-node divergence ratios — nodes beyond
+``ESTIMATION.divergence_factor`` are flagged and the worst one is
+summarized (the signal the query log records and the PlanCache
+feedback loop will consume).  Estimation failures never fail the
+explain: they are swallowed and counted (``query.estimate.errors``).
+
 Both work for the row engine (``engine="compiled"``) and the columnar
 engine (``engine="vectorized"``, strategies named ``vec_*``); the
 default follows :func:`repro.algebra.evaluator.get_default_engine`.
@@ -29,6 +39,7 @@ from typing import Optional
 
 from repro.algebra import expressions as E
 from repro.algebra.compiler import CompiledPlan, PlanProfile
+from repro.algebra.estimate import annotate_plan, worst_divergent
 from repro.algebra.plan_cache import (
     GLOBAL_PLAN_CACHE,
     GLOBAL_VECTOR_PLAN_CACHE,
@@ -36,6 +47,8 @@ from repro.algebra.plan_cache import (
 from repro.algebra.printer import render_plan, to_text
 from repro.instances.database import Instance, Row
 from repro.metamodel.schema import Schema
+from repro.observability import registry
+from repro.observability.stats import ESTIMATION
 
 
 def _cache_for(engine: Optional[str]):
@@ -52,6 +65,21 @@ def _cache_for(engine: Optional[str]):
     return GLOBAL_PLAN_CACHE
 
 
+def _estimates_for(
+    plan, instance: Optional[Instance], schema: Optional[Schema]
+) -> Optional[list]:
+    """Annotate ``plan`` against ``instance``, swallowing estimator
+    bugs (telemetry must never fail the query path) into the
+    ``query.estimate.errors`` counter."""
+    if instance is None:
+        return None
+    try:
+        return annotate_plan(plan, instance, schema)
+    except Exception:
+        registry.counter("query.estimate.errors").inc()
+        return None
+
+
 @dataclass
 class ExplainResult:
     """A compiled plan plus its rendering context."""
@@ -59,6 +87,7 @@ class ExplainResult:
     expr: E.RelExpr
     plan: CompiledPlan
     cache_hit: bool
+    estimates: Optional[list] = None
 
     def render(self) -> str:
         header = (
@@ -67,27 +96,41 @@ class ExplainResult:
             f"  nodes={len(self.plan.nodes)}"
             f"  cache={'hit' if self.cache_hit else 'miss'}"
         )
-        tree = render_plan(self.plan.nodes, self.plan.root_id)
+        tree = render_plan(
+            self.plan.nodes, self.plan.root_id, estimates=self.estimates
+        )
         return f"{header}\n{tree}"
 
     def to_dict(self) -> dict:
+        nodes = [node.to_dict() for node in self.plan.nodes]
+        for position, node in enumerate(nodes):
+            # ``est_rows`` is refreshed per explain call; report this
+            # call's estimates, never a stale annotation on the cached
+            # plan.
+            node["est_rows"] = (
+                self.estimates[position]
+                if self.estimates is not None
+                else None
+            )
         return {
             "fingerprint": self.plan.fingerprint,
             "size": self.plan.size,
             "cache_hit": self.cache_hit,
             "expression": to_text(self.expr),
             "root_id": self.plan.root_id,
-            "nodes": [node.to_dict() for node in self.plan.nodes],
+            "nodes": nodes,
         }
 
 
 @dataclass
 class ExplainAnalyzeResult(ExplainResult):
-    """An executed plan: the rows it produced and its per-node
-    :class:`PlanProfile`."""
+    """An executed plan: the rows it produced, its per-node
+    :class:`PlanProfile`, and (when estimates were computed) the worst
+    estimate↔actual divergence."""
 
     profile: PlanProfile = None  # always set by explain_analyze
     rows: list[Row] = None
+    worst: Optional[dict] = None
 
     def render(self) -> str:
         header = (
@@ -99,26 +142,55 @@ class ExplainAnalyzeResult(ExplainResult):
             f"  total={self.profile.total_ms:.2f}ms"
         )
         tree = render_plan(
-            self.plan.nodes, self.plan.root_id, profile=self.profile
+            self.plan.nodes,
+            self.plan.root_id,
+            profile=self.profile,
+            estimates=self.estimates,
+            divergence_factor=ESTIMATION.divergence_factor,
         )
-        return f"{header}\n{tree}"
+        out = f"{header}\n{tree}"
+        if self.worst is not None:
+            flag = " ⚠" if self.worst["flagged"] else ""
+            out += (
+                f"\nworst divergence: #{self.worst['node_id']}"
+                f" {self.worst['label']}"
+                f"  est={self.worst['est_rows']:.0f}"
+                f" actual={self.worst['actual_rows']}"
+                f" ×{self.worst['ratio']:.1f}{flag}"
+            )
+        return out
 
     def to_dict(self) -> dict:
         data = super().to_dict()
         data["profile"] = self.profile.to_dict()
+        data["worst_divergent"] = self.worst
         del data["nodes"]  # superseded by the annotated profile nodes
+        if self.estimates is not None:
+            for node, est in zip(
+                data["profile"]["nodes"], self.estimates
+            ):
+                node["est_rows"] = est
         return data
 
 
 def explain(
-    expr: E.RelExpr, engine: Optional[str] = None
+    expr: E.RelExpr,
+    engine: Optional[str] = None,
+    instance: Optional[Instance] = None,
+    schema: Optional[Schema] = None,
 ) -> ExplainResult:
     """Compile ``expr`` (via the process-wide plan cache, like
-    ``evaluate``) and return its annotated plan."""
+    ``evaluate``) and return its annotated plan.
+
+    With an ``instance``, nodes additionally carry cardinality
+    estimates from its statistics service."""
     cache = _cache_for(engine)
     cache_hit = expr in cache
     plan = cache.get(expr)
-    return ExplainResult(expr=expr, plan=plan, cache_hit=cache_hit)
+    estimates = _estimates_for(plan, instance, schema)
+    return ExplainResult(
+        expr=expr, plan=plan, cache_hit=cache_hit, estimates=estimates
+    )
 
 
 def explain_analyze(
@@ -128,7 +200,8 @@ def explain_analyze(
     engine: Optional[str] = None,
 ) -> ExplainAnalyzeResult:
     """Compile, execute against ``instance``, and return the plan
-    annotated with per-node runtime statistics.
+    annotated with per-node runtime statistics and estimate↔actual
+    divergence.
 
     Profiling works whether or not observability is enabled; when it
     is enabled the run also emits the usual ``query.execute`` span, so
@@ -136,7 +209,19 @@ def explain_analyze(
     cache = _cache_for(engine)
     cache_hit = expr in cache
     plan = cache.get(expr)
+    estimates = _estimates_for(plan, instance, schema)
     rows, profile = plan.execute_profiled(instance, schema)
+    worst = (
+        worst_divergent(plan.nodes, profile)
+        if estimates is not None
+        else None
+    )
     return ExplainAnalyzeResult(
-        expr=expr, plan=plan, cache_hit=cache_hit, profile=profile, rows=rows
+        expr=expr,
+        plan=plan,
+        cache_hit=cache_hit,
+        estimates=estimates,
+        profile=profile,
+        rows=rows,
+        worst=worst,
     )

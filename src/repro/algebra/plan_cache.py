@@ -57,6 +57,12 @@ class PlanCache:
 
     def get(self, expr: RelExpr) -> CompiledPlan:
         """The compiled plan for ``expr``, compiling on miss."""
+        return self.lookup(expr)[0]
+
+    def lookup(self, expr: RelExpr) -> tuple[CompiledPlan, bool]:
+        """``(plan, cache_hit)`` — like :meth:`get`, but telling the
+        caller whether the plan was already cached (the query log
+        records hit/miss per execution)."""
         fingerprint = expr.fingerprint()
         with self._lock:
             cached = self._plans.get(fingerprint)
@@ -65,7 +71,7 @@ class PlanCache:
                 self.hits += 1
                 if STATE.enabled:
                     registry.counter("query.plan_cache.hits").inc()
-                return cached
+                return cached, True
         # Compile outside the lock: compilation is pure and the worst
         # case of a race is one redundant compile.
         plan = self._compile(expr, fingerprint)
@@ -83,7 +89,7 @@ class PlanCache:
                 if evicted:
                     registry.counter("query.plan_cache.evictions").inc(evicted)
                 registry.gauge("query.plan_cache.size").set(len(self._plans))
-        return plan
+        return plan, False
 
     def __len__(self) -> int:
         with self._lock:

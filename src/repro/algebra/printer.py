@@ -158,10 +158,20 @@ def node_label(expr: E.RelExpr, max_width: int = 48) -> str:
     return label
 
 
-def render_plan(nodes, root_id: int, profile=None) -> str:
+def render_plan(
+    nodes,
+    root_id: int,
+    profile=None,
+    estimates=None,
+    divergence_factor=None,
+) -> str:
     """Render a compiled plan's node tree (EXPLAIN), optionally
     annotated with a :class:`~repro.algebra.compiler.PlanProfile`
-    (EXPLAIN ANALYZE).
+    (EXPLAIN ANALYZE) and/or per-node cardinality ``estimates``
+    (``est_rows`` indexed by node id, from
+    :func:`repro.algebra.estimate.annotate_plan`).  When both are
+    given, each node also shows its estimate↔actual divergence ratio,
+    with ``⚠`` marking nodes at or beyond ``divergence_factor``.
 
     ``nodes`` is any sequence of objects with ``node_id`` / ``label`` /
     ``strategy`` / ``children`` / ``shared`` attributes — duck-typed so
@@ -181,13 +191,25 @@ def render_plan(nodes, root_id: int, profile=None) -> str:
         expanded.add(node_id)
         mark = " ⊛" if node.shared else ""
         head = f"{connector}#{node_id} {node.label}  ({node.strategy}){mark}"
+        est = estimates[node_id] if estimates is not None else None
+        if est is not None:
+            head += f"  est={est:.0f}"
         if profile is not None:
+            actual = profile.rows_out(node_id)
             head += (
-                f"  rows={profile.rows_out(node_id)}"
+                f"  rows={actual}"
                 f" calls={profile.calls(node_id)}"
                 f" time={profile.time_ms(node_id):.2f}ms"
                 f" self={self_ms[node_id]:.2f}ms"
             )
+            if est is not None:
+                # Same smoothing as estimate.divergence_ratio (not
+                # imported here — the compiler imports this module).
+                over = (est + 1.0) / (actual + 1.0)
+                ratio = max(over, 1.0 / over)
+                head += f" div=×{ratio:.1f}"
+                if divergence_factor is not None and ratio >= divergence_factor:
+                    head += " ⚠"
             hits = profile.memo_hits(node_id)
             if hits:
                 head += f" memo_hits={hits}"

@@ -21,7 +21,13 @@ serializes (schemas, mappings, instances as JSON; DDL as SQL text):
 * ``trace SCRIPT.py`` — run a Python script under engine tracing and
   print the span tree (``--out`` exports JSONL);
 * ``metrics SCRIPT.py`` — run a script and print the collected engine
-  metrics (``--json`` for a machine-readable snapshot);
+  metrics (``--format json`` for a machine-readable snapshot,
+  ``--format prom`` for Prometheus text exposition);
+* ``stats DATA.json`` — the per-relation statistics the cardinality
+  estimator consumes (row counts, distincts, null fractions, min/max,
+  most-common values);
+* ``querylog SCRIPT.py`` — run a script with observability enabled and
+  print the plan-fingerprinted query log (``--out`` exports JSONL);
 * ``bench diff`` — compare freshly emitted ``BENCH_*.json`` against
   committed baselines (the regression watchdog's diff engine; see
   ``benchmarks/regression.py`` for the re-run-and-diff ``check`` mode).
@@ -273,13 +279,50 @@ def cmd_metrics(args) -> int:
     from repro.observability import registry
 
     _run_script_observed(args.script, args.quiet)
-    if args.json:
+    fmt = "json" if args.json and args.format == "text" else args.format
+    if fmt == "json":
         print(json.dumps(registry.snapshot(), indent=2, default=str))
+    elif fmt == "prom":
+        sys.stdout.write(registry.render_prometheus())
     else:
         print(registry.render())
     if args.out:
         path = registry.export_json(args.out)
         print(f"metrics written to {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.instances.serialization import instance_from_dict
+
+    schema = _load_schema(args.schema) if args.schema else None
+    instance = instance_from_dict(_load_json(args.data), schema)
+    relations = (
+        [args.relation] if args.relation else instance.relation_names()
+    )
+    stats = [instance.relation_stats(name) for name in relations]
+    if args.json:
+        print(json.dumps(
+            {s.relation: s.to_dict() for s in stats}, indent=2, default=str
+        ))
+    else:
+        print("\n\n".join(s.render() for s in stats))
+    return 0
+
+
+def cmd_querylog(args) -> int:
+    from repro.observability.querylog import QUERY_LOG
+
+    QUERY_LOG.configure(capacity=args.capacity, slow_ms=args.slow_ms)
+    _run_script_observed(args.script, args.quiet)
+    if args.json:
+        print(QUERY_LOG.export_jsonl())
+    else:
+        print(QUERY_LOG.render(limit=args.limit, slow_only=args.slow))
+    if args.out:
+        Path(args.out).write_text(QUERY_LOG.export_jsonl() + "\n")
+        print(f"{len(QUERY_LOG)} entries written to {args.out}",
+              file=sys.stderr)
     return 0
 
 
@@ -351,10 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
                    "(required with --analyze)")
     p.add_argument("--analyze", action="store_true",
                    help="run the plan and annotate per-node rows/time")
-    p.add_argument("--engine", choices=["vectorized", "compiled"],
+    p.add_argument("--engine",
+                   choices=["vectorized", "compiled", "interpreted"],
                    default=None,
-                   help="which compiling engine's plan to show "
-                   "(default: the process default engine)")
+                   help="which engine to explain (interpreted shows the "
+                   "row compiler's view of the query; default: the "
+                   "process default engine)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable plan/profile instead of the tree")
     p.set_defaults(func=cmd_explain)
@@ -398,9 +443,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress the script's own stdout")
     p.add_argument("--json", action="store_true",
-                   help="print a JSON snapshot instead of the summary")
+                   help="print a JSON snapshot instead of the summary "
+                   "(same as --format json)")
+    p.add_argument("--format", choices=["text", "json", "prom"],
+                   default="text",
+                   help="output format (prom: Prometheus text exposition)")
     p.add_argument("--out", help="also write the JSON snapshot here")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "stats",
+        help="per-relation statistics of an instance (the cardinality "
+        "estimator's inputs)",
+    )
+    p.add_argument("data", help="instance JSON")
+    p.add_argument("--schema", help="schema JSON to bind while loading")
+    p.add_argument("--relation", help="only this relation")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable statistics")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "querylog",
+        help="run a script with observability on, print the "
+        "plan-fingerprinted query log",
+    )
+    p.add_argument("script", help="Python script executed as __main__")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the script's own stdout")
+    p.add_argument("--limit", type=int, default=20,
+                   help="newest entries to show (default 20)")
+    p.add_argument("--slow", action="store_true",
+                   help="only entries over the slow threshold")
+    p.add_argument("--slow-ms", type=float, default=None,
+                   help="slow-query threshold in ms (default 100)")
+    p.add_argument("--capacity", type=int, default=None,
+                   help="ring-buffer capacity (default 256)")
+    p.add_argument("--json", action="store_true",
+                   help="print entries as JSON Lines")
+    p.add_argument("--out", help="also export entries as JSONL here")
+    p.set_defaults(func=cmd_querylog)
 
     return parser
 

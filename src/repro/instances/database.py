@@ -170,6 +170,22 @@ class _BatchEntry:
         self.batch = ColumnBatch((), {}, 0)
 
 
+class _StatsEntry:
+    """Cached :class:`~repro.observability.stats.RelationStats` for one
+    relation (see :meth:`Instance.relation_stats`), validated exactly
+    like :class:`_BatchEntry`: backing-list identity + dirty epoch + a
+    ``seen`` watermark under which appends are absorbed in place while
+    removals and epoch bumps force a rebuild."""
+
+    __slots__ = ("source", "seen", "epoch", "stats")
+
+    def __init__(self, source: list, epoch: int, stats):
+        self.source = source
+        self.seen = 0
+        self.epoch = epoch
+        self.stats = stats
+
+
 class Instance:
     """A database state: named relations of rows.
 
@@ -188,8 +204,12 @@ class Instance:
         self._attr_indexes: dict[tuple[str, str], _AttrIndex] = {}
         self._projection_sets: dict[tuple[str, tuple[str, ...]], _ProjectionSet] = {}
         self._batches: dict[str, _BatchEntry] = {}
+        self._relation_stats: dict[str, _StatsEntry] = {}
         self._dirty_epoch = 0
-        self.index_stats = {"hits": 0, "extends": 0, "rebuilds": 0, "removes": 0}
+        self.index_stats = {
+            "hits": 0, "extends": 0, "rebuilds": 0, "removes": 0,
+            "stats_hits": 0, "stats_extends": 0, "stats_rebuilds": 0,
+        }
 
     # ------------------------------------------------------------------
     # population
@@ -328,6 +348,10 @@ class Instance:
         # Batches are positional (unlike the id-keyed indexes above), so
         # a removal cannot be absorbed incrementally: drop the cache.
         self._batches.pop(relation, None)
+        # Statistics are pure aggregates: decrementing them under
+        # removal would need the removed rows' full value profile, so
+        # they rebuild on next read instead (same rule as the batches).
+        self._relation_stats.pop(relation, None)
         self.index_stats["removes"] += len(removed)
         return removed
 
@@ -428,6 +452,45 @@ class Instance:
             entry.batch._extend_from_rows(rows[entry.seen:])
         entry.seen = len(rows)
         return entry.batch
+
+    def relation_stats(self, relation: str):
+        """Row-count / per-column statistics for ``relation`` (see
+        :class:`repro.observability.stats.RelationStats`), cached and
+        incrementally maintained under the persistent-index contract:
+        appends since the last read are absorbed in place, while list
+        replacement, :meth:`delete`, :meth:`remove_rows` and
+        :meth:`mark_dirty` trigger a rebuild on next access
+        (``stats_hits`` / ``stats_extends`` / ``stats_rebuilds`` in
+        :attr:`index_stats` count which path each read took).
+
+        The returned object is shared with the cache — treat it as
+        read-only; it feeds the cardinality estimator behind EXPLAIN
+        and the query log."""
+        from repro.observability.stats import RelationStats
+
+        rows = self.relations.get(relation)
+        if rows is None:
+            return RelationStats(relation)
+        entry = self._relation_stats.get(relation)
+        if (
+            entry is None
+            or entry.source is not rows
+            or entry.epoch != self._dirty_epoch
+            or entry.seen > len(rows)
+        ):
+            entry = _StatsEntry(
+                rows, self._dirty_epoch, RelationStats(relation)
+            )
+            self._relation_stats[relation] = entry
+            self.index_stats["stats_rebuilds"] += 1
+        elif entry.seen < len(rows):
+            self.index_stats["stats_extends"] += 1
+        else:
+            self.index_stats["stats_hits"] += 1
+            return entry.stats
+        entry.stats.absorb(rows[entry.seen:])
+        entry.seen = len(rows)
+        return entry.stats
 
     def _attr_entry(self, relation: str, attribute: str) -> Optional[_AttrIndex]:
         rows = self.relations.get(relation)

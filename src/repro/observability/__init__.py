@@ -92,9 +92,15 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Drop all recorded spans and metrics."""
+    """Drop all recorded spans, metrics, and query-log entries, and
+    restore estimator tunables to their defaults."""
+    from repro.observability.querylog import QUERY_LOG
+    from repro.observability.stats import ESTIMATION
+
     tracer.reset()
     registry.reset()
+    QUERY_LOG.clear()
+    ESTIMATION.reset()
 
 
 def span(name: str, **attributes: object):

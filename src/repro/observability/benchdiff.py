@@ -15,7 +15,9 @@ not 10% jitter:
   ``*_rows_per_sec`` fields) — regressed when fresh < 0.5× baseline;
 * **ceiling** (``disabled_overhead_percent``) — regressed when fresh
   exceeds the absolute 5.0 contract from docs/OBSERVABILITY.md,
-  regardless of the baseline;
+  regardless of the baseline; ``stats_overhead_percent`` (the enabled
+  stats/query-path bound) is judged the same way against an absolute
+  10.0 ceiling;
 * **info** (row counts, rounds, percentages without a contract) —
   never regress; drift is reported as ``changed``.
 
@@ -43,6 +45,8 @@ LOWER_REL_THRESHOLD = 1.0
 HIGHER_REL_THRESHOLD = 0.5
 #: Absolute limit for the disabled-overhead contract (percent).
 OVERHEAD_CEILING = 5.0
+#: Absolute limit for the enabled stats/query-path contract (percent).
+STATS_OVERHEAD_CEILING = 10.0
 #: Relative drift below which info metrics count as unchanged.
 INFO_TOLERANCE = 0.01
 
@@ -57,7 +61,7 @@ class Metric:
 
     key: str
     value: float
-    kind: str  # "lower" | "higher" | "ceiling" | "info"
+    kind: str  # "lower" | "higher" | "ceiling" | "stats_ceiling" | "info"
 
 
 @dataclass
@@ -136,6 +140,8 @@ class DiffReport:
 def _kind_for_field(name: str) -> str:
     if name.endswith("disabled_overhead_percent"):
         return "ceiling"
+    if name.endswith("stats_overhead_percent"):
+        return "stats_ceiling"
     if name.endswith("_seconds") or name.endswith("_ms"):
         return "lower"
     if name == "speedup" or name.endswith("_rows_per_sec"):
@@ -239,6 +245,13 @@ def _judge(kind: str, baseline: float, fresh: float) -> tuple[str, str]:
     if kind == "ceiling":
         if fresh > OVERHEAD_CEILING:
             return "regressed", f"exceeds the {OVERHEAD_CEILING:g} ceiling"
+        return "ok", ""
+    if kind == "stats_ceiling":
+        if fresh > STATS_OVERHEAD_CEILING:
+            return (
+                "regressed",
+                f"exceeds the {STATS_OVERHEAD_CEILING:g} ceiling",
+            )
         return "ok", ""
     if kind == "lower":
         if baseline > 0 and fresh > baseline * (1.0 + LOWER_REL_THRESHOLD):

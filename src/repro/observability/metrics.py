@@ -16,10 +16,30 @@ in between.
 from __future__ import annotations
 
 import json
+import re
 import threading
 from bisect import bisect_left
 from pathlib import Path
 from typing import Optional, Sequence, Union
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str) -> str:
+    """Sanitize a metric name to the Prometheus grammar
+    (``[a-zA-Z_:][a-zA-Z0-9_:]*``)."""
+    sanitized = _PROM_INVALID.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prometheus_value(value: float) -> str:
+    """Render a sample value: integral floats without the trailing
+    ``.0`` noise (bucket bounds read as ``le="10"``, not ``le="10.0"``)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
 
 #: Default bounds, tuned for millisecond latencies (spans) but serving
 #: row/trigger counts acceptably; pass explicit bounds for counts.
@@ -252,6 +272,44 @@ class MetricsRegistry:
         path.write_text(json.dumps(self.snapshot(), indent=2,
                                    default=str) + "\n")
         return path
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-exposition rendering of every metric.
+
+        Counters and gauges emit one sample each (unset gauges are
+        skipped — Prometheus has no ``null``); histograms emit the
+        standard cumulative ``_bucket{le="..."}`` series ending at
+        ``le="+Inf"`` plus ``_sum`` and ``_count``.  Metric names are
+        sanitized to the Prometheus grammar (``.`` → ``_``)."""
+        view = self._view()
+        lines: list[str] = []
+        for name in sorted(view):
+            metric = view[name]
+            prom = _prometheus_name(name)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {prom} counter")
+                lines.append(f"{prom} {metric.value}")
+            elif isinstance(metric, Gauge):
+                if metric.value is None:
+                    continue
+                lines.append(f"# TYPE {prom} gauge")
+                lines.append(f"{prom} {_prometheus_value(metric.value)}")
+            else:
+                # One consistent copy: writers may observe concurrently.
+                bucket_counts = list(metric.bucket_counts)
+                lines.append(f"# TYPE {prom} histogram")
+                cumulative = 0
+                for bound, count in zip(metric.bounds, bucket_counts):
+                    cumulative += count
+                    lines.append(
+                        f'{prom}_bucket{{le="{_prometheus_value(bound)}"}}'
+                        f" {cumulative}"
+                    )
+                cumulative += bucket_counts[-1]
+                lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{prom}_sum {_prometheus_value(metric.total)}")
+                lines.append(f"{prom}_count {cumulative}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def render(self) -> str:
         """Human-readable metric summaries, one line per metric."""

@@ -145,12 +145,28 @@ class QueryProcessor:
     def explain(self, query: RelExpr):
         """EXPLAIN: the compiled plan this processor would run for a
         target query — the unfolded source-side plan for equality
-        mappings, the query over the universal solution otherwise."""
+        mappings, the query over the universal solution otherwise.
+
+        Nodes carry cardinality estimates against the instance the
+        plan would actually run over; for tgd mappings that instance
+        is the materialized universal solution, so estimates only
+        appear once it has been computed (plain EXPLAIN never triggers
+        an exchange)."""
         from repro.algebra.explain import explain
 
         if self.mapping.equalities:
-            return explain(self.unfolded(query), engine=self.engine)
-        return explain(query, engine=self.engine)
+            return explain(
+                self.unfolded(query),
+                engine=self.engine,
+                instance=self.source,
+                schema=self.mapping.source,
+            )
+        return explain(
+            query,
+            engine=self.engine,
+            instance=self._universal,
+            schema=self.mapping.target,
+        )
 
     def explain_analyze(self, query: RelExpr):
         """EXPLAIN ANALYZE: compile *and run* the plan, annotating

@@ -1,23 +1,39 @@
 """Shared test fixtures.
 
-Observability state (the span tracer, the metrics registry, and the
-process-wide enabled flag) is a process singleton, so a test that
-enables tracing and fails mid-way would otherwise leak spans and
-metrics into every later test's assertions.  The autouse fixture below
-restores the disabled, empty state around *every* test.
+Observability state (the span tracer, the metrics registry, the query
+log, the estimator config, and the process-wide enabled flag) is a
+process singleton, so a test that enables tracing and fails mid-way
+would otherwise leak spans, metrics, or query-log entries into every
+later test's assertions.  The autouse fixture below restores a clean
+state around *every* test; ``obs.reset()`` covers the tracer, the
+registry, the query log, and the estimator tunables.
+
+Setting ``REPRO_OBSERVABILITY=1`` runs the whole suite with
+observability *enabled* instead (the CI lane that catches state-leak
+and guard-ordering bugs the disabled-default runs can't see); tests
+that assert on the disabled default manage the flag themselves via
+their own fixtures, which run after this one.
 """
+
+import os
 
 import pytest
 
 import repro.observability as obs
 
+_FORCED = os.environ.get("REPRO_OBSERVABILITY", "").strip() not in ("", "0")
+
 
 @pytest.fixture(autouse=True)
 def _reset_observability():
-    """Guarantee each test starts and ends with observability disabled
-    and empty, so span/metric assertions cannot leak across tests."""
-    obs.disable()
+    """Guarantee each test starts and ends with empty observability
+    state (disabled by default; enabled under REPRO_OBSERVABILITY=1),
+    so span/metric/query-log assertions cannot leak across tests."""
     obs.reset()
+    if _FORCED:
+        obs.enable()
+    else:
+        obs.disable()
     yield
     obs.disable()
     obs.reset()

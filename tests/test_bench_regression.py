@@ -13,6 +13,7 @@ from repro.observability.benchdiff import (
     HIGHER_REL_THRESHOLD,
     LOWER_REL_THRESHOLD,
     OVERHEAD_CEILING,
+    STATS_OVERHEAD_CEILING,
     diff_dirs,
     diff_files,
     diff_payloads,
@@ -57,7 +58,7 @@ def trajectory_payload(seminaive=0.03, rate=100_000):
     }
 
 
-def contract_payload(overhead=0.4):
+def contract_payload(overhead=0.4, stats_overhead=3.0):
     return {
         "benchmark": "observability",
         "contract": {"max_overhead_percent": 5.0},
@@ -65,6 +66,10 @@ def contract_payload(overhead=0.4):
             "disabled_overhead_percent": overhead,
             "enabled_seconds": 0.02,
             "spans": 12,
+        },
+        "stats": {
+            "stats_overhead_percent": stats_overhead,
+            "stats_extend_ns_per_row": 700.0,
         },
     }
 
@@ -100,6 +105,10 @@ class TestExtraction:
         assert metrics["chase.disabled_overhead_percent"].kind == "ceiling"
         assert metrics["chase.enabled_seconds"].kind == "lower"
         assert metrics["chase.spans"].kind == "info"
+        assert (
+            metrics["stats.stats_overhead_percent"].kind == "stats_ceiling"
+        )
+        assert metrics["stats.stats_extend_ns_per_row"].kind == "info"
 
     def test_every_committed_baseline_yields_metrics(self):
         for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
@@ -155,6 +164,20 @@ class TestJudgment:
         )
         assert [f.key for f in bad.regressions] == [
             "chase.disabled_overhead_percent"
+        ]
+
+    def test_stats_overhead_ceiling_is_absolute(self):
+        ok = diff_payloads(
+            "o", contract_payload(stats_overhead=0.5),
+            contract_payload(stats_overhead=STATS_OVERHEAD_CEILING),
+        )
+        assert ok.regressions == []
+        bad = diff_payloads(
+            "o", contract_payload(stats_overhead=9.9),
+            contract_payload(stats_overhead=STATS_OVERHEAD_CEILING + 0.1),
+        )
+        assert [f.key for f in bad.regressions] == [
+            "stats.stats_overhead_percent"
         ]
 
     def test_info_metrics_never_fail(self):

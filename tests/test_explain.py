@@ -166,6 +166,70 @@ class TestExplainAnalyze:
         assert "rows=" not in render_plan(plan.nodes, plan.root_id)
 
 
+class TestEstimates:
+    def test_explain_without_instance_shows_no_estimates(self):
+        _, expr = shared_plan()
+        result = explain(expr)
+        assert result.estimates is None
+        assert "est=" not in result.render()
+        assert all(n["est_rows"] is None for n in result.to_dict()["nodes"])
+
+    def test_explain_with_instance_annotates_every_node(self):
+        db = people()
+        _, expr = shared_plan()
+        for engine in ("vectorized", "compiled", "interpreted"):
+            result = explain(expr, engine=engine, instance=db)
+            assert result.estimates is not None
+            assert all(est is not None for est in result.estimates)
+            assert "est=" in result.render()
+        # the two compiling engines agree estimate-for-estimate
+        vec = explain(expr, engine="vectorized", instance=db)
+        row = explain(expr, engine="compiled", instance=db)
+        assert vec.estimates == row.estimates
+
+    def test_stale_estimates_not_reported_without_instance(self):
+        db = people()
+        _, expr = shared_plan()
+        explain(expr, instance=db)  # annotates the cached plan's nodes
+        bare = explain(expr)
+        assert bare.estimates is None
+        assert all(
+            n["est_rows"] is None for n in bare.to_dict()["nodes"]
+        )
+
+    def test_explain_analyze_reports_divergence(self):
+        db = people()
+        expr = eq_join(Scan("People"), Scan("Depts"), [("dept", "dept")])
+        result = explain_analyze(expr, db)
+        text = result.render()
+        assert "est=" in text and "div=×" in text
+        assert "worst divergence:" in text
+        assert result.worst is not None
+        assert result.worst["ratio"] >= 1.0
+        data = result.to_dict()
+        assert data["worst_divergent"] == result.worst
+        assert all(
+            n["est_rows"] is not None for n in data["profile"]["nodes"]
+        )
+
+    def test_exact_stats_make_exact_scan_estimates(self):
+        db = people()
+        result = explain_analyze(Scan("People"), db)
+        (estimate,) = result.estimates
+        assert estimate == db.cardinality("People")
+        assert result.worst["ratio"] == pytest.approx(1.0)
+
+    def test_processor_explain_carries_source_estimates(self):
+        processor = QueryProcessor(
+            paper.figure2_mapping(), paper.figure2_sql_instance()
+        )
+        query = Project(
+            Select(EntityScan("Person"), IsOf("Employee")),
+            [("Id", Col("Id")), ("Dept", Col("Dept"))],
+        )
+        assert "est=" in processor.explain(query).render()
+
+
 class TestQueryProcessorExplain:
     def test_equality_mapping_explains_unfolded_plan(self):
         processor = QueryProcessor(
