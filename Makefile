@@ -1,13 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint trace-smoke query-smoke updates-smoke bench-smoke \
-	bench-chase bench bench-query bench-updates bench-json \
-	bench-check bench-check-smoke
+.PHONY: test lint trace-smoke query-smoke updates-smoke \
+	optimizer-smoke bench-smoke bench-chase bench bench-query \
+	bench-updates bench-optimizer bench-json bench-check \
+	bench-check-smoke
 
 # Tier-1: the whole unit/integration suite, after the static, tracing,
-# query-engine and incremental-maintenance smoke gates.
-test: lint trace-smoke query-smoke updates-smoke
+# query-engine, incremental-maintenance and optimizer smoke gates.
+test: lint trace-smoke query-smoke updates-smoke optimizer-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Static checks: ruff with the pinned config in pyproject.toml.
@@ -49,6 +50,13 @@ query-smoke:
 updates-smoke:
 	$(PYTHON) benchmarks/bench_incremental_exchange.py --smoke
 
+# Cost-based optimizer gate: differential oracle (heuristic ≡
+# cost-based × 3 engines) plus an end-to-end adaptive re-optimization
+# at reduced sizes.  Timing bars are skipped in smoke mode; the full
+# `make bench-optimizer` enforces them.  No JSON rewrite.
+optimizer-smoke:
+	$(PYTHON) benchmarks/bench_optimizer.py --smoke
+
 # Fast perf sanity after tier-1: smallest size only, no JSON rewrite.
 bench-smoke: test
 	$(PYTHON) benchmarks/bench_chase_scaling.py --smoke
@@ -76,6 +84,13 @@ bench-chase:
 # enforcing the 5x acceptance bar at 4k rows.
 bench-updates:
 	$(PYTHON) benchmarks/bench_incremental_exchange.py
+
+# Cost-based join ordering + adaptive re-optimization: rewrites
+# BENCH_optimizer.json, enforcing the ≥2x skewed-suite win and the
+# ≥2x re-optimization win as absolute floors (also judged by the
+# regression watchdog via the payload's "floors" section).
+bench-optimizer:
+	$(PYTHON) benchmarks/bench_optimizer.py --out BENCH_optimizer.json
 
 # The whole pytest-benchmark suite (slow), incremental maintenance
 # included via benchmarks/bench_incremental_exchange.py.

@@ -50,6 +50,7 @@ class Harness:
         self.tables: list[dict] = []
         self.results: list[dict] = []
         self.timings: dict[str, float] = {}
+        self.floors: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def timed(self, label: str, fn: Callable, *args, **kwargs):
@@ -70,6 +71,14 @@ class Harness:
     def record(self, **row) -> None:
         """Append one machine-readable result row."""
         self.results.append(row)
+
+    def floor(self, key: str, minimum: float) -> None:
+        """Declare an absolute floor for one extracted metric key
+        (``"<row label>/<header>"`` of a table cell).  The regression
+        watchdog judges floored metrics against ``minimum`` regardless
+        of the baseline — e.g. the optimizer suite's ≥2× skewed-join
+        speedup contract."""
+        self.floors[key] = float(minimum)
 
     def capture_table(self, title: str, headers: list[str],
                       rows: list[list]) -> None:
@@ -106,6 +115,8 @@ class Harness:
             "tables": self.tables,
             "timings_seconds": self.timings,
         }
+        if self.floors:
+            data["floors"] = dict(self.floors)
         if self.observe:
             from repro.observability import registry
 

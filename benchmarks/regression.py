@@ -41,11 +41,12 @@ SUITES = {
     "updates": ("bench_incremental_exchange.py", "BENCH_updates.json"),
     "observability": ("bench_observability.py", "BENCH_observability.json"),
     "chase": ("bench_chase_scaling.py", "BENCH_chase.json"),
+    "optimizer": ("bench_optimizer.py", "BENCH_optimizer.json"),
 }
 
 #: ``check``'s default suites; ``chase`` is opt-in (it re-runs the
 #: naive baseline engine at every size, which dominates the runtime).
-DEFAULT_SUITES = ("query", "updates", "observability")
+DEFAULT_SUITES = ("query", "updates", "observability", "optimizer")
 
 
 def _report(reports, as_json: bool, verbose: bool) -> int:

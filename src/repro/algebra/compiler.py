@@ -1577,7 +1577,7 @@ class CompiledPlan:
     __slots__ = (
         "expr", "fingerprint", "size", "_run", "_owned",
         "nodes", "root_id", "_profiled_run", "_profiled_owned",
-        "last_profile",
+        "last_profile", "optimized_from",
     )
 
     def __init__(self, expr: E.RelExpr, fingerprint: Optional[str] = None):
@@ -1587,6 +1587,10 @@ class CompiledPlan:
         self._profiled_run = None
         self._profiled_owned = True
         self.last_profile: Optional[PlanProfile] = None
+        # Source fingerprint when the adaptive cache compiled this plan
+        # from a cost-based rewrite of a different tree (EXPLAIN shows
+        # it); informational only.
+        self.optimized_from: Optional[str] = None
         run, owned, registry_ = self._compile_with(wrap=False)
         self._run, self._owned = run, owned
         self.nodes = registry_.nodes

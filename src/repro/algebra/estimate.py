@@ -379,6 +379,65 @@ def _estimate_uncached(
 # ----------------------------------------------------------------------
 # public API
 # ----------------------------------------------------------------------
+class Estimator:
+    """A reusable estimation context for the cost-based optimizer.
+
+    Wraps one ``(instance, schema)`` pair with a memo that persists
+    across calls, so the join-order search can score thousands of
+    candidate trees without re-estimating shared subtrees, and applies
+    *actuals-corrected* cardinalities: ``corrections`` maps subtree
+    fingerprints to row counts observed by a profiled execution (the
+    adaptive re-optimization feedback of
+    :meth:`repro.algebra.plan_cache.PlanCache.note_divergence`).  A
+    corrected subtree overrides its statistics-derived estimate, and
+    the override propagates into every parent estimated afterwards.
+
+    The memo is keyed by expression identity, so every estimated root
+    is pinned for the estimator's lifetime — otherwise a discarded
+    candidate's ``id`` could be recycled and alias a stale entry.
+    """
+
+    __slots__ = ("instance", "schema", "corrections", "_memo", "_fps",
+                 "_pins")
+
+    def __init__(self, instance, schema=None, corrections=None) -> None:
+        self.instance = instance
+        self.schema = schema
+        self.corrections = dict(corrections) if corrections else {}
+        self._memo: dict[int, _Est] = {}
+        self._fps: dict[int, str] = {}
+        self._pins: list[E.RelExpr] = []
+
+    def fingerprint(self, expr: E.RelExpr) -> str:
+        fp = self._fps.get(id(expr))
+        if fp is None:
+            fp = expr.fingerprint()
+            self._fps[id(expr)] = fp
+        return fp
+
+    def est(self, expr: E.RelExpr) -> _Est:
+        self._pins.append(expr)
+        if self.corrections:
+            self._correct(expr)
+        return _estimate(expr, self.instance, self.schema, self._memo)
+
+    def rows(self, expr: E.RelExpr) -> float:
+        """Estimated output rows (corrections applied)."""
+        return self.est(expr).rows
+
+    def _correct(self, expr: E.RelExpr) -> None:
+        """Post-order pass seeding the memo with actuals-corrected
+        estimates, children first so parents see corrected inputs."""
+        if id(expr) in self._memo:
+            return
+        for child in expr.inputs():
+            self._correct(child)
+        est = _estimate(expr, self.instance, self.schema, self._memo)
+        actual = self.corrections.get(self.fingerprint(expr))
+        if actual is not None and est.rows != actual:
+            self._memo[id(expr)] = _Est(float(actual), est.cols)
+
+
 def estimate_expr(
     expr: E.RelExpr, instance, schema=None
 ) -> float:

@@ -105,21 +105,24 @@ def evaluate(
     """
     resolved = engine if engine is not None else get_default_engine()
     if resolved == "vectorized":
-        from repro.algebra.plan_cache import (
-            GLOBAL_VECTOR_PLAN_CACHE,
-            cached_vector_plan,
-        )
+        from repro.algebra.plan_cache import GLOBAL_VECTOR_PLAN_CACHE
 
         if not STATE.enabled:
-            return cached_vector_plan(expr).execute(instance, schema)
+            plan, _ = GLOBAL_VECTOR_PLAN_CACHE.adaptive_lookup(
+                expr, instance, schema
+            )
+            return plan.execute(instance, schema)
         return _evaluate_observed(
             expr, instance, schema, GLOBAL_VECTOR_PLAN_CACHE, resolved
         )
     if resolved == "compiled":
-        from repro.algebra.plan_cache import GLOBAL_PLAN_CACHE, cached_plan
+        from repro.algebra.plan_cache import GLOBAL_PLAN_CACHE
 
         if not STATE.enabled:
-            return cached_plan(expr).execute(instance, schema)
+            plan, _ = GLOBAL_PLAN_CACHE.adaptive_lookup(
+                expr, instance, schema
+            )
+            return plan.execute(instance, schema)
         return _evaluate_observed(
             expr, instance, schema, GLOBAL_PLAN_CACHE, resolved
         )
@@ -138,9 +141,13 @@ def _evaluate_observed(
     engine: str,
 ) -> list[Row]:
     """The compiling engines' execution path under ``STATE.enabled``:
-    identical result, plus a query-log entry carrying the plan
-    fingerprint, cache hit/miss, wall time, output rows, and the worst
-    estimate↔actual divergent node.
+    identical result, plus a query-log entry carrying the *source*
+    expression fingerprint (all engines and the adaptive feedback store
+    agree on it, whatever tree the optimizer chose), cache hit/miss,
+    wall time, output rows, and the worst estimate↔actual divergent
+    node.  A flagged divergence is handed to the adaptive cache, which
+    may schedule a re-optimization of this query with actuals-corrected
+    cardinalities (``reopt`` in the log entry).
 
     The estimator runs *after* execution (outside the recorded wall
     time) and its failures never fail the query — they land in the
@@ -149,11 +156,12 @@ def _evaluate_observed(
 
     from repro.observability.querylog import QUERY_LOG
 
-    plan, cache_hit = cache.lookup(expr)
+    plan, cache_hit = cache.adaptive_lookup(expr, instance, schema)
     start = time.perf_counter()
     rows = plan.execute(instance, schema)
     wall_ms = (time.perf_counter() - start) * 1000.0
     worst = None
+    reopt = False
     try:
         from repro.algebra.estimate import annotate_plan, worst_divergent
 
@@ -161,15 +169,18 @@ def _evaluate_observed(
         profile = plan.last_profile
         if profile is not None:
             worst = worst_divergent(plan.nodes, profile)
+            if worst is not None and worst["flagged"]:
+                reopt = cache.note_divergence(expr, plan, profile)
     except Exception:
         registry.counter("query.estimate.errors").inc()
     entry = QUERY_LOG.record(
-        fingerprint=plan.fingerprint,
+        fingerprint=expr.fingerprint(),
         engine=engine,
         cache_hit=cache_hit,
         wall_ms=wall_ms,
         rows_out=len(rows),
         worst=worst,
+        reopt=reopt,
     )
     registry.counter("query.log.entries").inc()
     if entry.slow:

@@ -7,15 +7,21 @@ additionally runs the plan through the profiled pipeline and annotates
 every node with calls, output rows, inclusive and exclusive
 (charge-once) wall time, and CSE-memo hits.
 
-Both accept an optional ``instance``: with one in hand the plan's
-nodes are annotated with ``est_rows`` from the cardinality estimator
-(:mod:`repro.algebra.estimate` over the per-relation statistics
-service), so plain EXPLAIN shows estimates and EXPLAIN ANALYZE shows
-estimate vs. actual with per-node divergence ratios — nodes beyond
-``ESTIMATION.divergence_factor`` are flagged and the worst one is
-summarized (the signal the query log records and the PlanCache
-feedback loop will consume).  Estimation failures never fail the
-explain: they are swallowed and counted (``query.estimate.errors``).
+Both accept an optional ``instance``: with one in hand the query is
+first run through the cost-based optimizer (the same
+``adaptive_lookup`` path ``evaluate`` uses, so EXPLAIN shows exactly
+the tree that would execute, with its chosen-vs-heuristic cost in the
+header) and the plan's nodes are annotated with ``est_rows`` from the
+cardinality estimator (:mod:`repro.algebra.estimate` over the
+per-relation statistics service) — plain EXPLAIN shows estimates and
+EXPLAIN ANALYZE shows estimate vs. actual with per-node divergence
+ratios; nodes beyond ``ESTIMATION.divergence_factor`` are flagged and
+the worst one is summarized (the signal the query log records and the
+PlanCache feedback loop consumes).  ``no_opt=True`` skips the
+cost-based phase and shows the heuristic plan (the CLI's ``repro
+explain --no-opt`` / ``--compare``).  Estimation failures never fail
+the explain: they are swallowed and counted
+(``query.estimate.errors``).
 
 Both work for the row engine (``engine="compiled"``) and the columnar
 engine (``engine="vectorized"``, strategies named ``vec_*``); the
@@ -88,6 +94,29 @@ class ExplainResult:
     plan: CompiledPlan
     cache_hit: bool
     estimates: Optional[list] = None
+    #: Estimated cost of the plan shown / of the heuristic tree, when
+    #: the cost-based optimizer scored this query (instance given).
+    cost: Optional[float] = None
+    heuristic_cost: Optional[float] = None
+    #: True when the shown plan is a cost-based reordering of the
+    #: written query.
+    optimized: bool = False
+
+    def _cost_suffix(self) -> str:
+        if self.cost is None:
+            return ""
+        suffix = f"  cost={self.cost:.0f}"
+        if (
+            self.heuristic_cost is not None
+            and self.heuristic_cost != self.cost
+        ):
+            ratio = self.heuristic_cost / max(self.cost, 1e-12)
+            suffix += (
+                f" (heuristic {self.heuristic_cost:.0f}, {ratio:.1f}x)"
+            )
+        if self.optimized:
+            suffix += "  reordered"
+        return suffix
 
     def render(self) -> str:
         header = (
@@ -95,6 +124,7 @@ class ExplainResult:
             f"  size={self.plan.size}"
             f"  nodes={len(self.plan.nodes)}"
             f"  cache={'hit' if self.cache_hit else 'miss'}"
+            + self._cost_suffix()
         )
         tree = render_plan(
             self.plan.nodes, self.plan.root_id, estimates=self.estimates
@@ -118,6 +148,9 @@ class ExplainResult:
             "cache_hit": self.cache_hit,
             "expression": to_text(self.expr),
             "root_id": self.plan.root_id,
+            "cost": self.cost,
+            "heuristic_cost": self.heuristic_cost,
+            "optimized": self.optimized,
             "nodes": nodes,
         }
 
@@ -140,6 +173,7 @@ class ExplainAnalyzeResult(ExplainResult):
             f"  cache={'hit' if self.cache_hit else 'miss'}"
             f"  rows={self.profile.result_rows}"
             f"  total={self.profile.total_ms:.2f}ms"
+            + self._cost_suffix()
         )
         tree = render_plan(
             self.plan.nodes,
@@ -173,23 +207,73 @@ class ExplainAnalyzeResult(ExplainResult):
         return data
 
 
+def _plan_for(
+    cache,
+    expr: E.RelExpr,
+    instance: Optional[Instance],
+    schema: Optional[Schema],
+    no_opt: bool,
+):
+    """Resolve the plan EXPLAIN should show: the adaptive cost-based
+    plan when an instance is in hand (the tree ``evaluate`` would run),
+    or the heuristic compilation with ``no_opt`` / without an instance.
+
+    Returns ``(plan, cache_hit, cost, heuristic_cost, optimized)``.
+    """
+    from repro.algebra.optimizer import COST
+
+    if instance is None or not COST.enabled:
+        cache_hit = expr in cache
+        return cache.get(expr), cache_hit, None, None, False
+    if no_opt:
+        cache_hit = expr in cache
+        plan = cache.get(expr)
+        cost = None
+        try:
+            from repro.algebra.estimate import Estimator
+            from repro.algebra.optimizer import plan_cost
+
+            cost = plan_cost(expr, Estimator(instance, schema))
+        except Exception:
+            registry.counter("query.estimate.errors").inc()
+        return plan, cache_hit, cost, cost, False
+    plan, cache_hit = cache.adaptive_lookup(expr, instance, schema)
+    report = cache.adaptive_report(expr) or {}
+    return (
+        plan,
+        cache_hit,
+        report.get("chosen_cost"),
+        report.get("heuristic_cost"),
+        bool(report.get("reordered")),
+    )
+
+
 def explain(
     expr: E.RelExpr,
     engine: Optional[str] = None,
     instance: Optional[Instance] = None,
     schema: Optional[Schema] = None,
+    no_opt: bool = False,
 ) -> ExplainResult:
     """Compile ``expr`` (via the process-wide plan cache, like
     ``evaluate``) and return its annotated plan.
 
-    With an ``instance``, nodes additionally carry cardinality
+    With an ``instance``, the cost-based optimizer chooses the tree
+    (unless ``no_opt``) and nodes additionally carry cardinality
     estimates from its statistics service."""
     cache = _cache_for(engine)
-    cache_hit = expr in cache
-    plan = cache.get(expr)
+    plan, cache_hit, cost, heuristic_cost, optimized = _plan_for(
+        cache, expr, instance, schema, no_opt
+    )
     estimates = _estimates_for(plan, instance, schema)
     return ExplainResult(
-        expr=expr, plan=plan, cache_hit=cache_hit, estimates=estimates
+        expr=expr,
+        plan=plan,
+        cache_hit=cache_hit,
+        estimates=estimates,
+        cost=cost,
+        heuristic_cost=heuristic_cost,
+        optimized=optimized,
     )
 
 
@@ -198,6 +282,7 @@ def explain_analyze(
     instance: Instance,
     schema: Optional[Schema] = None,
     engine: Optional[str] = None,
+    no_opt: bool = False,
 ) -> ExplainAnalyzeResult:
     """Compile, execute against ``instance``, and return the plan
     annotated with per-node runtime statistics and estimate↔actual
@@ -207,8 +292,9 @@ def explain_analyze(
     is enabled the run also emits the usual ``query.execute`` span, so
     the profile's total nests inside that span's wall time."""
     cache = _cache_for(engine)
-    cache_hit = expr in cache
-    plan = cache.get(expr)
+    plan, cache_hit, cost, heuristic_cost, optimized = _plan_for(
+        cache, expr, instance, schema, no_opt
+    )
     estimates = _estimates_for(plan, instance, schema)
     rows, profile = plan.execute_profiled(instance, schema)
     worst = (
@@ -221,6 +307,9 @@ def explain_analyze(
         plan=plan,
         cache_hit=cache_hit,
         estimates=estimates,
+        cost=cost,
+        heuristic_cost=heuristic_cost,
+        optimized=optimized,
         profile=profile,
         rows=rows,
         worst=worst,

@@ -19,21 +19,115 @@ classical safe rewrites:
 
 Rewrites run to a fixpoint; each is semantics-preserving under the bag
 semantics of the evaluator.
+
+When an :class:`~repro.instances.database.Instance` is supplied,
+a second, *cost-based* phase runs after the heuristic fixpoint: commute-
+safe inner-equi-join regions are flattened into join graphs, orders are
+enumerated (dynamic programming up to ``COST.dp_max_leaves`` relations,
+greedy min-est-rows above), and the cheapest tree under the cardinality
+estimates of :mod:`repro.algebra.estimate` wins — see
+``docs/OPTIMIZER.md`` for the cost model and its knobs.  Without an
+instance, ``optimize`` behaves exactly as before.
 """
 
 from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.algebra import expressions as E
 from repro.algebra import scalars as S
 
 
-def optimize(expr: E.RelExpr, max_passes: int = 10) -> E.RelExpr:
-    """Rewrite ``expr`` to a fixpoint of the rule set."""
+class CostConfig:
+    """Tuning knobs for the cost-based phase (``docs/OPTIMIZER.md``).
+
+    The per-row CPU weights are calibrated from the PR 5/7 operator
+    profiles (`EXPLAIN ANALYZE` self-times over the BENCH_query
+    workloads): hash-build rows cost roughly 2× probe rows, predicate
+    evaluation sits between the two, and scans are the cheapest
+    per-row touch.  Absolute scale is irrelevant — only ratios steer
+    the join-order search.
+    """
+
+    __slots__ = (
+        "enabled", "dp_max_leaves", "max_region_leaves", "max_reopts",
+        "scan_weight", "pred_weight", "build_weight", "probe_weight",
+        "output_weight", "sort_weight",
+    )
+
+    def __init__(self) -> None:
+        self.enabled = True
+        #: Regions up to this many leaves get exhaustive DP; larger
+        #: ones fall back to the greedy min-est-rows heuristic.
+        self.dp_max_leaves = 8
+        #: Regions beyond this are left in their written order.
+        self.max_region_leaves = 24
+        #: Per-query bound on adaptive re-optimizations (feedback loop
+        #: in :mod:`repro.algebra.plan_cache`).
+        self.max_reopts = 3
+        self.scan_weight = 0.25
+        self.pred_weight = 0.6
+        self.build_weight = 1.4
+        self.probe_weight = 0.8
+        self.output_weight = 1.0
+        self.sort_weight = 0.3
+
+
+#: Process-wide cost configuration (mutable, like ``ESTIMATION``).
+COST = CostConfig()
+
+
+@dataclass
+class OptimizationReport:
+    """Outcome of one instance-aware ``optimize`` call: both trees and
+    their estimated costs, for ``EXPLAIN`` rendering and the adaptive
+    plan cache."""
+
+    heuristic: E.RelExpr
+    chosen: E.RelExpr
+    heuristic_cost: Optional[float]
+    chosen_cost: Optional[float]
+
+    @property
+    def reordered(self) -> bool:
+        return self.chosen is not self.heuristic
+
+
+def optimize(
+    expr: E.RelExpr,
+    max_passes: int = 10,
+    instance=None,
+    schema=None,
+    corrections=None,
+) -> E.RelExpr:
+    """Rewrite ``expr`` to a fixpoint of the rule set.
+
+    With ``instance`` (and ``COST.enabled``), additionally run the
+    cost-based join-order search against its statistics;
+    ``corrections`` maps subtree fingerprints to observed row counts
+    (the adaptive re-optimization feedback).  Backward compatible: no
+    instance → pure heuristics, identical to previous behavior.
+    """
+    current = _heuristic_fixpoint(expr, max_passes)
+    if instance is None or not COST.enabled:
+        return current
+    return optimize_with_report(
+        current, instance, schema=schema, corrections=corrections,
+        max_passes=0,
+    ).chosen
+
+
+def _heuristic_fixpoint(expr: E.RelExpr, max_passes: int) -> E.RelExpr:
     current = expr
     for _ in range(max_passes):
         rewritten = _rewrite(current)
         if rewritten == current:
-            return rewritten
+            # Return the pre-pass tree: structurally identical, but it
+            # keeps the caller's object identity (and with it any
+            # shared-subtree DAG structure the compiler CSEs).
+            return current
         current = rewritten
     return current
 
@@ -375,3 +469,445 @@ def _substitute_columns(scalar: S.Scalar, bindings: dict[str, S.Scalar]) -> S.Sc
             _substitute_columns(scalar.default, bindings),
         )
     return scalar
+
+
+# ----------------------------------------------------------------------
+# cost-based join ordering
+# ----------------------------------------------------------------------
+def optimize_with_report(
+    expr: E.RelExpr,
+    instance,
+    schema=None,
+    corrections=None,
+    max_passes: int = 10,
+) -> OptimizationReport:
+    """Instance-aware optimization returning both the heuristic and the
+    cost-based tree with their estimated costs.
+
+    Any failure in the cost phase (unexpected tree shapes, statistics
+    errors) falls back to the heuristic tree and bumps the
+    ``query.optimizer.errors`` counter — cost-based planning must never
+    make a query unrunnable.
+    """
+    heuristic = (
+        _heuristic_fixpoint(expr, max_passes) if max_passes else expr
+    )
+    try:
+        from repro.algebra.estimate import Estimator
+
+        est = Estimator(instance, schema, corrections)
+        chosen = _cost_walk(heuristic, est)
+        heuristic_cost = plan_cost(heuristic, est)
+        if chosen is heuristic or chosen == heuristic:
+            return OptimizationReport(
+                heuristic, heuristic, heuristic_cost, heuristic_cost
+            )
+        chosen_cost = plan_cost(chosen, est)
+        # Re-estimation noise aside, never trade away a cheaper
+        # heuristic tree (and keep fingerprints stable on ties).
+        if not chosen_cost < heuristic_cost:
+            return OptimizationReport(
+                heuristic, heuristic, heuristic_cost, heuristic_cost
+            )
+        return OptimizationReport(
+            heuristic, chosen, heuristic_cost, chosen_cost
+        )
+    except Exception:  # noqa: BLE001 - planning must never break queries
+        _count_optimizer_error()
+        return OptimizationReport(heuristic, heuristic, None, None)
+
+
+def _count_optimizer_error() -> None:
+    try:
+        from repro.observability.metrics import registry
+        from repro.observability.state import STATE
+
+        if STATE.enabled:
+            registry.counter("query.optimizer.errors").inc()
+    except Exception:  # noqa: BLE001 - metrics are best-effort here
+        pass
+
+
+def plan_cost(expr: E.RelExpr, est) -> float:
+    """Total estimated CPU cost of a tree under the ``COST`` weights.
+
+    ``est`` is an :class:`repro.algebra.estimate.Estimator`; every
+    operator contributes (input rows × per-operator weight), hash joins
+    price build/probe/output sides separately, and the semi-join shape
+    (Distinct right whose columns are exactly the join keys) is priced
+    without an output term — which is what makes the search *place*
+    semi-joins against the most selective side.
+    """
+    total = 0.0
+    seen: set[int] = set()
+
+    def walk(node: E.RelExpr) -> None:
+        nonlocal total
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        for child in node.inputs():
+            walk(child)
+        rows = est.rows(node)
+        if isinstance(node, E.Join):
+            total += _join_step_cost(node, est)
+        elif isinstance(node, E.Select):
+            total += est.rows(node.input) * COST.pred_weight
+        elif isinstance(node, (E.Scan, E.EntityScan, E.Values)):
+            total += rows * COST.scan_weight
+        elif isinstance(node, (E.Distinct, E.Aggregate, E.Difference)):
+            total += (
+                est.rows(node.inputs()[0]) * COST.build_weight
+                + rows * COST.output_weight
+            )
+        elif isinstance(node, E.Sort):
+            n = max(rows, 1.0)
+            total += n * math.log2(n + 1.0) * COST.sort_weight
+        else:  # Project/Extend/Rename/UnionAll and future operators
+            total += rows * COST.output_weight
+
+    walk(expr)
+    return total
+
+
+def _join_step_cost(join: E.Join, est) -> float:
+    """Cost of one join node, excluding its subtrees."""
+    from repro.algebra.compiler import _static_cols, equality_pairs
+
+    left_rows = est.rows(join.left)
+    right_rows = est.rows(join.right)
+    out_rows = est.rows(join)
+    pairs = equality_pairs(join.predicate)
+    if pairs is None:  # nested loop over the cross product
+        return (
+            left_rows * right_rows * COST.pred_weight
+            + out_rows * COST.output_weight
+        )
+    if not pairs:  # cross join
+        return left_rows * COST.probe_weight + out_rows * COST.output_weight
+    cost = (
+        right_rows * COST.build_weight + left_rows * COST.probe_weight
+    )
+    # Semi-join shape: Distinct right over exactly the join keys never
+    # materializes widened output rows (compiler fast path).
+    right_cols = _static_cols(join.right)
+    if isinstance(join.right, E.Distinct) and right_cols is not None and set(
+        right_cols
+    ) == {rcol for _, rcol, _ in pairs}:
+        return cost
+    return cost + out_rows * COST.output_weight
+
+
+def mirror_join_fingerprint(expr: E.RelExpr) -> Optional[str]:
+    """Fingerprint of the orientation-flipped twin of an inner
+    equi-join, or ``None`` when ``expr`` has no commutable twin.
+
+    Cardinality corrections recorded by the adaptive plan cache are
+    keyed by subtree fingerprint, which is structural: ``A ⋈ B`` and
+    ``B ⋈ A`` hash differently even though they have identical
+    cardinality.  Without the mirror key, the join-order search can
+    dodge a correction simply by flipping build/probe sides of the
+    mis-estimated join — and needs a second divergence round to learn
+    what it already measured.
+    """
+    from repro.algebra.compiler import equality_pairs
+
+    if not isinstance(expr, E.Join) or expr.kind != "inner":
+        return None
+    if expr.right_prefix is not None:
+        return None
+    pairs = equality_pairs(expr.predicate)
+    if pairs is None:
+        return None
+    flipped = [
+        E.ValueJoinEq(rcol, lcol) if tolerant else E._JoinEq(rcol, lcol)
+        for lcol, rcol, tolerant in pairs
+    ]
+    mirror = E.Join(
+        expr.right, expr.left, S.conjunction(flipped), "inner", None
+    )
+    return mirror.fingerprint()
+
+
+def _cost_walk(node: E.RelExpr, est) -> E.RelExpr:
+    """Bottom-up walk that reorders every maximal commute-safe join
+    region; non-region nodes are rebuilt only when a child changed."""
+    if isinstance(node, E.Join):
+        reordered = _reorder_region(node, est)
+        if reordered is not None:
+            return reordered
+    children = [_cost_walk(child, est) for child in node.inputs()]
+    return _replace_children(node, children)
+
+
+def _replace_children(
+    node: E.RelExpr, children: list[E.RelExpr]
+) -> E.RelExpr:
+    if all(new is old for new, old in zip(children, node.inputs())):
+        return node
+    if isinstance(node, E.Select):
+        return E.Select(children[0], node.predicate)
+    if isinstance(node, E.Project):
+        return E.Project(children[0], node.outputs)
+    if isinstance(node, E.Extend):
+        return E.Extend(children[0], node.name, node.scalar)
+    if isinstance(node, E.Join):
+        return E.Join(
+            children[0], children[1], node.predicate, node.kind,
+            node.right_prefix,
+        )
+    if isinstance(node, E.UnionAll):
+        return E.UnionAll(children[0], children[1])
+    if isinstance(node, E.Difference):
+        return E.Difference(children[0], children[1])
+    if isinstance(node, E.Distinct):
+        return E.Distinct(children[0])
+    if isinstance(node, E.Rename):
+        return E.Rename(children[0], node.mapping)
+    if isinstance(node, E.Aggregate):
+        return E.Aggregate(children[0], node.group_by, node.aggregations)
+    if isinstance(node, E.Sort):
+        return E.Sort(children[0], node.keys)
+    return node
+
+
+class _JoinClass:
+    """One equivalence class of join columns: all member ``(leaf, col)``
+    copies are constrained equal by the region's original predicate.
+
+    ``by_leaf`` maps leaf index → column name (one member per leaf —
+    regions where a class touches two columns of the same leaf bail
+    out); ``strict`` records whether any contributing edge was the
+    null-rejecting ``_JoinEq``, in which case every spanning atom the
+    rebuilt tree emits may be strict too (connectivity through a strict
+    edge already forces all copies non-null)."""
+
+    __slots__ = ("by_leaf", "strict", "mask")
+
+    def __init__(self) -> None:
+        self.by_leaf: dict[int, str] = {}
+        self.strict = False
+        self.mask = 0
+
+    def name_for(self, mask: int) -> str:
+        """The member column on the lowest-index leaf inside ``mask``
+        (deterministic, and consistent with left-wins reads)."""
+        for leaf in sorted(self.by_leaf):
+            if mask & (1 << leaf):
+                return self.by_leaf[leaf]
+        raise KeyError("class does not span mask")
+
+
+def _reorder_region(root: E.Join, est) -> Optional[E.RelExpr]:
+    """Flatten a maximal inner-equi-join region under ``root``, prove
+    the reorder safe, and return the cheapest enumerated tree — or
+    ``None`` when the region must stay in its written order.
+
+    Safety model (see docs/OPTIMIZER.md): original ``_JoinEq`` /
+    ``ValueJoinEq`` edges are grounded to the *leftmost* leaf owning
+    each column (matching the evaluator's left-wins combined-row
+    reads), grounded endpoints are unioned into equivalence classes,
+    and the rebuilt tree emits one atom per class at every join whose
+    two sides both contain class members.  That keeps every pair of
+    same-named copies provably equal at all times, so which copy a
+    collision keeps — in any order — cannot change the result.  Any
+    shape the proof does not cover (outer joins, prefixed joins, theta
+    predicates, leaves with unknowable columns, a class touching one
+    leaf twice, ambiguous copies never constrained equal) bails out.
+    """
+    from repro.algebra.compiler import _static_cols, equality_pairs
+
+    leaves: list[E.RelExpr] = []
+    raw_edges: list[tuple[int, int, int, str, str, bool]] = []
+
+    def flatten(node: E.RelExpr) -> None:
+        if (
+            isinstance(node, E.Join)
+            and node.kind == "inner"
+            and node.right_prefix is None
+        ):
+            pairs = equality_pairs(node.predicate)
+            if pairs is not None:
+                lo = len(leaves)
+                flatten(node.left)
+                mid = len(leaves)
+                flatten(node.right)
+                hi = len(leaves)
+                for lcol, rcol, tolerant in pairs:
+                    raw_edges.append((lo, mid, hi, lcol, rcol, tolerant))
+                return
+        leaves.append(node)
+
+    flatten(root)
+    n = len(leaves)
+    if n < 2 or n > COST.max_region_leaves:
+        return None
+
+    # Resolve each leaf's output column set.  Statically known shapes
+    # are exact; bare scans use the statistics layer's seen columns,
+    # which cover every current row of the instance being planned for.
+    leaf_cols: list[frozenset[str]] = []
+    for leaf in leaves:
+        static = _static_cols(leaf)
+        if static is not None:
+            leaf_cols.append(frozenset(static))
+        elif isinstance(leaf, E.Scan):
+            stats = est.instance.relation_stats(leaf.relation)
+            leaf_cols.append(frozenset(stats.columns))
+        else:
+            return None
+
+    # Union-find over (leaf, column) copies.
+    parent: dict[tuple[int, str], tuple[int, str]] = {}
+
+    def find(item: tuple[int, str]) -> tuple[int, str]:
+        parent.setdefault(item, item)
+        while parent[item] != item:
+            parent[item] = parent[parent[item]]
+            item = parent[item]
+        return item
+
+    grounded: list[tuple[tuple[int, str], tuple[int, str], bool]] = []
+    for lo, mid, hi, lcol, rcol, tolerant in raw_edges:
+        lown = next(
+            (i for i in range(lo, mid) if lcol in leaf_cols[i]), None
+        )
+        rown = next(
+            (i for i in range(mid, hi) if rcol in leaf_cols[i]), None
+        )
+        if lown is None or rown is None:
+            return None
+        left_item, right_item = (lown, lcol), (rown, rcol)
+        root_l, root_r = find(left_item), find(right_item)
+        parent[root_l] = root_r
+        grounded.append((left_item, right_item, tolerant))
+
+    # Collision safety: every column owned by two or more leaves must
+    # have ALL its copies constrained into one class, else reordering
+    # could change which (unequal) copy the merge keeps.
+    owners: dict[str, list[int]] = {}
+    for i, cols in enumerate(leaf_cols):
+        for name in cols:
+            owners.setdefault(name, []).append(i)
+    for name, holder in owners.items():
+        if len(holder) > 1:
+            roots = {find((i, name)) for i in holder}
+            if len(roots) > 1:
+                return None
+
+    classes: dict[tuple[int, str], _JoinClass] = {}
+    for item in list(parent):
+        cls = classes.setdefault(find(item), _JoinClass())
+        leaf, name = item
+        if leaf in cls.by_leaf and cls.by_leaf[leaf] != name:
+            return None  # class touches two columns of one leaf
+        cls.by_leaf[leaf] = name
+        cls.mask |= 1 << leaf
+    for left_item, right_item, tolerant in grounded:
+        if not tolerant:
+            classes[find(left_item)].strict = True
+    class_list = [c for c in classes.values() if len(c.by_leaf) > 1]
+
+    new_leaves = [_cost_walk(leaf, est) for leaf in leaves]
+    if n <= COST.dp_max_leaves:
+        return _dp_order(new_leaves, class_list, est)
+    return _greedy_order(new_leaves, class_list, est)
+
+
+def _join_subsets(
+    left_tree: E.RelExpr,
+    left_mask: int,
+    right_tree: E.RelExpr,
+    right_mask: int,
+    classes: list[_JoinClass],
+) -> E.Join:
+    """Join two enumerated subsets, emitting one atom per equivalence
+    class that spans both sides (cross join when none does)."""
+    atoms: list[S.Predicate] = []
+    for cls in classes:
+        if cls.mask & left_mask and cls.mask & right_mask:
+            lname = cls.name_for(left_mask)
+            rname = cls.name_for(right_mask)
+            atom = (
+                E._JoinEq(lname, rname)
+                if cls.strict
+                else E.ValueJoinEq(lname, rname)
+            )
+            atoms.append(atom)
+    return E.Join(
+        left_tree, right_tree, S.conjunction(atoms), "inner", None
+    )
+
+
+def _dp_order(
+    leaves: list[E.RelExpr], classes: list[_JoinClass], est
+) -> E.RelExpr:
+    """Exhaustive DP over subsets (DPsub).  Ordered (left, right)
+    splits are both enumerated, so build-side choice is part of the
+    search; cross joins are permitted and priced out naturally."""
+    n = len(leaves)
+    best: dict[int, tuple[float, E.RelExpr]] = {}
+    for i, leaf in enumerate(leaves):
+        best[1 << i] = (plan_cost(leaf, est), leaf)
+    for mask in range(3, 1 << n):
+        if mask & (mask - 1) == 0:
+            continue  # singleton
+        entry: Optional[tuple[float, E.RelExpr]] = None
+        sub = (mask - 1) & mask
+        while sub:
+            rest = mask ^ sub
+            left = best.get(sub)
+            right = best.get(rest)
+            if left is not None and right is not None:
+                joined = _join_subsets(
+                    left[1], sub, right[1], rest, classes
+                )
+                cost = left[0] + right[0] + _join_step_cost(joined, est)
+                if entry is None or cost < entry[0]:
+                    entry = (cost, joined)
+            sub = (sub - 1) & mask
+        assert entry is not None
+        best[mask] = entry
+    return best[(1 << n) - 1][1]
+
+
+def _greedy_order(
+    leaves: list[E.RelExpr], classes: list[_JoinClass], est
+) -> E.RelExpr:
+    """Greedy min-est-rows for regions too large for DP: repeatedly
+    join the pair of components with the smallest estimated output,
+    preferring connected pairs over cross products."""
+    components: list[tuple[int, E.RelExpr]] = [
+        (1 << i, leaf) for i, leaf in enumerate(leaves)
+    ]
+    while len(components) > 1:
+        best_pick = None  # (connected_rank, rows, i, j, joined)
+        for i in range(len(components)):
+            for j in range(len(components)):
+                if i == j:
+                    continue
+                mask_i, tree_i = components[i]
+                mask_j, tree_j = components[j]
+                connected = any(
+                    cls.mask & mask_i and cls.mask & mask_j
+                    for cls in classes
+                )
+                joined = _join_subsets(
+                    tree_i, mask_i, tree_j, mask_j, classes
+                )
+                rank = (
+                    0 if connected else 1,
+                    est.rows(joined),
+                    _join_step_cost(joined, est),
+                    i,
+                    j,
+                )
+                if best_pick is None or rank < best_pick[0]:
+                    best_pick = (rank, i, j, joined)
+        _, i, j, joined = best_pick
+        merged_mask = components[i][0] | components[j][0]
+        components = [
+            c for k, c in enumerate(components) if k not in (i, j)
+        ]
+        components.append((merged_mask, joined))
+    return components[0][1]

@@ -16,6 +16,18 @@ Cache behavior is observable through the PR-2 metrics registry:
 :func:`repro.algebra.compiler.compile_plan` records on every actual
 compilation — a warm cache shows hits climbing while the compile span
 count stays flat.
+
+On top of the fingerprint-keyed compile cache sits an *adaptive* layer
+(:meth:`PlanCache.adaptive_lookup`): entries keyed by ``(fingerprint,
+instance stats epoch)`` hold the cost-based optimizer's chosen tree, so
+statistics drift re-plans instead of reusing a stale join order, and
+:meth:`PlanCache.note_divergence` closes the feedback loop — a plan
+whose estimate↔actual divergence is flagged by ``EXPLAIN ANALYZE`` /
+the query log is evicted and re-optimized with actuals-corrected
+cardinalities on the next execution (bounded by ``COST.max_reopts``).
+Evictions are attributed by reason through
+``query.plan_cache.evictions.{lru,epoch,reopt}`` and re-planning
+through ``query.reopt.scheduled`` / ``query.reopt.applied``.
 """
 
 from __future__ import annotations
@@ -30,6 +42,35 @@ from repro.observability.metrics import registry
 from repro.observability.state import STATE
 
 DEFAULT_CAPACITY = 256
+
+_EVICTION_REASONS = ("lru", "epoch", "reopt")
+
+
+class _AdaptiveEntry:
+    """One cost-optimized plan: the source expression it answers, the
+    plan compiled from the optimizer's chosen tree, and both costs for
+    ``EXPLAIN`` rendering."""
+
+    __slots__ = ("source", "plan", "chosen_cost", "heuristic_cost",
+                 "reordered")
+
+    def __init__(self, source, plan, report):
+        self.source = source
+        self.plan = plan
+        self.chosen_cost = report.chosen_cost
+        self.heuristic_cost = report.heuristic_cost
+        self.reordered = report.reordered
+
+
+class _Feedback:
+    """Actuals learned about one source fingerprint: per-subtree
+    observed row counts and how many re-optimizations they triggered."""
+
+    __slots__ = ("corrections", "reopts")
+
+    def __init__(self):
+        self.corrections: dict[str, float] = {}
+        self.reopts = 0
 
 
 class PlanCache:
@@ -54,6 +95,26 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.evictions_by_reason = {r: 0 for r in _EVICTION_REASONS}
+        # Adaptive layer: (fingerprint, stats epoch) → optimized entry,
+        # an index from fingerprint to its live key, and the per-query
+        # re-optimization feedback.
+        self._opt: "OrderedDict[tuple, _AdaptiveEntry]" = OrderedDict()
+        self._opt_index: dict[str, tuple] = {}
+        self._feedback: dict[str, _Feedback] = {}
+        self.opt_hits = 0
+        self.opt_misses = 0
+        self.reopts = 0
+
+    def _note_eviction(self, reason: str, count: int = 1) -> None:
+        """Attribute evictions by reason (caller holds the lock)."""
+        self.evictions += count
+        self.evictions_by_reason[reason] += count
+        if STATE.enabled:
+            registry.counter("query.plan_cache.evictions").inc(count)
+            registry.counter(
+                f"query.plan_cache.evictions.{reason}"
+            ).inc(count)
 
     def get(self, expr: RelExpr) -> CompiledPlan:
         """The compiled plan for ``expr``, compiling on miss."""
@@ -83,13 +144,147 @@ class PlanCache:
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
                 evicted += 1
-            self.evictions += evicted
+            if evicted:
+                self._note_eviction("lru", evicted)
             if STATE.enabled:
                 registry.counter("query.plan_cache.misses").inc()
-                if evicted:
-                    registry.counter("query.plan_cache.evictions").inc(evicted)
                 registry.gauge("query.plan_cache.size").set(len(self._plans))
         return plan, False
+
+    # ------------------------------------------------------------------
+    # adaptive (cost-based) layer
+    # ------------------------------------------------------------------
+    def adaptive_lookup(
+        self, expr: RelExpr, instance, schema=None
+    ) -> tuple[CompiledPlan, bool]:
+        """``(plan, cache_hit)`` with cost-based optimization.
+
+        Entries are keyed by ``(source fingerprint, stats_epoch())`` —
+        a statistics change (appends, deletes, ``mark_dirty``)
+        supersedes the cached join order instead of silently reusing
+        it.  On miss the source tree is optimized against the instance
+        (applying any actuals-corrections recorded by
+        :meth:`note_divergence`), the chosen tree is compiled through
+        the plain fingerprint cache (so two epochs choosing the same
+        tree share one compilation), and the result is cached.  Falls
+        back to :meth:`lookup` when cost-based planning is disabled or
+        the instance has no statistics epoch.
+        """
+        from repro.algebra.optimizer import COST, optimize_with_report
+
+        epoch_fn = getattr(instance, "stats_epoch", None)
+        if not COST.enabled or epoch_fn is None:
+            return self.lookup(expr)
+        fingerprint = expr.fingerprint()
+        key = (fingerprint, epoch_fn())
+        with self._lock:
+            entry = self._opt.get(key)
+            if entry is not None and entry.source == expr:
+                self._opt.move_to_end(key)
+                self.opt_hits += 1
+                self.hits += 1
+                if STATE.enabled:
+                    registry.counter("query.plan_cache.hits").inc()
+                return entry.plan, True
+            feedback = self._feedback.get(fingerprint)
+            corrections = dict(feedback.corrections) if feedback else None
+        # Optimize and compile outside the lock (both are pure).
+        report = optimize_with_report(
+            expr, instance, schema=schema, corrections=corrections
+        )
+        plan, _ = self.lookup(report.chosen)
+        if corrections and STATE.enabled:
+            registry.counter("query.reopt.applied").inc()
+        if report.reordered and hasattr(plan, "optimized_from"):
+            plan.optimized_from = fingerprint
+        with self._lock:
+            self.opt_misses += 1
+            stale = self._opt_index.get(fingerprint)
+            if stale is not None and stale != key and stale in self._opt:
+                del self._opt[stale]
+                self._note_eviction("epoch")
+            self._opt[key] = _AdaptiveEntry(expr, plan, report)
+            self._opt.move_to_end(key)
+            self._opt_index[fingerprint] = key
+            while len(self._opt) > self.capacity:
+                old_key, _old = self._opt.popitem(last=False)
+                if self._opt_index.get(old_key[0]) == old_key:
+                    del self._opt_index[old_key[0]]
+                self._note_eviction("lru")
+        return plan, False
+
+    def note_divergence(self, expr: RelExpr, plan, profile) -> bool:
+        """Adaptive feedback: record the actual per-subtree row counts
+        of a divergence-flagged execution and evict the cached entry so
+        the next execution re-optimizes with corrected cardinalities.
+
+        Bounded per source fingerprint by ``COST.max_reopts``, and a
+        no-op when the profile teaches nothing new (so a plan that
+        stays divergent — e.g. inherently correlated predicates — stops
+        churning once its corrections converge).  Returns ``True`` when
+        a re-optimization was scheduled.
+        """
+        from repro.algebra.optimizer import COST, mirror_join_fingerprint
+
+        if profile is None or not COST.enabled:
+            return False
+        corrections: dict[str, float] = {}
+        for node in getattr(plan, "nodes", ()):
+            if node.expr is not None:
+                actual = float(profile.rows_out(node.node_id))
+                corrections[node.expr.fingerprint()] = actual
+                # Inner equi-joins commute; key the correction under
+                # both orientations so re-optimization cannot dodge it
+                # by flipping build/probe sides.
+                mirror = mirror_join_fingerprint(node.expr)
+                if mirror is not None:
+                    corrections[mirror] = actual
+        if not corrections:
+            return False
+        fingerprint = expr.fingerprint()
+        with self._lock:
+            feedback = self._feedback.get(fingerprint)
+            if feedback is None:
+                if len(self._feedback) >= self.capacity:
+                    self._feedback.pop(next(iter(self._feedback)))
+                feedback = self._feedback.setdefault(
+                    fingerprint, _Feedback()
+                )
+            if feedback.reopts >= COST.max_reopts:
+                return False
+            if all(
+                feedback.corrections.get(k) == v
+                for k, v in corrections.items()
+            ):
+                return False
+            feedback.corrections.update(corrections)
+            feedback.reopts += 1
+            self.reopts += 1
+            key = self._opt_index.pop(fingerprint, None)
+            if key is not None and key in self._opt:
+                del self._opt[key]
+                self._note_eviction("reopt")
+            if STATE.enabled:
+                registry.counter("query.reopt.scheduled").inc()
+        return True
+
+    def adaptive_report(self, expr: RelExpr):
+        """Cost metadata of the live adaptive entry for ``expr``
+        (chosen/heuristic cost, whether it was reordered, re-opt
+        count), or ``None``."""
+        fingerprint = expr.fingerprint()
+        with self._lock:
+            key = self._opt_index.get(fingerprint)
+            entry = self._opt.get(key) if key is not None else None
+            if entry is None or entry.source != expr:
+                return None
+            feedback = self._feedback.get(fingerprint)
+            return {
+                "chosen_cost": entry.chosen_cost,
+                "heuristic_cost": entry.heuristic_cost,
+                "reordered": entry.reordered,
+                "reopts": feedback.reopts if feedback else 0,
+            }
 
     def __len__(self) -> int:
         with self._lock:
@@ -109,10 +304,17 @@ class PlanCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.evictions_by_reason = {r: 0 for r in _EVICTION_REASONS}
+            self._opt.clear()
+            self._opt_index.clear()
+            self._feedback.clear()
+            self.opt_hits = 0
+            self.opt_misses = 0
+            self.reopts = 0
             if STATE.enabled:
                 registry.gauge("query.plan_cache.size").set(0)
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict:
         with self._lock:
             return {
                 "size": len(self._plans),
@@ -120,6 +322,11 @@ class PlanCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "evictions_by_reason": dict(self.evictions_by_reason),
+                "adaptive_size": len(self._opt),
+                "adaptive_hits": self.opt_hits,
+                "adaptive_misses": self.opt_misses,
+                "reopts": self.reopts,
             }
 
 

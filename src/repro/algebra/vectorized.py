@@ -1166,6 +1166,7 @@ class VectorizedPlan:
     __slots__ = (
         "expr", "fingerprint", "size", "_run",
         "nodes", "root_id", "_profiled_run", "last_profile",
+        "optimized_from",
     )
 
     def __init__(self, expr: E.RelExpr, fingerprint: Optional[str] = None):
@@ -1174,6 +1175,10 @@ class VectorizedPlan:
         self.size = expr.size()
         self._profiled_run = None
         self.last_profile: Optional[PlanProfile] = None
+        # Source fingerprint when the adaptive cache compiled this plan
+        # from a cost-based rewrite of a different tree (EXPLAIN shows
+        # it); informational only.
+        self.optimized_from: Optional[str] = None
         run, reg = self._compile_with(wrap=False)
         self._run = run
         self.nodes = reg.nodes

@@ -18,6 +18,8 @@ serializes (schemas, mappings, instances as JSON; DDL as SQL text):
 * ``explain MAPPING.json RELATION [--data DATA.json --analyze]`` —
   the annotated compiled plan for a target-relation query; with
   ``--analyze`` the plan runs and every node reports rows/calls/time;
+  ``--no-opt`` shows the heuristic plan and ``--compare`` prints the
+  heuristic and cost-based plans side by side with their costs;
 * ``trace SCRIPT.py`` — run a Python script under engine tracing and
   print the span tree (``--out`` exports JSONL);
 * ``metrics SCRIPT.py`` — run a script and print the collected engine
@@ -207,10 +209,29 @@ def cmd_explain(args) -> int:
     from repro.algebra.expressions import Scan
 
     query = Scan(args.relation)
+    if args.compare:
+        # Heuristic and cost-based plans for the same query, stacked —
+        # the cost headers make the chosen-vs-heuristic delta explicit.
+        heuristic = processor.explain(query, no_opt=True)
+        cost_based = processor.explain(query, no_opt=False)
+        if args.json:
+            print(json.dumps(
+                {"heuristic": heuristic.to_dict(),
+                 "cost_based": cost_based.to_dict()},
+                indent=2, default=str,
+            ))
+        else:
+            print(f"-- target query: {args.relation}")
+            print("-- heuristic plan (--no-opt)")
+            print(heuristic.render())
+            print()
+            print("-- cost-based plan")
+            print(cost_based.render())
+        return 0
     if args.analyze:
-        result = processor.explain_analyze(query)
+        result = processor.explain_analyze(query, no_opt=args.no_opt)
     else:
-        result = processor.explain(query)
+        result = processor.explain(query, no_opt=args.no_opt)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, default=str))
     else:
@@ -319,6 +340,25 @@ def cmd_querylog(args) -> int:
         print(QUERY_LOG.export_jsonl())
     else:
         print(QUERY_LOG.render(limit=args.limit, slow_only=args.slow))
+        from repro.algebra.plan_cache import (
+            plan_cache_stats,
+            vector_plan_cache_stats,
+        )
+
+        for label, stats in (
+            ("row", plan_cache_stats()),
+            ("vector", vector_plan_cache_stats()),
+        ):
+            if not (stats["hits"] or stats["misses"] or stats["reopts"]):
+                continue
+            reasons = stats["evictions_by_reason"]
+            print(
+                f"plan cache [{label}]: "
+                f"{stats['hits']} hits / {stats['misses']} misses, "
+                f"evictions lru={reasons['lru']} "
+                f"epoch={reasons['epoch']} reopt={reasons['reopt']}, "
+                f"re-optimizations={stats['reopts']}"
+            )
     if args.out:
         Path(args.out).write_text(QUERY_LOG.export_jsonl() + "\n")
         print(f"{len(QUERY_LOG)} entries written to {args.out}",
@@ -402,6 +442,12 @@ def build_parser() -> argparse.ArgumentParser:
                    "process default engine)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable plan/profile instead of the tree")
+    p.add_argument("--no-opt", action="store_true", dest="no_opt",
+                   help="skip the cost-based join-order phase and show "
+                   "the heuristic plan")
+    p.add_argument("--compare", action="store_true",
+                   help="print the heuristic and cost-based plans for "
+                   "the same query, with their estimated costs")
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("trace",

@@ -417,6 +417,26 @@ class Instance:
         """
         self._dirty_epoch += 1
 
+    def stats_epoch(self) -> tuple:
+        """A hashable token identifying the current statistics state.
+
+        The adaptive plan cache keys optimized plans by
+        ``(query fingerprint, stats_epoch())``, so a cached join order
+        is re-planned whenever the statistics that justified it may
+        have moved: any append, delete or relation-list replacement
+        changes the token (via row counts), as does :meth:`mark_dirty`
+        (via ``_dirty_epoch``).  Same-length in-place row mutation
+        without ``mark_dirty`` is invisible here, exactly as it is to
+        the persistent-index contract.
+        """
+        return (
+            self._dirty_epoch,
+            tuple(sorted(
+                (name, len(rows))
+                for name, rows in self.relations.items()
+            )),
+        )
+
     def column_batch(self, relation: str) -> ColumnBatch:
         """The columnar image of ``relation``'s rows (see
         :mod:`repro.instances.columnar`), cached and incrementally

@@ -18,6 +18,12 @@ not 10% jitter:
   regardless of the baseline; ``stats_overhead_percent`` (the enabled
   stats/query-path bound) is judged the same way against an absolute
   10.0 ceiling;
+* **floor** — harness payloads may declare absolute minimums for
+  specific keys (``"floors": {"skewed-chain/speedup": 2.0}``, written
+  by ``Harness.floor``); a floored metric regresses when fresh drops
+  below its floor, regardless of the baseline — this is how the
+  optimizer suite's ≥2× skewed-join win is enforced as a contract
+  rather than a relative drift check;
 * **info** (row counts, rounds, percentages without a contract) —
   never regress; drift is reported as ``changed``.
 
@@ -61,7 +67,9 @@ class Metric:
 
     key: str
     value: float
-    kind: str  # "lower" | "higher" | "ceiling" | "stats_ceiling" | "info"
+    kind: str  # "lower" | "higher" | "ceiling" | "stats_ceiling" |
+    #          # "floor" | "info"
+    floor: Optional[float] = None  # set when kind == "floor"
 
 
 @dataclass
@@ -178,6 +186,7 @@ def extract_metrics(payload: dict) -> list[Metric]:
 
 
 def _extract_harness(payload: dict) -> list[Metric]:
+    floors = payload.get("floors") or {}
     metrics: list[Metric] = []
     for table in payload.get("tables", []):
         headers = table.get("headers", [])
@@ -192,7 +201,13 @@ def _extract_harness(payload: dict) -> list[Metric]:
                     measured.append((header, parsed[0], parsed[1]))
             label = "/".join(label_cells)
             for header, value, kind in measured:
-                metrics.append(Metric(f"{label}/{header}", value, kind))
+                key = f"{label}/{header}"
+                if key in floors:
+                    metrics.append(
+                        Metric(key, value, "floor", float(floors[key]))
+                    )
+                else:
+                    metrics.append(Metric(key, value, kind))
     for name, seconds in payload.get("timings_seconds", {}).items():
         metrics.append(Metric(f"timing/{name}", float(seconds), "lower"))
     return metrics
@@ -241,7 +256,14 @@ def _extract_contract(payload: dict) -> list[Metric]:
 # ----------------------------------------------------------------------
 # diffing
 # ----------------------------------------------------------------------
-def _judge(kind: str, baseline: float, fresh: float) -> tuple[str, str]:
+def _judge(
+    kind: str, baseline: float, fresh: float,
+    floor: Optional[float] = None,
+) -> tuple[str, str]:
+    if kind == "floor":
+        if floor is not None and fresh < floor:
+            return "regressed", f"below the {floor:g} floor"
+        return "ok", ""
     if kind == "ceiling":
         if fresh > OVERHEAD_CEILING:
             return "regressed", f"exceeds the {OVERHEAD_CEILING:g} ceiling"
@@ -301,9 +323,13 @@ def diff_payloads(
                 Finding(key, base.kind, "missing", base.value, None)
             )
             continue
-        status, detail = _judge(base.kind, base.value, new.value)
+        # A floor declared on either side applies (the fresh payload's
+        # declaration wins, so a suite can tighten its own contract).
+        floor = new.floor if new.floor is not None else base.floor
+        kind = "floor" if floor is not None else base.kind
+        status, detail = _judge(kind, base.value, new.value, floor)
         report.findings.append(
-            Finding(key, base.kind, status, base.value, new.value, detail)
+            Finding(key, kind, status, base.value, new.value, detail)
         )
     return report
 

@@ -7,7 +7,10 @@ fingerprint (the plan-cache key, so log entries correlate with cached
 plans and with ``query.execute`` spans), the engine, whether the plan
 cache hit, wall time, output rows, and — when the cardinality
 estimator could score the plan — the worst estimate↔actual divergent
-node.  Entries over the slow-query threshold are marked ``slow``.
+node.  Entries over the slow-query threshold are marked ``slow``;
+entries whose flagged divergence scheduled an adaptive re-optimization
+(see :meth:`repro.algebra.plan_cache.PlanCache.note_divergence`) are
+marked ``reopt``.
 
 Like the tracer and the metrics registry, the log is process-wide
 (:data:`QUERY_LOG`), disabled-by-default via the same ``STATE.enabled``
@@ -40,6 +43,7 @@ class QueryLogEntry:
         "rows_out",
         "worst",
         "slow",
+        "reopt",
     )
 
     def __init__(
@@ -53,6 +57,7 @@ class QueryLogEntry:
         rows_out: int,
         worst: Optional[dict],
         slow: bool,
+        reopt: bool = False,
     ) -> None:
         self.seq = seq
         self.when = when
@@ -63,6 +68,7 @@ class QueryLogEntry:
         self.rows_out = rows_out
         self.worst = worst
         self.slow = slow
+        self.reopt = reopt
 
     def to_dict(self) -> dict:
         return {
@@ -75,6 +81,7 @@ class QueryLogEntry:
             "rows_out": self.rows_out,
             "worst_divergent": self.worst,
             "slow": self.slow,
+            "reopt": self.reopt,
         }
 
     def render(self) -> str:
@@ -92,6 +99,8 @@ class QueryLogEntry:
                 f"div=×{self.worst['ratio']:.1f}"
                 f"@#{self.worst['node_id']}{flag}"
             )
+        if self.reopt:
+            parts.append("REOPT")
         if self.slow:
             parts.append("SLOW")
         return "  ".join(parts)
@@ -144,6 +153,7 @@ class QueryLog:
         wall_ms: float,
         rows_out: int,
         worst: Optional[dict] = None,
+        reopt: bool = False,
     ) -> QueryLogEntry:
         entry = QueryLogEntry(
             seq=0,
@@ -155,6 +165,7 @@ class QueryLog:
             rows_out=rows_out,
             worst=worst,
             slow=wall_ms >= self.slow_ms,
+            reopt=reopt,
         )
         with self._lock:
             self._seq += 1

@@ -103,6 +103,10 @@ class QueryProcessor:
         solution and drop rows containing labeled nulls.
         """
         if self.mapping.equalities:
+            # Heuristic rewrites here; the cost-based join-order choice
+            # happens inside evaluate's adaptive plan cache (keyed by
+            # source-instance stats epoch), so it is not re-done per
+            # call and EXPLAIN shows exactly the tree that runs.
             localized = _localize_type_predicates(query, self.mapping.target)
             unfolded = optimize(
                 unfold_scans(localized, self._view_definitions())
@@ -142,7 +146,7 @@ class QueryProcessor:
         localized = _localize_type_predicates(query, self.mapping.target)
         return optimize(unfold_scans(localized, self._view_definitions()))
 
-    def explain(self, query: RelExpr):
+    def explain(self, query: RelExpr, no_opt: bool = False):
         """EXPLAIN: the compiled plan this processor would run for a
         target query — the unfolded source-side plan for equality
         mappings, the query over the universal solution otherwise.
@@ -151,7 +155,9 @@ class QueryProcessor:
         plan would actually run over; for tgd mappings that instance
         is the materialized universal solution, so estimates only
         appear once it has been computed (plain EXPLAIN never triggers
-        an exchange)."""
+        an exchange).  ``no_opt`` skips the cost-based join-order
+        phase and shows the heuristic plan (``repro explain --no-opt``
+        / ``--compare``)."""
         from repro.algebra.explain import explain
 
         if self.mapping.equalities:
@@ -160,15 +166,17 @@ class QueryProcessor:
                 engine=self.engine,
                 instance=self.source,
                 schema=self.mapping.source,
+                no_opt=no_opt,
             )
         return explain(
             query,
             engine=self.engine,
             instance=self._universal,
             schema=self.mapping.target,
+            no_opt=no_opt,
         )
 
-    def explain_analyze(self, query: RelExpr):
+    def explain_analyze(self, query: RelExpr, no_opt: bool = False):
         """EXPLAIN ANALYZE: compile *and run* the plan, annotating
         every node with calls / output rows / wall time (see
         :func:`repro.algebra.explain.explain_analyze`).  tgd mappings
@@ -180,11 +188,11 @@ class QueryProcessor:
         if self.mapping.equalities:
             return explain_analyze(
                 self.unfolded(query), self.source, self.mapping.source,
-                engine=self.engine,
+                engine=self.engine, no_opt=no_opt,
             )
         return explain_analyze(
             query, self._universal_solution(), self.mapping.target,
-            engine=self.engine,
+            engine=self.engine, no_opt=no_opt,
         )
 
 

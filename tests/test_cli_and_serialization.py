@@ -163,6 +163,22 @@ class TestCli:
         out = capsys.readouterr().out
         assert "query view for Person" in out and "UNION ALL" in out
 
+    def test_explain_compare(self, artifacts, capsys):
+        code = main(["explain", artifacts["mapping"], "Person",
+                     "--data", artifacts["data"], "--compare"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- heuristic plan (--no-opt)" in out
+        assert "-- cost-based plan" in out
+
+    def test_explain_no_opt_json(self, artifacts, capsys):
+        code = main(["explain", artifacts["mapping"], "Person",
+                     "--data", artifacts["data"], "--no-opt", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["optimized"] is False
+        assert payload["cost"] == payload["heuristic_cost"]
+
     def test_missing_file_is_graceful(self, capsys):
         assert main(["describe", "/nonexistent.json"]) == 2
         assert "error:" in capsys.readouterr().err
