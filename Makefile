@@ -2,13 +2,15 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test lint trace-smoke query-smoke updates-smoke \
-	optimizer-smoke bench-smoke bench-chase bench bench-query \
-	bench-updates bench-optimizer bench-json bench-check \
-	bench-check-smoke
+	optimizer-smoke shard-smoke bench-smoke bench-chase bench \
+	bench-query bench-updates bench-optimizer bench-shard \
+	bench-json bench-check bench-check-smoke
 
 # Tier-1: the whole unit/integration suite, after the static, tracing,
-# query-engine, incremental-maintenance and optimizer smoke gates.
-test: lint trace-smoke query-smoke updates-smoke optimizer-smoke
+# query-engine, incremental-maintenance, optimizer and shard smoke
+# gates.
+test: lint trace-smoke query-smoke updates-smoke optimizer-smoke \
+		shard-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Static checks: ruff with the pinned config in pyproject.toml.
@@ -57,6 +59,12 @@ updates-smoke:
 optimizer-smoke:
 	$(PYTHON) benchmarks/bench_optimizer.py --smoke
 
+# Shard-parallel chase gate: small chain chased sequentially and at
+# 2/4 shards, results equivalence-checked (speedup floor enforced on
+# full `make bench-shard` runs only).  No JSON rewrite.
+shard-smoke:
+	$(PYTHON) benchmarks/bench_sharded_chase.py --smoke
+
 # Fast perf sanity after tier-1: smallest size only, no JSON rewrite.
 bench-smoke: test
 	$(PYTHON) benchmarks/bench_chase_scaling.py --smoke
@@ -91,6 +99,12 @@ bench-updates:
 # regression watchdog via the payload's "floors" section).
 bench-optimizer:
 	$(PYTHON) benchmarks/bench_optimizer.py --out BENCH_optimizer.json
+
+# Shard-parallel chase vs sequential at 100k–300k rows: rewrites
+# BENCH_shard.json, enforcing the ≥2x speedup floor at 4 shards (also
+# judged by the regression watchdog via the payload's "floors").
+bench-shard:
+	$(PYTHON) benchmarks/bench_sharded_chase.py --out BENCH_shard.json
 
 # The whole pytest-benchmark suite (slow), incremental maintenance
 # included via benchmarks/bench_incremental_exchange.py.

@@ -1,0 +1,166 @@
+"""Shard-parallel chase benchmark → ``BENCH_shard.json``.
+
+Measures the shard-parallel engine (:mod:`repro.logic.sharding`)
+against the sequential semi-naive chase on a hash-partitionable
+workload: a deep copy chain whose dependencies are listed in reverse
+(worst-case frontier ordering), keyed on an attribute every tgd
+preserves — the shape the co-location planner accepts.
+
+Reported per source size:
+
+* sequential wall seconds (``shards=1`` — the unchanged engine);
+* sharded wall seconds and speedup at 2 and 4 shards;
+* rows produced and equivalence of the results.
+
+The ≥2× speedup floor at 4 shards (full sizes only) is the PR's perf
+contract; the regression watchdog enforces it via ``harness.floor``.
+On a single-core container the speedup comes from the sharded fast
+lane's lower per-row cost (fused scan/probe/fire loop, batched budget
+accounting), not hardware parallelism — on multi-core hosts the shard
+workers additionally overlap.
+
+Run standalone (``python benchmarks/bench_sharded_chase.py``) to emit
+``BENCH_shard.json``; ``--smoke`` runs a small size and skips the
+floor (smoke sizes are coordination-dominated).
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from repro.instances import Instance
+from repro.logic import chase, parse_tgd
+from repro.runtime.incremental import set_equal_modulo_nulls
+
+from conftest import print_table
+
+_SMOKE = False
+
+#: Full-run source sizes; the floor applies to the largest.
+_SIZES = (100_000, 300_000)
+_SMOKE_SIZE = 2_000
+_STAGES = 4
+_SHARD_COUNTS = (2, 4)
+#: The PR's perf contract: ≥2× at 4 shards on 100k+ row chains.
+MIN_SPEEDUP_AT_4 = 2.0
+
+
+def _chain_workload(rows: int, stages: int = _STAGES):
+    """Copy chain R0 → … → R{stages}, keyed on ``a`` in every atom
+    (co-location-feasible), dependencies reversed so every stage costs
+    a frontier round."""
+    db = Instance()
+    db.insert_all("R0", [{"a": i, "b": i % 97} for i in range(rows)])
+    deps = [
+        parse_tgd(f"R{k}(a=x, b=y) -> R{k + 1}(a=x, b=y)")
+        for k in range(stages)
+    ]
+    deps.reverse()
+    return db, deps
+
+
+def _run(rows: int, shards: int):
+    db, deps = _chain_workload(rows)
+    start = time.perf_counter()
+    result = chase(db, deps, max_steps=100_000_000, shards=shards)
+    return time.perf_counter() - start, result
+
+
+def _floor(benchmark, key: str, value: float) -> None:
+    harness = getattr(benchmark, "_harness", None)
+    if harness is not None and hasattr(harness, "floor"):
+        harness.floor(key, value)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark suite
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 4])
+def test_sharded_chain_small(benchmark, shards):
+    db, deps = _chain_workload(2_000)
+    result = benchmark(chase, db, deps, max_steps=100_000_000,
+                       shards=shards)
+    assert result.instance.total_rows() == 2_000 * (_STAGES + 1)
+
+
+def test_sharded_matches_sequential(benchmark):
+    _, sequential = _run(2_000, shards=1)
+    seconds, sharded = _run(2_000, shards=4)
+    benchmark(lambda: seconds)
+    assert set_equal_modulo_nulls(sequential.instance, sharded.instance)
+    assert sequential.steps == sharded.steps
+
+
+# ----------------------------------------------------------------------
+# report → BENCH_shard.json
+# ----------------------------------------------------------------------
+def test_shard_report(benchmark):
+    sizes = (_SMOKE_SIZE,) if _SMOKE else _SIZES
+    table = []
+    produced_table = []
+    for rows in sizes:
+        seq_seconds, seq_result = _run(rows, shards=1)
+        produced = seq_result.instance.total_rows()
+        produced_table.append([f"chain({rows})", produced])
+        row = [f"chain({rows})", f"{seq_seconds:.3f} s"]
+        for shards in _SHARD_COUNTS:
+            shard_seconds, shard_result = _run(rows, shards)
+            assert shard_result.instance.total_rows() == produced, (
+                f"sharded({shards}) produced "
+                f"{shard_result.instance.total_rows()} rows, "
+                f"sequential {produced}"
+            )
+            speedup = seq_seconds / max(shard_seconds, 1e-9)
+            row.append(f"{shard_seconds:.3f} s")
+            row.append(f"{speedup:.2f}x")
+            if shards == max(_SHARD_COUNTS) and rows == max(sizes):
+                assert _SMOKE or speedup >= MIN_SPEEDUP_AT_4, (
+                    f"chain({rows}): only {speedup:.2f}x at {shards} "
+                    f"shards (bar {MIN_SPEEDUP_AT_4}x)"
+                )
+                _floor(benchmark, f"chain({rows})/speedup@4",
+                       MIN_SPEEDUP_AT_4)
+        table.append(row)
+    # Equivalence spot-check at the smallest size (cheap; the big
+    # sizes are covered by the row-count assertion above and the
+    # differential test suite).
+    _, sequential = _run(sizes[0], shards=1)
+    _, sharded = _run(sizes[0], shards=4)
+    equivalent = set_equal_modulo_nulls(sequential.instance,
+                                        sharded.instance)
+    assert equivalent
+    benchmark(lambda: None)
+    print_table(
+        "Shard-parallel chase vs sequential (copy chain, reversed deps)",
+        ["workload", "sequential",
+         "2 shards", "speedup@2", "4 shards", "speedup@4"],
+        table,
+    )
+    print_table(
+        "Rows produced (sharded row counts asserted equal)",
+        ["workload", "rows produced"],
+        produced_table,
+    )
+    print_table(
+        "Equivalence",
+        ["check", "result"],
+        [["sharded ≡ sequential (modulo nulls)", str(equivalent)]],
+    )
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    from harness import run_standalone
+
+    global _SMOKE
+    args = list(sys.argv[1:] if argv is None else argv)
+    _SMOKE = "--smoke" in args
+    return run_standalone("shard", [test_shard_report], args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -146,6 +147,11 @@ def cmd_exchange(args) -> int:
     )
     from repro.runtime.executor import exchange
 
+    if args.shards is not None:
+        # The exchange path resolves shard counts from the environment
+        # (chase(shards=None) → REPRO_CHASE_SHARDS), so the flag just
+        # seeds it for this process.
+        os.environ["REPRO_CHASE_SHARDS"] = str(args.shards)
     mapping = _load_mapping(args.mapping)
     source = instance_from_dict(_load_json(args.data), mapping.source)
     result = exchange(mapping, source, compute_core=args.core)
@@ -417,6 +423,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("data")
     p.add_argument("--core", action="store_true",
                    help="minimize the result to its core")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="run the chase across N hash shards "
+                        "(1 forces sequential; default: "
+                        "REPRO_CHASE_SHARDS or sequential)")
     p.set_defaults(func=cmd_exchange)
 
     p = sub.add_parser("sql", help="print generated query-view SQL")

@@ -21,6 +21,7 @@ automatically; code that mutates stored row dicts *in place* must call
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import SchemaError
@@ -206,10 +207,47 @@ class Instance:
         self._batches: dict[str, _BatchEntry] = {}
         self._relation_stats: dict[str, _StatsEntry] = {}
         self._dirty_epoch = 0
-        self.index_stats = {
+        # Index-maintenance counters.  Writers append interned event
+        # names to ``_stat_events`` (a single ``list.append``, atomic
+        # under the GIL, so concurrent shard workers never lose an
+        # increment); reads fold the pending events into the totals
+        # under ``_stats_lock``.  See the :attr:`index_stats` property.
+        self._index_stats = {
             "hits": 0, "extends": 0, "rebuilds": 0, "removes": 0,
             "stats_hits": 0, "stats_extends": 0, "stats_rebuilds": 0,
         }
+        self._stat_events: list[str] = []
+        self._stats_lock = threading.Lock()
+
+    def __getstate__(self):
+        # Locks are neither picklable nor deepcopy-able; the copy gets
+        # a fresh one (counter state itself transfers fine).
+        state = self.__dict__.copy()
+        del state["_stats_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
+
+    @property
+    def index_stats(self) -> dict[str, int]:
+        """Index maintenance counters (hits / extends / rebuilds /
+        removes, plus the ``stats_*`` family for relation statistics).
+
+        Safe to read while shard workers are mutating the instance's
+        indexes: writers only ever append to an event list, and this
+        property folds the backlog into the totals under a lock before
+        returning them."""
+        events = self._stat_events
+        if events:
+            with self._stats_lock:
+                drained = len(events)
+                totals = self._index_stats
+                for name in events[:drained]:
+                    totals[name] += 1
+                del events[:drained]
+        return self._index_stats
 
     # ------------------------------------------------------------------
     # population
@@ -352,7 +390,7 @@ class Instance:
         # removal would need the removed rows' full value profile, so
         # they rebuild on next read instead (same rule as the batches).
         self._relation_stats.pop(relation, None)
-        self.index_stats["removes"] += len(removed)
+        self._stat_events.extend(["removes"] * len(removed))
         return removed
 
     def clear(self, relation: str) -> None:
@@ -460,11 +498,11 @@ class Instance:
         ):
             entry = _BatchEntry(rows, self._dirty_epoch)
             self._batches[relation] = entry
-            self.index_stats["rebuilds"] += 1
+            self._stat_events.append("rebuilds")
         elif entry.seen < len(rows):
-            self.index_stats["extends"] += 1
+            self._stat_events.append("extends")
         else:
-            self.index_stats["hits"] += 1
+            self._stat_events.append("hits")
             return entry.batch
         if entry.seen == 0:
             entry.batch = ColumnBatch.from_rows(rows)
@@ -502,11 +540,11 @@ class Instance:
                 rows, self._dirty_epoch, RelationStats(relation)
             )
             self._relation_stats[relation] = entry
-            self.index_stats["stats_rebuilds"] += 1
+            self._stat_events.append("stats_rebuilds")
         elif entry.seen < len(rows):
-            self.index_stats["stats_extends"] += 1
+            self._stat_events.append("stats_extends")
         else:
-            self.index_stats["stats_hits"] += 1
+            self._stat_events.append("stats_hits")
             return entry.stats
         entry.stats.absorb(rows[entry.seen:])
         entry.seen = len(rows)
@@ -526,11 +564,11 @@ class Instance:
         ):
             entry = _AttrIndex(rows, self._dirty_epoch)
             self._attr_indexes[key] = entry
-            self.index_stats["rebuilds"] += 1
+            self._stat_events.append("rebuilds")
         elif entry.seen < len(rows):
-            self.index_stats["extends"] += 1
+            self._stat_events.append("extends")
         else:
-            self.index_stats["hits"] += 1
+            self._stat_events.append("hits")
             return entry
         postings = entry.postings
         for row in rows[entry.seen:]:
@@ -551,18 +589,23 @@ class Instance:
             return _NO_ROWS
         return entry.postings.get(hashable_key(value), _NO_ROWS)
 
-    def projection_member(
-        self, relation: str, attributes: tuple[str, ...], values: tuple
-    ) -> bool:
-        """Is there a row of ``relation`` whose projection onto
-        ``attributes`` equals ``values`` (already ``hashable_key``-mapped)?
+    def projection_entry(
+        self, relation: str, attributes: tuple[str, ...]
+    ) -> Optional[_ProjectionSet]:
+        """The up-to-date projection index of ``relation`` onto
+        ``attributes``, or ``None`` when the relation is absent.
 
-        This is the frozen-row membership test the semi-naive chase uses
-        in place of a per-trigger homomorphism search for full tgds.
+        This is the bulk form of :meth:`projection_member`: callers
+        probing many tuples in a tight loop (the sharded chase's
+        compiled full-tgd lane) fetch the entry once and test
+        ``values in entry.members`` directly.  The entry is a
+        point-in-time view — rows appended after the call are only
+        visible on the next fetch — and its ``members`` dict must not
+        be mutated by callers.
         """
         rows = self.relations.get(relation)
         if rows is None:
-            return False
+            return None
         key = (relation, attributes)
         entry = self._projection_sets.get(key)
         if (
@@ -573,12 +616,12 @@ class Instance:
         ):
             entry = _ProjectionSet(rows, self._dirty_epoch)
             self._projection_sets[key] = entry
-            self.index_stats["rebuilds"] += 1
+            self._stat_events.append("rebuilds")
         elif entry.seen < len(rows):
-            self.index_stats["extends"] += 1
+            self._stat_events.append("extends")
         else:
-            self.index_stats["hits"] += 1
-            return values in entry.members
+            self._stat_events.append("hits")
+            return entry
         members = entry.members
         for row in rows[entry.seen:]:
             try:
@@ -587,6 +630,20 @@ class Instance:
                 continue  # row lacks one of the attributes: no match
             members[projected] = members.get(projected, 0) + 1
         entry.seen = len(rows)
+        return entry
+
+    def projection_member(
+        self, relation: str, attributes: tuple[str, ...], values: tuple
+    ) -> bool:
+        """Is there a row of ``relation`` whose projection onto
+        ``attributes`` equals ``values`` (already ``hashable_key``-mapped)?
+
+        This is the frozen-row membership test the semi-naive chase uses
+        in place of a per-trigger homomorphism search for full tgds.
+        """
+        entry = self.projection_entry(relation, attributes)
+        if entry is None:
+            return False
         return values in entry.members
 
     # ------------------------------------------------------------------

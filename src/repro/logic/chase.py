@@ -39,6 +39,7 @@ differ syntactically but are homomorphically equivalent.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Union
@@ -233,6 +234,13 @@ class ChaseRecorder:
         """One in-place merge pass: every rewritten position as
         ``(relation, row, attr, old_null, replacement)``."""
 
+    def on_shard(self, shard_id: int) -> None:
+        """Sharded chase only: subsequent hooks replay events recorded
+        on worker shard ``shard_id`` (``-1`` = the coordinator).  The
+        coordinator flushes worker events at frontier boundaries in
+        deterministic ``(shard, sequence)`` order, so provenance rows
+        merge identically run to run."""
+
 
 @dataclass
 class ChaseResult:
@@ -273,6 +281,20 @@ def _unique_names(dependencies: Sequence[Dependency]) -> list[str]:
     return names
 
 
+def _resolve_shards(shards: Optional[int]) -> int:
+    """Shard count: explicit argument wins, then ``REPRO_CHASE_SHARDS``,
+    then 1 (sequential).  Malformed env values fall back to 1."""
+    if shards is None:
+        raw = os.environ.get("REPRO_CHASE_SHARDS", "").strip()
+        if not raw:
+            return 1
+        try:
+            shards = int(raw)
+        except ValueError:
+            return 1
+    return max(1, shards)
+
+
 def chase(
     instance: Instance,
     dependencies: Sequence[Union[TGD, EGD]],
@@ -281,6 +303,7 @@ def chase(
     copy: bool = True,
     recorder: Optional[ChaseRecorder] = None,
     initial_delta: Optional[dict[str, list[Row]]] = None,
+    shards: Optional[int] = None,
 ) -> ChaseResult:
     """Chase ``instance`` with ``dependencies`` (semi-naive engine).
 
@@ -291,6 +314,12 @@ def chase(
     except for freshly appended rows, so only triggers touching those
     rows can be active.
 
+    ``shards`` > 1 (or ``REPRO_CHASE_SHARDS=N``) routes the run through
+    the shard-parallel engine (:mod:`repro.logic.sharding`) when the
+    dependency set admits a co-partitioning key; otherwise — and always
+    at ``shards=1`` — the sequential engine below runs unchanged, so
+    ``shards=1`` is byte-identical to the pre-sharding path.
+
     Raises :class:`ChaseFailure` if an egd equates distinct constants
     (no solution exists) and :class:`ChaseNonTermination` as soon as a
     firing beyond the ``max_steps`` budget is attempted (the budget is
@@ -298,6 +327,16 @@ def chase(
     """
     working = instance.copy() if copy else instance
     factory = null_factory or _fresh_factory(working)
+    shard_count = _resolve_shards(shards)
+    if shard_count > 1:
+        from repro.logic.sharding import sharded_chase
+
+        result = sharded_chase(
+            working, dependencies, factory, max_steps, shard_count,
+            recorder=recorder, initial_delta=initial_delta,
+        )
+        if result is not None:
+            return result
     engine = _SemiNaiveChase(working, dependencies, factory, max_steps,
                              recorder=recorder, initial_delta=initial_delta)
     if not _OBS.enabled:
@@ -587,7 +626,6 @@ class _SemiNaiveChase:
         triggers: list[dict],
         inserted: dict[str, list[Row]],
     ) -> None:
-        instance = self.instance
         frontier = self.frontiers[index]
         memo = self.satisfied[index]
         name = self.names[index]
@@ -599,12 +637,7 @@ class _SemiNaiveChase:
             if self._head_satisfied(index, tgd, assignment):
                 memo.add(key)
                 continue
-            if self.steps >= self.max_steps:
-                raise ChaseNonTermination(
-                    f"chase exceeded {self.max_steps} steps; dependency "
-                    "set is probably not weakly acyclic"
-                )
-            self.steps += 1
+            self._charge_step()
             existential_values: dict[Var, LabeledNull] = {}
             head_rows: list[tuple[str, Row]] = []
             for atom in tgd.head:
@@ -628,11 +661,8 @@ class _SemiNaiveChase:
                             "cannot chase second-order tgds directly; "
                             "ground their function terms first"
                         )
-                stored = instance.insert(atom.relation, row)
-                inserted.setdefault(atom.relation, []).append(stored)
+                stored = self._store_head_row(atom.relation, row, inserted)
                 head_rows.append((atom.relation, stored))
-                if self.has_egds:
-                    self._record_nulls(atom.relation, stored)
             if self.recorder is not None:
                 self.recorder.on_tgd_fire(
                     index, tgd, key,
@@ -643,6 +673,29 @@ class _SemiNaiveChase:
             fired += 1
         if fired:
             self.fired[name] = self.fired.get(name, 0) + fired
+
+    def _charge_step(self) -> None:
+        """Charge one firing against the step budget.  The sharded
+        engine overrides this to charge a budget shared across
+        workers, keeping ``max_steps`` exact under parallelism."""
+        if self.steps >= self.max_steps:
+            raise ChaseNonTermination(
+                f"chase exceeded {self.max_steps} steps; dependency "
+                "set is probably not weakly acyclic"
+            )
+        self.steps += 1
+
+    def _store_head_row(
+        self, relation: str, row: Row, inserted: dict[str, list[Row]]
+    ) -> Row:
+        """Store one freshly derived head row.  The sharded engine
+        overrides this to route rows whose partition key lands on
+        another shard through that shard's delta queue."""
+        stored = self.instance.insert(relation, row)
+        inserted.setdefault(relation, []).append(stored)
+        if self.has_egds:
+            self._record_nulls(relation, stored)
+        return stored
 
     def _head_satisfied(self, index: int, tgd: TGD, assignment: dict) -> bool:
         shape = self.full_head_shape[index]
@@ -701,12 +754,7 @@ class _SemiNaiveChase:
                         f"{left!r} and {right!r}"
                     )
                 if union_find.union(left, right, egd.name or str(egd)[:60]):
-                    if self.steps >= self.max_steps:
-                        raise ChaseNonTermination(
-                            f"chase exceeded {self.max_steps} steps; "
-                            "dependency set is probably not weakly acyclic"
-                        )
-                    self.steps += 1
+                    self._charge_step()
                     merged += 1
                     if self.recorder is not None:
                         self.recorder.on_egd_union(

@@ -1,0 +1,1291 @@
+"""Shard-parallel semi-naive chase.
+
+The sequential engine in :mod:`repro.logic.chase` runs one delta round
+at a time over one instance.  This module hash-partitions the instance
+by a *co-partitioning key* inferred from the dependency set and runs
+each round's frontier on a worker pool — one :class:`_ShardWorker`
+(a :class:`_SemiNaiveChase` subclass) per shard, threads by default, a
+process pool behind ``REPRO_CHASE_PROCESSES=1`` for the CPU-bound
+candidate scan.  Derived rows whose partition key lands on another
+shard are routed through that shard's bounded delta queue (the
+coordinator drains the queues while workers run, so backpressure never
+deadlocks the frontier barrier), and egd equalities are reconciled by
+a coordinator union-find pass between rounds so the result is
+equivalent-modulo-nulls to the sequential chase.
+
+Partitioning scheme
+-------------------
+:func:`plan_shards` looks for one key attribute per relation such that
+every multi-atom dependency body has a variable that (a) appears in
+every body atom and (b) sits at the chosen key attribute of each
+atom's relation — then every trigger's body rows share the key value
+and hash to the same shard, so trigger enumeration is shard-local.
+Single-atom bodies impose no constraint (their trigger *is* one row,
+local wherever it lives); relations never constrained stay unkeyed and
+are partitioned round-robin.  Relations that appear in heads must
+carry their key attribute in every head atom (derived rows must be
+routable).  When no consistent assignment exists — e.g. a cross-join
+body with no shared variable — :func:`sharded_chase` returns ``None``
+and :func:`repro.logic.chase.chase` falls back to the sequential
+engine (this is "when shards=1 is forced"; see docs/SHARDING.md).
+
+Per-shard execution
+-------------------
+Workers run lockstep rounds.  Within a round each worker enumerates
+its local triggers (with a compiled fast lane for single-body-atom
+full tgds that skips the generic homomorphism machinery), charges a
+shared step budget, stores local head rows by direct append (row
+identity is preserved end-to-end for provenance), and routes remote
+rows.  Labeled nulls are minted from strided per-shard label ranges so
+runs are deterministic for a fixed shard count.  Egd equalities are
+buffered and united globally by the coordinator ordered by
+``(shard, sequence)``; the resulting substitution is applied per shard
+and rows whose key value was rewritten *migrate* to their new owner.
+Frontier memos are sticky across merges (a merged null never reappears
+in any row, so stale memo keys are unreachable) — unlike the
+sequential engine, which clears them, a worker must never re-fire an
+existential frontier whose head row was routed elsewhere.
+
+Recorder events are buffered per worker and flushed to the real
+:class:`ChaseRecorder` at frontier boundaries in ``(shard, sequence)``
+order, each run prefixed by :meth:`ChaseRecorder.on_shard`, so
+provenance merges deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Optional, Sequence, Union
+
+from repro.errors import ChaseFailure, ChaseNonTermination
+from repro.instances.database import Instance, Row, hashable_key
+from repro.instances.labeled_null import LabeledNull, NullFactory
+from repro.logic.chase import (
+    ChaseRecorder,
+    ChaseResult,
+    ChaseStats,
+    _publish_stats,
+    _SemiNaiveChase,
+    _UnionFind,
+    _value,
+)
+from repro.logic.dependencies import EGD, TGD, Dependency
+from repro.logic.terms import Const, Var
+from repro.observability.state import STATE as _OBS
+
+#: Per-shard inbox capacity.  Producers block (backpressure) when an
+#: inbox is full; the coordinator drains inboxes while workers run, so
+#: the round barrier cannot deadlock against a full queue.
+_QUEUE_CAP = 8192
+
+#: Rows below this count are scanned inline even when the process pool
+#: is enabled — fork/pickle overhead dominates small scans.
+_PROCESS_CHUNK = 4096
+
+#: Steps a worker reserves from the shared budget at a time (see
+#: :class:`_SharedBudget` — one lock acquisition per chunk, not per
+#: step; unused credit is refunded at round boundaries).
+_STEP_CREDIT = 64
+
+_MISSING = object()
+
+#: Shared read-only stand-in for the members dict of an absent head
+#: relation in the fast firing lane (never mutated).
+_EMPTY_MEMBERS: dict = {}
+
+
+def _use_processes() -> bool:
+    return os.environ.get("REPRO_CHASE_PROCESSES", "").strip() in (
+        "1", "true", "yes", "on"
+    )
+
+
+# ----------------------------------------------------------------------
+# partitioning plan
+# ----------------------------------------------------------------------
+class ShardPlan:
+    """A co-partitioning key assignment: ``keys[relation] = attr``.
+
+    Relations absent from ``keys`` are unkeyed — their rows are dealt
+    round-robin and derived rows stay on the deriving shard.
+    """
+
+    __slots__ = ("shards", "keys")
+
+    def __init__(self, shards: int, keys: dict[str, str]):
+        self.shards = shards
+        self.keys = keys
+
+    def owner(self, relation: str, row: Row) -> Optional[int]:
+        """The shard owning ``row``, or ``None`` for unkeyed relations."""
+        attr = self.keys.get(relation)
+        if attr is None:
+            return None
+        return hash(hashable_key(row.get(attr))) % self.shards
+
+
+def plan_shards(
+    dependencies: Sequence[Union[TGD, EGD]], shards: int
+) -> Optional[ShardPlan]:
+    """Infer a co-partitioning key per relation, or ``None`` when the
+    dependency set admits no consistent assignment (the sequential
+    engine is forced then).
+
+    The plan must make every dependency **strongly co-located**: some
+    variable ``v`` appears, at the keyed attribute, in *every* body
+    atom and (for tgds) *every* head atom.  That single invariant
+    guarantees three things at once:
+
+    * triggers are shard-local — all body rows joining on a value of
+      ``v`` share a shard;
+    * satisfaction probes are *complete* per shard — any witness row
+      for a trigger carries the trigger's ``v`` value at the head
+      relation's key attribute, so it lives (or lands) on the firing
+      shard.  Without this, a shard re-deriving a row that already
+      exists elsewhere would inflate step counts for full tgds and
+      mint spurious fresh nulls for existential ones;
+    * derived rows are born on their owner shard, so the delta queues
+      only ever carry rows displaced by egd merge migrations or by
+      planner extensions that relax head co-location.
+
+    Any dependency set where no such assignment exists — e.g. a head
+    that drops the join variable — runs sequentially.
+    """
+    if shards <= 1 or not dependencies:
+        return None
+
+    # Per dependency: candidate per-relation key-attr assignments, one
+    # per variable occurring directly in every atom the plan must
+    # co-locate (body + heads for tgds, body for egds).
+    constraints: list[list[dict[str, frozenset]]] = []
+    for dependency in dependencies:
+        body = dependency.body
+        if not body:
+            return None
+        atoms = list(body)
+        if isinstance(dependency, TGD):
+            atoms.extend(dependency.head)
+        direct_vars = [
+            {t for _, t in atom.args if isinstance(t, Var)} for atom in atoms
+        ]
+        shared = set.intersection(*direct_vars)
+        options: list[dict[str, frozenset]] = []
+        for var in sorted(shared, key=lambda v: v.name):
+            per_rel: dict[str, frozenset] = {}
+            feasible = True
+            for atom in atoms:
+                attrs = frozenset(
+                    name for name, term in atom.args
+                    if isinstance(term, Var) and term == var
+                )
+                prev = per_rel.get(atom.relation)
+                narrowed = attrs if prev is None else prev & attrs
+                if not narrowed:
+                    feasible = False
+                    break
+                per_rel[atom.relation] = narrowed
+            if feasible:
+                options.append(per_rel)
+        if not options:
+            return None
+        constraints.append(options)
+
+    def search(index: int, allowed: dict[str, frozenset]):
+        if index == len(constraints):
+            return allowed
+        for option in constraints[index]:
+            narrowed = dict(allowed)
+            feasible = True
+            for relation, attrs in option.items():
+                base = narrowed.get(relation)
+                base = attrs if base is None else base & attrs
+                if not base:
+                    feasible = False
+                    break
+                narrowed[relation] = base
+            if feasible:
+                result = search(index + 1, narrowed)
+                if result is not None:
+                    return result
+        return None
+
+    allowed = search(0, {})
+    if allowed is None:
+        return None
+    keys = {relation: min(attrs) for relation, attrs in allowed.items()}
+    return ShardPlan(shards, keys)
+
+
+# ----------------------------------------------------------------------
+# shared step budget and strided null labels
+# ----------------------------------------------------------------------
+class _SharedBudget:
+    """The ``max_steps`` budget, charged atomically across workers.
+
+    Workers take credit in chunks (:meth:`reserve`) so the hot firing
+    loop pays the lock once per ``_STEP_CREDIT`` steps instead of once
+    per step, and hand unused credit back (:meth:`refund`) at round
+    boundaries — so ``used`` is exact whenever all workers are parked.
+    """
+
+    __slots__ = ("limit", "used", "_lock")
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+        self._lock = threading.Lock()
+
+    def charge(self) -> None:
+        with self._lock:
+            if self.used >= self.limit:
+                raise ChaseNonTermination(
+                    f"chase exceeded {self.limit} steps; dependency "
+                    "set is probably not weakly acyclic"
+                )
+            self.used += 1
+
+    def reserve(self, amount: int) -> int:
+        """Claim up to ``amount`` steps; raises when the budget is dry."""
+        with self._lock:
+            remaining = self.limit - self.used
+            if remaining <= 0:
+                raise ChaseNonTermination(
+                    f"chase exceeded {self.limit} steps; dependency "
+                    "set is probably not weakly acyclic"
+                )
+            granted = amount if amount <= remaining else remaining
+            self.used += granted
+            return granted
+
+    def refund(self, amount: int) -> None:
+        if amount:
+            with self._lock:
+                self.used -= amount
+
+
+class _StridedNullFactory(NullFactory):
+    """Mints labels ``base + shard, base + shard + stride, …`` — each
+    shard owns a disjoint label residue class, so parallel minting is
+    deterministic per shard without any cross-shard coordination."""
+
+    def __init__(self, base: int, shard: int, stride: int):
+        self._next = base + shard
+        self._stride = stride
+        self.max_used = -1
+
+    def fresh(self, hint: str = "") -> LabeledNull:
+        label = self._next
+        self._next += self._stride
+        self.max_used = label
+        return LabeledNull(label, hint)
+
+
+# ----------------------------------------------------------------------
+# fast lane: compiled single-body-atom full tgds
+# ----------------------------------------------------------------------
+class _FastFullTGD:
+    """A compiled single-body-atom full tgd.
+
+    The generic path builds an assignment dict per trigger through
+    ``iter_homomorphisms`` plus a full-body-variable dedupe key; for a
+    single-atom full tgd the trigger *is* the row, so the whole cycle
+    collapses to: attribute presence/constant/repeated-variable checks,
+    one frontier key, one projection-set membership probe per head
+    atom, and a template-built head row.  This per-row lane is what
+    makes sharding pay even on one core.
+    """
+
+    __slots__ = (
+        "relation", "required", "const_checks", "eq_checks",
+        "var_attr", "frontier_vars", "frontier_attrs",
+        "head_probes", "head_builds",
+    )
+
+    @classmethod
+    def compile(cls, dependency: Dependency) -> Optional["_FastFullTGD"]:
+        if not isinstance(dependency, TGD) or not dependency.is_full:
+            return None
+        if len(dependency.body) != 1:
+            return None
+        atom = dependency.body[0]
+        spec = cls()
+        spec.relation = atom.relation
+        required: list[str] = []
+        const_checks: list[tuple[str, object]] = []
+        eq_checks: list[tuple[str, str]] = []
+        var_attr: dict[Var, str] = {}
+        for name, term in atom.args:
+            required.append(name)
+            if isinstance(term, Const):
+                const_checks.append((name, term.value))
+            elif isinstance(term, Var):
+                first = var_attr.get(term)
+                if first is None:
+                    var_attr[term] = name
+                else:
+                    eq_checks.append((first, name))
+            else:
+                return None  # function terms: generic path
+        spec.required = tuple(required)
+        spec.const_checks = tuple(const_checks)
+        spec.eq_checks = tuple(eq_checks)
+        spec.var_attr = var_attr
+        frontier = tuple(
+            sorted(dependency.frontier(), key=lambda v: v.name)
+        )
+        spec.frontier_vars = frontier
+        spec.frontier_attrs = tuple(var_attr[v] for v in frontier)
+        head_probes = []  # (relation, attrs, ((body_attr|None, const_hk), …))
+        head_builds = []  # (relation, ((head_attr, body_attr|None, const), …))
+        for head_atom in dependency.head:
+            attrs = tuple(name for name, _ in head_atom.args)
+            probe_parts = []
+            build_parts = []
+            for name, term in head_atom.args:
+                if isinstance(term, Const):
+                    probe_parts.append((None, hashable_key(term.value)))
+                    build_parts.append((name, None, term.value))
+                elif isinstance(term, Var):
+                    source = var_attr.get(term)
+                    if source is None:
+                        return None  # not actually full w.r.t. this body
+                    probe_parts.append((source, None))
+                    build_parts.append((name, source, None))
+                else:
+                    return None
+            head_probes.append(
+                (head_atom.relation, attrs, tuple(probe_parts))
+            )
+            head_builds.append((head_atom.relation, tuple(build_parts)))
+        spec.head_probes = tuple(head_probes)
+        spec.head_builds = tuple(head_builds)
+        return spec
+
+    def scan_data(self) -> tuple:
+        """The picklable subset shipped to process-pool scan workers."""
+        return (
+            self.required, self.const_checks, self.eq_checks,
+            self.frontier_attrs,
+        )
+
+
+def _scan_chunk(scan_data: tuple, rows: list[Row]) -> list:
+    """Process-pool body: filter ``rows`` against the compiled checks
+    and compute frontier keys.  Returns ``(index, key_or_None)`` pairs
+    — ``None`` keys flag rows containing labeled nulls, whose hashable
+    keys use an identity-compared sentinel tag that does not survive
+    pickling, so the parent recomputes them inline."""
+    required, const_checks, eq_checks, frontier_attrs = scan_data
+    out = []
+    for index, row in enumerate(rows):
+        ok = True
+        for attr in required:
+            if attr not in row:
+                ok = False
+                break
+        if not ok:
+            continue
+        for attr, value in const_checks:
+            if row[attr] != value:
+                ok = False
+                break
+        if not ok:
+            continue
+        for left, right in eq_checks:
+            if row[left] != row[right]:
+                ok = False
+                break
+        if not ok:
+            continue
+        if any(isinstance(row[a], LabeledNull) for a in frontier_attrs):
+            out.append((index, None))
+        else:
+            out.append(
+                (index, tuple([hashable_key(row[a]) for a in frontier_attrs]))
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# per-shard worker
+# ----------------------------------------------------------------------
+class _EventBuffer(ChaseRecorder):
+    """Worker-side recorder proxy: stamps each tgd firing with the
+    worker's sequence counter for the coordinator's ordered flush."""
+
+    __slots__ = ("worker",)
+
+    def __init__(self, worker: "_ShardWorker"):
+        self.worker = worker
+
+    def on_tgd_fire(self, dep_index, tgd, frontier_key, frontier_items,
+                    rows) -> None:
+        worker = self.worker
+        worker.seq += 1
+        worker.events.append(
+            (worker.seq, dep_index, tgd, frontier_key, frontier_items, rows)
+        )
+
+
+class _ShardWorker(_SemiNaiveChase):
+    """One shard's engine: the sequential chase over the shard's
+    sub-instance, with step charging, head-row storage and egd
+    collection rerouted for coordination."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        plan: ShardPlan,
+        instance: Instance,
+        dependencies: Sequence[Union[TGD, EGD]],
+        factory: _StridedNullFactory,
+        budget: _SharedBudget,
+        inboxes: list,
+        record_events: bool,
+    ) -> None:
+        super().__init__(instance, dependencies, factory, budget.limit)
+        self.shard_id = shard_id
+        self.plan = plan
+        self.budget = budget
+        self.inboxes = inboxes
+        self.seq = 0
+        self.routed = 0
+        self.events: list = []
+        self.round_equalities: list = []
+        self.record_events = record_events
+        if record_events:
+            self.recorder = _EventBuffer(self)
+        #: relation → rows this shard derived or adopted; extended into
+        #: the working instance at the end of the run, in shard order.
+        self.derived: dict[str, list[Row]] = {}
+        self.fast: list[Optional[_FastFullTGD]] = [
+            _FastFullTGD.compile(d) for d in self.dependencies
+        ]
+        self.scan_pool = None  # set by the coordinator (process flag)
+        self.parent_span = None  # coordinator chase span (re-parenting)
+        self._credit = 0  # steps pre-reserved from the shared budget
+
+    # -- hooks overridden from the sequential engine -------------------
+    def _charge_step(self) -> None:
+        credit = self._credit
+        if not credit:
+            credit = self.budget.reserve(_STEP_CREDIT)
+        self._credit = credit - 1
+        self.steps += 1
+
+    def _store_head_row(
+        self, relation: str, row: Row, inserted: dict[str, list[Row]]
+    ) -> Row:
+        attr = self.plan.keys.get(relation)
+        if attr is not None:
+            owner = hash(hashable_key(row.get(attr))) % self.plan.shards
+            if owner != self.shard_id:
+                self.seq += 1
+                self.routed += 1
+                self.inboxes[owner].put(
+                    (self.shard_id, self.seq, relation, row)
+                )
+                return row
+        # Local store by direct append: row identity is preserved (the
+        # index watermark contract absorbs appends), which provenance
+        # and in-place merge rewrites both rely on.
+        self.instance.relations.setdefault(relation, []).append(row)
+        inserted.setdefault(relation, []).append(row)
+        if self.has_egds:
+            self._record_nulls(relation, row)
+        self.derived.setdefault(relation, []).append(row)
+        return row
+
+    def _collect_egd(self, index, egd, triggers, union_find) -> bool:
+        # Buffer equalities for the coordinator's global union-find;
+        # only constant–constant conflicts fail fast locally.
+        record = self.record_events
+        variables = self.body_variables[index]
+        for assignment in triggers:
+            for equality in egd.equalities:
+                left = _value(equality.left, assignment)
+                right = _value(equality.right, assignment)
+                if left == right:
+                    continue
+                if not isinstance(left, LabeledNull) and not isinstance(
+                    right, LabeledNull
+                ):
+                    raise ChaseFailure(
+                        f"egd {egd.name or egd} equates distinct constants "
+                        f"{left!r} and {right!r}"
+                    )
+                self.seq += 1
+                body_key = (
+                    tuple(hashable_key(assignment[v]) for v in variables)
+                    if record else ()
+                )
+                self.round_equalities.append(
+                    (self.seq, index, body_key, left, right)
+                )
+        return False
+
+    # -- one frontier round --------------------------------------------
+    def run_round(self, delta: Optional[dict[str, list[Row]]]) -> dict:
+        try:
+            if not _OBS.enabled:
+                return self._run_round(delta)
+            from repro.observability.tracing import tracer
+
+            with tracer.span(
+                "chase.shard.round",
+                parent=self.parent_span,
+                shard=self.shard_id,
+            ):
+                return self._run_round(delta)
+        finally:
+            # Hand unused step credit back so ``budget.used`` is exact
+            # at every round barrier (and at non-termination/failure).
+            if self._credit:
+                self.budget.refund(self._credit)
+                self._credit = 0
+
+    def _run_round(self, delta: Optional[dict[str, list[Row]]]) -> dict:
+        inserted: dict[str, list[Row]] = {}
+        for index, dependency in enumerate(self.dependencies):
+            if delta is not None and not (
+                self.body_relations[index] & delta.keys()
+            ):
+                continue
+            name = self.names[index]
+            dep_start = time.perf_counter()
+            fast = self.fast[index]
+            if fast is not None:
+                examined = self._fire_fast(index, fast, delta, inserted)
+            else:
+                triggers = list(self._triggers(index, dependency, delta))
+                examined = len(triggers)
+                if isinstance(dependency, TGD):
+                    self._fire_tgd(index, dependency, triggers, inserted)
+                else:
+                    self._collect_egd(index, dependency, triggers, None)
+            self.stats.triggers_examined[name] = (
+                self.stats.triggers_examined.get(name, 0) + examined
+            )
+            self.stats.dep_wall[name] = (
+                self.stats.dep_wall.get(name, 0.0)
+                + (time.perf_counter() - dep_start)
+            )
+        return inserted
+
+    def _fire_fast(
+        self,
+        index: int,
+        spec: _FastFullTGD,
+        delta: Optional[dict[str, list[Row]]],
+        inserted: dict[str, list[Row]],
+    ) -> int:
+        if delta is not None:
+            rows = delta.get(spec.relation)
+        else:
+            rows = self.instance.relations.get(spec.relation)
+        if not rows:
+            return 0
+        # The fused scan+fire loop below appends head rows directly to
+        # the backing lists; snapshot the scan source when it could be
+        # one of them (self-feeding tgd fired outside a delta round).
+        if delta is None and any(
+            relation == spec.relation for relation, _ in spec.head_builds
+        ):
+            rows = list(rows)
+        scanned = None
+        if self.scan_pool is not None and len(rows) >= _PROCESS_CHUNK:
+            scanned = self._fast_candidates(spec, rows)
+        memo = self.satisfied[index]
+        name = self.names[index]
+        tgd = self.dependencies[index]
+        instance = self.instance
+        relations = instance.relations
+        hk = hashable_key
+        required = spec.required
+        const_checks = spec.const_checks
+        eq_checks = spec.eq_checks
+        fattrs = spec.frontier_attrs
+        # Per-head state hoisted out of the row loop.  ``members`` is
+        # the head relation's projection index captured once (the
+        # ``fresh`` overlay covers rows this very loop derives, local
+        # *and* routed — a routed duplicate would be dropped at
+        # delivery anyway, so suppressing it here matches the
+        # sequential satisfaction test).  ``stores`` caches the backing
+        # / inserted / derived lists, resolved on first local store so
+        # no empty relation is ever created.
+        probes = []
+        for relation, attrs, parts in spec.head_probes:
+            entry = instance.projection_entry(relation, attrs)
+            probes.append((
+                parts,
+                entry.members if entry is not None else _EMPTY_MEMBERS,
+                set(),
+            ))
+        single_head = len(probes) == 1
+        stores: list[list] = [
+            [relation, parts, self.plan.keys.get(relation), None, None, None]
+            for relation, parts in spec.head_builds
+        ]
+        shards_n = self.plan.shards
+        shard_id = self.shard_id
+        inboxes = self.inboxes
+        record = self.recorder is not None
+        has_egds = self.has_egds
+        budget = self.budget
+        credit = self._credit
+        steps = 0
+        examined = 0
+        fired = 0
+        try:
+            for item in (rows if scanned is None else scanned):
+                if scanned is None:
+                    row = item
+                    try:
+                        ok = True
+                        for attr in required:
+                            if attr not in row:
+                                ok = False
+                                break
+                        if not ok:
+                            continue
+                        if const_checks:
+                            for attr, value in const_checks:
+                                if row[attr] != value:
+                                    ok = False
+                                    break
+                            if not ok:
+                                continue
+                        if eq_checks:
+                            for left, right in eq_checks:
+                                if row[left] != row[right]:
+                                    ok = False
+                                    break
+                            if not ok:
+                                continue
+                        key = tuple([hk(row[a]) for a in fattrs])
+                    except KeyError:
+                        continue
+                else:
+                    row, key = item
+                examined += 1
+                if key in memo:
+                    continue
+                # Satisfaction probe: every head projection must already
+                # be present (index members ∪ this loop's overlay).
+                if single_head:
+                    parts, members, fresh = probes[0]
+                    value0 = tuple([
+                        hk(row[s]) if s is not None else c for s, c in parts
+                    ])
+                    satisfied = value0 in members or value0 in fresh
+                    probe_values = (value0,)
+                else:
+                    satisfied = True
+                    probe_values = []
+                    for parts, members, fresh in probes:
+                        value = tuple([
+                            hk(row[s]) if s is not None else c
+                            for s, c in parts
+                        ])
+                        probe_values.append(value)
+                        if value not in members and value not in fresh:
+                            satisfied = False
+                if satisfied:
+                    memo.add(key)
+                    continue
+                if not credit:
+                    credit = budget.reserve(_STEP_CREDIT)
+                credit -= 1
+                steps += 1
+                head_rows = [] if record else None
+                for i, store in enumerate(stores):
+                    relation, parts, key_attr, backing, ilist, dlist = store
+                    new_row: Row = {
+                        attr: (row[s] if s is not None else c)
+                        for attr, s, c in parts
+                    }
+                    probes[i][2].add(probe_values[i])
+                    if key_attr is not None:
+                        owner = hash(hk(new_row.get(key_attr))) % shards_n
+                        if owner != shard_id:
+                            self.seq += 1
+                            self.routed += 1
+                            inboxes[owner].put(
+                                (shard_id, self.seq, relation, new_row)
+                            )
+                            if record:
+                                head_rows.append((relation, new_row))
+                            continue
+                    if backing is None:
+                        backing = relations.setdefault(relation, [])
+                        ilist = inserted.setdefault(relation, [])
+                        dlist = self.derived.setdefault(relation, [])
+                        store[3] = backing
+                        store[4] = ilist
+                        store[5] = dlist
+                    backing.append(new_row)
+                    ilist.append(new_row)
+                    dlist.append(new_row)
+                    if has_egds:
+                        self._record_nulls(relation, new_row)
+                    if record:
+                        head_rows.append((relation, new_row))
+                if record:
+                    self.recorder.on_tgd_fire(
+                        index, tgd, key,
+                        [(v, row[spec.var_attr[v]])
+                         for v in spec.frontier_vars],
+                        head_rows,
+                    )
+                memo.add(key)
+                fired += 1
+        finally:
+            self._credit = credit
+            self.steps += steps
+        if fired:
+            self.fired[name] = self.fired.get(name, 0) + fired
+        return examined
+
+    def _fast_candidates(self, spec: _FastFullTGD, rows: list[Row]):
+        """Yield ``(row, frontier_key)`` for rows passing the compiled
+        checks — via the process pool when enabled and worthwhile."""
+        pool = self.scan_pool
+        if pool is not None and len(rows) >= _PROCESS_CHUNK:
+            try:
+                hits = pool.submit(
+                    _scan_chunk, spec.scan_data(), rows
+                ).result()
+            except Exception:
+                hits = None  # unpicklable values etc.: scan inline
+            if hits is not None:
+                attrs = spec.frontier_attrs
+                return [
+                    (rows[i],
+                     key if key is not None
+                     else tuple([hashable_key(rows[i][a]) for a in attrs]))
+                    for i, key in hits
+                ]
+        return self._scan_inline(spec, rows)
+
+    def _scan_inline(self, spec: _FastFullTGD, rows: list[Row]):
+        hk = hashable_key
+        attrs = spec.frontier_attrs
+        required = spec.required
+        const_checks = spec.const_checks
+        eq_checks = spec.eq_checks
+        out = []
+        for row in rows:
+            try:
+                if const_checks:
+                    skip = False
+                    for attr, value in const_checks:
+                        if row.get(attr, _MISSING) != value:
+                            skip = True
+                            break
+                    if skip:
+                        continue
+                if eq_checks:
+                    skip = False
+                    for left, right in eq_checks:
+                        if row[left] != row[right]:
+                            skip = True
+                            break
+                    if skip:
+                        continue
+                ok = True
+                for attr in required:
+                    if attr not in row:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                out.append(
+                    (row, tuple([hk(row[a]) for a in attrs]))
+                )
+            except KeyError:
+                continue
+        return out
+
+    # -- merge application ---------------------------------------------
+    def apply_substitution(self, mapping: dict) -> tuple:
+        """Apply the coordinator's substitution to this shard's rows.
+
+        Returns ``(modified, migrations, positions)``: locally rewritten
+        rows still owned here, ``(owner, relation, row)`` for rows whose
+        key value was rewritten onto another shard, and the recorder's
+        rewritten positions.  Frontier memos stay sticky — see the
+        module docstring.
+        """
+        touched: dict[int, tuple[str, Row]] = {}
+        positions: list = []
+        record = self.record_events
+        for null, replacement in mapping.items():
+            occurrences = self.null_occurrences.pop(null, None)
+            if not occurrences:
+                continue
+            for row_id, (relation, row) in occurrences.items():
+                for attr, value in row.items():
+                    if isinstance(value, LabeledNull) and value == null:
+                        row[attr] = replacement
+                        if record:
+                            positions.append(
+                                (relation, row, attr, null, replacement)
+                            )
+                touched[row_id] = (relation, row)
+                if isinstance(replacement, LabeledNull):
+                    self.null_occurrences.setdefault(replacement, {})[
+                        row_id
+                    ] = (relation, row)
+        if not touched:
+            return [], [], positions
+        self.instance.mark_dirty()
+        modified: list[tuple[str, Row]] = []
+        migrations: list[tuple[int, str, Row]] = []
+        migrating: dict[str, list[Row]] = {}
+        for relation, row in touched.values():
+            attr = self.plan.keys.get(relation)
+            if attr is not None:
+                owner = hash(hashable_key(row.get(attr))) % self.plan.shards
+                if owner != self.shard_id:
+                    migrations.append((owner, relation, row))
+                    migrating.setdefault(relation, []).append(row)
+                    continue
+            modified.append((relation, row))
+        for relation, rows in migrating.items():
+            self.instance.remove_rows(relation, rows)
+            for row in rows:
+                self._forget_row_nulls(relation, row)
+        return modified, migrations, positions
+
+    def _forget_row_nulls(self, relation: str, row: Row) -> None:
+        row_id = id(row)
+        for value in row.values():
+            if isinstance(value, LabeledNull):
+                occurrences = self.null_occurrences.get(value)
+                if occurrences:
+                    occurrences.pop(row_id, None)
+
+    def adopt(self, relation: str, row: Row, derived: bool) -> None:
+        """Take ownership of a routed or migrated row (direct append —
+        identity preserved)."""
+        self.instance.relations.setdefault(relation, []).append(row)
+        if self.has_egds:
+            self._record_nulls(relation, row)
+        if derived:
+            self.derived.setdefault(relation, []).append(row)
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+class _ShardedChase:
+    """Lockstep round coordinator over ``plan.shards`` workers."""
+
+    def __init__(
+        self,
+        working: Instance,
+        dependencies: Sequence[Union[TGD, EGD]],
+        factory: NullFactory,
+        max_steps: int,
+        plan: ShardPlan,
+        recorder: Optional[ChaseRecorder],
+        initial_delta: Optional[dict[str, list[Row]]],
+    ) -> None:
+        self.working = working
+        self.dependencies = list(dependencies)
+        self.factory = factory
+        self.plan = plan
+        self.recorder = recorder
+        self.initial_delta = initial_delta
+        self.budget = _SharedBudget(max_steps)
+        shards = plan.shards
+        self.inboxes = [
+            queue.Queue(maxsize=_QUEUE_CAP) for _ in range(shards)
+        ]
+        base = factory.peek()
+        self._delta_owner: dict[int, int] = {}
+        instances = self._partition()
+        self.workers = [
+            _ShardWorker(
+                shard, plan, instances[shard], self.dependencies,
+                _StridedNullFactory(base, shard, shards), self.budget,
+                self.inboxes, recorder is not None,
+            )
+            for shard in range(shards)
+        ]
+        self.stats = ChaseStats()
+        self.stats.dep_kind = dict(self.workers[0].stats.dep_kind)
+        self.fired: dict[str, int] = {}
+        self.merged_any = False
+        self.rows_routed = 0
+        self.migrations = 0
+        self._pool = None
+        self._scan_pool = None
+        #: Coordinator chase span; worker round spans re-parent under
+        #: it so the trace stays one tree across threads.
+        self.parent_span = None
+
+    # ------------------------------------------------------------------
+    def _partition(self) -> list[Instance]:
+        plan = self.plan
+        shards = plan.shards
+        instances = [Instance() for _ in range(shards)]
+        delta_ids = set()
+        if self.initial_delta:
+            for rows in self.initial_delta.values():
+                delta_ids.update(id(row) for row in rows)
+        for relation, rows in self.working.relations.items():
+            targets = [instances[s].relations.setdefault(relation, [])
+                       for s in range(shards)]
+            key = plan.keys.get(relation)
+            key_values = None
+            if key is not None:
+                # Read the key column off the cached columnar batch when
+                # it covers every row — one list traversal instead of a
+                # dict lookup per row.
+                batch = self.working.column_batch(relation)
+                column = batch.cols.get(key)
+                if column is not None and column.full:
+                    key_values = column.values
+            if key is None:
+                for index, row in enumerate(rows):
+                    shard = index % shards
+                    targets[shard].append(row)
+                    if id(row) in delta_ids:
+                        self._delta_owner[id(row)] = shard
+            elif key_values is not None:
+                for row, value in zip(rows, key_values):
+                    shard = hash(hashable_key(value)) % shards
+                    targets[shard].append(row)
+                    if id(row) in delta_ids:
+                        self._delta_owner[id(row)] = shard
+            else:
+                for row in rows:
+                    shard = hash(hashable_key(row.get(key))) % shards
+                    targets[shard].append(row)
+                    if id(row) in delta_ids:
+                        self._delta_owner[id(row)] = shard
+        for instance in instances:
+            for relation in list(instance.relations):
+                if not instance.relations[relation]:
+                    del instance.relations[relation]
+        return instances
+
+    def _initial_deltas(self) -> list:
+        if self.initial_delta is None:
+            return [None] * self.plan.shards
+        deltas: list[dict[str, list[Row]]] = [
+            {} for _ in range(self.plan.shards)
+        ]
+        for relation, rows in self.initial_delta.items():
+            for row in rows:
+                shard = self._delta_owner.get(id(row))
+                if shard is None:
+                    owner = self.plan.owner(relation, row)
+                    shard = 0 if owner is None else owner
+                deltas[shard].setdefault(relation, []).append(row)
+        return deltas
+
+    # ------------------------------------------------------------------
+    def run(self) -> ChaseResult:
+        start = time.perf_counter()
+        shards = self.plan.shards
+        self._pool = ThreadPoolExecutor(
+            max_workers=shards, thread_name_prefix="chase-shard"
+        )
+        for worker in self.workers:
+            worker.parent_span = self.parent_span
+        if _use_processes():
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._scan_pool = ProcessPoolExecutor(max_workers=shards)
+                # Warm the pool from the coordinator thread: forking
+                # lazily from inside a worker thread is fork-unsafe.
+                self._scan_pool.submit(
+                    _scan_chunk, ((), (), (), ()), []
+                ).result()
+                for worker in self.workers:
+                    worker.scan_pool = self._scan_pool
+            except (ImportError, OSError):
+                self._scan_pool = None
+        try:
+            return self._run_rounds(start)
+        finally:
+            self._pool.shutdown(wait=True)
+            if self._scan_pool is not None:
+                self._scan_pool.shutdown(wait=True)
+
+    def _run_rounds(self, start: float) -> ChaseResult:
+        shards = self.plan.shards
+        # With no keyed relation, no worker can ever route a row, so
+        # the round barrier needs no concurrent inbox draining.
+        can_route = bool(self.plan.keys)
+        deltas: list = self._initial_deltas()
+        while True:
+            self.stats.rounds += 1
+            futures = [
+                self._pool.submit(worker.run_round, deltas[shard])
+                for shard, worker in enumerate(self.workers)
+            ]
+            staged: list[list] = [[] for _ in range(shards)]
+            if can_route:
+                pending = futures
+                while pending:
+                    done, pending = wait(
+                        pending, timeout=0.002, return_when=FIRST_COMPLETED
+                    )
+                    self._drain(staged)
+                self._drain(staged)
+            else:
+                wait(futures)
+            inserted = [future.result() for future in futures]
+            arrivals, remap = self._deliver(staged)
+            self._flush_tgd_events(remap)
+            modified, migrated = self._reconcile()
+            deltas = []
+            total = 0
+            for shard in range(shards):
+                extra = (arrivals[shard], modified[shard], migrated[shard])
+                if not any(extra):
+                    # Common case: nothing was routed, rewritten or
+                    # migrated this round — the worker's own inserts
+                    # (already per-row unique) are the next delta.
+                    delta = inserted[shard]
+                    total += sum(len(rows) for rows in delta.values())
+                    deltas.append(delta)
+                    continue
+                seen: set[int] = set()
+                delta = {}
+                for source in (inserted[shard],) + extra:
+                    for relation, rows in source.items():
+                        for row in rows:
+                            if id(row) in seen:
+                                continue
+                            seen.add(id(row))
+                            delta.setdefault(relation, []).append(row)
+                total += len(seen)
+                deltas.append(delta)
+            self.stats.delta_sizes.append(total)
+            if not total:
+                break
+        return self._finalize(start)
+
+    def _drain(self, staged: list[list]) -> None:
+        for shard, inbox in enumerate(self.inboxes):
+            bucket = staged[shard]
+            while True:
+                try:
+                    bucket.append(inbox.get_nowait())
+                except queue.Empty:
+                    break
+
+    # ------------------------------------------------------------------
+    def _deliver(self, staged: list[list]) -> tuple[list, dict]:
+        """Adopt routed rows at their owners, deduplicating exact
+        duplicates (the firing shard could not see the owner's rows, so
+        its head-satisfaction test may have missed)."""
+        arrivals: list[dict[str, list[Row]]] = [
+            {} for _ in range(self.plan.shards)
+        ]
+        remap: dict[int, Row] = {}
+        for shard, envelopes in enumerate(staged):
+            if not envelopes:
+                continue
+            envelopes.sort(key=lambda e: (e[0], e[1]))
+            worker = self.workers[shard]
+            instance = worker.instance
+            for _origin, _seq, relation, row in envelopes:
+                self.rows_routed += 1
+                existing = self._find_identical(instance, relation, row)
+                if existing is not None:
+                    remap[id(row)] = existing
+                    continue
+                worker.adopt(relation, row, derived=True)
+                arrivals[shard].setdefault(relation, []).append(row)
+        return arrivals, remap
+
+    @staticmethod
+    def _find_identical(
+        instance: Instance, relation: str, row: Row
+    ) -> Optional[Row]:
+        attrs = tuple(sorted(row))
+        if not attrs:
+            return None
+        values = tuple(hashable_key(row[a]) for a in attrs)
+        if not instance.projection_member(relation, attrs, values):
+            return None
+        for candidate in instance.index_lookup(relation, attrs[0],
+                                               row[attrs[0]]):
+            if len(candidate) == len(row) and candidate == row:
+                return candidate
+        return None
+
+    def _flush_tgd_events(self, remap: dict[int, Row]) -> None:
+        recorder = self.recorder
+        if recorder is None:
+            return
+        entries = []
+        for worker in self.workers:
+            for event in worker.events:
+                entries.append((worker.shard_id,) + event)
+            worker.events.clear()
+        entries.sort(key=lambda e: (e[0], e[1]))
+        current = None
+        for shard, _seq, dep_index, tgd, key, frontier_items, rows in entries:
+            if shard != current:
+                recorder.on_shard(shard)
+                current = shard
+            if remap:
+                rows = [
+                    (relation, remap.get(id(row), row))
+                    for relation, row in rows
+                ]
+            recorder.on_tgd_fire(dep_index, tgd, key, frontier_items, rows)
+
+    # ------------------------------------------------------------------
+    def _reconcile(self) -> tuple[list, list]:
+        """Global egd pass: union buffered equalities in deterministic
+        ``(shard, sequence)`` order, apply the substitution per shard,
+        and migrate rows whose key value was rewritten."""
+        shards = self.plan.shards
+        modified: list[dict[str, list[Row]]] = [{} for _ in range(shards)]
+        migrated: list[dict[str, list[Row]]] = [{} for _ in range(shards)]
+        equalities = []
+        for worker in self.workers:
+            for event in worker.round_equalities:
+                equalities.append((worker.shard_id,) + event)
+            worker.round_equalities.clear()
+        if not equalities:
+            return modified, migrated
+        equalities.sort(key=lambda e: (e[0], e[1]))
+        union_find = _UnionFind()
+        recorder = self.recorder
+        current = None
+        for shard, _seq, dep_index, body_key, left, right in equalities:
+            dependency = self.dependencies[dep_index]
+            name = dependency.name or str(dependency)[:60]
+            if union_find.union(left, right, name):
+                self.budget.charge()
+                self.stats.merges += 1
+                display = self.workers[0].names[dep_index]
+                self.fired[display] = self.fired.get(display, 0) + 1
+                if recorder is not None:
+                    if shard != current:
+                        recorder.on_shard(shard)
+                        current = shard
+                    recorder.on_egd_union(
+                        dep_index, dependency, body_key, left, right
+                    )
+        mapping = union_find.substitution()
+        if not mapping:
+            return modified, migrated
+        self.merged_any = True
+        positions: list = []
+        moves: list[tuple[int, str, Row]] = []
+        for shard, worker in enumerate(self.workers):
+            local, migrations, shard_positions = (
+                worker.apply_substitution(mapping)
+            )
+            for relation, row in local:
+                modified[shard].setdefault(relation, []).append(row)
+            moves.extend(migrations)
+            positions.extend(shard_positions)
+        for owner, relation, row in moves:
+            self.migrations += 1
+            # Migrated rows keep their place in the origin shard's
+            # derived list (each derived row merges into the working
+            # instance exactly once), so adopt non-derived here.
+            self.workers[owner].adopt(relation, row, derived=False)
+            migrated[owner].setdefault(relation, []).append(row)
+        if recorder is not None and positions:
+            recorder.on_shard(-1)
+            recorder.on_substitution(positions)
+        return modified, migrated
+
+    # ------------------------------------------------------------------
+    def _finalize(self, start: float) -> ChaseResult:
+        stats = self.stats
+        fired = dict(self.fired)
+        for worker in self.workers:
+            for name, count in worker.fired.items():
+                fired[name] = fired.get(name, 0) + count
+            for name, count in worker.stats.triggers_examined.items():
+                stats.triggers_examined[name] = (
+                    stats.triggers_examined.get(name, 0) + count
+                )
+            for name, seconds in worker.stats.dep_wall.items():
+                stats.dep_wall[name] = (
+                    stats.dep_wall.get(name, 0.0) + seconds
+                )
+            shard_stats = worker.instance.index_stats
+            stats.index_hits += shard_stats["hits"]
+            stats.index_extends += shard_stats["extends"]
+            stats.index_rebuilds += shard_stats["rebuilds"]
+            for relation, rows in worker.derived.items():
+                self.working.relations.setdefault(relation, []).extend(rows)
+        if self.merged_any:
+            self.working.mark_dirty()
+        max_label = max(
+            (worker.factory.max_used for worker in self.workers),
+            default=-1,
+        )
+        if max_label >= 0:
+            self.factory.advance_to(max_label + 1)
+        stats.dep_fired = dict(fired)
+        stats.wall_time = time.perf_counter() - start
+        return ChaseResult(
+            instance=self.working,
+            steps=self.budget.used,
+            fired=fired,
+            null_factory=self.factory,
+            stats=stats,
+        )
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def sharded_chase(
+    working: Instance,
+    dependencies: Sequence[Union[TGD, EGD]],
+    factory: NullFactory,
+    max_steps: int,
+    shards: int,
+    recorder: Optional[ChaseRecorder] = None,
+    initial_delta: Optional[dict[str, list[Row]]] = None,
+) -> Optional[ChaseResult]:
+    """Run the shard-parallel chase, or return ``None`` when the
+    dependency set admits no co-partitioning (the caller falls back to
+    the sequential engine)."""
+    plan = plan_shards(dependencies, shards)
+    if plan is None:
+        return None
+    engine = _ShardedChase(
+        working, dependencies, factory, max_steps, plan,
+        recorder, initial_delta,
+    )
+    if not _OBS.enabled:
+        return engine.run()
+    from repro.observability.metrics import registry
+    from repro.observability.tracing import tracer
+
+    with tracer.span(
+        "logic.chase",
+        dependencies=len(dependencies),
+        source_rows=working.total_rows(),
+        shards=plan.shards,
+    ) as span:
+        engine.parent_span = span
+        result = engine.run()
+        span.set_attributes(rounds=result.stats.rounds, steps=result.steps)
+        _publish_stats(result.stats, result.steps)
+        registry.counter("chase.shard.runs").inc()
+        registry.counter("chase.shard.rows_routed").inc(engine.rows_routed)
+        registry.counter("chase.shard.migrations").inc(engine.migrations)
+        registry.gauge("chase.shard.count").set(plan.shards)
+    return result

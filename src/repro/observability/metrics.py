@@ -2,9 +2,11 @@
 
 The registry (:data:`registry`) is a process-wide name → metric map.
 Recording sites in the engine guard every update with
-``STATE.enabled`` so a disabled registry costs one attribute check;
-the registry itself never guards, which keeps it usable for code (the
-benchmark harness, tests) that manages the switch explicitly.
+``STATE.enabled`` so a disabled registry costs one attribute check.
+Each metric's update path (``inc`` / ``set`` / ``observe``) is
+serialized on a per-metric lock, so concurrent shard workers never
+lose increments; the enable/disable switch itself stays unguarded for
+code (the benchmark harness, tests) that manages it explicitly.
 
 Histograms use *fixed* bucket bounds so percentile summaries need no
 stored samples: a percentile is located in its bucket by cumulative
@@ -56,32 +58,40 @@ COUNT_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    Updates are serialized on a lock (the registry hands every metric
+    its own lock): ``value += amount`` is a read-modify-write, so
+    unguarded concurrent shard workers could lose increments."""
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None):
         self.name = name
         self.value = 0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> dict:
         return {"type": "counter", "value": self.value}
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins, atomically)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None):
         self.name = name
         self.value: Optional[float] = None
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def to_dict(self) -> dict:
         return {"type": "gauge", "value": self.value}
@@ -91,11 +101,13 @@ class Histogram:
     """Fixed-bucket histogram with interpolated percentile summaries."""
 
     __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
-                 "min", "max")
+                 "min", "max", "_lock")
 
     def __init__(self, name: str,
-                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+                 buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 lock: Optional[threading.Lock] = None):
         self.name = name
+        self._lock = lock if lock is not None else threading.Lock()
         self.bounds = tuple(sorted(buckets))
         self.bucket_counts = [0] * (len(self.bounds) + 1)  # last: +Inf
         self.count = 0
@@ -104,13 +116,14 @@ class Histogram:
         self.max: Optional[float] = None
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> Optional[float]:
@@ -211,14 +224,14 @@ class MetricsRegistry:
         return metric
 
     def counter(self, name: str) -> Counter:
-        metric = self._get_or_create(name, lambda: Counter(name))
+        metric = self._get_or_create(name, lambda: Counter(name, lock=threading.Lock()))
         if not isinstance(metric, Counter):
             raise TypeError(f"{name!r} is a {type(metric).__name__}, "
                             "not a Counter")
         return metric
 
     def gauge(self, name: str) -> Gauge:
-        metric = self._get_or_create(name, lambda: Gauge(name))
+        metric = self._get_or_create(name, lambda: Gauge(name, lock=threading.Lock()))
         if not isinstance(metric, Gauge):
             raise TypeError(f"{name!r} is a {type(metric).__name__}, "
                             "not a Gauge")
@@ -227,7 +240,8 @@ class MetricsRegistry:
     def histogram(self, name: str,
                   buckets: Optional[Sequence[float]] = None) -> Histogram:
         metric = self._get_or_create(
-            name, lambda: Histogram(name, buckets or DEFAULT_BUCKETS)
+            name, lambda: Histogram(name, buckets or DEFAULT_BUCKETS,
+                              lock=threading.Lock())
         )
         if not isinstance(metric, Histogram):
             raise TypeError(f"{name!r} is a {type(metric).__name__}, "

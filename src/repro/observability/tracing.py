@@ -91,12 +91,24 @@ class Tracer:
         return stack[-1] if stack else None
 
     # ------------------------------------------------------------------
-    def start(self, name: str, **attributes: object) -> Span:
+    def start(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        **attributes: object,
+    ) -> Span:
         """Begin a span unconditionally (callers must have checked
-        ``STATE.enabled``; prefer :meth:`span`)."""
+        ``STATE.enabled``; prefer :meth:`span`).
+
+        ``parent`` overrides the implicit this-thread nesting: shard
+        workers pass the coordinator's chase span so their rounds join
+        its tree instead of becoming disconnected roots.  The explicit
+        parent must still be open (child appends are atomic under the
+        GIL, so concurrent workers may share one parent)."""
         with self._lock:
             span_id = f"s{next(self._ids):04d}"
-        parent = self.current()
+        if parent is None:
+            parent = self.current()
         span = Span(
             name=name,
             span_id=span_id,
@@ -130,13 +142,19 @@ class Tracer:
         registry.histogram(f"span.{span.name}.wall_ms").observe(span.wall_ms)
 
     @contextmanager
-    def span(self, name: str, **attributes: object) -> Iterator[Optional[Span]]:
+    def span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        **attributes: object,
+    ) -> Iterator[Optional[Span]]:
         """Context manager for one span; yields ``None`` (and does no
-        work at all) while tracing is disabled."""
+        work at all) while tracing is disabled.  ``parent`` explicitly
+        re-parents the span (see :meth:`start`)."""
         if not STATE.enabled:
             yield None
             return
-        span = self.start(name, **attributes)
+        span = self.start(name, parent=parent, **attributes)
         try:
             yield span
         finally:

@@ -46,6 +46,7 @@ from repro.runtime.indexing import KeywordIndex, SearchHit
 from repro.runtime.business_logic import Trigger, TriggerSet, pushdown
 from repro.runtime.synchronization import (
     Endpoint,
+    QueuedSynchronizer,
     ReplicationRule,
     Synchronizer,
 )
@@ -65,5 +66,5 @@ __all__ = [
     "BatchLoader",
     "KeywordIndex", "SearchHit",
     "Trigger", "TriggerSet", "pushdown",
-    "Endpoint", "ReplicationRule", "Synchronizer",
+    "Endpoint", "QueuedSynchronizer", "ReplicationRule", "Synchronizer",
 ]

@@ -1,0 +1,540 @@
+"""Shard-parallel chase: planner, differential equivalence, recorder
+merging, thread-safe observability, and the concurrent runtime fronts.
+
+The load-bearing property is *equivalence modulo nulls*: for every
+workload and every shard count, the sharded engine must produce an
+instance `set_equal_modulo_nulls` to the sequential engine's — and at
+``shards=1`` the sequential engine itself runs, byte-identically.
+"""
+
+import copy
+import random
+import threading
+
+import pytest
+
+from repro.instances import Instance
+from repro.instances.database import freeze_row
+from repro.logic import chase, parse_egd, parse_tgd
+from repro.logic.chase import ChaseRecorder
+from repro.logic.sharding import plan_shards
+from repro.mappings import Mapping
+from repro.metamodel import INT, SchemaBuilder
+from repro.observability.metrics import Counter, Gauge, Histogram
+from repro.runtime.incremental import (
+    MaterializedExchange,
+    set_equal_modulo_nulls,
+)
+from repro.runtime.p2p import PeerNetwork
+from repro.runtime.synchronization import QueuedSynchronizer
+from repro.runtime.updates import UpdateSet
+
+
+def _assert_equivalent(build, shards, same_steps=True):
+    """Chase ``build()`` sequentially and with ``shards`` shards and
+    assert the results are equal modulo nulls (and, by default, took
+    the same number of steps)."""
+    db_seq, deps = build()
+    db_shard = copy.deepcopy(db_seq)
+    seq = chase(db_seq, deps, shards=1)
+    sharded = chase(db_shard, deps, shards=shards)
+    assert set_equal_modulo_nulls(seq.instance, sharded.instance), (
+        f"sharded({shards}) diverged: "
+        f"{seq.instance.total_rows()} vs {sharded.instance.total_rows()} rows"
+    )
+    if same_steps:
+        assert seq.steps == sharded.steps
+    return seq, sharded
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+class TestPlanShards:
+    def test_chain_is_partitionable(self):
+        deps = [
+            parse_tgd("R0(a=x, b=y) -> R1(a=x, b=y)"),
+            parse_tgd("R1(a=x, b=y) -> R2(a=x, b=y)"),
+        ]
+        plan = plan_shards(deps, 4)
+        assert plan is not None
+        assert plan.keys == {"R0": "a", "R1": "a", "R2": "a"}
+
+    def test_dropped_head_var_falls_back(self):
+        # The join variable y is keyed in the body but absent from the
+        # head: derived rows could not be born on their owner shard, so
+        # the planner must refuse (sequential fallback).
+        deps = [
+            parse_tgd("E(src=x, dst=y) & L(node=y, tag=t) -> M(node=x, tag=t)"),
+        ]
+        assert plan_shards(deps, 4) is None
+
+    def test_join_var_kept_in_head_is_partitionable(self):
+        deps = [
+            parse_tgd("E(src=x, dst=y) & L(node=y, tag=t) -> M(hub=y, tag=t)"),
+        ]
+        plan = plan_shards(deps, 4)
+        assert plan is not None
+        assert plan.keys["E"] == "dst"
+        assert plan.keys["L"] == "node"
+        assert plan.keys["M"] == "hub"
+
+    def test_egd_needs_only_body_colocation(self):
+        deps = [
+            parse_tgd("P(k=x, v=v) -> Q(k=x, w=y)"),
+            parse_egd("Q(k=x, w=y1) & Q(k=x, w=y2) -> y1 = y2"),
+        ]
+        plan = plan_shards(deps, 4)
+        assert plan is not None
+        assert plan.keys["P"] == "k" and plan.keys["Q"] == "k"
+
+    def test_disjoint_atoms_fall_back(self):
+        # No variable shared by both body atoms: a cross-product
+        # trigger can never be shard-local.
+        deps = [parse_tgd("A(a=x) & B(b=y) -> C(a=x, b=y)")]
+        assert plan_shards(deps, 4) is None
+
+    def test_owner_is_stable_per_key(self):
+        plan = plan_shards([parse_tgd("R0(a=x, b=y) -> R1(a=x, b=y)")], 4)
+        owners = {plan.owner("R0", {"a": k, "b": 0}) for k in range(64)}
+        assert owners <= set(range(4)) and len(owners) > 1
+        assert plan.owner("R0", {"a": 7, "b": 1}) == plan.owner(
+            "R1", {"a": 7, "b": 2}
+        )
+
+
+# ----------------------------------------------------------------------
+# differential equivalence
+# ----------------------------------------------------------------------
+def _chain(rows=2000, stages=3, mod=7):
+    db = Instance()
+    db.insert_all("R0", [{"a": i, "b": i % mod} for i in range(rows)])
+    deps = [
+        parse_tgd(f"R{k}(a=x, b=y) -> R{k + 1}(a=x, b=y)")
+        for k in range(stages)
+    ]
+    deps.reverse()  # worst-case ordering: every stage needs a round
+    return db, deps
+
+
+def _egd_heavy(rows=300, keys=30):
+    db = Instance()
+    db.insert_all("P", [{"k": i % keys, "v": i} for i in range(rows)])
+    deps = [
+        parse_tgd("P(k=x, v=v) -> Q(k=x, w=y)"),
+        parse_egd("Q(k=x, w=y1) & Q(k=x, w=y2) -> y1 = y2"),
+    ]
+    return db, deps
+
+
+def _midmerge(rows=400, keys=40):
+    # Existentials minted mid-chain and merged by egds while the next
+    # stage is still firing — exercises null adoption across frontiers.
+    db = Instance()
+    db.insert_all("A", [{"k": i % keys, "v": i} for i in range(rows)])
+    deps = [
+        parse_tgd("A(k=x, v=v) -> B(k=x, u=y)"),
+        parse_tgd("B(k=x, u=y) -> C(k=x, u=y)"),
+        parse_egd("B(k=x, u=y1) & B(k=x, u=y2) -> y1 = y2"),
+        parse_egd("C(k=x, u=y1) & C(k=x, u=y2) -> y1 = y2"),
+    ]
+    return db, deps
+
+
+def _sequential_fallback_join(rows=500):
+    # plan_shards returns None for this shape (head drops the join
+    # var), so chase(shards=N) must silently run sequentially.
+    db = Instance()
+    db.insert_all("E", [{"src": i, "dst": (i * 17) % rows}
+                        for i in range(rows)])
+    db.insert_all("L", [{"node": i, "tag": i % 3} for i in range(rows)])
+    deps = [
+        parse_tgd("E(src=x, dst=y) & L(node=y, tag=t) -> M(node=x, tag=t)"),
+        parse_tgd("M(node=x, tag=t) -> Out(node=x, tag=t)"),
+    ]
+    return db, deps
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_chain(self, shards):
+        _assert_equivalent(_chain, shards)
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_egd_heavy(self, shards):
+        _assert_equivalent(_egd_heavy, shards)
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_midmerge(self, shards):
+        _assert_equivalent(_midmerge, shards)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sequential_fallback_join(self, shards):
+        _assert_equivalent(_sequential_fallback_join, shards)
+
+    def test_shards_one_is_sequential(self, monkeypatch):
+        # The baseline must be the sequential engine even when the CI
+        # lane forces REPRO_CHASE_SHARDS on the whole suite.
+        monkeypatch.delenv("REPRO_CHASE_SHARDS", raising=False)
+        db, deps = _chain(rows=200)
+        base = chase(copy.deepcopy(db), deps)
+        one = chase(copy.deepcopy(db), deps, shards=1)
+        assert base.steps == one.steps
+        assert {
+            rel: sorted(map(freeze_row, base.instance.rows(rel)))
+            for rel in base.instance.relations
+        } == {
+            rel: sorted(map(freeze_row, one.instance.rows(rel)))
+            for rel in one.instance.relations
+        }
+
+    def test_env_switch_engages_sharding(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHASE_SHARDS", "4")
+        db, deps = _chain(rows=400)
+        seq = chase(copy.deepcopy(db), deps, shards=1)
+        sharded = chase(db, deps)  # resolves from the environment
+        assert set_equal_modulo_nulls(seq.instance, sharded.instance)
+
+    def test_budget_enforced_across_shards(self):
+        from repro.errors import ChaseNonTermination
+
+        db, deps = _chain(rows=2000)
+        with pytest.raises(ChaseNonTermination):
+            chase(db, deps, max_steps=100, shards=4)
+
+
+class TestRandomizedDifferential:
+    """Randomized workloads: uniform and skewed key distributions,
+    random chain shapes, optional existentials and egds."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 23, 99])
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_random_workload(self, seed, shards):
+        rng = random.Random(seed)
+        stages = rng.randint(2, 4)
+        rows = rng.randint(200, 800)
+        keyspace = rng.choice([5, 17, rows])
+        skewed = rng.random() < 0.5
+
+        def build():
+            db = Instance()
+            for i in range(rows):
+                if skewed:
+                    # ~half the rows pile onto key 0 (hot shard).
+                    k = 0 if rng.random() < 0.5 else rng.randrange(keyspace)
+                else:
+                    k = rng.randrange(keyspace)
+                db.insert("S0", {"a": k, "b": i})
+            deps = []
+            for s in range(stages):
+                if rng.random() < 0.3:
+                    deps.append(parse_tgd(
+                        f"S{s}(a=x, b=y) -> S{s + 1}(a=x, c=z)"
+                    ))
+                    deps.append(parse_egd(
+                        f"S{s + 1}(a=x, c=z1) & S{s + 1}(a=x, c=z2) "
+                        "-> z1 = z2"
+                    ))
+                else:
+                    deps.append(parse_tgd(
+                        f"S{s}(a=x, b=y) -> S{s + 1}(a=x, b=y)"
+                    ))
+            rng.shuffle(deps)
+            return db, deps
+
+        # rng is consumed while building; build once, deep-copy for
+        # the two runs inside the helper.
+        db, deps = build()
+        _assert_equivalent(lambda: (copy.deepcopy(db), deps), shards)
+
+
+# ----------------------------------------------------------------------
+# recorder / provenance sharding
+# ----------------------------------------------------------------------
+class _ShardLog(ChaseRecorder):
+    def __init__(self):
+        self.shard_switches = []
+        self.fires = []
+
+    def on_shard(self, shard_id):
+        self.shard_switches.append(shard_id)
+
+    def on_tgd_fire(self, dep_index, tgd, frontier_key, frontier_items,
+                    rows):
+        self.fires.append((self.shard_switches[-1]
+                           if self.shard_switches else -1,
+                           dep_index, tuple(sorted(
+                               freeze_row(r) for _, r in rows))))
+
+
+class TestRecorderSharding:
+    def test_on_shard_brackets_replayed_events(self):
+        db, deps = _chain(rows=400)
+        log = _ShardLog()
+        chase(db, deps, shards=4, recorder=log)
+        assert log.fires, "recorder saw no firings"
+        shard_ids = {s for s, _, _ in log.fires}
+        assert shard_ids <= set(range(4))
+        assert len(shard_ids) > 1, "all firings landed on one shard"
+
+    def test_replay_order_is_deterministic(self):
+        def run():
+            db, deps = _chain(rows=300)
+            log = _ShardLog()
+            chase(db, deps, shards=4, recorder=log)
+            return log.fires
+
+        assert run() == run()
+
+    def test_sequential_chase_never_calls_on_shard(self):
+        db, deps = _chain(rows=100)
+        log = _ShardLog()
+        chase(db, deps, shards=1, recorder=log)
+        assert log.shard_switches == []
+        assert all(s == -1 for s, _, _ in log.fires)
+
+
+# ----------------------------------------------------------------------
+# MaterializedExchange with shards
+# ----------------------------------------------------------------------
+def _exchange_fixture(rows=300):
+    source_schema = (
+        SchemaBuilder("S").entity("Raw", key=["k"])
+        .attribute("k", INT).attribute("v", INT).build()
+    )
+    target_schema = (
+        SchemaBuilder("T").entity("Fact", key=["k"])
+        .attribute("k", INT).attribute("v", INT).build()
+    )
+    mapping = Mapping(source_schema, target_schema,
+                      [parse_tgd("Raw(k=x, v=y) -> Fact(k=x, v=y)")])
+    source = Instance(source_schema)
+    for i in range(rows):
+        source.add("Raw", k=i, v=i * 2)
+    return mapping, source
+
+
+class TestMaterializedExchangeSharded:
+    def test_build_and_maintain_match_sequential(self):
+        mapping, source = _exchange_fixture()
+        seq = MaterializedExchange(mapping, copy.deepcopy(source), shards=1)
+        sharded = MaterializedExchange(mapping, copy.deepcopy(source),
+                                       shards=4)
+        assert set_equal_modulo_nulls(seq.target_instance(),
+                                      sharded.target_instance())
+        update = (UpdateSet().insert("Raw", k=1000, v=1)
+                  .delete("Raw", k=3, v=6))
+        d_seq = seq.apply(update)
+        d_sh = sharded.apply(copy.deepcopy(update))
+        assert set_equal_modulo_nulls(seq.target_instance(),
+                                      sharded.target_instance())
+        assert d_seq.size() == d_sh.size()
+
+
+# ----------------------------------------------------------------------
+# thread-safe observability (satellite: counters under contention)
+# ----------------------------------------------------------------------
+def _hammer(fn, threads=8, iterations=2000):
+    barrier = threading.Barrier(threads)
+
+    def work():
+        barrier.wait()
+        for _ in range(iterations):
+            fn()
+
+    pool = [threading.Thread(target=work) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    return threads * iterations
+
+
+class TestThreadSafeObservability:
+    def test_counter_loses_no_increments(self):
+        counter = Counter("t.counter")
+        total = _hammer(counter.inc)
+        assert counter.value == total
+
+    def test_histogram_counts_every_observation(self):
+        histogram = Histogram("t.hist")
+        total = _hammer(lambda: histogram.observe(1.0))
+        assert histogram.count == total
+        assert histogram.summary()["count"] == total
+
+    def test_gauge_last_write_wins_without_tearing(self):
+        gauge = Gauge("t.gauge")
+        _hammer(lambda: gauge.set(42.0))
+        assert gauge.value == 42.0
+
+    def test_index_stats_under_concurrent_lookups(self):
+        db = Instance()
+        db.insert_all("R", [{"a": i, "b": i % 5} for i in range(100)])
+        # Prime the projection index so every hammer call is a hit.
+        db.projection_member("R", ("b",), (0,))
+        baseline = dict(db.index_stats)
+        total = _hammer(
+            lambda: db.projection_member("R", ("b",), (1,)),
+            threads=8, iterations=1000,
+        )
+        stats = db.index_stats
+        assert stats["hits"] == baseline["hits"] + total
+        # A second read is stable (events were drained exactly once).
+        assert db.index_stats["hits"] == stats["hits"]
+
+    def test_index_stats_concurrent_readers_and_writers(self):
+        db = Instance()
+        db.insert_all("R", [{"a": i} for i in range(50)])
+        db.projection_member("R", ("a",), (0,))
+        stop = threading.Event()
+        seen = []
+
+        def reader():
+            while not stop.is_set():
+                seen.append(db.index_stats["hits"])
+
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            total = _hammer(
+                lambda: db.projection_member("R", ("a",), (1,)),
+                threads=4, iterations=1000,
+            )
+        finally:
+            stop.set()
+            t.join()
+        assert db.index_stats["hits"] >= total
+        assert seen == sorted(seen), "hit counter went backwards"
+
+    def test_instance_stays_deepcopyable_and_picklable(self):
+        import pickle
+
+        db = Instance()
+        db.insert_all("R", [{"a": 1}])
+        db.projection_member("R", ("a",), (1,))
+        clone = copy.deepcopy(db)
+        assert clone.index_stats["hits"] == db.index_stats["hits"]
+        revived = pickle.loads(pickle.dumps(db))
+        assert revived.rows("R") == db.rows("R")
+
+
+# ----------------------------------------------------------------------
+# concurrent runtime fronts
+# ----------------------------------------------------------------------
+def _peer_network(peers=4, rows=30):
+    network = PeerNetwork()
+    schemas = []
+    for i in range(peers):
+        schemas.append(
+            SchemaBuilder(f"P{i}").entity(f"R{i}", key=["k"])
+            .attribute("k", INT).attribute("v", INT).build()
+        )
+        data = None
+        if i == 0:
+            data = Instance()
+            for r in range(rows):
+                data.add("R0", k=r, v=r * 2)
+        network.add_peer(f"p{i}", schemas[i], data)
+    for i in range(peers - 1):
+        network.add_mapping(
+            f"p{i}", f"p{i + 1}",
+            Mapping(schemas[i], schemas[i + 1], [
+                parse_tgd(f"R{i}(k=x, v=y) -> R{i + 1}(k=x, v=y)")
+            ]),
+        )
+    return network
+
+
+class TestPipelinedPropagation:
+    def test_matches_serial_propagate_update(self):
+        batches = [
+            UpdateSet().insert("R0", k=100 + i, v=i) for i in range(6)
+        ] + [UpdateSet().delete("R0", k=2)]
+        serial = _peer_network()
+        expected = [
+            serial.propagate_update("p0", "p3", copy.deepcopy(b))
+            for b in batches
+        ]
+        pipelined = _peer_network()
+        got = pipelined.propagate_updates(
+            "p0", "p3", [copy.deepcopy(b) for b in batches], queue_depth=2
+        )
+        assert [d.inserts for d in got] == [d.inserts for d in expected]
+        assert [d.deletes for d in got] == [d.deletes for d in expected]
+        assert set_equal_modulo_nulls(
+            serial.materialized_target("p0", "p3"),
+            pipelined.materialized_target("p0", "p3"),
+        )
+
+    def test_empty_batch_list(self):
+        network = _peer_network()
+        assert network.propagate_updates("p0", "p3", []) == []
+
+    def test_more_batches_than_queue_depth(self):
+        network = _peer_network()
+        batches = [UpdateSet().insert("R0", k=200 + i, v=i)
+                   for i in range(12)]
+        results = network.propagate_updates("p0", "p3", batches,
+                                            queue_depth=1)
+        assert len(results) == 12
+        maintained = network.materialized_target("p0", "p3")
+        assert {r["k"] for r in maintained.rows("R3")} >= {
+            200 + i for i in range(12)
+        }
+
+
+class TestQueuedSynchronizer:
+    def _synchronizer(self):
+        from repro.runtime.synchronization import Endpoint, Synchronizer
+        from repro.workloads import paper
+
+        mapping = paper.figure2_mapping()
+        primary = Endpoint(mapping, paper.figure2_sql_instance(),
+                           name="primary")
+        replica = Endpoint(paper.figure2_mapping(),
+                           Instance(mapping.source), name="replica")
+        synchronizer = Synchronizer(primary, replica)
+        synchronizer.add_rule("Customer")
+        synchronizer.synchronize()
+        return synchronizer
+
+    def test_drain_returns_ordered_deltas(self):
+        synchronizer = self._synchronizer()
+        queued = QueuedSynchronizer(synchronizer, maxsize=2)
+        template = dict(synchronizer.primary.source.rows("Client")[0])
+        batches = []
+        for i in range(5):
+            row = dict(template)
+            row["Id"] = 1000 + i
+            batches.append(UpdateSet().insert("Client", **row))
+        for batch in batches:
+            queued.submit(batch)
+        deltas = queued.drain()
+        queued.close()
+        assert len(deltas) == 5
+        assert synchronizer.verify_converged()
+        ids = {r["Id"] for r in
+               synchronizer.replica.source.rows("Client")}
+        assert ids >= {1000 + i for i in range(5)}
+
+    def test_submit_after_close_rejected(self):
+        from repro.errors import MappingError
+
+        queued = QueuedSynchronizer(self._synchronizer())
+        queued.close()
+        with pytest.raises(MappingError):
+            queued.submit(UpdateSet())
+
+    def test_drain_reraises_worker_error(self):
+        synchronizer = self._synchronizer()
+        queued = QueuedSynchronizer(synchronizer)
+
+        def boom(update):
+            raise RuntimeError("forwarding failed")
+
+        synchronizer.forward_update = boom
+        queued.submit(UpdateSet().insert("Client", Id=1, Name="x",
+                                         CreditScore=1, Address="y"))
+        with pytest.raises(RuntimeError, match="forwarding failed"):
+            queued.drain()
+        queued.close()
