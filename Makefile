@@ -2,15 +2,15 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test lint trace-smoke query-smoke updates-smoke \
-	optimizer-smoke shard-smoke bench-smoke bench-chase bench \
-	bench-query bench-updates bench-optimizer bench-shard \
+	optimizer-smoke shard-smoke health-smoke bench-smoke bench-chase \
+	bench bench-query bench-updates bench-optimizer bench-shard \
 	bench-json bench-check bench-check-smoke
 
 # Tier-1: the whole unit/integration suite, after the static, tracing,
-# query-engine, incremental-maintenance, optimizer and shard smoke
-# gates.
+# query-engine, incremental-maintenance, optimizer, shard and health
+# smoke gates.
 test: lint trace-smoke query-smoke updates-smoke optimizer-smoke \
-		shard-smoke
+		shard-smoke health-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Static checks: ruff with the pinned config in pyproject.toml.
@@ -64,6 +64,19 @@ optimizer-smoke:
 # full `make bench-shard` runs only).  No JSON rewrite.
 shard-smoke:
 	$(PYTHON) benchmarks/bench_sharded_chase.py --smoke
+
+# Health-monitor gate: `repro health` must exit 0 on a healthy
+# workload and nonzero when a threshold is deliberately breached
+# (slow_query_rate_max=-1 makes any logged query an alert).
+health-smoke:
+	@$(PYTHON) -m repro health examples/schema_evolution.py --quiet \
+		>/dev/null || (echo "health-smoke: healthy run alerted" && exit 1)
+	@if $(PYTHON) -m repro health examples/schema_evolution.py --quiet \
+		--threshold slow_query_rate_max=-1 \
+		--threshold min_query_samples=1 >/dev/null; then \
+		echo "health-smoke: breached threshold did not alert"; exit 1; \
+	fi
+	@echo "health-smoke: exit codes ok"
 
 # Fast perf sanity after tier-1: smallest size only, no JSON rewrite.
 bench-smoke: test

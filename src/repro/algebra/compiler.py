@@ -1577,7 +1577,7 @@ class CompiledPlan:
     __slots__ = (
         "expr", "fingerprint", "size", "_run", "_owned",
         "nodes", "root_id", "_profiled_run", "_profiled_owned",
-        "last_profile", "optimized_from",
+        "last_profile", "optimized_from", "_annotate_memo",
     )
 
     def __init__(self, expr: E.RelExpr, fingerprint: Optional[str] = None):
@@ -1587,6 +1587,7 @@ class CompiledPlan:
         self._profiled_run = None
         self._profiled_owned = True
         self.last_profile: Optional[PlanProfile] = None
+        self._annotate_memo = None     # annotate_plan's per-instance memo
         # Source fingerprint when the adaptive cache compiled this plan
         # from a cost-based rewrite of a different tree (EXPLAIN shows
         # it); informational only.

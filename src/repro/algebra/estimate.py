@@ -25,6 +25,7 @@ on.
 
 from __future__ import annotations
 
+import weakref
 from typing import Optional
 
 from repro.algebra import expressions as E
@@ -445,6 +446,26 @@ def estimate_expr(
     return _estimate(expr, instance, schema, {}).rows
 
 
+def _annotation_key(plan, instance) -> Optional[tuple]:
+    """A cheap validity key for memoized plan annotations: the
+    instance identity plus its dirty epoch and each base relation's
+    row-list identity and length.  Any mutation path — append, delete,
+    list replacement, ``mark_dirty`` — changes at least one component.
+    Returns ``None`` for instance-likes without the expected shape
+    (no memoization then)."""
+    relations = getattr(instance, "relations", None)
+    epoch = getattr(instance, "_dirty_epoch", None)
+    if not isinstance(relations, dict) or epoch is None:
+        return None
+    return (
+        epoch,
+        tuple(
+            (name, id(rows), len(rows))
+            for name, rows in relations.items()
+        ),
+    )
+
+
 def annotate_plan(
     plan, instance, schema=None
 ) -> list[Optional[float]]:
@@ -452,12 +473,29 @@ def annotate_plan(
     against ``instance`` and return the estimates indexed by node id.
 
     Estimates are instance-dependent while plans are cached
-    instance-independently, so this recomputes (memoized per shared
-    subtree) on every call rather than once at lowering time.  Nodes
-    lowered without an expression anchor keep ``est_rows = None``.
+    instance-independently, so they cannot be fixed at lowering time.
+    The walk (memoized per shared subtree) runs once per (instance
+    state, plan) pair: the result is cached on the plan keyed by the
+    instance's identity, dirty epoch and per-relation row-list
+    identity/length, so the warm query path — same plan, unchanged
+    data, one annotation per query — pays a key comparison instead of
+    a full re-estimation.  Nodes lowered without an expression anchor
+    keep ``est_rows = None``.
     """
+    key = _annotation_key(plan, instance)
+    memoized = getattr(plan, "_annotate_memo", None)
+    if (
+        key is not None
+        and memoized is not None
+        and memoized[0]() is instance
+        and memoized[1] == key
+    ):
+        estimates = memoized[2]
+        for node, est in zip(plan.nodes, estimates):
+            node.est_rows = est
+        return list(estimates)
     memo: dict[int, _Est] = {}
-    estimates: list[Optional[float]] = []
+    estimates = []
     for node in plan.nodes:
         if node.expr is None:
             node.est_rows = None
@@ -466,6 +504,13 @@ def annotate_plan(
                 node.expr, instance, schema, memo
             ).rows
         estimates.append(node.est_rows)
+    if key is not None:
+        try:
+            plan._annotate_memo = (
+                weakref.ref(instance), key, list(estimates)
+            )
+        except TypeError:
+            pass                    # non-weakrefable instance-like
     return estimates
 
 

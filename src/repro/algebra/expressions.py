@@ -81,10 +81,19 @@ class RelExpr:
         Equal expressions (per ``__eq__``) have equal fingerprints; the
         digest is the plan-cache key, so it must not depend on object
         identity or construction order of unordered parts.
+
+        Memoized per instance: expressions are value objects (hashable,
+        compared structurally, never mutated after construction), and
+        the warm query path fingerprints the same tree on every call —
+        the walk would otherwise dominate the enabled-observability
+        overhead budget.
         """
-        hasher = hashlib.blake2b(digest_size=16)
-        _fingerprint_walk(self, hasher.update)
-        return hasher.hexdigest()
+        cached = getattr(self, "_fingerprint_memo", None)
+        if cached is None:
+            hasher = hashlib.blake2b(digest_size=16)
+            _fingerprint_walk(self, hasher.update)
+            cached = self._fingerprint_memo = hasher.hexdigest()
+        return cached
 
     def relations(self) -> set[str]:
         """Names of base relations/entities this expression reads —

@@ -115,6 +115,11 @@ class PlanCache:
             registry.counter(
                 f"query.plan_cache.evictions.{reason}"
             ).inc(count)
+            from repro.observability.journal import JOURNAL
+
+            JOURNAL.record(
+                "plan_cache.eviction", reason=reason, count=count
+            )
 
     def get(self, expr: RelExpr) -> CompiledPlan:
         """The compiled plan for ``expr``, compiling on miss."""
@@ -266,6 +271,14 @@ class PlanCache:
                 self._note_eviction("reopt")
             if STATE.enabled:
                 registry.counter("query.reopt.scheduled").inc()
+                from repro.observability.journal import JOURNAL
+
+                JOURNAL.record(
+                    "query.reopt.scheduled",
+                    fingerprint=fingerprint[:12],
+                    corrections=len(corrections),
+                    reopts=feedback.reopts,
+                )
         return True
 
     def adaptive_report(self, expr: RelExpr):

@@ -73,6 +73,23 @@ _EMPTY = ()
 VStage = Callable[[_Run], ColumnBatch]
 
 
+def _note_row_fallback(stage: str) -> None:
+    """Count a vectorized→row-closure fallback and journal it once per
+    stage kind (per journal clear) — the fallback itself can run once
+    per batch, so the journal entry is deduped while the counter keeps
+    the exact tally."""
+    if not STATE.enabled:
+        return
+    registry.counter(f"query.vectorized.row_fallback.{stage}").inc()
+    from repro.observability.journal import JOURNAL
+
+    JOURNAL.record_once(
+        f"vectorized.row_fallback.{stage}",
+        "vectorized.row_fallback",
+        stage=stage,
+    )
+
+
 class _Lower:
     """Per-compilation state: the CSE slot map, the stages already
     built for shared subtrees, and the plan-node registry."""
@@ -641,6 +658,7 @@ def _lower_extend(expr: E.Extend, st: _Lower) -> VStage:
     cell = compile_scalar(scalar)
 
     def fallback(batch, ctx):
+        _note_row_fallback("extend")
         rows = batch.to_rows()
         for row in rows:
             row[name] = cell(row, ctx)
@@ -771,6 +789,7 @@ def _lower_join(expr: E.Join, st: _Lower) -> VStage:
 
         def rows_fallback(lb, rb):
             """Exact run_hash_join over materialized rows."""
+            _note_row_fallback("join")
             right_rows = rb.to_rows()
             index: dict = {}
             setdefault = index.setdefault
@@ -1077,6 +1096,7 @@ def _lower_aggregate(expr: E.Aggregate, st: _Lower) -> VStage:
     )
 
     def rows_fallback(batch, ctx):
+        _note_row_fallback("aggregate")
         groups: dict[tuple, list[Row]] = {}
         setdefault = groups.setdefault
         for row in batch.to_rows():
@@ -1166,7 +1186,7 @@ class VectorizedPlan:
     __slots__ = (
         "expr", "fingerprint", "size", "_run",
         "nodes", "root_id", "_profiled_run", "last_profile",
-        "optimized_from",
+        "optimized_from", "_annotate_memo",
     )
 
     def __init__(self, expr: E.RelExpr, fingerprint: Optional[str] = None):
@@ -1175,6 +1195,7 @@ class VectorizedPlan:
         self.size = expr.size()
         self._profiled_run = None
         self.last_profile: Optional[PlanProfile] = None
+        self._annotate_memo = None     # annotate_plan's per-instance memo
         # Source fingerprint when the adaptive cache compiled this plan
         # from a cost-based rewrite of a different tree (EXPLAIN shows
         # it); informational only.

@@ -30,6 +30,16 @@ serializes (schemas, mappings, instances as JSON; DDL as SQL text):
   most-common values);
 * ``querylog SCRIPT.py`` — run a script with observability enabled and
   print the plan-fingerprinted query log (``--out`` exports JSONL);
+* ``journal SCRIPT.py`` — run a script and print the engine event
+  journal (chase rounds, backpressure, fallbacks, alerts; ``--out``
+  exports JSONL);
+* ``health [SCRIPT.py]`` — evaluate SLO health signals (optionally
+  after running a script under observability) and exit nonzero when
+  any signal breaches its threshold (``--threshold key=value``
+  overrides; exit 0 healthy, 1 alerts, 2 usage error);
+* ``top SCRIPT.py`` — run a script while rendering a live terminal
+  dashboard (health line, busiest spans, engine counters, journal
+  tail; ``--once`` prints a single frame after the script finishes);
 * ``bench diff`` — compare freshly emitted ``BENCH_*.json`` against
   committed baselines (the regression watchdog's diff engine; see
   ``benchmarks/regression.py`` for the re-run-and-diff ``check`` mode).
@@ -372,6 +382,117 @@ def cmd_querylog(args) -> int:
     return 0
 
 
+def cmd_journal(args) -> int:
+    from repro.observability.journal import JOURNAL
+
+    if args.capacity:
+        JOURNAL.configure(capacity=args.capacity)
+    _run_script_observed(args.script, args.quiet)
+    if args.json:
+        print(
+            "\n".join(
+                json.dumps(e.to_dict(), default=str)
+                for e in JOURNAL.events(kind=args.kind)
+            )
+        )
+    else:
+        events = JOURNAL.events(kind=args.kind)
+        if not events:
+            print("(journal empty)")
+        else:
+            print("\n".join(e.render() for e in events[-args.limit:]))
+    if args.out:
+        path = JOURNAL.export_jsonl(args.out)
+        print(f"{len(JOURNAL)} events written to {path}", file=sys.stderr)
+    return 0
+
+
+def _parse_thresholds(items) -> dict:
+    """``key=value`` CLI threshold overrides → {key: float}.  Raises
+    ``ValueError`` on malformed input (the caller exits 2)."""
+    overrides = {}
+    for item in items or []:
+        if "=" not in item:
+            raise ValueError(f"expected key=value, got {item!r}")
+        key, value = item.split("=", 1)
+        overrides[key.strip()] = float(value)
+    return overrides
+
+
+def cmd_health(args) -> int:
+    from repro.observability.health import MONITOR, HealthConfig
+
+    try:
+        config = HealthConfig().with_overrides(
+            _parse_thresholds(args.threshold)
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: bad --threshold: {exc}", file=sys.stderr)
+        return 2
+    if args.script:
+        _run_script_observed(args.script, args.quiet)
+    report = MONITOR.evaluate(config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, default=str))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_top(args) -> int:
+    import contextlib
+    import io
+    import runpy
+    import threading
+    import time
+
+    import repro.observability as obs
+    from repro.observability.health import MONITOR
+    from repro.observability.top import render_top
+
+    obs.reset()
+    obs.enable()
+    failures: list[BaseException] = []
+
+    def run_script() -> None:
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                runpy.run_path(args.script, run_name="__main__")
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            failures.append(exc)
+
+    try:
+        if args.once:
+            run_script()
+            MONITOR.check()
+            print(render_top())
+        else:
+            worker = threading.Thread(
+                target=run_script, name="repro-top-script", daemon=True
+            )
+            worker.start()
+            frames = 0
+            while worker.is_alive() and (
+                args.frames is None or frames < args.frames
+            ):
+                time.sleep(args.interval)
+                MONITOR.check()
+                frame = render_top()
+                # Home + clear-to-end keeps the refresh flicker-free.
+                sys.stdout.write("\x1b[H\x1b[J" + frame + "\n")
+                sys.stdout.flush()
+                frames += 1
+            worker.join()
+            MONITOR.check()
+            print(render_top())
+    finally:
+        obs.disable()
+    if failures:
+        print(f"script failed: {failures[0]!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -539,6 +660,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print entries as JSON Lines")
     p.add_argument("--out", help="also export entries as JSONL here")
     p.set_defaults(func=cmd_querylog)
+
+    p = sub.add_parser(
+        "journal",
+        help="run a script with observability on, print the engine "
+        "event journal",
+    )
+    p.add_argument("script", help="Python script executed as __main__")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the script's own stdout")
+    p.add_argument("--limit", type=int, default=50,
+                   help="newest events to show (default 50)")
+    p.add_argument("--kind", default=None,
+                   help="only events of this kind (exact or dotted "
+                   "prefix)")
+    p.add_argument("--capacity", type=int, default=None,
+                   help="ring capacity (default 512)")
+    p.add_argument("--json", action="store_true",
+                   help="print events as JSON Lines")
+    p.add_argument("--out", help="also export events as JSONL here")
+    p.set_defaults(func=cmd_journal)
+
+    p = sub.add_parser(
+        "health",
+        help="evaluate SLO health signals; exit 1 on any breach "
+        "(CI-friendly)",
+    )
+    p.add_argument("script", nargs="?", default=None,
+                   help="optional script to run under observability "
+                   "before evaluating")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the script's own stdout")
+    p.add_argument("--threshold", action="append", metavar="KEY=VALUE",
+                   help="override a threshold / min-sample knob "
+                   "(repeatable); keys: shard_imbalance_max, "
+                   "backpressure_ms_max, cache_eviction_rate_max, "
+                   "divergence_rate_max, slow_query_rate_max, "
+                   "min_shard_rounds, min_cache_lookups, "
+                   "min_query_samples")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(func=cmd_health)
+
+    p = sub.add_parser(
+        "top",
+        help="run a script while rendering a live telemetry dashboard",
+    )
+    p.add_argument("script", help="Python script executed as __main__")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between frames (default 1.0)")
+    p.add_argument("--frames", type=int, default=None,
+                   help="stop after N live frames (default: until the "
+                   "script finishes)")
+    p.add_argument("--once", action="store_true",
+                   help="run the script to completion, then print one "
+                   "frame")
+    p.set_defaults(func=cmd_top)
 
     return parser
 

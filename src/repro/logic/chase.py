@@ -337,6 +337,17 @@ def chase(
         )
         if result is not None:
             return result
+        if _OBS.enabled:
+            from repro.observability.journal import JOURNAL
+            from repro.observability.metrics import registry
+
+            registry.counter("chase.sequential_fallbacks").inc()
+            JOURNAL.record(
+                "chase.sequential_fallback",
+                shards=shard_count,
+                dependencies=len(dependencies),
+                reason="no co-partitioning key",
+            )
     engine = _SemiNaiveChase(working, dependencies, factory, max_steps,
                              recorder=recorder, initial_delta=initial_delta)
     if not _OBS.enabled:
@@ -566,6 +577,14 @@ class _SemiNaiveChase:
                     next_delta.setdefault(relation, []).append(row)
             delta_size = sum(len(rows) for rows in next_delta.values())
             self.stats.delta_sizes.append(delta_size)
+            if _OBS.enabled:
+                from repro.observability.journal import journal
+
+                journal(
+                    "chase.round",
+                    round=self.stats.rounds,
+                    delta_rows=delta_size,
+                )
             if not next_delta:
                 break
             delta = next_delta

@@ -466,7 +466,6 @@ class _ShardWorker(_SemiNaiveChase):
             _FastFullTGD.compile(d) for d in self.dependencies
         ]
         self.scan_pool = None  # set by the coordinator (process flag)
-        self.parent_span = None  # coordinator chase span (re-parenting)
         self._credit = 0  # steps pre-reserved from the shared budget
 
     # -- hooks overridden from the sequential engine -------------------
@@ -486,9 +485,7 @@ class _ShardWorker(_SemiNaiveChase):
             if owner != self.shard_id:
                 self.seq += 1
                 self.routed += 1
-                self.inboxes[owner].put(
-                    (self.shard_id, self.seq, relation, row)
-                )
+                self._route(owner, (self.shard_id, self.seq, relation, row))
                 return row
         # Local store by direct append: row identity is preserved (the
         # index watermark contract absorbs appends), which provenance
@@ -499,6 +496,27 @@ class _ShardWorker(_SemiNaiveChase):
             self._record_nulls(relation, row)
         self.derived.setdefault(relation, []).append(row)
         return row
+
+    def _route(self, owner: int, envelope: tuple) -> None:
+        """Hand an envelope to another shard's bounded inbox.  The
+        fast path is a non-blocking put; when the inbox is full the
+        worker blocks until the coordinator drains it, and the wait is
+        recorded as a backpressure event (histogram + journal)."""
+        inbox = self.inboxes[owner]
+        try:
+            inbox.put_nowait(envelope)
+        except queue.Full:
+            wait_start = time.perf_counter()
+            inbox.put(envelope)
+            if _OBS.enabled:
+                from repro.observability.journal import record_backpressure
+
+                record_backpressure(
+                    "chase.shard.inbox",
+                    time.perf_counter() - wait_start,
+                    shard=self.shard_id,
+                    owner=owner,
+                )
 
     def _collect_egd(self, index, egd, triggers, union_find) -> bool:
         # Buffer equalities for the coordinator's global union-find;
@@ -535,11 +553,10 @@ class _ShardWorker(_SemiNaiveChase):
                 return self._run_round(delta)
             from repro.observability.tracing import tracer
 
-            with tracer.span(
-                "chase.shard.round",
-                parent=self.parent_span,
-                shard=self.shard_id,
-            ):
+            # The coordinator submits this method wrapped in
+            # ``propagating(...)``, so the span joins the caller's
+            # ``logic.chase`` trace via the attached context.
+            with tracer.span("chase.shard.round", shard=self.shard_id):
                 return self._run_round(delta)
         finally:
             # Hand unused step credit back so ``budget.used`` is exact
@@ -632,7 +649,7 @@ class _ShardWorker(_SemiNaiveChase):
         ]
         shards_n = self.plan.shards
         shard_id = self.shard_id
-        inboxes = self.inboxes
+        route = self._route
         record = self.recorder is not None
         has_egds = self.has_egds
         budget = self.budget
@@ -714,8 +731,9 @@ class _ShardWorker(_SemiNaiveChase):
                         if owner != shard_id:
                             self.seq += 1
                             self.routed += 1
-                            inboxes[owner].put(
-                                (shard_id, self.seq, relation, new_row)
+                            route(
+                                owner,
+                                (shard_id, self.seq, relation, new_row),
                             )
                             if record:
                                 head_rows.append((relation, new_row))
@@ -925,9 +943,6 @@ class _ShardedChase:
         self.migrations = 0
         self._pool = None
         self._scan_pool = None
-        #: Coordinator chase span; worker round spans re-parent under
-        #: it so the trace stays one tree across threads.
-        self.parent_span = None
 
     # ------------------------------------------------------------------
     def _partition(self) -> list[Instance]:
@@ -997,8 +1012,6 @@ class _ShardedChase:
         self._pool = ThreadPoolExecutor(
             max_workers=shards, thread_name_prefix="chase-shard"
         )
-        for worker in self.workers:
-            worker.parent_span = self.parent_span
         if _use_processes():
             try:
                 from concurrent.futures import ProcessPoolExecutor
@@ -1026,10 +1039,19 @@ class _ShardedChase:
         # the round barrier needs no concurrent inbox draining.
         can_route = bool(self.plan.keys)
         deltas: list = self._initial_deltas()
+        # Capture the coordinator's trace context once (the
+        # ``logic.chase`` span is active on this thread) and wrap every
+        # worker entry point with it, so round spans on the pool's
+        # threads join this trace instead of becoming orphan roots.
+        round_fns = [worker.run_round for worker in self.workers]
+        if _OBS.enabled:
+            from repro.observability.context import propagating
+
+            round_fns = [propagating(fn) for fn in round_fns]
         while True:
             self.stats.rounds += 1
             futures = [
-                self._pool.submit(worker.run_round, deltas[shard])
+                self._pool.submit(round_fns[shard], deltas[shard])
                 for shard, worker in enumerate(self.workers)
             ]
             staged: list[list] = [[] for _ in range(shards)]
@@ -1071,6 +1093,16 @@ class _ShardedChase:
                 total += len(seen)
                 deltas.append(delta)
             self.stats.delta_sizes.append(total)
+            if _OBS.enabled:
+                from repro.observability.journal import journal
+
+                journal(
+                    "chase.round",
+                    round=self.stats.rounds,
+                    delta_rows=total,
+                    rows_routed=self.rows_routed,
+                    shards=shards,
+                )
             if not total:
                 break
         return self._finalize(start)
@@ -1205,6 +1237,14 @@ class _ShardedChase:
         if recorder is not None and positions:
             recorder.on_shard(-1)
             recorder.on_substitution(positions)
+        if _OBS.enabled:
+            from repro.observability.journal import journal
+
+            journal(
+                "chase.egd.reconcile",
+                merges=len(mapping),
+                migrations=len(moves),
+            )
         return modified, migrated
 
     # ------------------------------------------------------------------
@@ -1280,7 +1320,6 @@ def sharded_chase(
         source_rows=working.total_rows(),
         shards=plan.shards,
     ) as span:
-        engine.parent_span = span
         result = engine.run()
         span.set_attributes(rounds=result.stats.rounds, steps=result.steps)
         _publish_stats(result.stats, result.steps)

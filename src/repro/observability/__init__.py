@@ -12,7 +12,21 @@ for perf work.  This package provides:
   export, tree rendering;
 * a **metrics registry** (:mod:`repro.observability.metrics`) —
   counters, gauges, fixed-bucket histograms with percentile summaries;
-* an :func:`instrumented` decorator wiring both through any callable.
+* an :func:`instrumented` decorator wiring both through any callable;
+* request-scoped **trace context** propagation
+  (:mod:`repro.observability.context`) — capture a
+  :class:`TraceContext` on the caller's thread, restore it on shard
+  workers / hop threads / the synchronizer so their spans join the
+  caller's trace, with adaptive head+tail **sampling**
+  (:mod:`repro.observability.sampling`);
+* a bounded, trace-correlated **event journal**
+  (:mod:`repro.observability.journal`) of engine lifecycle events —
+  chase rounds, reconciliations, backpressure waits, re-optimizations,
+  evictions, and every silent fallback;
+* a **health monitor** (:mod:`repro.observability.health`) judging
+  metric-derived signals against SLO thresholds, behind
+  ``repro health`` and the live ``repro top`` dashboard
+  (:mod:`repro.observability.top`).
 
 **Disabled by default.**  Every instrumented site guards on one shared
 flag; :func:`enable` flips it for a session, :func:`disable` restores
@@ -23,7 +37,28 @@ the near-zero-overhead state.  ``repro trace <script>`` and
 
 from __future__ import annotations
 
+from repro.observability.context import (
+    TraceContext,
+    activate,
+    capture,
+    current_context,
+    propagating,
+)
+from repro.observability.health import (
+    MONITOR,
+    HealthConfig,
+    HealthMonitor,
+    HealthReport,
+    HealthSignal,
+)
 from repro.observability.instrument import instrumented
+from repro.observability.journal import (
+    JOURNAL,
+    EventJournal,
+    JournalEvent,
+    journal,
+    record_backpressure,
+)
 from repro.observability.metrics import (
     COUNT_BUCKETS,
     Counter,
@@ -33,6 +68,7 @@ from repro.observability.metrics import (
     MetricsRegistry,
     registry,
 )
+from repro.observability.sampling import SAMPLER, Sampler
 from repro.observability.profile import (
     RollupEntry,
     chrome_trace_events,
@@ -44,30 +80,56 @@ from repro.observability.profile import (
     span_self_ms,
 )
 from repro.observability.state import STATE
-from repro.observability.tracing import Span, Tracer, current_span, tracer
+from repro.observability.top import render_top
+from repro.observability.tracing import (
+    Span,
+    Tracer,
+    current_span,
+    current_trace_id,
+    tracer,
+)
 
 __all__ = [
     "COUNT_BUCKETS",
     "Counter",
     "DEFAULT_BUCKETS",
+    "EventJournal",
     "Gauge",
+    "HealthConfig",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthSignal",
     "Histogram",
+    "JOURNAL",
+    "JournalEvent",
+    "MONITOR",
     "MetricsRegistry",
     "RollupEntry",
+    "SAMPLER",
     "STATE",
+    "Sampler",
     "Span",
+    "TraceContext",
     "Tracer",
+    "activate",
+    "capture",
     "chrome_trace_events",
     "critical_path",
+    "current_context",
     "current_span",
+    "current_trace_id",
     "disable",
     "enable",
     "export_chrome_trace",
     "instrumented",
     "is_enabled",
+    "journal",
+    "propagating",
+    "record_backpressure",
     "registry",
     "render_critical_path",
     "render_rollup",
+    "render_top",
     "reset",
     "rollup",
     "span",
@@ -92,14 +154,18 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Drop all recorded spans, metrics, and query-log entries, and
-    restore estimator tunables to their defaults."""
+    """Drop all recorded telemetry — spans, metrics, query-log and
+    journal entries — stop the health monitor, restore estimator
+    tunables, and re-read the sampler's environment config."""
     from repro.observability.querylog import QUERY_LOG
     from repro.observability.stats import ESTIMATION
 
+    MONITOR.reset()
     tracer.reset()
     registry.reset()
     QUERY_LOG.clear()
+    JOURNAL.clear()
+    SAMPLER.reset()
     ESTIMATION.reset()
 
 

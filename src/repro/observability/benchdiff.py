@@ -150,6 +150,8 @@ def _kind_for_field(name: str) -> str:
         return "ceiling"
     if name.endswith("stats_overhead_percent"):
         return "stats_ceiling"
+    if name.endswith("sampled_overhead_percent"):
+        return "stats_ceiling"
     if name.endswith("_seconds") or name.endswith("_ms"):
         return "lower"
     if name == "speedup" or name.endswith("_rows_per_sec"):

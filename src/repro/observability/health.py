@@ -1,0 +1,312 @@
+"""Health monitor: SLO-threshold evaluation over engine metrics.
+
+The monitor turns the raw registry/query-log state into a handful of
+*signals* a human (or CI) can act on, each compared against a
+configurable threshold:
+
+* ``shard_imbalance`` — max/mean of per-shard chase round wall time
+  (``span.chase.shard.round.wall_ms``): a high ratio means the
+  co-partitioning key is skewed and one worker is pacing every round;
+* ``backpressure_ms`` — total time threads spent blocked on bounded
+  queues (``backpressure.wait_ms``): sustained waits mean inbox/hop
+  capacities are undersized for the workload;
+* ``cache_eviction_rate`` — plan-cache evictions per lookup
+  (``query.plan_cache.*``): thrash, i.e. the working set of plans no
+  longer fits;
+* ``divergence_rate`` — fraction of logged queries whose worst
+  estimate↔actual divergence was flagged: the statistics are stale;
+* ``slow_query_rate`` — fraction of logged queries over the query
+  log's slow threshold.
+
+Signals with too few samples report ``no-data`` rather than guessing.
+Each breach journals a ``health.alert`` event and bumps the
+``health.alerts`` counter, so alerts correlate with traces like any
+other engine event.  :meth:`HealthMonitor.start` runs the evaluation
+on a daemon thread at a fixed interval (the ``repro top`` refresh
+path); one-shot evaluation backs ``repro health`` with CI-friendly
+exit codes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, fields, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """SLO thresholds and minimum-sample guards.
+
+    Threshold fields end in ``_max``; a signal alerts when its value
+    exceeds the threshold.  ``min_*`` fields guard against judging
+    from too few samples (below them the signal is ``no-data``).
+    """
+
+    shard_imbalance_max: float = 4.0
+    backpressure_ms_max: float = 1_000.0
+    cache_eviction_rate_max: float = 0.5
+    divergence_rate_max: float = 0.5
+    slow_query_rate_max: float = 0.25
+    min_shard_rounds: int = 4
+    min_cache_lookups: int = 20
+    min_query_samples: int = 20
+
+    def with_overrides(self, overrides: dict[str, float]) -> "HealthConfig":
+        """A copy with ``key=value`` overrides applied; unknown keys
+        raise ``KeyError`` (the CLI turns that into exit code 2)."""
+        known = {f.name for f in fields(self)}
+        for key in overrides:
+            if key not in known:
+                raise KeyError(key)
+        ints = {"min_shard_rounds", "min_cache_lookups", "min_query_samples"}
+        coerced = {
+            k: int(v) if k in ints else float(v)
+            for k, v in overrides.items()
+        }
+        return replace(self, **coerced)
+
+
+@dataclass
+class HealthSignal:
+    """One evaluated signal: value vs threshold plus a status."""
+
+    name: str
+    value: Optional[float]
+    threshold: float
+    status: str                      # "ok" | "alert" | "no-data"
+    detail: str = ""
+
+    def render(self) -> str:
+        marker = {"ok": "✓", "alert": "✗", "no-data": "·"}[self.status]
+        value = "n/a" if self.value is None else f"{self.value:.3f}"
+        line = (f"{marker} {self.name:<20s} {value:>10s}  "
+                f"(max {self.threshold:g})")
+        if self.detail:
+            line += f"  {self.detail}"
+        return line
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "value": self.value,
+            "threshold": self.threshold,
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class HealthReport:
+    """The full signal set from one evaluation."""
+
+    signals: list[HealthSignal] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.alerts
+
+    @property
+    def alerts(self) -> list[HealthSignal]:
+        return [s for s in self.signals if s.status == "alert"]
+
+    def render(self) -> str:
+        if not self.signals:
+            return "(no health signals)"
+        header = "health: OK" if self.ok else \
+            f"health: {len(self.alerts)} ALERT(S)"
+        return "\n".join([header] + [
+            "  " + signal.render() for signal in self.signals
+        ])
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "signals": [signal.to_dict() for signal in self.signals],
+        }
+
+
+class HealthMonitor:
+    """Evaluates health signals on demand or periodically."""
+
+    def __init__(self, config: Optional[HealthConfig] = None) -> None:
+        self._lock = threading.Lock()
+        self.config = config or HealthConfig()
+        self.last_report: Optional[HealthReport] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # signal derivation
+    # ------------------------------------------------------------------
+    def evaluate(self, config: Optional[HealthConfig] = None) -> HealthReport:
+        """Derive every signal from the current registry / query-log
+        state.  Pure read — no journal events, no counters."""
+        from repro.observability.metrics import registry
+        from repro.observability.querylog import QUERY_LOG
+
+        cfg = config or self.config
+        signals: list[HealthSignal] = []
+
+        # shard imbalance: max/mean of per-shard round wall time
+        name = "span.chase.shard.round.wall_ms"
+        value = None
+        detail = ""
+        count = 0
+        if name in registry:
+            hist = registry.histogram(name)
+            count = hist.count
+            if count >= cfg.min_shard_rounds and hist.mean:
+                value = hist.max / hist.mean
+                detail = f"rounds={count}"
+        signals.append(self._judge(
+            "shard_imbalance", value, cfg.shard_imbalance_max,
+            detail or f"rounds={count}<{cfg.min_shard_rounds}",
+        ))
+
+        # backpressure: total blocked time on bounded queues
+        name = "backpressure.wait_ms"
+        value = None
+        detail = ""
+        if name in registry:
+            hist = registry.histogram(name)
+            if hist.count:
+                value = hist.total
+                detail = f"waits={hist.count}"
+        if value is None:
+            value = 0.0
+            detail = "waits=0"
+        signals.append(self._judge(
+            "backpressure_ms", value, cfg.backpressure_ms_max, detail,
+        ))
+
+        # plan-cache thrash: evictions per lookup
+        snapshot = registry.snapshot()
+        lookups = sum(
+            m["value"] for key, m in snapshot.items()
+            if key in ("query.plan_cache.hits", "query.plan_cache.misses")
+            and m["type"] == "counter"
+        )
+        evictions = sum(
+            m["value"] for key, m in snapshot.items()
+            if key.startswith("query.plan_cache.evictions")
+            and m["type"] == "counter"
+        )
+        value = None
+        detail = f"lookups={lookups}<{cfg.min_cache_lookups}"
+        if lookups >= cfg.min_cache_lookups:
+            value = evictions / lookups
+            detail = f"evictions={evictions} lookups={lookups}"
+        signals.append(self._judge(
+            "cache_eviction_rate", value, cfg.cache_eviction_rate_max,
+            detail,
+        ))
+
+        # estimate divergence and slow-query rates from the query log
+        entries = QUERY_LOG.entries()
+        samples = len(entries)
+        if samples >= cfg.min_query_samples:
+            flagged = sum(
+                1 for e in entries
+                if e.worst is not None and e.worst.get("flagged")
+            )
+            slow = sum(1 for e in entries if e.slow)
+            signals.append(self._judge(
+                "divergence_rate", flagged / samples,
+                cfg.divergence_rate_max, f"flagged={flagged}/{samples}",
+            ))
+            signals.append(self._judge(
+                "slow_query_rate", slow / samples,
+                cfg.slow_query_rate_max, f"slow={slow}/{samples}",
+            ))
+        else:
+            detail = f"queries={samples}<{cfg.min_query_samples}"
+            signals.append(self._judge(
+                "divergence_rate", None, cfg.divergence_rate_max, detail,
+            ))
+            signals.append(self._judge(
+                "slow_query_rate", None, cfg.slow_query_rate_max, detail,
+            ))
+
+        return HealthReport(signals=signals)
+
+    @staticmethod
+    def _judge(
+        name: str,
+        value: Optional[float],
+        threshold: float,
+        detail: str,
+    ) -> HealthSignal:
+        if value is None:
+            status = "no-data"
+        elif value > threshold:
+            status = "alert"
+        else:
+            status = "ok"
+        return HealthSignal(
+            name=name, value=value, threshold=threshold,
+            status=status, detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    def check(self, config: Optional[HealthConfig] = None) -> HealthReport:
+        """Evaluate and *act*: journal a ``health.alert`` event per
+        breached signal and bump the ``health.alerts`` counter."""
+        from repro.observability.journal import JOURNAL
+        from repro.observability.metrics import registry
+        from repro.observability.state import STATE
+
+        report = self.evaluate(config)
+        with self._lock:
+            self.last_report = report
+        if STATE.enabled:
+            for signal in report.alerts:
+                registry.counter("health.alerts").inc()
+                JOURNAL.record(
+                    "health.alert",
+                    signal=signal.name,
+                    value=round(signal.value, 4)
+                    if signal.value is not None else None,
+                    threshold=signal.threshold,
+                    detail=signal.detail,
+                )
+        return report
+
+    # ------------------------------------------------------------------
+    # periodic evaluation
+    # ------------------------------------------------------------------
+    def start(self, interval: float = 5.0) -> None:
+        """Run :meth:`check` every ``interval`` seconds on a daemon
+        thread (idempotent while already running)."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, args=(interval,),
+                name="repro-health", daemon=True,
+            )
+            self._thread.start()
+
+    def _run(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            self.check()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=2.0)
+        with self._lock:
+            self._thread = None
+
+    def reset(self) -> None:
+        """Stop any periodic thread and restore default thresholds."""
+        self.stop()
+        with self._lock:
+            self.config = HealthConfig()
+            self.last_report = None
+
+
+#: Process-wide monitor behind ``repro health`` / ``repro top``.
+MONITOR = HealthMonitor()

@@ -43,6 +43,46 @@ def _prometheus_value(value: float) -> str:
         return str(int(value))
     return repr(value)
 
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and line feed."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text (backslash and line feed only — quotes
+    are legal in help text)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+#: Dotted-prefix → ``# HELP`` text for well-known metric families;
+#: anything unmatched gets a generic line naming the source metric.
+HELP_TEXTS: tuple[tuple[str, str], ...] = (
+    ("span.", "Span timing recorded by the repro tracer"),
+    ("chase.", "Chase engine activity"),
+    ("query.plan_cache.", "Compiled-plan cache activity"),
+    ("query.reopt.", "Adaptive re-optimization activity"),
+    ("query.vectorized.", "Vectorized executor activity"),
+    ("query.", "Query execution activity"),
+    ("backpressure.", "Time threads spent blocked on bounded queues"),
+    ("trace.sampler.", "Trace sampler decisions"),
+    ("health.", "Health monitor activity"),
+    ("runtime.", "Runtime service activity"),
+)
+
+
+def _help_for(name: str) -> str:
+    for prefix, text in HELP_TEXTS:
+        if name.startswith(prefix):
+            return text
+    return f"repro metric {name}"
+
 #: Default bounds, tuned for millisecond latencies (spans) but serving
 #: row/trigger counts acceptably; pass explicit bounds for counts.
 DEFAULT_BUCKETS: tuple[float, ...] = (
@@ -213,6 +253,10 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
         self._lock = threading.Lock()
+        #: Bumped on every :meth:`reset`; callers that cache metric
+        #: objects (the tracer's per-span-name fast path) compare this
+        #: to invalidate their caches.
+        self.generation = 0
 
     def _get_or_create(self, name: str, factory) -> Metric:
         metric = self._metrics.get(name)
@@ -261,6 +305,7 @@ class MetricsRegistry:
     def reset(self) -> None:
         with self._lock:
             self._metrics = {}
+            self.generation += 1
 
     def _view(self) -> dict[str, Metric]:
         """Copy-on-read: a stable map for iteration while writer
@@ -293,30 +338,39 @@ class MetricsRegistry:
         Counters and gauges emit one sample each (unset gauges are
         skipped — Prometheus has no ``null``); histograms emit the
         standard cumulative ``_bucket{le="..."}`` series ending at
-        ``le="+Inf"`` plus ``_sum`` and ``_count``.  Metric names are
-        sanitized to the Prometheus grammar (``.`` → ``_``)."""
+        ``le="+Inf"`` plus ``_sum`` and ``_count``.  Every family gets
+        ``# HELP`` and ``# TYPE`` lines; metric names are sanitized to
+        the Prometheus grammar (``.`` → ``_``) and label values are
+        escaped per the exposition format."""
         view = self._view()
         lines: list[str] = []
         for name in sorted(view):
             metric = view[name]
             prom = _prometheus_name(name)
+            help_line = f"# HELP {prom} {_escape_help(_help_for(name))}"
             if isinstance(metric, Counter):
+                lines.append(help_line)
                 lines.append(f"# TYPE {prom} counter")
                 lines.append(f"{prom} {metric.value}")
             elif isinstance(metric, Gauge):
                 if metric.value is None:
                     continue
+                lines.append(help_line)
                 lines.append(f"# TYPE {prom} gauge")
                 lines.append(f"{prom} {_prometheus_value(metric.value)}")
             else:
                 # One consistent copy: writers may observe concurrently.
                 bucket_counts = list(metric.bucket_counts)
+                lines.append(help_line)
                 lines.append(f"# TYPE {prom} histogram")
                 cumulative = 0
                 for bound, count in zip(metric.bounds, bucket_counts):
                     cumulative += count
+                    bound_label = _escape_label_value(
+                        _prometheus_value(bound)
+                    )
                     lines.append(
-                        f'{prom}_bucket{{le="{_prometheus_value(bound)}"}}'
+                        f'{prom}_bucket{{le="{bound_label}"}}'
                         f" {cumulative}"
                     )
                 cumulative += bucket_counts[-1]

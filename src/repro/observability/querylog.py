@@ -44,6 +44,7 @@ class QueryLogEntry:
         "worst",
         "slow",
         "reopt",
+        "trace_id",
     )
 
     def __init__(
@@ -58,6 +59,7 @@ class QueryLogEntry:
         worst: Optional[dict],
         slow: bool,
         reopt: bool = False,
+        trace_id: str = "",
     ) -> None:
         self.seq = seq
         self.when = when
@@ -69,6 +71,7 @@ class QueryLogEntry:
         self.worst = worst
         self.slow = slow
         self.reopt = reopt
+        self.trace_id = trace_id
 
     def to_dict(self) -> dict:
         return {
@@ -82,6 +85,7 @@ class QueryLogEntry:
             "worst_divergent": self.worst,
             "slow": self.slow,
             "reopt": self.reopt,
+            "trace_id": self.trace_id,
         }
 
     def render(self) -> str:
@@ -155,6 +159,10 @@ class QueryLog:
         worst: Optional[dict] = None,
         reopt: bool = False,
     ) -> QueryLogEntry:
+        # Stamp the recording thread's trace id so log entries line up
+        # with the span tree of the request that ran the query.
+        from repro.observability.tracing import current_trace_id
+
         entry = QueryLogEntry(
             seq=0,
             when=time.time(),
@@ -166,6 +174,7 @@ class QueryLog:
             worst=worst,
             slow=wall_ms >= self.slow_ms,
             reopt=reopt,
+            trace_id=current_trace_id(),
         )
         with self._lock:
             self._seq += 1

@@ -1,10 +1,22 @@
-"""Hierarchical span tracer.
+"""Hierarchical span tracer with request-scoped trace context.
 
 A *span* is one timed region of engine work — an operator invocation, a
 runtime-service call, a chase run.  Spans nest: each thread keeps a
 stack of active spans, and a span started while another is active
-becomes its child, so one Figure-5 evolution script yields a single
-coherent tree (script → operator → chase).
+becomes its child.  Every span carries the **trace id** of its root
+(W3C-style 32-hex lowercase), so one request yields one correlatable
+tree even when its work fans out across shard workers, p2p hop threads
+and the queued synchronizer — those threads join the caller's trace by
+*attaching* a captured :class:`~repro.observability.context.TraceContext`
+(see :meth:`Tracer.attach`; the high-level helpers live in
+:mod:`repro.observability.context`).
+
+Root spans pass through the head sampler
+(:data:`repro.observability.sampling.SAMPLER`): a head-dropped trace is
+still built and timed, but is only attached to the tracer's root list
+if, at finish time, it turns out slow or errored (tail-keep).  The
+span context manager stamps an ``error`` attribute on exceptions, which
+is what makes error traces tail-keepable.
 
 The tracer is a process-wide singleton (:data:`tracer`) guarded by
 :data:`repro.observability.state.STATE`: while disabled,
@@ -26,28 +38,60 @@ import json
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro.observability.sampling import SAMPLER
 from repro.observability.state import STATE
 
 
-@dataclass
 class Span:
-    """One timed, attributed region of work."""
+    """One timed, attributed region of work.
 
-    name: str
-    span_id: str
-    parent_id: Optional[str]
-    started_at: float                      # epoch seconds
-    attributes: dict[str, object] = field(default_factory=dict)
-    children: list["Span"] = field(default_factory=list)
-    wall_ms: Optional[float] = None        # set when the span finishes
-    cpu_ms: Optional[float] = None
-    thread: str = ""
-    _wall0: float = field(default=0.0, repr=False)
-    _cpu0: float = field(default=0.0, repr=False)
+    A hand-rolled ``__slots__`` class rather than a dataclass: one
+    ``Span`` is allocated per instrumented call on the enabled hot
+    path, and the slim constructor is a measurable part of the
+    enabled-overhead contract.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "started_at", "trace_id",
+        "attributes", "children", "wall_ms", "cpu_ms", "thread",
+        "sampled", "_wall0", "_cpu0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        parent_id: Optional[str],
+        started_at: float,                 # epoch seconds
+        trace_id: str = "",
+        attributes: Optional[dict] = None,
+        children: Optional[list] = None,
+        wall_ms: Optional[float] = None,   # set when the span finishes
+        cpu_ms: Optional[float] = None,
+        thread: str = "",
+        sampled: bool = True,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.started_at = started_at
+        self.trace_id = trace_id
+        self.attributes = attributes if attributes is not None else {}
+        self.children = children if children is not None else []
+        self.wall_ms = wall_ms
+        self.cpu_ms = cpu_ms
+        self.thread = thread
+        self.sampled = sampled
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __repr__(self) -> str:
+        return (f"Span(name={self.name!r}, span_id={self.span_id!r}, "
+                f"parent_id={self.parent_id!r}, "
+                f"trace_id={self.trace_id!r}, wall_ms={self.wall_ms!r})")
 
     def set_attribute(self, key: str, value: object) -> None:
         self.attributes[key] = value
@@ -57,6 +101,7 @@ class Span:
 
     def to_dict(self) -> dict:
         return {
+            "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -69,13 +114,20 @@ class Span:
 
 
 class Tracer:
-    """Thread-safe hierarchical tracer with a per-thread active stack."""
+    """Thread-safe hierarchical tracer with a per-thread active stack
+    and a per-thread attached remote context (cross-thread parenting)."""
 
     def __init__(self) -> None:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
         self.roots: list[Span] = []
+        # Per-span-name (calls counter, wall_ms histogram) pairs so
+        # finish() skips the f-string + registry lookup per span;
+        # invalidated when the registry generation moves (reset).
+        self._metric_cache: dict[str, tuple] = {}
+        self._metric_gen = -1
 
     # ------------------------------------------------------------------
     def _stack(self) -> list[Span]:
@@ -84,45 +136,100 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def _remotes(self) -> list:
+        remotes = getattr(self._local, "remotes", None)
+        if remotes is None:
+            remotes = self._local.remotes = []
+        return remotes
+
     def current(self) -> Optional[Span]:
         """The innermost active span of this thread (None when idle or
         tracing is disabled)."""
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def current_parent(self) -> Optional[Span]:
+        """The span a new span on this thread would nest under: the
+        innermost active local span, else the attached remote
+        context's span (cross-thread propagation)."""
+        stack = self._stack()
+        if stack:
+            return stack[-1]
+        remotes = self._remotes()
+        if remotes:
+            ctx = remotes[-1]
+            return ctx.span if ctx is not None else None
+        return None
+
     # ------------------------------------------------------------------
-    def start(
-        self,
-        name: str,
-        parent: Optional[Span] = None,
-        **attributes: object,
-    ) -> Span:
+    # remote-context attachment (see repro.observability.context)
+    # ------------------------------------------------------------------
+    def attach(self, ctx) -> object:
+        """Attach a captured :class:`TraceContext` to this thread: the
+        next span started with no local parent nests under
+        ``ctx.span`` and inherits its trace id.  Returns a token for
+        :meth:`detach`.  Attachments nest (a stack per thread)."""
+        remotes = self._remotes()
+        remotes.append(ctx)
+        return ctx
+
+    def detach(self, token: object) -> None:
+        """Pop the innermost attachment (tolerates a token that is no
+        longer on the stack — e.g. after a reset)."""
+        remotes = self._remotes()
+        if remotes and remotes[-1] is token:
+            remotes.pop()
+        elif token in remotes:           # mismatched detach order
+            remotes.remove(token)
+
+    # ------------------------------------------------------------------
+    def start(self, name: str, **attributes: object) -> Span:
         """Begin a span unconditionally (callers must have checked
         ``STATE.enabled``; prefer :meth:`span`).
 
-        ``parent`` overrides the implicit this-thread nesting: shard
-        workers pass the coordinator's chase span so their rounds join
-        its tree instead of becoming disconnected roots.  The explicit
-        parent must still be open (child appends are atomic under the
-        GIL, so concurrent workers may share one parent)."""
-        with self._lock:
-            span_id = f"s{next(self._ids):04d}"
-        if parent is None:
-            parent = self.current()
+        Parentage: the innermost active span of this thread, else the
+        attached remote context (a shard worker or hop thread running
+        propagated work), else a new root.  Roots mint a fresh trace
+        id and pass through the head sampler; children inherit both
+        the trace id and the sampling decision."""
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+        else:
+            remotes = getattr(self._local, "remotes", None)
+            ctx = remotes[-1] if remotes else None
+            parent = ctx.span if ctx is not None else None
+        if parent is not None:
+            with self._lock:
+                span_id = f"s{next(self._ids):04d}"
+            trace_id = parent.trace_id
+            sampled = parent.sampled
+        else:
+            with self._lock:
+                span_id = f"s{next(self._ids):04d}"
+                trace_id = f"{next(self._trace_ids):032x}"
+            sampled = SAMPLER.decide(name)
         span = Span(
             name=name,
             span_id=span_id,
             parent_id=parent.span_id if parent else None,
             started_at=time.time(),
-            attributes=dict(attributes),
+            trace_id=trace_id,
+            # **attributes is already a per-call dict: no copy needed.
+            attributes=attributes,
             thread=threading.current_thread().name,
+            sampled=sampled,
         )
         if parent is not None:
+            # Child appends are atomic under the GIL, so concurrent
+            # worker threads may share one (still-open) parent.
             parent.children.append(span)
-        else:
+        elif sampled:
             with self._lock:
                 self.roots.append(span)
-        self._stack().append(span)
+        # A head-dropped root is kept off the root list for now; it is
+        # promoted at finish time if slow or errored (tail-keep).
+        stack.append(span)
         span._wall0 = time.perf_counter()
         span._cpu0 = time.process_time()
         return span
@@ -138,25 +245,56 @@ class Tracer:
                 stack.pop()
         from repro.observability.metrics import registry
 
-        registry.counter(f"span.{span.name}.calls").inc()
-        registry.histogram(f"span.{span.name}.wall_ms").observe(span.wall_ms)
+        if not span.sampled and span.parent_id is None:
+            # Tail-keep: promote slow/error traces after the fact.
+            if (
+                span.wall_ms >= SAMPLER.tail_keep_ms
+                or "error" in span.attributes
+            ):
+                span.sampled = True
+                self._promote(span)
+                SAMPLER.note_tail_promoted()
+                registry.counter("trace.sampler.tail_promoted").inc()
+            else:
+                registry.counter("trace.sampler.dropped").inc()
+        if self._metric_gen != registry.generation:
+            self._metric_cache = {}
+            self._metric_gen = registry.generation
+        pair = self._metric_cache.get(span.name)
+        if pair is None:
+            pair = (
+                registry.counter(f"span.{span.name}.calls"),
+                registry.histogram(f"span.{span.name}.wall_ms"),
+            )
+            self._metric_cache[span.name] = pair
+        pair[0].inc()
+        pair[1].observe(span.wall_ms)
+
+    def _promote(self, root: Span) -> None:
+        """Attach a tail-kept root (and its whole tree) to the kept
+        set, marking every reachable span sampled."""
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            node.sampled = True
+            stack.extend(node.children)
+        with self._lock:
+            self.roots.append(root)
 
     @contextmanager
-    def span(
-        self,
-        name: str,
-        parent: Optional[Span] = None,
-        **attributes: object,
-    ) -> Iterator[Optional[Span]]:
+    def span(self, name: str, **attributes: object) -> Iterator[Optional[Span]]:
         """Context manager for one span; yields ``None`` (and does no
-        work at all) while tracing is disabled.  ``parent`` explicitly
-        re-parents the span (see :meth:`start`)."""
+        work at all) while tracing is disabled.  Exceptions stamp an
+        ``error`` attribute (the tail-keep trigger) and propagate."""
         if not STATE.enabled:
             yield None
             return
-        span = self.start(name, parent=parent, **attributes)
+        span = self.start(name, **attributes)
         try:
             yield span
+        except BaseException as exc:
+            span.set_attribute("error", type(exc).__name__)
+            raise
         finally:
             self.finish(span)
 
@@ -165,6 +303,7 @@ class Tracer:
         with self._lock:
             self.roots = []
             self._ids = itertools.count(1)
+            self._trace_ids = itertools.count(1)
         self._local = threading.local()
 
     def iter_spans(self) -> Iterator[Span]:
@@ -183,6 +322,15 @@ class Tracer:
 
     def span_count(self) -> int:
         return sum(1 for _ in self.iter_spans())
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids across the kept roots, in root order."""
+        seen: dict[str, None] = {}
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            seen.setdefault(root.trace_id)
+        return list(seen)
 
     # ------------------------------------------------------------------
     # export
@@ -239,3 +387,10 @@ tracer = Tracer()
 def current_span() -> Optional[Span]:
     """The innermost active span of the calling thread."""
     return tracer.current()
+
+
+def current_trace_id() -> str:
+    """The calling thread's trace id — from its innermost active span,
+    or from an attached remote context; empty when neither exists."""
+    span = tracer.current_parent()
+    return span.trace_id if span is not None else ""

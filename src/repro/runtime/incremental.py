@@ -877,8 +877,15 @@ class MaterializedExchange:
         self._reset_bookkeeping()
         self._begin_session()
         if _OBS.enabled:
+            from repro.observability.journal import JOURNAL
             from repro.observability.tracing import tracer
 
+            JOURNAL.record(
+                "incremental.full_reexchange",
+                mapping=self.mapping.name,
+                inserts=sum(len(r) for r in update.inserts.values()),
+                deletes=sum(len(r) for r in update.deletes.values()),
+            )
             with tracer.span("runtime.incremental.full_reexchange",
                              mapping=self.mapping.name):
                 chase(self.working, self._dependencies,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -30,6 +31,7 @@ from repro.instances.database import Instance
 from repro.mappings.mapping import Mapping
 from repro.metamodel.schema import Schema
 from repro.observability.instrument import instrumented
+from repro.observability.state import STATE as _OBS
 from repro.operators.compose import compose
 from repro.runtime.executor import exchange
 from repro.runtime.incremental import MaterializedExchange
@@ -200,25 +202,44 @@ class PeerNetwork:
         ]
         failures: list[BaseException] = []
 
-        def run_hop(index: int, hop: MaterializedExchange) -> None:
+        def run_hop(index: int, hop: MaterializedExchange) -> int:
             inbox, outbox = queues[index], queues[index + 1]
+            batches = 0
             while True:
                 item = inbox.get()
                 if item is None:
                     outbox.put(None)
-                    return
+                    return batches
                 order, delta = item
                 if not failures and not delta.is_empty:
                     try:
                         delta = hop.apply(delta)
+                        batches += 1
                     except BaseException as exc:  # noqa: BLE001 - re-raised
                         failures.append(exc)
                         delta = UpdateSet()
                 outbox.put((order, delta))
 
+        def traced_hop(index: int, hop: MaterializedExchange) -> None:
+            if not _OBS.enabled:
+                run_hop(index, hop)
+                return
+            from repro.observability.tracing import tracer
+
+            with tracer.span("runtime.p2p.hop", hop=index) as span:
+                batches = run_hop(index, hop)
+                span.set_attribute("batches", batches)
+
+        # Wrapping the thread target with ``propagating(...)`` captures
+        # this (caller) thread's context — the open
+        # ``runtime.p2p.propagate_updates`` span — so every hop
+        # thread's spans join the caller's trace.
+        from repro.observability.context import propagating
+
+        target = propagating(traced_hop)
         threads = [
             threading.Thread(
-                target=run_hop, args=(index, hop),
+                target=target, args=(index, hop),
                 name=f"p2p-hop-{index}",
             )
             for index, hop in enumerate(hops)
@@ -243,11 +264,25 @@ class PeerNetwork:
             # hops that are themselves blocked on a full tail queue
             # (``in_flight`` = batches fed but not yet collected).
             nonlocal emitted
+            wait_start = None
             while True:
                 try:
                     queues[0].put(item, timeout=0.05)
+                    if wait_start is not None and _OBS.enabled:
+                        from repro.observability.journal import (
+                            record_backpressure,
+                        )
+
+                        record_backpressure(
+                            "p2p.feed",
+                            time.perf_counter() - wait_start,
+                            source=source_peer,
+                            target=target_peer,
+                        )
                     return
                 except queue.Full:
+                    if wait_start is None:
+                        wait_start = time.perf_counter()
                     if emitted < in_flight and collect_one():
                         emitted += 1
 

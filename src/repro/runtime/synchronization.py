@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -256,16 +257,23 @@ class QueuedSynchronizer:
         self._thread.start()
 
     def _run(self) -> None:
+        from repro.observability.context import activate
+
         while True:
-            update = self._queue.get()
+            item = self._queue.get()
             try:
-                if update is None:
+                if item is None:
                     return
+                ctx, update = item
                 if self._errors:
                     continue  # fail fast; drain() raises
-                self._results.append(
-                    self.synchronizer.forward_update(update)
-                )
+                # Each batch carries the trace context captured at
+                # submit time, so forwarding spans join the
+                # submitter's trace (contexts can differ per batch).
+                with activate(ctx):
+                    self._results.append(
+                        self.synchronizer.forward_update(update)
+                    )
             except BaseException as exc:  # noqa: BLE001 - re-raised in drain
                 self._errors.append(exc)
             finally:
@@ -276,7 +284,23 @@ class QueuedSynchronizer:
         full)."""
         if self._closed:
             raise MappingError("QueuedSynchronizer is closed")
-        self._queue.put(update)
+        from repro.observability.context import capture
+        from repro.observability.state import STATE as _OBS
+
+        item = (capture(), update)
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            wait_start = time.perf_counter()
+            self._queue.put(item)
+            if _OBS.enabled:
+                from repro.observability.journal import record_backpressure
+
+                record_backpressure(
+                    "synchronizer.submit",
+                    time.perf_counter() - wait_start,
+                    pending=self._queue.qsize(),
+                )
 
     def pending(self) -> int:
         return self._queue.qsize()

@@ -1,0 +1,349 @@
+"""Event journal, health monitor, and their CLI surfaces
+(`repro journal`, `repro health`, `repro top`)."""
+
+import json
+
+import pytest
+
+import repro.observability as obs
+from repro.cli import main
+from repro.instances import Instance
+from repro.instances.serialization import dump_instance
+from repro.logic import chase, parse_tgd
+from repro.observability import registry
+from repro.observability.health import (
+    MONITOR,
+    HealthConfig,
+    HealthMonitor,
+)
+from repro.observability.journal import (
+    JOURNAL,
+    EventJournal,
+    record_backpressure,
+)
+from repro.observability.querylog import QUERY_LOG
+
+
+# ----------------------------------------------------------------------
+# journal ring semantics
+# ----------------------------------------------------------------------
+class TestEventJournal:
+    def test_ring_bound_keeps_newest(self):
+        journal = EventJournal(capacity=3)
+        for i in range(5):
+            journal.record("demo.event", i=i)
+        events = journal.events()
+        assert len(events) == 3
+        assert [e.attrs["i"] for e in events] == [2, 3, 4]
+        assert [e.seq for e in events] == [3, 4, 5]
+
+    def test_record_once_dedupes_until_clear(self):
+        journal = EventJournal()
+        assert journal.record_once("k", "demo.fallback") is not None
+        assert journal.record_once("k", "demo.fallback") is None
+        assert len(journal) == 1
+        journal.clear()
+        assert journal.record_once("k", "demo.fallback") is not None
+
+    def test_kind_filter_exact_and_prefix(self):
+        journal = EventJournal()
+        journal.record("chase.round")
+        journal.record("chase.egd.reconcile")
+        journal.record("backpressure.wait")
+        assert len(journal.events(kind="chase")) == 2
+        assert len(journal.events(kind="chase.round")) == 1
+        assert len(journal.events(kind="chase.rou")) == 0
+
+    def test_trace_id_defaults_from_active_span(self):
+        obs.enable()
+        with obs.span("request") as root:
+            event = JOURNAL.record("demo.event")
+        assert event.trace_id == root.trace_id
+        outside = JOURNAL.record("demo.event")
+        assert outside.trace_id == ""
+
+    def test_jsonl_sink_mirrors_events(self, tmp_path):
+        journal = EventJournal()
+        sink = tmp_path / "journal.jsonl"
+        journal.configure(sink=sink)
+        journal.record("demo.event", n=1)
+        journal.record("demo.other", n=2)
+        journal.clear()  # closes the sink
+        lines = [json.loads(l) for l in sink.read_text().splitlines()]
+        assert [l["kind"] for l in lines] == ["demo.event", "demo.other"]
+        assert lines[1]["n"] == 2
+
+    def test_render_and_export(self, tmp_path):
+        journal = EventJournal()
+        journal.record("demo.event", detail="x")
+        text = journal.render()
+        assert "demo.event" in text and "detail=x" in text
+        path = journal.export_jsonl(tmp_path / "out.jsonl")
+        assert json.loads(path.read_text())["kind"] == "demo.event"
+
+    def test_clear_resets_sequence(self):
+        journal = EventJournal()
+        journal.record("demo.event")
+        journal.clear()
+        assert journal.record("demo.event").seq == 1
+
+    def test_record_backpressure_feeds_metrics_and_journal(self):
+        obs.enable()
+        record_backpressure("test.site", 0.05, shard=1)
+        hist = registry.histogram("backpressure.wait_ms")
+        assert hist.count == 1
+        assert hist.total == pytest.approx(50.0)
+        assert registry.counter("backpressure.test.site.waits").value == 1
+        event = JOURNAL.events(kind="backpressure.wait")[-1]
+        assert event.attrs["site"] == "test.site"
+        assert event.attrs["wait_ms"] == pytest.approx(50.0)
+
+    def test_record_backpressure_noop_when_disabled(self):
+        obs.disable()
+        record_backpressure("test.site", 0.05)
+        assert len(JOURNAL) == 0
+        assert "backpressure.wait_ms" not in registry
+
+
+# ----------------------------------------------------------------------
+# engine events land in the journal
+# ----------------------------------------------------------------------
+class TestEngineJournaling:
+    def _chase_db(self):
+        db = Instance()
+        db.insert_all("R0", [{"a": i} for i in range(20)])
+        return db, [parse_tgd("R0(a=x) -> R1(a=x)")]
+
+    def test_sequential_chase_journals_rounds(self):
+        obs.enable()
+        db, deps = self._chase_db()
+        chase(db, deps)
+        rounds = JOURNAL.events(kind="chase.round")
+        assert rounds
+        assert all("delta_rows" in e.attrs for e in rounds)
+
+    def test_sharded_fallback_journals_and_counts(self):
+        obs.enable()
+        db = Instance()
+        db.insert_all("R0", [{"a": i, "b": i} for i in range(10)])
+        db.insert_all("S0", [{"a": i, "c": i} for i in range(10)])
+        # The head drops the join variable, so no co-partitioning key
+        # exists and the chase silently falls back to sequential.
+        deps = [parse_tgd(
+            "R0(a=x, b=y) & S0(a=x, c=z) -> T0(b=y, c=z)"
+        )]
+        chase(db, deps, shards=2)
+        events = JOURNAL.events(kind="chase.sequential_fallback")
+        assert len(events) == 1
+        assert events[0].attrs["shards"] == 2
+        assert registry.counter("chase.sequential_fallbacks").value == 1
+
+    def test_disabled_chase_journals_nothing(self):
+        obs.disable()
+        db, deps = self._chase_db()
+        chase(db, deps)
+        assert len(JOURNAL) == 0
+
+
+# ----------------------------------------------------------------------
+# health signal derivation
+# ----------------------------------------------------------------------
+class TestHealthSignals:
+    def test_empty_state_is_healthy_with_no_data(self):
+        report = MONITOR.evaluate()
+        assert report.ok
+        by_name = {s.name: s for s in report.signals}
+        assert by_name["shard_imbalance"].status == "no-data"
+        assert by_name["divergence_rate"].status == "no-data"
+        # Backpressure defaults to a measured zero, not no-data.
+        assert by_name["backpressure_ms"].status == "ok"
+        assert by_name["backpressure_ms"].value == 0.0
+
+    def test_shard_imbalance_alerts_on_skew(self):
+        hist = registry.histogram("span.chase.shard.round.wall_ms")
+        for value in (1.0,) * 7 + (97.0,):  # mean 13, max 97
+            hist.observe(value)
+        report = MONITOR.evaluate()
+        signal = {s.name: s for s in report.signals}["shard_imbalance"]
+        assert signal.status == "alert"
+        assert signal.value == pytest.approx(97.0 / 13.0)
+        assert not report.ok
+
+    def test_shard_imbalance_respects_min_rounds(self):
+        hist = registry.histogram("span.chase.shard.round.wall_ms")
+        for value in (1.0, 99.0):
+            hist.observe(value)
+        signal = {s.name: s for s in MONITOR.evaluate().signals}[
+            "shard_imbalance"
+        ]
+        assert signal.status == "no-data"
+
+    def test_backpressure_alerts_on_total_wait(self):
+        obs.enable()
+        record_backpressure("site", 1.5)  # 1500ms > 1000ms default
+        signal = {s.name: s for s in MONITOR.evaluate().signals}[
+            "backpressure_ms"
+        ]
+        assert signal.status == "alert"
+        assert signal.value == pytest.approx(1500.0)
+
+    def test_cache_eviction_rate(self):
+        registry.counter("query.plan_cache.hits").inc(10)
+        registry.counter("query.plan_cache.misses").inc(10)
+        registry.counter("query.plan_cache.evictions").inc(15)
+        signal = {s.name: s for s in MONITOR.evaluate().signals}[
+            "cache_eviction_rate"
+        ]
+        assert signal.status == "alert"
+        assert signal.value == pytest.approx(0.75)
+
+    def test_query_rates_from_log(self):
+        QUERY_LOG.configure(slow_ms=5.0)
+        for i in range(20):
+            QUERY_LOG.record(
+                f"fp{i}", "compiled", False, 9.0 if i < 12 else 1.0, 0
+            )
+        config = HealthConfig(min_query_samples=20)
+        by_name = {s.name: s for s in MONITOR.evaluate(config).signals}
+        assert by_name["slow_query_rate"].value == pytest.approx(0.6)
+        assert by_name["slow_query_rate"].status == "alert"
+        assert by_name["divergence_rate"].value == 0.0
+
+    def test_divergence_rate_counts_flagged(self):
+        for i in range(20):
+            worst = {"flagged": i < 15}
+            QUERY_LOG.record(f"fp{i}", "compiled", False, 1.0, 0,
+                             worst=worst)
+        signal = {s.name: s for s in MONITOR.evaluate().signals}[
+            "divergence_rate"
+        ]
+        assert signal.status == "alert"
+        assert signal.value == pytest.approx(0.75)
+
+    def test_with_overrides_rejects_unknown_key(self):
+        with pytest.raises(KeyError):
+            HealthConfig().with_overrides({"typo_max": 1.0})
+        config = HealthConfig().with_overrides(
+            {"slow_query_rate_max": 0.1, "min_query_samples": 5.0}
+        )
+        assert config.slow_query_rate_max == 0.1
+        assert config.min_query_samples == 5  # coerced to int
+
+    def test_check_journals_alerts_when_enabled(self):
+        obs.enable()
+        record_backpressure("site", 2.0)
+        report = MONITOR.check()
+        assert not report.ok
+        assert MONITOR.last_report is report
+        alerts = JOURNAL.events(kind="health.alert")
+        assert any(e.attrs["signal"] == "backpressure_ms" for e in alerts)
+        assert registry.counter("health.alerts").value >= 1
+
+    def test_periodic_thread_starts_and_stops(self):
+        monitor = HealthMonitor()
+        monitor.start(interval=0.01)
+        monitor.start(interval=0.01)  # idempotent
+        assert monitor._thread is not None
+        monitor.reset()
+        assert monitor._thread is None
+        assert monitor.last_report is None
+
+    def test_report_renders_markers(self):
+        obs.enable()
+        record_backpressure("site", 2.0)
+        text = MONITOR.evaluate().render()
+        assert "ALERT" in text
+        assert "✗ backpressure_ms" in text
+        assert "·" in text  # no-data markers for the rest
+
+
+# ----------------------------------------------------------------------
+# CLI: repro journal / health / top
+# ----------------------------------------------------------------------
+@pytest.fixture
+def workload(tmp_path):
+    inst = Instance()
+    for i in range(30):
+        inst.insert("t", {"a": i, "b": i % 5})
+    data = tmp_path / "data.json"
+    data.write_text(dump_instance(inst))
+    script = tmp_path / "workload.py"
+    script.write_text(
+        "from repro.instances.serialization import load_instance\n"
+        "from repro.algebra import expressions as E\n"
+        "from repro.algebra.evaluator import evaluate\n"
+        "from repro.instances import Instance\n"
+        "from repro.logic import chase, parse_tgd\n"
+        f"inst = load_instance(open({str(data)!r}).read())\n"
+        "evaluate(E.Scan('t'), inst)\n"
+        "db = Instance()\n"
+        "db.insert_all('R0', [{'a': i} for i in range(10)])\n"
+        "chase(db, [parse_tgd('R0(a=x) -> R1(a=x)')])\n"
+    )
+    return script
+
+
+def test_cli_journal_prints_and_exports(tmp_path, capsys, workload):
+    out = tmp_path / "events.jsonl"
+    code = main([
+        "journal", str(workload), "--quiet",
+        "--kind", "chase", "--out", str(out),
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "chase.round" in printed
+    lines = [json.loads(l) for l in out.read_text().splitlines()]
+    assert any(l["kind"] == "chase.round" for l in lines)
+
+
+def test_cli_journal_json(capsys, workload):
+    assert main(["journal", str(workload), "--quiet", "--json"]) == 0
+    lines = [
+        json.loads(l) for l in capsys.readouterr().out.splitlines() if l
+    ]
+    assert all("kind" in l and "trace_id" in l for l in lines)
+
+
+def test_cli_health_healthy_exits_zero(capsys, workload):
+    assert main(["health", str(workload), "--quiet"]) == 0
+    assert "health: OK" in capsys.readouterr().out
+
+
+def test_cli_health_breach_exits_one(capsys, workload):
+    code = main([
+        "health", str(workload), "--quiet",
+        "--threshold", "slow_query_rate_max=-1",
+        "--threshold", "min_query_samples=1",
+    ])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "ALERT" in out and "slow_query_rate" in out
+
+
+def test_cli_health_bad_threshold_exits_two(capsys):
+    assert main(["health", "--threshold", "nonsense=1"]) == 2
+    assert main(["health", "--threshold", "slow_query_rate_max"]) == 2
+
+
+def test_cli_health_json(capsys, workload):
+    assert main(["health", str(workload), "--quiet", "--json"]) == 0
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed["ok"] is True
+    assert {s["name"] for s in parsed["signals"]} >= {
+        "shard_imbalance", "backpressure_ms", "slow_query_rate",
+    }
+
+
+def test_cli_top_once(capsys, workload):
+    assert main(["top", str(workload), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "repro top" in out
+    assert "health:" in out
+    assert "query.execute" in out or "chase" in out
+
+
+def test_cli_top_script_failure_exits_one(tmp_path, capsys):
+    script = tmp_path / "boom.py"
+    script.write_text("raise RuntimeError('kaput')\n")
+    assert main(["top", str(script), "--once"]) == 1
+    assert "kaput" in capsys.readouterr().err

@@ -191,13 +191,19 @@ def test_cli_stats_renders_relation_statistics(tmp_path, capsys, instance):
 # ----------------------------------------------------------------------
 def _parse_prometheus(text: str) -> dict:
     """Minimal parser for the exposition subset we emit: returns
-    {name: {"type": kind, "samples": {sample_name+labels: value}}}."""
+    {name: {"type": kind, "help": str, "samples": {...}}}."""
     metrics: dict = {}
+    helps: dict = {}
     current = None
     for line in text.splitlines():
-        if line.startswith("# TYPE "):
+        if line.startswith("# HELP "):
+            name, help_text = line[len("# HELP "):].split(" ", 1)
+            helps[name] = help_text
+        elif line.startswith("# TYPE "):
             _, _, name, kind = line.split(" ")
-            current = metrics[name] = {"type": kind, "samples": {}}
+            current = metrics[name] = {
+                "type": kind, "help": helps.get(name), "samples": {}
+            }
         elif line:
             sample, value = line.rsplit(" ", 1)
             current["samples"][sample] = float(value)
@@ -216,6 +222,9 @@ def test_prometheus_round_trip():
 
     assert parsed["demo_requests"]["type"] == "counter"
     assert parsed["demo_requests"]["samples"]["demo_requests"] == 7
+    # Every emitted family carries a HELP line.
+    assert parsed["demo_requests"]["help"]
+    assert parsed["demo_lat"]["help"]
 
     assert parsed["demo_depth"]["samples"]["demo_depth"] == 3.5
     assert "demo_unset" not in parsed
@@ -233,6 +242,23 @@ def test_prometheus_round_trip():
     snapshot = registry.snapshot()
     assert snapshot["demo.requests"]["value"] == 7
     assert snapshot["demo.lat"]["count"] == 4
+
+
+def test_prometheus_known_family_help_text():
+    registry.counter("query.plan_cache.hits").inc()
+    parsed = _parse_prometheus(registry.render_prometheus())
+    assert parsed["query_plan_cache_hits"]["help"] == (
+        "Compiled-plan cache activity"
+    )
+
+
+def test_prometheus_label_value_escaping():
+    from repro.observability.metrics import _escape_label_value
+
+    assert _escape_label_value('a"b') == 'a\\"b'
+    assert _escape_label_value("a\\b") == "a\\\\b"
+    assert _escape_label_value("a\nb") == "a\\nb"
+    assert _escape_label_value("plain") == "plain"
 
 
 def test_cli_metrics_prom_format(tmp_path, capsys, instance):

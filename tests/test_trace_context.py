@@ -1,0 +1,395 @@
+"""Trace-context propagation and adaptive sampling.
+
+The tentpole contract: work fanned out to shard workers, p2p hop
+threads, and the queued synchronizer joins the submitting request's
+trace — one trace_id, one connected span tree — with head sampling
+deterministic per root kind and tail-keep promoting slow/error traces.
+"""
+
+import copy
+import threading
+
+import pytest
+
+import repro.observability as obs
+from repro.instances import Instance
+from repro.logic import chase, parse_tgd
+from repro.mappings import Mapping
+from repro.metamodel import INT, SchemaBuilder
+from repro.observability import SAMPLER, TraceContext, tracer
+from repro.observability.context import activate, capture, propagating
+from repro.observability.sampling import Sampler
+from repro.runtime.p2p import PeerNetwork
+from repro.runtime.updates import UpdateSet
+
+
+def _all_spans():
+    return list(tracer.iter_spans())
+
+
+def _assert_connected_single_trace(spans):
+    """Every span shares one trace_id and every parent_id resolves —
+    the tree has no orphans."""
+    assert spans
+    trace_ids = {s.trace_id for s in spans}
+    assert len(trace_ids) == 1, f"expected one trace, got {trace_ids}"
+    by_id = {s.span_id: s for s in spans}
+    roots = [s for s in spans if s.parent_id is None]
+    assert len(roots) == 1
+    for span in spans:
+        if span.parent_id is not None:
+            assert span.parent_id in by_id, (
+                f"{span.name} ({span.span_id}) orphaned: parent "
+                f"{span.parent_id} not in tree"
+            )
+    return trace_ids.pop()
+
+
+# ----------------------------------------------------------------------
+# context capture / restore
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    def test_capture_returns_none_when_idle(self):
+        obs.enable()
+        assert capture() is None
+
+    def test_capture_and_activate_cross_thread(self):
+        obs.enable()
+        seen = {}
+
+        def worker(ctx):
+            with activate(ctx):
+                with obs.span("child.on.worker"):
+                    pass
+            seen["trace"] = tracer.roots[0].trace_id
+
+        with obs.span("request") as root:
+            ctx = capture()
+            assert ctx.trace_id == root.trace_id
+            thread = threading.Thread(target=worker, args=(ctx,))
+            thread.start()
+            thread.join()
+        spans = _all_spans()
+        assert [s.name for s in spans] == ["request", "child.on.worker"]
+        _assert_connected_single_trace(spans)
+        assert spans[1].thread != spans[0].thread
+
+    def test_propagating_captures_at_wrap_time(self):
+        obs.enable()
+        with obs.span("request"):
+            fn = propagating(lambda: obs.span("inner").__enter__())
+        # Wrapped while the span was open: calls made later (span
+        # closed, other thread) still join the captured context.
+        thread = threading.Thread(target=fn)
+        thread.start()
+        thread.join()
+        spans = _all_spans()
+        assert {s.name for s in spans} == {"request", "inner"}
+        assert len({s.trace_id for s in spans}) == 1
+
+    def test_propagating_passthrough_without_context(self):
+        obs.enable()
+        fn = lambda: 42  # noqa: E731
+        assert propagating(fn) is fn
+
+    def test_activate_none_is_noop(self):
+        obs.enable()
+        with activate(None):
+            with obs.span("solo"):
+                pass
+        assert tracer.roots[0].name == "solo"
+
+    def test_nested_roots_get_distinct_trace_ids(self):
+        obs.enable()
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            pass
+        assert len(tracer.trace_ids()) == 2
+
+    def test_traceparent_rendering(self):
+        obs.enable()
+        with obs.span("request"):
+            ctx = capture()
+            header = ctx.traceparent()
+        version, trace_id, span_id, flags = header.split("-")
+        assert version == "00"
+        assert len(trace_id) == 32 and trace_id == ctx.trace_id
+        assert len(span_id) == 16
+        assert flags == "01"
+
+    def test_error_stamps_attribute(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        assert tracer.roots[0].attributes["error"] == "ValueError"
+
+
+# ----------------------------------------------------------------------
+# adaptive sampling
+# ----------------------------------------------------------------------
+class TestSampler:
+    def test_inactive_until_configured(self):
+        sampler = Sampler()
+        sampler.reset()
+        if not sampler.active:  # env may force it on in the CI lane
+            assert all(sampler.decide("query.execute") for _ in range(20))
+            assert sampler.kept == 0  # inactive: no counters recorded
+
+    def test_head_sampling_is_deterministic(self):
+        sampler = Sampler()
+        sampler.configure(default_rate=0.25)
+        decisions = [sampler.decide("query.execute") for _ in range(8)]
+        assert decisions == [True, False, False, False] * 2
+        assert sampler.kept == 2 and sampler.dropped == 6
+
+    def test_per_kind_rates_with_prefix_match(self):
+        sampler = Sampler()
+        sampler.configure(
+            default_rate=1.0, rates={"query": 0.5, "query.execute": 0.0}
+        )
+        assert sampler.rate_for("query.execute") == 0.0    # exact
+        assert sampler.rate_for("query.plan") == 0.5       # prefix
+        assert sampler.rate_for("logic.chase") == 1.0      # default
+        assert not sampler.decide("query.execute")
+        assert sampler.decide("logic.chase")
+
+    def test_env_parsing(self):
+        from repro.observability.sampling import _parse_env
+
+        assert _parse_env("") is None
+        assert _parse_env("nonsense=x") is None
+        assert _parse_env("0.25")["default"] == 0.25
+        parsed = _parse_env("query.execute=0.1,default=0.5,tail_ms=99")
+        assert parsed["rates"] == {"query.execute": 0.1}
+        assert parsed["default"] == 0.5 and parsed["tail_ms"] == 99.0
+
+    def test_head_dropped_root_not_kept(self):
+        obs.enable()
+        SAMPLER.configure(default_rate=0.5, tail_keep_ms=10_000.0)
+        with obs.span("req"):
+            pass
+        with obs.span("req"):  # second of kind: dropped, fast, no error
+            pass
+        assert len(tracer.roots) == 1
+        assert SAMPLER.snapshot()["dropped"] == 1
+
+    def test_tail_keep_promotes_slow_trace(self):
+        obs.enable()
+        SAMPLER.configure(default_rate=0.5, tail_keep_ms=0.0)
+        with obs.span("req"):
+            pass
+        with obs.span("req") as second:  # head-dropped, tail-promoted
+            with obs.span("child"):
+                pass
+        assert len(tracer.roots) == 2
+        assert second.sampled and second.children[0].sampled
+        assert SAMPLER.snapshot()["tail_promoted"] == 1
+
+    def test_tail_keep_promotes_error_trace(self):
+        obs.enable()
+        SAMPLER.configure(default_rate=0.5, tail_keep_ms=10_000.0)
+        with obs.span("req"):
+            pass
+        with pytest.raises(RuntimeError):
+            with obs.span("req"):
+                raise RuntimeError("fail")
+        assert len(tracer.roots) == 2
+        assert tracer.roots[1].attributes["error"] == "RuntimeError"
+
+    def test_children_inherit_drop_decision(self):
+        obs.enable()
+        SAMPLER.configure(default_rate=0.5, tail_keep_ms=10_000.0)
+        with obs.span("req"):
+            pass
+        with obs.span("req") as root:
+            with obs.span("child") as child:
+                assert child.sampled is False
+                assert child.trace_id == root.trace_id
+        assert len(tracer.roots) == 1
+
+
+# ----------------------------------------------------------------------
+# cross-thread joins through the engine
+# ----------------------------------------------------------------------
+def _chain_db(rows=60, stages=2):
+    db = Instance()
+    db.insert_all("R0", [{"a": i, "b": i % 7} for i in range(rows)])
+    deps = [
+        parse_tgd(f"R{k}(a=x, b=y) -> R{k + 1}(a=x, b=y)")
+        for k in range(stages)
+    ]
+    return db, deps
+
+
+def _peer_network(peers=4, rows=30):
+    network = PeerNetwork()
+    schemas = []
+    for i in range(peers):
+        schemas.append(
+            SchemaBuilder(f"P{i}").entity(f"R{i}", key=["k"])
+            .attribute("k", INT).attribute("v", INT).build()
+        )
+        data = None
+        if i == 0:
+            data = Instance()
+            for r in range(rows):
+                data.add("R0", k=r, v=r * 2)
+        network.add_peer(f"p{i}", schemas[i], data)
+    for i in range(peers - 1):
+        network.add_mapping(
+            f"p{i}", f"p{i + 1}",
+            Mapping(schemas[i], schemas[i + 1], [
+                parse_tgd(f"R{i}(k=x, v=y) -> R{i + 1}(k=x, v=y)")
+            ]),
+        )
+    return network
+
+
+class TestCrossThreadJoins:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded_chase_joins_request_trace(self, shards):
+        obs.enable()
+        SAMPLER.configure(default_rate=1.0)  # sampling active, keep-all
+        db, deps = _chain_db()
+        with obs.span("request"):
+            chase(db, deps, shards=shards)
+        spans = _all_spans()
+        trace_id = _assert_connected_single_trace(spans)
+        rounds = [s for s in spans if s.name == "chase.shard.round"]
+        assert rounds, "no shard-round spans recorded"
+        assert {s.attributes["shard"] for s in rounds} == set(range(shards))
+        # Worker spans really ran on pool threads, not the caller.
+        request = spans[0]
+        assert any(s.thread != request.thread for s in rounds)
+        assert all(s.trace_id == trace_id for s in rounds)
+        chase_span = next(s for s in spans if s.name == "logic.chase")
+        assert all(s.parent_id == chase_span.span_id for s in rounds)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_pipelined_p2p_joins_request_trace(self, shards, monkeypatch):
+        monkeypatch.setenv("REPRO_CHASE_SHARDS", str(shards))
+        obs.enable()
+        SAMPLER.configure(default_rate=1.0)
+        network = _peer_network()
+        batches = [
+            UpdateSet().insert("R0", k=100 + i, v=i) for i in range(6)
+        ]
+        with obs.span("request"):
+            network.propagate_updates(
+                "p0", "p3", [copy.deepcopy(b) for b in batches],
+                queue_depth=2,
+            )
+        spans = _all_spans()
+        trace_id = _assert_connected_single_trace(spans)
+        hops = [s for s in spans if s.name == "runtime.p2p.hop"]
+        assert {s.attributes["hop"] for s in hops} == {0, 1, 2}
+        hop_threads = {s.thread for s in hops}
+        assert hop_threads == {f"p2p-hop-{i}" for i in range(3)}
+        assert all(s.trace_id == trace_id for s in hops)
+
+    def test_queued_synchronizer_joins_submitter_trace(self):
+        from repro.runtime.synchronization import (
+            Endpoint,
+            QueuedSynchronizer,
+            Synchronizer,
+        )
+        from repro.workloads import paper
+
+        mapping = paper.figure2_mapping()
+        primary = Endpoint(mapping, paper.figure2_sql_instance(),
+                           name="primary")
+        replica = Endpoint(paper.figure2_mapping(),
+                           Instance(mapping.source), name="replica")
+        synchronizer = Synchronizer(primary, replica)
+        synchronizer.add_rule("Customer")
+        synchronizer.synchronize()
+
+        obs.enable()
+        obs.reset()  # drop spans recorded while wiring the synchronizer
+        queued = QueuedSynchronizer(synchronizer, maxsize=2)
+        template = dict(synchronizer.primary.source.rows("Client")[0])
+        with obs.span("request"):
+            for i in range(3):
+                row = dict(template)
+                row["Id"] = 1000 + i
+                queued.submit(UpdateSet().insert("Client", **row))
+            queued.drain()
+        queued.close()
+        spans = _all_spans()
+        trace_id = _assert_connected_single_trace(spans)
+        forwarded = [
+            s for s in spans if s.thread == "sync-forwarder"
+        ]
+        assert forwarded, "no spans recorded on the forwarder thread"
+        assert all(s.trace_id == trace_id for s in forwarded)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_end_to_end_exchange_feeding_p2p(self, shards, monkeypatch):
+        """The acceptance scenario: a sharded exchange feeding
+        pipelined p2p propagation yields ONE trace connecting the
+        coordinator, all shard workers, and every hop thread, with
+        journal events carrying that trace_id."""
+        monkeypatch.setenv("REPRO_CHASE_SHARDS", str(shards))
+        obs.enable()
+        SAMPLER.configure(default_rate=1.0)
+        from repro.observability.journal import JOURNAL
+
+        network = _peer_network(rows=40)
+        batches = [
+            UpdateSet().insert("R0", k=200 + i, v=i) for i in range(8)
+        ]
+        with obs.span("request"):
+            network.propagate_updates("p0", "p3", batches, queue_depth=1)
+        spans = _all_spans()
+        trace_id = _assert_connected_single_trace(spans)
+
+        rounds = [s for s in spans if s.name == "chase.shard.round"]
+        assert {s.attributes["shard"] for s in rounds} == set(range(shards))
+        hops = [s for s in spans if s.name == "runtime.p2p.hop"]
+        assert {s.thread for s in hops} == {
+            f"p2p-hop-{i}" for i in range(3)
+        }
+        # ≥ 3 distinct threads participated in the one trace:
+        # the caller, shard workers, and hop threads.
+        assert len({s.thread for s in spans}) >= 3
+
+        round_events = JOURNAL.events(kind="chase.round")
+        assert round_events
+        assert all(e.trace_id == trace_id for e in round_events)
+
+
+# ----------------------------------------------------------------------
+# trace_id plumbing into exports and the query log
+# ----------------------------------------------------------------------
+class TestTraceIdPlumbing:
+    def test_span_export_includes_trace_id(self, tmp_path):
+        import json
+
+        obs.enable()
+        with obs.span("request"):
+            with obs.span("inner"):
+                pass
+        path = tracer.export_jsonl(tmp_path / "spans.jsonl")
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert len({r["trace_id"] for r in records}) == 1
+        assert all(len(r["trace_id"]) == 32 for r in records)
+
+    def test_query_log_entries_carry_trace_id(self):
+        from repro.algebra import expressions as E
+        from repro.algebra.evaluator import evaluate
+        from repro.observability.querylog import QUERY_LOG
+
+        inst = Instance()
+        for i in range(10):
+            inst.insert("t", {"a": i})
+        obs.enable()
+        with obs.span("request") as root:
+            evaluate(E.Scan("t"), inst)
+        entries = QUERY_LOG.entries()
+        assert entries
+        assert entries[-1].trace_id == root.trace_id
+        assert entries[-1].to_dict()["trace_id"] == root.trace_id
